@@ -1,0 +1,98 @@
+//! Reed-Solomon codec throughput: encode, full decode, repair-equation
+//! derivation, and the XOR vs matrix decode gap the paper measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpr_codec::{BlockId, CodeParams, PartialDecoder, StripeCodec};
+use std::hint::black_box;
+
+const BLOCK: usize = 1024 * 1024;
+
+fn stripe(codec: &StripeCodec) -> Vec<Vec<u8>> {
+    let n = codec.params().n;
+    let data: Vec<Vec<u8>> = (0..n)
+        .map(|i| {
+            (0..BLOCK)
+                .map(|j| (j as u8).wrapping_add(i as u8))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+    codec.encode_stripe(&refs)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec/encode");
+    for (n, k) in [(4usize, 2usize), (8, 4), (12, 4)] {
+        let codec = StripeCodec::new(CodeParams::new(n, k));
+        let data: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; BLOCK]).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        g.throughput(Throughput::Bytes((n * BLOCK) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_{k}")),
+            &(n, k),
+            |b, _| b.iter(|| codec.encode(black_box(&refs))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_full_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec/matrix_decode");
+    for (n, k) in [(4usize, 2usize), (12, 4)] {
+        let codec = StripeCodec::new(CodeParams::new(n, k));
+        let s = stripe(&codec);
+        // Lose d0, decode from the *last* n blocks (forces Galois math).
+        let survivors: Vec<(BlockId, &[u8])> =
+            (k..n + k).map(|i| (BlockId(i), s[i].as_slice())).collect();
+        g.throughput(Throughput::Bytes(BLOCK as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_{k}")),
+            &(n, k),
+            |b, _| b.iter(|| codec.decode(black_box(&survivors), &[BlockId(0)])),
+        );
+    }
+    g.finish();
+}
+
+fn bench_xor_path_decode(c: &mut Criterion) {
+    // The eq.-6 path: d0 = d1 ^ ... ^ d(n-1) ^ p0, pure XOR folds.
+    let mut g = c.benchmark_group("codec/xor_path_decode");
+    for (n, k) in [(4usize, 2usize), (12, 4)] {
+        let codec = StripeCodec::new(CodeParams::new(n, k));
+        let s = stripe(&codec);
+        g.throughput(Throughput::Bytes(BLOCK as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_{k}")),
+            &(n, k),
+            |b, _| {
+                b.iter(|| {
+                    let mut pd = PartialDecoder::new(BLOCK);
+                    for blk in &s[1..n] {
+                        pd.fold(1, black_box(blk));
+                    }
+                    pd.fold(1, black_box(&s[n])); // p0
+                    pd.finish()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_repair_equations(c: &mut Criterion) {
+    let codec = StripeCodec::new(CodeParams::new(12, 4));
+    let helpers: Vec<BlockId> = (4..16).map(BlockId).collect();
+    let lost: Vec<BlockId> = (0..4).map(BlockId).collect();
+    c.bench_function("codec/repair_equations_12_4_worst", |b| {
+        b.iter(|| codec.repair_equations(black_box(&lost), black_box(&helpers)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_full_decode,
+    bench_xor_path_decode,
+    bench_repair_equations
+);
+criterion_main!(benches);

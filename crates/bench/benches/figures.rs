@@ -1,0 +1,167 @@
+//! One benchmark per paper table/figure: each measures the code path that
+//! regenerates the corresponding artifact (scaled down so `cargo bench`
+//! stays tractable; the full-scale regeneration lives in
+//! `rpr-experiments`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpr_bench::BenchWorld;
+use rpr_codec::{BlockId, CodeParams};
+use rpr_core::analysis::{rpr_repair_time, traditional_repair_time, AnalysisParams};
+use rpr_core::{simulate, CarPlanner, RepairPlanner, RprPlanner, TraditionalPlanner};
+use std::hint::black_box;
+
+const SIM_BLOCK: u64 = 256 << 20;
+/// Execution benches use small blocks and fast links so one iteration is
+/// tens of milliseconds rather than seconds.
+const EXEC_BLOCK: u64 = 64 * 1024;
+
+fn exec_world(n: usize, k: usize) -> BenchWorld {
+    let mut w = BenchWorld::simics(n, k, EXEC_BLOCK);
+    w.profile = rpr_topology::BandwidthProfile::uniform(w.topo.rack_count(), 100.0e6, 10.0e6);
+    w.cost = rpr_core::CostModel::free();
+    w
+}
+
+fn fig6_theory(c: &mut Criterion) {
+    c.bench_function("fig6/closed_forms_all_codes", |b| {
+        b.iter(|| {
+            let a = AnalysisParams::figure6();
+            let mut acc = 0.0;
+            for (n, k) in [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)] {
+                let p = CodeParams::new(n, k);
+                acc += traditional_repair_time(p, a) + rpr_repair_time(p, a);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig7_fig8_single_failure_sim(c: &mut Criterion) {
+    let w = BenchWorld::simics(12, 4, SIM_BLOCK);
+    let mut g = c.benchmark_group("fig7_fig8/single_failure_12_4");
+    for (name, planner) in [
+        ("tra", &TraditionalPlanner::new() as &dyn RepairPlanner),
+        ("car", &CarPlanner::new()),
+        ("rpr", &RprPlanner::new()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ctx = w.ctx(vec![BlockId(0)]);
+                let plan = planner.plan(&ctx);
+                black_box(simulate(&plan, &ctx).repair_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig9_fig10_multi_failure_sim(c: &mut Criterion) {
+    let w = BenchWorld::simics(8, 4, SIM_BLOCK);
+    let mut g = c.benchmark_group("fig9_fig10/multi_failure_8_4_2");
+    for (name, planner) in [
+        ("tra", &TraditionalPlanner::new() as &dyn RepairPlanner),
+        ("rpr", &RprPlanner::new()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ctx = w.ctx(vec![BlockId(0), BlockId(4)]);
+                let plan = planner.plan(&ctx);
+                black_box(simulate(&plan, &ctx).repair_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig11_worst_case_sim(c: &mut Criterion) {
+    let w = BenchWorld::simics(6, 2, SIM_BLOCK);
+    c.bench_function("fig11/worst_case_6_2_rpr", |b| {
+        b.iter(|| {
+            let ctx = w.ctx(vec![BlockId(0), BlockId(1)]);
+            let plan = RprPlanner::new().plan(&ctx);
+            black_box(simulate(&plan, &ctx).repair_time)
+        })
+    });
+}
+
+fn table1_shaper_throughput(c: &mut Criterion) {
+    c.bench_function("table1/shaped_path_probe", |b| {
+        b.iter(|| {
+            // One cross-region path at 1/64 scale, 30 ms probe.
+            black_box(rpr_exec::measure_path_throughput(
+                51.798 * rpr_topology::MBIT / 64.0,
+                0.03,
+            ))
+        })
+    });
+}
+
+fn fig12_exec_single(c: &mut Criterion) {
+    let w = exec_world(6, 2);
+    let stripe = w.stripe(7);
+    let mut g = c.benchmark_group("fig12/exec_single_6_2");
+    g.sample_size(10);
+    for (name, planner) in [
+        ("tra", &TraditionalPlanner::new() as &dyn RepairPlanner),
+        ("car", &CarPlanner::new()),
+        ("rpr", &RprPlanner::new()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ctx = w.ctx(vec![BlockId(1)]);
+                let plan = planner.plan(&ctx);
+                let r = rpr_exec::execute(&plan, &ctx, &stripe);
+                assert!(r.verified);
+                black_box(r.wall_seconds)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig13_exec_multi(c: &mut Criterion) {
+    let w = exec_world(8, 4);
+    let stripe = w.stripe(9);
+    let mut g = c.benchmark_group("fig13/exec_multi_8_4_2");
+    g.sample_size(10);
+    g.bench_function("rpr", |b| {
+        b.iter(|| {
+            let ctx = w.ctx(vec![BlockId(0), BlockId(4)]);
+            let plan = RprPlanner::new().plan(&ctx);
+            let r = rpr_exec::execute(&plan, &ctx, &stripe);
+            assert!(r.verified);
+            black_box(r.wall_seconds)
+        })
+    });
+    g.finish();
+}
+
+fn fig14_exec_worst(c: &mut Criterion) {
+    let w = exec_world(6, 2);
+    let stripe = w.stripe(13);
+    let mut g = c.benchmark_group("fig14/exec_worst_6_2");
+    g.sample_size(10);
+    g.bench_function("rpr", |b| {
+        b.iter(|| {
+            let ctx = w.ctx(vec![BlockId(0), BlockId(1)]);
+            let plan = RprPlanner::new().plan(&ctx);
+            let r = rpr_exec::execute(&plan, &ctx, &stripe);
+            assert!(r.verified);
+            black_box(r.wall_seconds)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig6_theory,
+    fig7_fig8_single_failure_sim,
+    fig9_fig10_multi_failure_sim,
+    fig11_worst_case_sim,
+    table1_shaper_throughput,
+    fig12_exec_single,
+    fig13_exec_multi,
+    fig14_exec_worst
+);
+criterion_main!(benches);

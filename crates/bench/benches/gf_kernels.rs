@@ -1,0 +1,74 @@
+//! Throughput of the GF(2^8) slice kernels — the paper's `t_nd` vs `t_wd`
+//! gap starts here: XOR folds vs table-lookup Galois folds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [4 * 1024, 256 * 1024, 4 * 1024 * 1024];
+
+fn data(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
+}
+
+fn bench_xor_slice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf/xor_slice");
+    for &len in &SIZES {
+        let src = data(len, 1);
+        let mut dst = data(len, 2);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| rpr_gf::xor_slice(black_box(&mut dst), black_box(&src)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mul_acc_slice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf/mul_acc_slice");
+    for &len in &SIZES {
+        let src = data(len, 3);
+        let mut dst = data(len, 4);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| rpr_gf::mul_acc_slice(black_box(0x53), black_box(&src), black_box(&mut dst)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lin_comb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf/lin_comb_4way");
+    for &len in &SIZES {
+        let blocks: Vec<Vec<u8>> = (0..4u8).map(|i| data(len, i)).collect();
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let mut out = vec![0u8; len];
+        g.throughput(Throughput::Bytes(4 * len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| rpr_gf::lin_comb(black_box(&[3, 1, 7, 1]), black_box(&refs), &mut out))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scalar_mul(c: &mut Criterion) {
+    c.bench_function("gf/scalar_mul_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for x in 0..=255u8 {
+                acc ^= rpr_gf::mul(black_box(x), black_box(0xA7));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_xor_slice,
+    bench_mul_acc_slice,
+    bench_lin_comb,
+    bench_scalar_mul
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Planner cost: how long does producing (and validating) a repair plan
+//! take for each scheme? The RPR planner includes its helper-selection
+//! search, so this measures the full Algorithm 1 + 2 scheduling cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpr_bench::BenchWorld;
+use rpr_codec::BlockId;
+use rpr_core::{CarPlanner, RepairPlanner, RprPlanner, TraditionalPlanner};
+use std::hint::black_box;
+
+const BLOCK: u64 = 256 << 20;
+
+fn bench_single_failure_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner/single_failure");
+    for (n, k) in [(4usize, 2usize), (8, 2), (12, 4)] {
+        let w = BenchWorld::simics(n, k, BLOCK);
+        for (name, planner) in [
+            (
+                "traditional",
+                &TraditionalPlanner::new() as &dyn RepairPlanner,
+            ),
+            ("car", &CarPlanner::new()),
+            ("rpr_search", &RprPlanner::new()),
+            ("rpr_heuristic", &RprPlanner::without_search()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{n}_{k}")),
+                &(n, k),
+                |b, _| {
+                    b.iter(|| {
+                        let ctx = w.ctx(vec![BlockId(1)]);
+                        black_box(planner.plan(&ctx))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_multi_failure_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner/multi_failure");
+    for (n, k, z) in [(8usize, 4usize, 2usize), (12, 4, 4)] {
+        let w = BenchWorld::simics(n, k, BLOCK);
+        let failed: Vec<BlockId> = (0..z).map(BlockId).collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_{k}_{z}")),
+            &(n, k),
+            |b, _| {
+                b.iter(|| {
+                    let ctx = w.ctx(failed.clone());
+                    black_box(RprPlanner::new().plan(&ctx))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_plan_validation(c: &mut Criterion) {
+    let w = BenchWorld::simics(12, 4, BLOCK);
+    let ctx = w.ctx(vec![BlockId(0), BlockId(5)]);
+    let plan = RprPlanner::new().plan(&ctx);
+    c.bench_function("planner/validate_12_4_double", |b| {
+        b.iter(|| {
+            plan.validate(&w.codec, &w.topo, &w.placement)
+                .expect("valid")
+        })
+    });
+}
+
+fn bench_netsim_lowering(c: &mut Criterion) {
+    let w = BenchWorld::simics(12, 4, BLOCK);
+    let ctx = w.ctx(vec![BlockId(0)]);
+    let plan = RprPlanner::new().plan(&ctx);
+    c.bench_function("netsim/simulate_rpr_12_4", |b| {
+        b.iter(|| black_box(rpr_core::simulate(&plan, &ctx)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_failure_planning,
+    bench_multi_failure_planning,
+    bench_plan_validation,
+    bench_netsim_lowering
+);
+criterion_main!(benches);

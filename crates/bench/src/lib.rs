@@ -1,0 +1,70 @@
+//! Shared fixtures for the Criterion benchmark suite.
+
+use rpr_codec::{BlockId, CodeParams, StripeCodec};
+use rpr_core::{CostModel, RepairContext};
+use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy, Topology};
+
+/// A self-owned benchmark fixture (codec + cluster + placement + profile).
+pub struct BenchWorld {
+    /// The stripe codec.
+    pub codec: StripeCodec,
+    /// The cluster topology.
+    pub topo: Topology,
+    /// Block placement.
+    pub placement: Placement,
+    /// Link rates.
+    pub profile: BandwidthProfile,
+    /// Bytes per block.
+    pub block_bytes: u64,
+    /// Decode-cost model.
+    pub cost: CostModel,
+}
+
+impl BenchWorld {
+    /// The paper's Simics-style cluster for an `(n, k)` code.
+    pub fn simics(n: usize, k: usize, block_bytes: u64) -> BenchWorld {
+        let params = CodeParams::new(n, k);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        BenchWorld {
+            codec: StripeCodec::new(params),
+            topo,
+            placement,
+            profile,
+            block_bytes,
+            cost: CostModel::simics().scaled_for_block(block_bytes),
+        }
+    }
+
+    /// A context for a set of failed blocks.
+    pub fn ctx(&self, failed: Vec<BlockId>) -> RepairContext<'_> {
+        RepairContext::new(
+            &self.codec,
+            &self.topo,
+            &self.placement,
+            failed,
+            self.block_bytes,
+            &self.profile,
+            self.cost,
+        )
+    }
+
+    /// Deterministic stripe contents for execution benches.
+    pub fn stripe(&self, seed: u64) -> Vec<Vec<u8>> {
+        let n = self.codec.params().n;
+        let mut s = seed | 1;
+        let data: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                (0..self.block_bytes)
+                    .map(|_| {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(99991);
+                        (s >> 33) as u8
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        self.codec.encode_stripe(&refs)
+    }
+}

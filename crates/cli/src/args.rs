@@ -1,0 +1,328 @@
+//! Hand-rolled argument parsing (the repository avoids CLI framework
+//! dependencies).
+
+use rpr_codec::{BlockId, CodeParams};
+use rpr_topology::PlacementPolicy;
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  rpr plan    --code N,K --fail BLOCKS [options] [--gantt] [--dot]
+  rpr compare --code N,K --fail BLOCKS [options]
+  rpr topo    --code N,K [--placement P]
+  rpr analyze [--ti-ms X] [--tc-ms Y]
+
+BLOCKS   comma-separated block names or indices: d1, p0, 3, d0,d2
+options:
+  --scheme S        rpr | car | chain | traditional | traditional-local (default rpr)
+  --placement P     compact | preplaced | flat                   (default preplaced)
+  --block-mib M     block size in MiB                            (default 256)
+  --ratio R         inner:cross bandwidth ratio                  (default 10)
+  --cost C          simics | ec2 | free                          (default simics)";
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Plan one scheme and report (optionally with Gantt/DOT output).
+    Plan(PlanArgs),
+    /// Compare all schemes on one scenario.
+    Compare(PlanArgs),
+    /// Print the cluster/placement layout.
+    Topo {
+        /// Code geometry.
+        params: CodeParams,
+        /// Placement policy.
+        placement: PlacementPolicy,
+    },
+    /// Print the §4 closed-form analysis table.
+    Analyze {
+        /// Inner-rack transfer time (ms).
+        ti_ms: f64,
+        /// Cross-rack transfer time (ms).
+        tc_ms: f64,
+    },
+}
+
+/// Options shared by `plan` and `compare`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanArgs {
+    /// Code geometry.
+    pub params: CodeParams,
+    /// Failed blocks.
+    pub failed: Vec<BlockId>,
+    /// Scheme name (plan only).
+    pub scheme: String,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// inner:cross bandwidth ratio.
+    pub ratio: f64,
+    /// Cost model name.
+    pub cost: String,
+    /// Emit an ASCII Gantt chart.
+    pub gantt: bool,
+    /// Emit Graphviz DOT.
+    pub dot: bool,
+}
+
+/// Parse a code spec like `6,2` or `12,4`.
+pub fn parse_code(s: &str) -> Result<CodeParams, String> {
+    let (n, k) = s
+        .split_once(',')
+        .ok_or_else(|| format!("bad --code `{s}`, expected N,K"))?;
+    let n: usize = n.trim().parse().map_err(|_| format!("bad n in `{s}`"))?;
+    let k: usize = k.trim().parse().map_err(|_| format!("bad k in `{s}`"))?;
+    if n < 1 || k < 1 || n + k > 256 {
+        return Err(format!("code ({n},{k}) out of range"));
+    }
+    if k > n {
+        return Err(format!("code ({n},{k}): k > n is not supported"));
+    }
+    Ok(CodeParams::new(n, k))
+}
+
+/// Parse a failed-block list like `d1`, `p0,d3`, or `0,7`.
+pub fn parse_failed(s: &str, params: CodeParams) -> Result<Vec<BlockId>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        let id = if let Some(rest) = part.strip_prefix('d') {
+            let i: usize = rest.parse().map_err(|_| format!("bad block `{part}`"))?;
+            if i >= params.n {
+                return Err(format!("data block `{part}` out of range (n={})", params.n));
+            }
+            i
+        } else if let Some(rest) = part.strip_prefix('p') {
+            let i: usize = rest.parse().map_err(|_| format!("bad block `{part}`"))?;
+            if i >= params.k {
+                return Err(format!(
+                    "parity block `{part}` out of range (k={})",
+                    params.k
+                ));
+            }
+            params.n + i
+        } else {
+            let i: usize = part.parse().map_err(|_| format!("bad block `{part}`"))?;
+            if i >= params.total() {
+                return Err(format!("block index `{part}` out of range"));
+            }
+            i
+        };
+        out.push(BlockId(id));
+    }
+    if out.is_empty() {
+        return Err("no failed blocks given".into());
+    }
+    if out.len() > params.k {
+        return Err(format!(
+            "{} failures exceed k = {} (unrecoverable)",
+            out.len(),
+            params.k
+        ));
+    }
+    Ok(out)
+}
+
+pub(crate) fn parse_placement(s: &str) -> Result<PlacementPolicy, String> {
+    match s {
+        "compact" => Ok(PlacementPolicy::Compact),
+        "preplaced" => Ok(PlacementPolicy::RprPreplaced),
+        "flat" => Ok(PlacementPolicy::Flat),
+        other => Err(format!("unknown placement `{other}`")),
+    }
+}
+
+/// A tiny flag-walker: `--key value` pairs plus boolean flags.
+struct Flags<'a> {
+    rest: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.rest
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.rest.iter().any(|a| a == key)
+    }
+}
+
+/// Parse argv into a [`Command`].
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let Some(verb) = argv.first() else {
+        return Err("missing command".into());
+    };
+    let flags = Flags { rest: &argv[1..] };
+
+    match verb.as_str() {
+        "analyze" => Ok(Command::Analyze {
+            ti_ms: flags
+                .get("--ti-ms")
+                .map(|v| v.parse().map_err(|_| "bad --ti-ms"))
+                .transpose()?
+                .unwrap_or(1.0),
+            tc_ms: flags
+                .get("--tc-ms")
+                .map(|v| v.parse().map_err(|_| "bad --tc-ms"))
+                .transpose()?
+                .unwrap_or(10.0),
+        }),
+        "topo" => {
+            let params = parse_code(flags.get("--code").ok_or("missing --code")?)?;
+            let placement = parse_placement(flags.get("--placement").unwrap_or("preplaced"))?;
+            Ok(Command::Topo { params, placement })
+        }
+        "plan" | "compare" => {
+            let params = parse_code(flags.get("--code").ok_or("missing --code")?)?;
+            let failed = parse_failed(flags.get("--fail").ok_or("missing --fail")?, params)?;
+            let block_mib: u64 = flags
+                .get("--block-mib")
+                .map(|v| v.parse().map_err(|_| "bad --block-mib"))
+                .transpose()?
+                .unwrap_or(256);
+            if block_mib == 0 {
+                return Err("--block-mib must be positive".into());
+            }
+            let ratio: f64 = flags
+                .get("--ratio")
+                .map(|v| v.parse().map_err(|_| "bad --ratio"))
+                .transpose()?
+                .unwrap_or(10.0);
+            if !(ratio >= 1.0 && ratio.is_finite()) {
+                return Err("--ratio must be >= 1".into());
+            }
+            let scheme = flags.get("--scheme").unwrap_or("rpr").to_string();
+            if !matches!(
+                scheme.as_str(),
+                "rpr" | "car" | "chain" | "traditional" | "traditional-local"
+            ) {
+                return Err(format!("unknown scheme `{scheme}`"));
+            }
+            let cost = flags.get("--cost").unwrap_or("simics").to_string();
+            if !matches!(cost.as_str(), "simics" | "ec2" | "free") {
+                return Err(format!("unknown cost model `{cost}`"));
+            }
+            let args = PlanArgs {
+                params,
+                failed,
+                scheme,
+                placement: parse_placement(flags.get("--placement").unwrap_or("preplaced"))?,
+                block_bytes: block_mib << 20,
+                ratio,
+                cost,
+                gantt: flags.has("--gantt"),
+                dot: flags.has("--dot"),
+            };
+            Ok(if verb == "plan" {
+                Command::Plan(args)
+            } else {
+                Command::Compare(args)
+            })
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_code_accepts_and_rejects() {
+        assert_eq!(parse_code("6,2").unwrap(), CodeParams::new(6, 2));
+        assert_eq!(parse_code(" 12 , 4 ").unwrap(), CodeParams::new(12, 4));
+        assert!(parse_code("6").is_err());
+        assert!(parse_code("0,2").is_err());
+        assert!(parse_code("2,6").is_err(), "k > n rejected");
+        assert!(parse_code("200,100").is_err());
+    }
+
+    #[test]
+    fn parse_failed_names_and_indices() {
+        let p = CodeParams::new(6, 2);
+        assert_eq!(parse_failed("d1", p).unwrap(), vec![BlockId(1)]);
+        assert_eq!(parse_failed("p0", p).unwrap(), vec![BlockId(6)]);
+        assert_eq!(
+            parse_failed("d0,p1", p).unwrap(),
+            vec![BlockId(0), BlockId(7)]
+        );
+        assert_eq!(parse_failed("3", p).unwrap(), vec![BlockId(3)]);
+        assert!(parse_failed("d9", p).is_err());
+        assert!(parse_failed("p2", p).is_err());
+        assert!(parse_failed("x1", p).is_err());
+        assert!(parse_failed("d0,d1,d2", p).is_err(), "more than k");
+    }
+
+    #[test]
+    fn parse_full_plan_command() {
+        let cmd = parse(&argv(
+            "plan --code 6,2 --fail d1 --scheme car --placement compact \
+             --block-mib 64 --ratio 5 --gantt",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Plan(a) => {
+                assert_eq!(a.params, CodeParams::new(6, 2));
+                assert_eq!(a.failed, vec![BlockId(1)]);
+                assert_eq!(a.scheme, "car");
+                assert_eq!(a.placement, PlacementPolicy::Compact);
+                assert_eq!(a.block_bytes, 64 << 20);
+                assert_eq!(a.ratio, 5.0);
+                assert!(a.gantt && !a.dot);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let cmd = parse(&argv("compare --code 4,2 --fail 0")).unwrap();
+        match cmd {
+            Command::Compare(a) => {
+                assert_eq!(a.scheme, "rpr");
+                assert_eq!(a.placement, PlacementPolicy::RprPreplaced);
+                assert_eq!(a.block_bytes, 256 << 20);
+                assert_eq!(a.cost, "simics");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("plan --fail d0")).is_err(), "missing --code");
+        assert!(parse(&argv("plan --code 4,2")).is_err(), "missing --fail");
+        assert!(parse(&argv("plan --code 4,2 --fail d0 --scheme nope")).is_err());
+        assert!(parse(&argv("plan --code 4,2 --fail d0 --ratio 0.5")).is_err());
+        assert!(parse(&argv("plan --code 4,2 --fail d0 --block-mib 0")).is_err());
+    }
+
+    #[test]
+    fn parse_analyze_and_topo() {
+        assert_eq!(
+            parse(&argv("analyze")).unwrap(),
+            Command::Analyze {
+                ti_ms: 1.0,
+                tc_ms: 10.0
+            }
+        );
+        match parse(&argv("topo --code 8,4 --placement flat")).unwrap() {
+            Command::Topo { params, placement } => {
+                assert_eq!(params, CodeParams::new(8, 4));
+                assert_eq!(placement, PlacementPolicy::Flat);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Command implementations.
+
+use crate::args::{Command, PlanArgs};
+use rpr_codec::{CodeParams, StripeCodec};
+use rpr_core::analysis::{rpr_repair_time, traditional_repair_time, AnalysisParams};
+use rpr_core::{
+    simulate, viz, CarPlanner, CostModel, RepairContext, RepairPlanner, RprPlanner,
+    TraditionalPlanner,
+};
+use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy, GBIT};
+
+/// Execute a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Plan(a) => plan(&a),
+        Command::Compare(a) => compare(&a),
+        Command::Topo { params, placement } => topo(params, placement),
+        Command::Analyze { ti_ms, tc_ms } => analyze(ti_ms, tc_ms),
+    }
+}
+
+fn cost_model(name: &str) -> CostModel {
+    match name {
+        "ec2" => CostModel::ec2_t2micro(),
+        "free" => CostModel::free(),
+        _ => CostModel::simics(),
+    }
+}
+
+fn planner_by_name(name: &str) -> Box<dyn RepairPlanner> {
+    match name {
+        "car" => Box::new(CarPlanner::new()),
+        "chain" => Box::new(rpr_core::ChainPlanner::new()),
+        "traditional" => Box::new(TraditionalPlanner::new()),
+        "traditional-local" => Box::new(TraditionalPlanner::locality_aware()),
+        _ => Box::new(RprPlanner::new()),
+    }
+}
+
+struct World {
+    codec: StripeCodec,
+    topo: rpr_topology::Topology,
+    placement: Placement,
+    profile: BandwidthProfile,
+}
+
+fn world(a: &PlanArgs) -> World {
+    let topo = cluster_for(a.params, 1, 1);
+    let placement = Placement::by_policy(a.placement, a.params, &topo);
+    let profile = BandwidthProfile::uniform(topo.rack_count(), GBIT, GBIT / a.ratio);
+    World {
+        codec: StripeCodec::new(a.params),
+        topo,
+        placement,
+        profile,
+    }
+}
+
+fn run_one(a: &PlanArgs, w: &World, scheme: &str) -> (rpr_core::RepairPlan, rpr_core::SimOutcome) {
+    let ctx = RepairContext::new(
+        &w.codec,
+        &w.topo,
+        &w.placement,
+        a.failed.clone(),
+        a.block_bytes,
+        &w.profile,
+        cost_model(&a.cost).scaled_for_block(a.block_bytes),
+    );
+    let plan = planner_by_name(scheme).plan(&ctx);
+    plan.validate(&w.codec, &w.topo, &w.placement)
+        .expect("planner output must validate");
+    let outcome = simulate(&plan, &ctx);
+    (plan, outcome)
+}
+
+fn plan(a: &PlanArgs) -> Result<(), String> {
+    let w = world(a);
+    let (plan, outcome) = run_one(a, &w, &a.scheme);
+    let names: Vec<String> = a.failed.iter().map(|b| b.name(&a.params)).collect();
+    println!(
+        "{} repair of {} on RS({},{}), block {} MiB, inner:cross 1:{}",
+        a.scheme,
+        names.join(","),
+        a.params.n,
+        a.params.k,
+        a.block_bytes >> 20,
+        a.ratio
+    );
+    // Sliced plans (chain) move fractional blocks per send; report whole
+    // blocks uniformly.
+    let cross_blocks = outcome.stats.cross_bytes as f64 / a.block_bytes as f64;
+    println!(
+        "repair time {:.2} s | cross-rack {:.1} blocks | decoding matrix: {}",
+        outcome.repair_time,
+        cross_blocks,
+        if outcome.stats.needs_matrix {
+            "yes"
+        } else {
+            "no (XOR path)"
+        },
+    );
+    if a.gantt {
+        println!("\n{}", viz::gantt(&outcome, &w.topo, 56));
+    }
+    if a.dot {
+        println!("\n{}", viz::dot(&plan, &w.topo));
+    }
+    Ok(())
+}
+
+fn compare(a: &PlanArgs) -> Result<(), String> {
+    let w = world(a);
+    let schemes: &[&str] = if a.failed.len() == 1 {
+        &["traditional", "traditional-local", "car", "chain", "rpr"]
+    } else {
+        &["traditional", "traditional-local", "rpr"]
+    };
+    println!(
+        "{:<18} {:>10} {:>8} {:>8}  {:<8}",
+        "scheme", "time (s)", "cross", "inner", "matrix"
+    );
+    let mut base = f64::NAN;
+    for scheme in schemes {
+        let (plan, outcome) = run_one(a, &w, scheme);
+        if base.is_nan() {
+            base = outcome.repair_time;
+        }
+        // Sliced plans (chain) move fractional blocks per send; normalize
+        // traffic to whole blocks for comparison.
+        let blocks = |bytes: u64| bytes as f64 / a.block_bytes as f64;
+        let inner_bytes = plan.stats(&w.topo).inner_transfers as u64 * plan.block_bytes;
+        println!(
+            "{:<18} {:>10.2} {:>8.1} {:>8.1}  {:<8} ({:>5.1}% of traditional)",
+            scheme,
+            outcome.repair_time,
+            blocks(outcome.stats.cross_bytes),
+            blocks(inner_bytes),
+            if outcome.stats.needs_matrix {
+                "yes"
+            } else {
+                "no"
+            },
+            outcome.repair_time / base * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn topo(params: CodeParams, policy: PlacementPolicy) -> Result<(), String> {
+    // Flat placement needs one rack per block; the compact layouts use the
+    // paper's q racks (+1 spare).
+    let topo = if policy == PlacementPolicy::Flat {
+        rpr_topology::Topology::uniform(params.total() + 1, 2)
+    } else {
+        cluster_for(params, 1, 1)
+    };
+    let placement = Placement::by_policy(policy, params, &topo);
+    println!(
+        "RS({},{}) over {} racks (q = {} + 1 spare), {} nodes/rack, {policy:?}:",
+        params.n,
+        params.k,
+        topo.rack_count(),
+        params.rack_count(),
+        topo.nodes_in(rpr_topology::RackId(0)).len()
+    );
+    for rack in topo.racks() {
+        let mut cells = Vec::new();
+        for &node in topo.nodes_in(rack) {
+            match placement.block_on(node) {
+                Some(b) => cells.push(format!("{node:?}={}", b.name(&params))),
+                None => cells.push(format!("{node:?}=·")),
+            }
+        }
+        println!("  {rack:?}: {}", cells.join("  "));
+    }
+    println!(
+        "single-rack fault tolerant: {} | P0 co-located with data: {}",
+        placement.is_single_rack_fault_tolerant(&topo),
+        placement.p0_colocated_with_data(&topo)
+    );
+    Ok(())
+}
+
+fn analyze(ti_ms: f64, tc_ms: f64) -> Result<(), String> {
+    let a = AnalysisParams {
+        t_i: ti_ms / 1e3,
+        t_c: tc_ms / 1e3,
+    };
+    println!(
+        "closed-form repair time (§4.1), t_i = {ti_ms} ms, t_c = {tc_ms} ms:\n\
+         {:<8} {:>14} {:>14} {:>10}",
+        "code", "traditional", "RPR worst", "reduction"
+    );
+    for (n, k) in [
+        (4, 2),
+        (6, 2),
+        (8, 2),
+        (6, 3),
+        (8, 4),
+        (12, 4),
+        (10, 4),
+        (16, 4),
+    ] {
+        let p = CodeParams::new(n, k);
+        let tra = traditional_repair_time(p, a) * 1e3;
+        let rpr = rpr_repair_time(p, a) * 1e3;
+        println!(
+            "({n:>2},{k})  {tra:>11.1} ms {rpr:>11.1} ms {:>9.1}%",
+            (1.0 - rpr / tra) * 100.0
+        );
+    }
+    Ok(())
+}

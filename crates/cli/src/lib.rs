@@ -1,0 +1,8 @@
+//! `rpr` — command-line explorer for rack-aware repair plans.
+//!
+//! The binary in `main.rs` is a thin wrapper over [`args::parse`] and
+//! [`commands::run`], so the full command surface is testable as a
+//! library.
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,179 @@
+//! Closed-form repair-time analysis (§4 of the paper).
+//!
+//! These are the formulas behind Figure 6 and the §4.3 limit discussion;
+//! the test-suite cross-checks the simulator against them (the greedy
+//! scheduler must never be slower than the paper's worst-case bounds).
+
+use rpr_codec::CodeParams;
+
+/// Analysis parameters: one inner-rack and one cross-rack block-transfer
+/// time (`t_i`, `t_c`), as in §4.1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnalysisParams {
+    /// Time for one inner-rack transfer of a block.
+    pub t_i: f64,
+    /// Time for one cross-rack transfer of a block.
+    pub t_c: f64,
+}
+
+impl AnalysisParams {
+    /// The paper's Figure 6 setting: `t_i = 1 ms`, `t_c = 10 ms`.
+    pub fn figure6() -> AnalysisParams {
+        AnalysisParams {
+            t_i: 1e-3,
+            t_c: 10e-3,
+        }
+    }
+
+    /// Derive `t_i`/`t_c` from a bandwidth profile and block size.
+    pub fn from_profile(profile: &rpr_topology::BandwidthProfile, block_bytes: u64) -> Self {
+        AnalysisParams {
+            t_i: block_bytes as f64 / profile.mean_inner(),
+            t_c: block_bytes as f64 / profile.mean_cross(),
+        }
+    }
+}
+
+/// Eq. 10: traditional repair time, `n · t_c`.
+pub fn traditional_repair_time(params: CodeParams, a: AnalysisParams) -> f64 {
+    params.n as f64 * a.t_c
+}
+
+/// Eq. 11: worst-case total inner-rack transfer time,
+/// `(max_i ⌊log2 r_i⌋ + 1) · t_i`, with every rack holding `r_i = k`
+/// helpers as §4.1 assumes.
+pub fn rpr_inner_time(params: CodeParams, a: AnalysisParams) -> f64 {
+    (floor_log2(params.k) + 1) as f64 * a.t_i
+}
+
+/// Eq. 12: worst-case total cross-rack transfer time,
+/// `(⌊log2 q⌋ + 1) · t_c`.
+pub fn rpr_cross_time(params: CodeParams, a: AnalysisParams) -> f64 {
+    (floor_log2(params.rack_count()) + 1) as f64 * a.t_c
+}
+
+/// Eq. 13: worst-case RPR repair time (no pipelining assumed),
+/// `T_inner + T_cross`.
+pub fn rpr_repair_time(params: CodeParams, a: AnalysisParams) -> f64 {
+    rpr_inner_time(params, a) + rpr_cross_time(params, a)
+}
+
+/// §4.3.1: worst-case (`k` failures) multi-block repair time in cross-rack
+/// timesteps: `⌈log2 q⌉ · k` (capped below by the single-equation depth).
+pub fn rpr_multi_worst_cross_timesteps(params: CodeParams) -> usize {
+    ceil_log2(params.rack_count()) as usize * params.k
+}
+
+/// §4.3.1: the predicted improvement of RPR over traditional repair for
+/// the worst case, `1 - (⌈log2 q⌉ · k) / n`. Non-positive means RPR cannot
+/// beat traditional repair for this configuration (codes with
+/// `(n+k)/k ≤ 3`).
+pub fn rpr_multi_worst_improvement(params: CodeParams) -> f64 {
+    1.0 - (rpr_multi_worst_cross_timesteps(params) as f64) / params.n as f64
+}
+
+/// §4.3.2: cross-rack traffic (in blocks) of the worst case — `(n/k)·k`,
+/// i.e. exactly traditional repair's `n` blocks.
+pub fn rpr_multi_worst_traffic_blocks(params: CodeParams) -> usize {
+    (params.n / params.k) * params.k
+}
+
+/// §4.3.3: cross-rack traffic for an `l`-failure (`2 ≤ l ≤ k-1`) repair,
+/// `(n/k) · l` blocks.
+pub fn rpr_multi_traffic_blocks(params: CodeParams, l: usize) -> usize {
+    (params.n as f64 / params.k as f64 * l as f64).ceil() as usize
+}
+
+/// Floor of log2 (for `x ≥ 1`).
+pub fn floor_log2(x: usize) -> u32 {
+    assert!(x >= 1, "log2 of zero");
+    usize::BITS - 1 - x.leading_zeros()
+}
+
+/// Ceiling of log2 (for `x ≥ 1`).
+pub fn ceil_log2(x: usize) -> u32 {
+    assert!(x >= 1, "log2 of zero");
+    if x == 1 {
+        0
+    } else {
+        usize::BITS - (x - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CODES: [(usize, usize); 6] = [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)];
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(5), 3);
+    }
+
+    #[test]
+    fn figure6_trend_traditional_grows_linearly_rpr_logarithmically() {
+        let a = AnalysisParams::figure6();
+        for (n, k) in CODES {
+            let p = CodeParams::new(n, k);
+            let tra = traditional_repair_time(p, a);
+            let rpr = rpr_repair_time(p, a);
+            assert!(rpr < tra, "({n},{k}): RPR worst case must beat traditional");
+            assert!((tra - n as f64 * 10e-3).abs() < 1e-12);
+        }
+        // Traditional grows linearly in n.
+        for n in [4usize, 6, 8, 12] {
+            let t = traditional_repair_time(CodeParams::new(n, 2), a);
+            assert!((t - n as f64 * 10e-3).abs() < 1e-12);
+        }
+        // Concretely: (12,4) traditional 120 ms vs RPR <= 33 ms.
+        let p = CodeParams::new(12, 4);
+        assert!((traditional_repair_time(p, a) - 0.120).abs() < 1e-9);
+        assert!((rpr_repair_time(p, a) - 0.033).abs() < 1e-9); // 3 t_i + 3 t_c
+    }
+
+    #[test]
+    fn worst_case_improvement_rules_follow_4_3_1() {
+        // Codes with (n+k)/k <= 3 gain nothing in the worst case.
+        for (n, k) in [(4, 2), (6, 3), (8, 4)] {
+            let p = CodeParams::new(n, k);
+            assert!(
+                rpr_multi_worst_improvement(p) <= 0.0 + 1e-9,
+                "({n},{k}) has (n+k)/k <= 3"
+            );
+        }
+        // Codes with (n+k)/k > 3 do gain.
+        for (n, k) in [(6, 2), (8, 2), (12, 4)] {
+            let p = CodeParams::new(n, k);
+            assert!(
+                rpr_multi_worst_improvement(p) > 0.0,
+                "({n},{k}) has (n+k)/k > 3"
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_formulas() {
+        let p = CodeParams::new(8, 4);
+        assert_eq!(rpr_multi_worst_traffic_blocks(p), 8, "worst case equals n");
+        assert_eq!(rpr_multi_traffic_blocks(p, 2), 4, "(n/k)*l");
+        assert_eq!(rpr_multi_traffic_blocks(p, 3), 6);
+        let p = CodeParams::new(12, 4);
+        assert_eq!(rpr_multi_traffic_blocks(p, 2), 6);
+    }
+
+    #[test]
+    fn from_profile_derives_ti_tc() {
+        let profile = rpr_topology::BandwidthProfile::uniform(3, 100.0, 10.0);
+        let a = AnalysisParams::from_profile(&profile, 1000);
+        assert!((a.t_i - 10.0).abs() < 1e-9);
+        assert!((a.t_c - 100.0).abs() < 1e-9);
+    }
+}

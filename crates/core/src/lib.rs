@@ -1,0 +1,41 @@
+//! RPR — rack-aware pipeline repair for erasure-coded storage.
+//!
+//! This crate implements the paper's contribution: repair **planners** that
+//! turn a failure scenario into an executable [`RepairPlan`] DAG, plus the
+//! machinery around them.
+//!
+//! * [`TraditionalPlanner`] — classic RS repair: ship `n` helper blocks to
+//!   the recovery node, decode there (§2.3);
+//! * [`CarPlanner`] — the CAR baseline (Shen et al., DSN '16): per-rack
+//!   partial decoding with traffic-minimizing helper selection, but all
+//!   intermediates sent straight to the recovery rack with no pipeline
+//!   schedule (§5.1);
+//! * [`RprPlanner`] — the paper's scheme: helper-selection search,
+//!   inner-rack partial decoding (Algorithm 1), greedy cross-rack pipeline
+//!   scheduling (Algorithm 2), the §3.3 pre-placement XOR fast path, and the
+//!   §3.4 multi-failure extension (Algorithms 3/4).
+//!
+//! Plans are backend-independent: [`simulate`](sim::simulate) lowers a plan
+//! onto the `rpr-netsim` flow simulator (the "Simics" experiments), while
+//! `rpr-exec` executes the same plan on real bytes with rate-limited
+//! threads (the "EC2" experiments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cost;
+pub mod plan;
+pub mod scenario;
+pub mod schemes;
+pub mod sim;
+pub mod timestep;
+pub mod viz;
+
+pub use cost::CostModel;
+pub use plan::{Input, Op, OpId, Payload, PlanStats, RepairPlan};
+pub use scenario::RepairContext;
+pub use schemes::{
+    CarPlanner, ChainPlanner, RecoverySite, RepairPlanner, RprPlanner, TraditionalPlanner,
+};
+pub use sim::{simulate, simulate_batch, BatchOutcome, SimOutcome};

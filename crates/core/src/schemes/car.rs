@@ -1,0 +1,233 @@
+//! The CAR baseline (Shen, Shu, Lee — "Reconsidering single failure
+//! recovery in clustered file systems", DSN '16), as characterized in
+//! §5.1 of the RPR paper:
+//!
+//! * helper selection minimizes **cross-rack traffic** (use every survivor
+//!   in the recovery rack, then involve as few remote racks as possible);
+//! * each involved rack performs inner-rack partial decoding;
+//! * every remote rack then sends its intermediate **directly to the
+//!   recovery rack** — there is no pipeline schedule, so the transfers
+//!   serialize on the recovery rack's cross-rack link (the paper's
+//!   "schedule 1" in Figure 5).
+//!
+//! CAR is a single-failure scheme; this planner panics on multi-failure
+//! scenarios, mirroring the paper's comparison scope.
+
+use crate::plan::{Input, RepairPlan};
+use crate::scenario::RepairContext;
+use crate::schemes::{equation_by_rack, inner_tree, Interm, PlanBuilder, RepairPlanner};
+use rpr_codec::BlockId;
+
+/// The CAR planner.
+///
+/// `rack_loads`, when set, carries the cross-rack upload bytes each rack
+/// has already been assigned by repairs of *other* stripes; CAR's
+/// multi-stripe balancing breaks helper-selection ties toward the least
+/// loaded racks (the DSN '16 paper's core mechanism).
+#[derive(Clone, Debug, Default)]
+pub struct CarPlanner {
+    rack_loads: Option<Vec<u64>>,
+}
+
+impl CarPlanner {
+    /// Create the single-stripe planner.
+    pub fn new() -> CarPlanner {
+        CarPlanner { rack_loads: None }
+    }
+
+    /// Create a planner that balances against loads accumulated by other
+    /// stripes' repairs (bytes of cross-rack upload already assigned per
+    /// rack).
+    pub fn with_rack_loads(rack_loads: Vec<u64>) -> CarPlanner {
+        CarPlanner {
+            rack_loads: Some(rack_loads),
+        }
+    }
+}
+
+impl RepairPlanner for CarPlanner {
+    fn name(&self) -> &'static str {
+        "car"
+    }
+
+    fn plan(&self, ctx: &RepairContext<'_>) -> RepairPlan {
+        assert_eq!(
+            ctx.failed.len(),
+            1,
+            "CAR only supports single-block failures (§5.1.2)"
+        );
+        let params = ctx.params();
+        let target = ctx.failed[0];
+        let recovery_rack = ctx.recovery_rack();
+        let rec = ctx.recovery_node();
+
+        // Helper selection: all local survivors, then remote racks from
+        // fullest to emptiest — involving the fewest racks minimizes the
+        // number of cross-rack intermediate transfers.
+        let by_rack = ctx.survivors_by_rack();
+        let local: Vec<BlockId> = by_rack
+            .iter()
+            .find(|(r, _)| *r == recovery_rack)
+            .map(|(_, b)| b.clone())
+            .unwrap_or_default();
+        let mut remote: Vec<&(rpr_topology::RackId, Vec<BlockId>)> = by_rack
+            .iter()
+            .filter(|(r, _)| *r != recovery_rack)
+            .collect();
+        let load = |r: rpr_topology::RackId| {
+            self.rack_loads
+                .as_ref()
+                .and_then(|l| l.get(r.0))
+                .copied()
+                .unwrap_or(0)
+        };
+        remote.sort_by_key(|(r, blocks)| (core::cmp::Reverse(blocks.len()), load(*r), r.0));
+
+        let mut helpers: Vec<BlockId> = local.clone();
+        for (_, blocks) in &remote {
+            if helpers.len() == params.n {
+                break;
+            }
+            let take = (params.n - helpers.len()).min(blocks.len());
+            helpers.extend_from_slice(&blocks[..take]);
+        }
+        assert_eq!(helpers.len(), params.n, "not enough survivors");
+
+        let eq = &ctx.codec.repair_equations(&[target], &helpers)[0];
+        let mut b = PlanBuilder::new();
+
+        // Inner partial decoding per involved rack (Algorithm 1 also
+        // applies to CAR — the cross-rack traffic of the two schemes is
+        // identical, Figure 7).
+        let mut final_inputs: Vec<Input> = Vec::new();
+        for (rack, terms) in equation_by_rack(ctx, eq) {
+            if rack == recovery_rack {
+                let (interm, node, _) = inner_tree(&mut b, ctx, &terms, 0, Some(rec));
+                debug_assert_eq!(node, rec);
+                match interm {
+                    Interm::Op(op) => final_inputs.push(Input::Intermediate(op)),
+                    Interm::Raw(block, coeff) => final_inputs.push(Input::Block {
+                        block,
+                        coeff,
+                        via: None,
+                    }),
+                }
+            } else {
+                let (interm, node, _) = inner_tree(&mut b, ctx, &terms, 0, None);
+                // Direct, unscheduled send to the recovery node.
+                match interm {
+                    Interm::Op(op) => {
+                        let s = b.send_interm(op, node, rec);
+                        final_inputs.push(Input::Intermediate(s));
+                    }
+                    Interm::Raw(block, coeff) => {
+                        let s = b.send_block(block, node, rec);
+                        final_inputs.push(Input::Block {
+                            block,
+                            coeff,
+                            via: Some(s),
+                        });
+                    }
+                }
+            }
+        }
+
+        let out = b.combine(rec, 0, final_inputs);
+        // CAR's decoder always derives coefficients from the decoding
+        // matrix — it has no pre-placement XOR path.
+        b.finish(ctx, rec, vec![(target, out)], true, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use rpr_codec::{CodeParams, StripeCodec};
+    use rpr_topology::{cluster_for, BandwidthProfile, Placement};
+
+    fn plan_for(n: usize, k: usize, failed: usize) -> (RepairPlan, rpr_topology::Topology) {
+        let params = CodeParams::new(n, k);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::compact(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(failed)],
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = CarPlanner::new().plan(&ctx);
+        plan.validate(&codec, &topo, &placement).expect("valid");
+        (plan, topo)
+    }
+
+    #[test]
+    fn cross_traffic_is_one_block_per_remote_rack() {
+        // (6,2) failing d0: local survivor d1; remote racks needed for 5
+        // more helpers: two full racks (2+2) + one block from the last.
+        let (plan, topo) = plan_for(6, 2, 0);
+        let stats = plan.stats(&topo);
+        assert_eq!(stats.cross_transfers, 3, "3 remote racks, 1 block each");
+        assert!(stats.needs_matrix);
+    }
+
+    #[test]
+    fn fullest_racks_are_preferred() {
+        // (8,4) failing d0: local survivors 3 (d1..d3); remote racks hold
+        // 4 + 4; needs 5 remote helpers -> racks 1 and 2 both used, but
+        // the fuller rack contributes 4 and the next only 1.
+        let (plan, topo) = plan_for(8, 4, 0);
+        let stats = plan.stats(&topo);
+        assert_eq!(stats.cross_transfers, 2);
+    }
+
+    #[test]
+    fn all_paper_codes_produce_valid_plans_for_every_failure() {
+        for (n, k) in [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)] {
+            let params = CodeParams::new(n, k);
+            let codec = StripeCodec::new(params);
+            let topo = cluster_for(params, 1, 1);
+            let placement = Placement::compact(params, &topo);
+            let profile = BandwidthProfile::simics_default(topo.rack_count());
+            for f in 0..params.total() {
+                let ctx = RepairContext::new(
+                    &codec,
+                    &topo,
+                    &placement,
+                    vec![BlockId(f)],
+                    1 << 20,
+                    &profile,
+                    CostModel::free(),
+                );
+                let plan = CarPlanner::new().plan(&ctx);
+                plan.validate(&codec, &topo, &placement)
+                    .unwrap_or_else(|e| panic!("({n},{k}) fail {f}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-block")]
+    fn car_rejects_multi_failures() {
+        let params = CodeParams::new(4, 2);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::compact(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(0), BlockId(1)],
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        CarPlanner::new().plan(&ctx);
+    }
+}

@@ -1,0 +1,345 @@
+//! Chain ("repair pipelining") baseline — the PUSH / ECPipe family the
+//! paper cites as related work [16]: helpers form a chain, each block is
+//! cut into `s` slices, and slice `j` moves hop-by-hop down the chain while
+//! slice `j+1` is one hop behind. With enough slices the total repair time
+//! approaches a *single* block transfer over the slowest hop, at the price
+//! of `hops` sequential per-slice latencies.
+//!
+//! The pipeline is expressed as one [`RepairPlan`] whose `block_bytes` is
+//! the *slice* size: every slice contributes its own hop ops, and
+//! [`RepairPlan::ordering`] edges enforce per-link FIFO order between
+//! consecutive slices (under fluid max-min sharing, unordered slices
+//! through one link would all finish together and no pipelining would
+//! emerge).
+//!
+//! The chain is rack-aware: helpers are visited rack by rack (ending with
+//! the recovery rack's survivors), so the accumulated partial sum crosses
+//! the aggregation switch exactly once per rack boundary — the same
+//! cross-rack traffic as RPR/CAR.
+
+use crate::plan::{Input, OpId, RepairPlan};
+use crate::scenario::RepairContext;
+use crate::schemes::{PlanBuilder, RepairPlanner};
+use rpr_codec::BlockId;
+
+/// The chain-repair planner (single-block failures).
+#[derive(Clone, Copy, Debug)]
+pub struct ChainPlanner {
+    /// Number of slices each block is cut into (the pipelining depth).
+    pub slices: usize,
+}
+
+impl Default for ChainPlanner {
+    fn default() -> Self {
+        ChainPlanner { slices: 8 }
+    }
+}
+
+impl ChainPlanner {
+    /// A chain planner with the default pipelining depth of 8 slices.
+    pub fn new() -> ChainPlanner {
+        ChainPlanner::default()
+    }
+
+    /// A chain planner with an explicit slice count.
+    ///
+    /// # Panics
+    /// Panics if `slices == 0`.
+    pub fn with_slices(slices: usize) -> ChainPlanner {
+        assert!(slices > 0, "ChainPlanner: need at least one slice");
+        ChainPlanner { slices }
+    }
+}
+
+impl RepairPlanner for ChainPlanner {
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    /// Produce the sliced chain plan. Note the returned plan's
+    /// `block_bytes` is `ctx.block_bytes / slices` — each Send moves one
+    /// slice — and its `outputs` contain one entry per slice (each is,
+    /// symbolically, a full reconstruction of the target; physically each
+    /// carries one segment).
+    ///
+    /// # Panics
+    /// Panics on multi-block failures (chain repair is a single-failure
+    /// scheme, like CAR) or if `block_bytes` is not divisible by the slice
+    /// count.
+    fn plan(&self, ctx: &RepairContext<'_>) -> RepairPlan {
+        assert_eq!(
+            ctx.failed.len(),
+            1,
+            "chain repair handles single-block failures"
+        );
+        assert_eq!(
+            ctx.block_bytes % self.slices as u64,
+            0,
+            "block size must be divisible by the slice count"
+        );
+        let params = ctx.params();
+        let target = ctx.failed[0];
+        let rec = ctx.recovery_node();
+        let recovery_rack = ctx.recovery_rack();
+
+        // Rack-aware helper order: remote racks first (each visited as a
+        // contiguous run), recovery-rack survivors last, so the partial sum
+        // enters the recovery rack exactly once.
+        let mut ordered: Vec<BlockId> = Vec::new();
+        let mut local: Vec<BlockId> = Vec::new();
+        for (rack, blocks) in ctx.survivors_by_rack() {
+            if rack == recovery_rack {
+                local = blocks;
+            } else {
+                ordered.extend(blocks);
+            }
+        }
+        ordered.extend(local);
+        // Keep exactly n helpers, dropping from the front (farthest from
+        // the recovery rack) — dropping a prefix cannot split a rack run.
+        let excess = ordered.len() - params.n;
+        let helpers: Vec<BlockId> = ordered.into_iter().skip(excess).collect();
+        let eq = &ctx.codec.repair_equations(&[target], &helpers)[0];
+
+        let mut b = PlanBuilder::new();
+        let mut outputs = Vec::with_capacity(self.slices);
+        let mut ordering: Vec<(OpId, OpId)> = Vec::new();
+        let mut prev_sends: Vec<OpId> = Vec::new();
+
+        for _slice in 0..self.slices {
+            let mut sends: Vec<OpId> = Vec::new();
+            let mut acc: Option<(OpId, rpr_topology::NodeId)> = None;
+            for (block, coeff) in eq.terms.iter().copied() {
+                let host = ctx.placement.node_of(block);
+                match acc {
+                    None => {
+                        // Seed: scale the first helper's slice in place.
+                        let c = b.combine(
+                            host,
+                            0,
+                            vec![Input::Block {
+                                block,
+                                coeff,
+                                via: None,
+                            }],
+                        );
+                        acc = Some((c, host));
+                    }
+                    Some((prev_op, prev_node)) => {
+                        let s = b.send_interm(prev_op, prev_node, host);
+                        sends.push(s);
+                        let c = b.combine(
+                            host,
+                            0,
+                            vec![
+                                Input::Intermediate(s),
+                                Input::Block {
+                                    block,
+                                    coeff,
+                                    via: None,
+                                },
+                            ],
+                        );
+                        acc = Some((c, host));
+                    }
+                }
+            }
+            let (last_op, last_node) = acc.expect("equation has terms");
+            let out = if last_node == rec {
+                last_op
+            } else {
+                let s = b.send_interm(last_op, last_node, rec);
+                sends.push(s);
+                b.combine(rec, 0, vec![Input::Intermediate(s)])
+            };
+            outputs.push((target, out));
+
+            // FIFO per hop: this slice's h-th send starts after the
+            // previous slice's h-th send.
+            for (prev, cur) in prev_sends.iter().zip(&sends) {
+                ordering.push((*prev, *cur));
+            }
+            prev_sends = sends;
+        }
+
+        let mut plan = b.finish(ctx, rec, outputs, false, self.name());
+        plan.block_bytes = ctx.block_bytes / self.slices as u64;
+        plan.ordering = ordering;
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::scenario::RepairContext;
+    use crate::schemes::{RprPlanner, TraditionalPlanner};
+    use crate::sim::simulate;
+    use rpr_codec::{CodeParams, StripeCodec};
+    use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy};
+
+    fn world(
+        n: usize,
+        k: usize,
+    ) -> (
+        StripeCodec,
+        rpr_topology::Topology,
+        Placement,
+        BandwidthProfile,
+    ) {
+        let params = CodeParams::new(n, k);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        (codec, topo, placement, profile)
+    }
+
+    #[test]
+    fn chain_plans_validate_for_all_codes_and_positions() {
+        for (n, k) in [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)] {
+            let (codec, topo, placement, profile) = world(n, k);
+            for fail in 0..n {
+                let ctx = RepairContext::new(
+                    &codec,
+                    &topo,
+                    &placement,
+                    vec![BlockId(fail)],
+                    1 << 20,
+                    &profile,
+                    CostModel::free(),
+                );
+                let plan = ChainPlanner::with_slices(4).plan(&ctx);
+                assert_eq!(plan.block_bytes, (1 << 20) / 4);
+                assert_eq!(plan.outputs.len(), 4, "one output per slice");
+                plan.validate(&codec, &topo, &placement)
+                    .unwrap_or_else(|e| panic!("({n},{k}) fail {fail}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_cross_traffic_matches_rack_boundaries() {
+        // Rack-aware ordering: the partial sum crosses racks once per
+        // remote helper rack, so total cross traffic equals the RPR/CAR
+        // count (here 3 blocks, moved as 8 slices each).
+        let (codec, topo, placement, profile) = world(6, 2);
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = ChainPlanner::with_slices(8).plan(&ctx);
+        assert_eq!(plan.stats(&topo).cross_bytes, 3 * (1 << 20));
+    }
+
+    #[test]
+    fn slicing_overlaps_hops_and_beats_one_slice() {
+        let (codec, topo, placement, profile) = world(6, 2);
+        let block = 256u64 << 20;
+        let run = |slices: usize| {
+            let ctx = RepairContext::new(
+                &codec,
+                &topo,
+                &placement,
+                vec![BlockId(1)],
+                block,
+                &profile,
+                CostModel::free(),
+            );
+            let plan = ChainPlanner::with_slices(slices).plan(&ctx);
+            plan.validate(&codec, &topo, &placement).expect("valid");
+            simulate(&plan, &ctx).repair_time
+        };
+        let unsliced = run(1);
+        let sliced = run(16);
+        assert!(
+            sliced < unsliced * 0.6,
+            "pipelining should overlap hops: {sliced} vs {unsliced}"
+        );
+    }
+
+    #[test]
+    fn chain_is_competitive_with_rpr_and_beats_traditional() {
+        let (codec, topo, placement, profile) = world(12, 4);
+        let block = 256u64 << 20;
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(0)],
+            block,
+            &profile,
+            CostModel::simics(),
+        );
+        let chain = simulate(&ChainPlanner::with_slices(16).plan(&ctx), &ctx).repair_time;
+        let tra = simulate(&TraditionalPlanner::new().plan(&ctx), &ctx).repair_time;
+        let rpr = simulate(&RprPlanner::new().plan(&ctx), &ctx).repair_time;
+        assert!(chain < tra * 0.5, "chain {chain} vs tra {tra}");
+        // The two pipelined schemes should be in the same league.
+        assert!(
+            chain < rpr * 3.0 && rpr < chain * 3.0,
+            "chain {chain} vs rpr {rpr}"
+        );
+    }
+
+    #[test]
+    fn more_slices_help_until_latency_dominates() {
+        let (codec, topo, placement, profile) = world(8, 2);
+        let block = 256u64 << 20;
+        let run = |slices: usize| {
+            let ctx = RepairContext::new(
+                &codec,
+                &topo,
+                &placement,
+                vec![BlockId(0)],
+                block,
+                &profile,
+                CostModel::free(),
+            );
+            simulate(&ChainPlanner::with_slices(slices).plan(&ctx), &ctx).repair_time
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        let t16 = run(16);
+        assert!(t4 < t1, "4 slices beat 1: {t4} vs {t1}");
+        assert!(t16 <= t4 + 1e-9, "16 slices no worse than 4: {t16} vs {t4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "single-block")]
+    fn chain_rejects_multi_failures() {
+        let (codec, topo, placement, profile) = world(4, 2);
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(0), BlockId(1)],
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        ChainPlanner::new().plan(&ctx);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn chain_rejects_indivisible_blocks() {
+        let (codec, topo, placement, profile) = world(4, 2);
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(0)],
+            1001,
+            &profile,
+            CostModel::free(),
+        );
+        ChainPlanner::with_slices(8).plan(&ctx);
+    }
+}

@@ -1,0 +1,186 @@
+//! The traditional Reed-Solomon repair baseline (§2.3, Figure 3): ship `n`
+//! whole helper blocks to the recovery node and decode there with the full
+//! decoding matrix.
+
+use crate::plan::{Input, RepairPlan};
+use crate::scenario::RepairContext;
+use crate::schemes::{PlanBuilder, RepairPlanner};
+use rpr_codec::BlockId;
+use rpr_topology::NodeId;
+
+/// Where traditional repair spawns its replacement node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoverySite {
+    /// A rack holding no blocks of the stripe, as in Figure 3 where the
+    /// recovery node sits outside the data racks — every helper transfer
+    /// then crosses racks, giving the paper's `n · t_c` (eq. 10). Falls
+    /// back to the failed rack if the cluster has no empty rack.
+    SpareRack,
+    /// The failed block's own rack (the locality-aware ablation; RPR and
+    /// CAR always rebuild here).
+    FailedRack,
+}
+
+/// The traditional repair planner.
+///
+/// Helper selection is the classic locality-oblivious "first `n` surviving
+/// blocks in index order"; every helper block travels whole to the recovery
+/// node, which performs one full-matrix decode per failed block.
+#[derive(Clone, Copy, Debug)]
+pub struct TraditionalPlanner {
+    /// Replacement-node policy (default: [`RecoverySite::SpareRack`]).
+    pub recovery: RecoverySite,
+}
+
+impl Default for TraditionalPlanner {
+    fn default() -> Self {
+        TraditionalPlanner {
+            recovery: RecoverySite::SpareRack,
+        }
+    }
+}
+
+impl TraditionalPlanner {
+    /// Planner with the paper's default recovery-site policy.
+    pub fn new() -> TraditionalPlanner {
+        TraditionalPlanner::default()
+    }
+
+    /// The locality-aware ablation: rebuild inside the failed rack.
+    pub fn locality_aware() -> TraditionalPlanner {
+        TraditionalPlanner {
+            recovery: RecoverySite::FailedRack,
+        }
+    }
+
+    fn recovery_node(&self, ctx: &RepairContext<'_>) -> NodeId {
+        match self.recovery {
+            RecoverySite::FailedRack => ctx.recovery_node(),
+            RecoverySite::SpareRack => match ctx.spare_rack() {
+                Some(rack) => ctx
+                    .placement
+                    .replacement_in(rack, ctx.topo)
+                    .expect("spare racks have free nodes"),
+                None => ctx.recovery_node(),
+            },
+        }
+    }
+}
+
+impl RepairPlanner for TraditionalPlanner {
+    fn name(&self) -> &'static str {
+        "traditional"
+    }
+
+    fn plan(&self, ctx: &RepairContext<'_>) -> RepairPlan {
+        let params = ctx.params();
+        let rec = self.recovery_node(ctx);
+
+        // First n survivors, index order — no rack awareness.
+        let helpers: Vec<BlockId> = ctx.survivors().into_iter().take(params.n).collect();
+        let equations = ctx.codec.repair_equations(&ctx.failed, &helpers);
+
+        let mut b = PlanBuilder::new();
+        // Ship every helper block whole.
+        let sends: Vec<(BlockId, crate::plan::OpId)> = helpers
+            .iter()
+            .map(|&h| (h, b.send_block(h, ctx.placement.node_of(h), rec)))
+            .collect();
+
+        // One full decode per failed block at the recovery node.
+        let outputs = equations
+            .iter()
+            .zip(&ctx.failed)
+            .enumerate()
+            .map(|(e, (eq, &target))| {
+                let inputs: Vec<Input> = eq
+                    .terms
+                    .iter()
+                    .map(|&(block, coeff)| {
+                        let via = sends
+                            .iter()
+                            .find(|&&(h, _)| h == block)
+                            .map(|&(_, s)| s)
+                            .expect("every term is a helper");
+                        Input::Block {
+                            block,
+                            coeff,
+                            via: Some(via),
+                        }
+                    })
+                    .collect();
+                (target, b.combine(rec, e, inputs))
+            })
+            .collect();
+
+        // Traditional repair always constructs the decoding matrix, even
+        // when the coefficients happen to be all ones (§3.3).
+        b.finish(ctx, rec, outputs, true, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use rpr_codec::{CodeParams, StripeCodec};
+    use rpr_topology::{cluster_for, BandwidthProfile, Placement};
+
+    fn run(n: usize, k: usize, failed: Vec<BlockId>, site: RecoverySite) -> (RepairPlan, usize) {
+        let params = CodeParams::new(n, k);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::compact(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            failed,
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        let planner = TraditionalPlanner { recovery: site };
+        let plan = planner.plan(&ctx);
+        plan.validate(&codec, &topo, &placement).expect("valid");
+        let stats = plan.stats(&topo);
+        (plan, stats.cross_transfers)
+    }
+
+    #[test]
+    fn spare_rack_recovery_makes_all_transfers_cross() {
+        for (n, k) in [(4, 2), (6, 2), (6, 3), (8, 4), (12, 4)] {
+            let (plan, cross) = run(n, k, vec![BlockId(1)], RecoverySite::SpareRack);
+            assert_eq!(cross, n, "({n},{k}): eq. 10 expects n cross transfers");
+            assert!(plan.force_matrix);
+            assert_eq!(plan.outputs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn failed_rack_recovery_keeps_local_helpers_inner() {
+        let (plan, cross) = run(12, 4, vec![BlockId(0)], RecoverySite::FailedRack);
+        // Rack 0 holds d1..d3 locally: 3 inner, 9 cross.
+        assert_eq!(cross, 9);
+        let stats = plan.stats(&plan_topology());
+        assert_eq!(stats.inner_transfers, 3);
+    }
+
+    fn plan_topology() -> rpr_topology::Topology {
+        cluster_for(CodeParams::new(12, 4), 1, 1)
+    }
+
+    #[test]
+    fn multi_failure_reuses_the_same_n_transfers() {
+        let (plan, cross) = run(8, 4, vec![BlockId(0), BlockId(5)], RecoverySite::SpareRack);
+        assert_eq!(cross, 8, "multi-failure still ships n blocks once");
+        assert_eq!(plan.outputs.len(), 2);
+        let combines = plan
+            .ops
+            .iter()
+            .filter(|o| matches!(o, crate::plan::Op::Combine { .. }))
+            .count();
+        assert_eq!(combines, 2, "one decode per failed block");
+    }
+}

@@ -1,0 +1,311 @@
+//! Lowering a [`RepairPlan`] onto the `rpr-netsim` flow simulator — the
+//! "Simics cluster" half of the paper's evaluation.
+//!
+//! Sends become flows of `block_bytes`; combines become compute jobs whose
+//! duration follows the [`CostModel`] (XOR folds vs Galois folds, plus the
+//! one-time decoding-matrix surcharge per node for matrix-based plans).
+
+use crate::plan::{Input, Op, RepairPlan};
+use crate::scenario::RepairContext;
+use rpr_netsim::{JobId, Network, SimReport, Simulator};
+
+/// The result of simulating one repair plan.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Total repair time (the makespan of the plan DAG).
+    pub repair_time: f64,
+    /// The full simulator report (traffic, per-job timing, load balance).
+    pub report: SimReport,
+    /// Plan-level statistics.
+    pub stats: crate::plan::PlanStats,
+}
+
+/// Simulate a plan under the context's bandwidth profile and cost model.
+///
+/// # Panics
+/// Panics if the plan references nodes outside the context topology (a
+/// malformed plan; run [`RepairPlan::validate`] first for a readable
+/// error).
+pub fn simulate(plan: &RepairPlan, ctx: &RepairContext<'_>) -> SimOutcome {
+    let net = network_for(ctx);
+    let mut sim = Simulator::new(net);
+    let stats = plan.stats(ctx.topo);
+    let mut matrix_paid = vec![false; ctx.topo.node_count()];
+    lower_plan(&mut sim, plan, &ctx.cost, &mut matrix_paid, 0);
+    let report = sim.run();
+    SimOutcome {
+        repair_time: report.makespan,
+        report,
+        stats,
+    }
+}
+
+/// The outcome of simulating several plans concurrently (e.g. every stripe
+/// touched by a whole-node failure repairing at once).
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Time at which the *last* plan finished — the full recovery time.
+    pub makespan: f64,
+    /// Per-plan completion times, in input order.
+    pub plan_finish: Vec<f64>,
+    /// The combined simulator report (aggregate traffic, load balance).
+    pub report: SimReport,
+}
+
+/// Simulate many plans sharing one cluster: all their operations contend
+/// for the same links and CPUs, which is exactly what happens when a node
+/// or rack failure triggers repairs of every stripe it hosted.
+///
+/// All plans must target the same topology/profile (they share `ctx`'s);
+/// per-plan block sizes may differ.
+///
+/// # Panics
+/// Panics if `plans` is empty or a plan references nodes outside the
+/// topology.
+pub fn simulate_batch(plans: &[&RepairPlan], ctx: &RepairContext<'_>) -> BatchOutcome {
+    assert!(!plans.is_empty(), "simulate_batch: no plans");
+    let net = network_for(ctx);
+    let mut sim = Simulator::new(net);
+    let mut last_jobs: Vec<Vec<JobId>> = Vec::with_capacity(plans.len());
+    for (pi, plan) in plans.iter().enumerate() {
+        // Each stripe has its own decoding matrix, so the per-node
+        // surcharge bookkeeping is per plan.
+        let mut matrix_paid = vec![false; ctx.topo.node_count()];
+        let jobs = lower_plan(&mut sim, plan, &ctx.cost, &mut matrix_paid, pi);
+        let outputs: Vec<JobId> = plan.outputs.iter().map(|&(_, op)| jobs[op.0]).collect();
+        last_jobs.push(outputs);
+    }
+    let report = sim.run();
+    let plan_finish = last_jobs
+        .iter()
+        .map(|outs| {
+            outs.iter()
+                .map(|j| report.record(*j).finish)
+                .fold(0.0f64, f64::max)
+        })
+        .collect();
+    BatchOutcome {
+        makespan: report.makespan,
+        plan_finish,
+        report,
+    }
+}
+
+/// Build the simulated network for a context, honoring its optional
+/// aggregation-switch constraint.
+fn network_for(ctx: &RepairContext<'_>) -> Network {
+    let net = Network::new(ctx.topo.clone(), ctx.profile.clone());
+    match ctx.agg_capacity {
+        Some(cap) => net.with_agg_capacity(cap),
+        None => net,
+    }
+}
+
+/// Lower one plan's ops into an existing simulator. Returns the netsim job
+/// id of each op. `matrix_paid` tracks which nodes already built this
+/// plan's decoding matrix (one surcharge per node per stripe).
+fn lower_plan(
+    sim: &mut Simulator,
+    plan: &RepairPlan,
+    cost: &crate::cost::CostModel,
+    matrix_paid: &mut [bool],
+    tag: usize,
+) -> Vec<JobId> {
+    let mut job_of: Vec<JobId> = Vec::with_capacity(plan.ops.len());
+    for (i, op) in plan.ops.iter().enumerate() {
+        let deps: Vec<JobId> = plan.deps_of(i).iter().map(|d| job_of[d.0]).collect();
+        let job = match op {
+            Op::Send { from, to, .. } => sim.transfer(
+                format!("p{tag}op{i}:send"),
+                *from,
+                *to,
+                plan.block_bytes,
+                &deps,
+            ),
+            Op::Combine { node, inputs, .. } => {
+                // force_matrix schemes (traditional, CAR) run every fold
+                // through the unoptimized matrix-decode function; RPR's
+                // optimized path exploits coefficient-1 XOR folds.
+                let forced = plan.force_matrix;
+                let mut seconds = 0.0;
+                let mut uses_matrix_coeffs = forced;
+                for inp in inputs {
+                    match inp {
+                        Input::Block { coeff, .. } => {
+                            seconds += if forced {
+                                cost.forced_fold_seconds(plan.block_bytes)
+                            } else {
+                                cost.fold_seconds(*coeff, plan.block_bytes)
+                            };
+                            if *coeff != 1 {
+                                uses_matrix_coeffs = true;
+                            }
+                        }
+                        Input::Intermediate(_) => {
+                            seconds += if forced {
+                                cost.forced_fold_seconds(plan.block_bytes)
+                            } else {
+                                cost.merge_seconds(plan.block_bytes)
+                            };
+                        }
+                    }
+                }
+                if uses_matrix_coeffs && !matrix_paid[node.0] {
+                    matrix_paid[node.0] = true;
+                    seconds += cost.matrix_build_seconds;
+                }
+                sim.compute(format!("p{tag}op{i}:combine"), *node, seconds, &deps)
+            }
+        };
+        job_of.push(job);
+    }
+    job_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{RepairPlanner, TraditionalPlanner};
+    use rpr_codec::{BlockId, CodeParams, StripeCodec};
+    use rpr_topology::{cluster_for, BandwidthProfile, Placement, GBIT};
+
+    #[test]
+    fn traditional_single_failure_time_matches_eq5() {
+        // Paper eq. 5 / eq. 10: with the recovery node in a spare rack,
+        // total time = n * t_c + decode. With the free cost model it is
+        // exactly n * B / cross_rate.
+        let params = CodeParams::new(4, 2);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::compact(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let block: u64 = 256 * 1024 * 1024;
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            crate::cost::CostModel::free(),
+        );
+        let plan = TraditionalPlanner::new().plan(&ctx);
+        let out = simulate(&plan, &ctx);
+        let t_c = block as f64 / (0.1 * GBIT);
+        assert!(
+            (out.repair_time - 4.0 * t_c).abs() < 1e-6,
+            "got {}, want {}",
+            out.repair_time,
+            4.0 * t_c
+        );
+        assert_eq!(out.report.cross_rack_bytes, 4 * block);
+        assert!(out.stats.needs_matrix);
+    }
+
+    #[test]
+    fn batch_simulation_contends_on_shared_links() {
+        // Two identical single-failure repairs of two stripes that share
+        // the recovery rack: together they must be slower than one alone,
+        // and per-plan finishes bracket the makespan.
+        let params = CodeParams::new(4, 2);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 2, 1);
+        let placement = Placement::compact(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let block: u64 = 64 << 20;
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            crate::cost::CostModel::free(),
+        );
+        let plan = crate::schemes::RprPlanner::new().plan(&ctx);
+        let solo = simulate(&plan, &ctx).repair_time;
+        let batch = simulate_batch(&[&plan, &plan], &ctx);
+        assert_eq!(batch.plan_finish.len(), 2);
+        assert!(batch.makespan >= solo - 1e-9);
+        assert!(batch.makespan > solo * 1.2, "shared links must contend");
+        for f in &batch.plan_finish {
+            assert!(*f <= batch.makespan + 1e-9);
+        }
+        // Total traffic doubles exactly.
+        assert_eq!(
+            batch.report.cross_rack_bytes,
+            2 * plan.stats(&topo).cross_bytes
+        );
+    }
+
+    #[test]
+    fn agg_capacity_constrains_simulation() {
+        let params = CodeParams::new(6, 2);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::compact(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let block: u64 = 64 << 20;
+        let free_ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            crate::cost::CostModel::free(),
+        );
+        let plan = crate::schemes::RprPlanner::new().plan(&free_ctx);
+        let unconstrained = simulate(&plan, &free_ctx).repair_time;
+        // Cap the fabric below one pair's rate: everything slows down.
+        let tight_ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            crate::cost::CostModel::free(),
+        )
+        .with_agg_capacity(0.05 * rpr_topology::GBIT);
+        let constrained = simulate(&plan, &tight_ctx).repair_time;
+        assert!(
+            constrained > unconstrained * 1.5,
+            "agg cap must bind: {constrained} vs {unconstrained}"
+        );
+    }
+
+    #[test]
+    fn matrix_surcharge_is_paid_once_per_node() {
+        let params = CodeParams::new(4, 2);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::compact(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let block: u64 = 1 << 20;
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(0), BlockId(1)],
+            block,
+            &profile,
+            crate::cost::CostModel {
+                xor_rate: f64::INFINITY,
+                gf_rate: f64::INFINITY,
+                matrix_build_seconds: 5.0,
+            },
+        );
+        let plan = TraditionalPlanner::new().plan(&ctx);
+        let out = simulate(&plan, &ctx);
+        // Two decodes at the same recovery node: surcharge paid once, and
+        // it is hidden behind the last transfer only partially: makespan =
+        // transfers + 5s (decodes run after the last arrival).
+        let t_c = block as f64 / (0.1 * GBIT);
+        assert!(
+            (out.repair_time - (4.0 * t_c + 5.0)).abs() < 1e-6,
+            "got {}",
+            out.repair_time
+        );
+    }
+}

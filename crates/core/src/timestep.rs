@@ -1,0 +1,299 @@
+//! The paper's *timestep* execution model (§3.2/§4): every inner-rack
+//! transfer costs exactly one `t_i`, every cross-rack transfer exactly one
+//! `t_c`, decode time is neglected, and a node performs at most one send
+//! and one receive per traffic class at a time.
+//!
+//! This is a deliberately cruder model than `rpr-netsim`'s fluid max-min
+//! simulator — it is the lens through which the paper *analyzes* schedules
+//! (Figures 3–5 count timesteps; eqs. 10–13 bound them). Running a plan
+//! through it lets the test-suite check the §4 claims mechanically:
+//!
+//! * a traditional spare-rack plan takes exactly `n` cross timesteps
+//!   (eq. 10);
+//! * RPR single-failure plans stay within the eq. 11 + eq. 12 worst-case
+//!   bounds;
+//! * the greedy pipeline (§4.2 optimality argument) never exceeds the
+//!   serialized CAR-style schedule.
+
+use crate::plan::{Op, RepairPlan};
+use rpr_topology::Topology;
+
+/// The outcome of timestep-quantized execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimestepReport {
+    /// Total makespan in seconds under the quantized model.
+    pub makespan: f64,
+    /// Number of *cross-rack timesteps* on the critical path: the makespan
+    /// decomposes as `cross_steps · t_c + inner_steps · t_i`, greedily
+    /// attributing to cross first (the paper's accounting).
+    pub cross_steps: usize,
+    /// Inner-rack timesteps on the critical path (see `cross_steps`).
+    pub inner_steps: usize,
+    /// Total cross-rack transfers executed (traffic in blocks).
+    pub cross_transfers: usize,
+    /// Total inner-rack transfers executed.
+    pub inner_transfers: usize,
+}
+
+/// Execute a plan under the quantized model.
+///
+/// Rules:
+/// * a transfer occupies its source's send port and destination's receive
+///   port (per traffic class: inner and cross are independent, full-duplex
+///   within a class is *not* allowed — one send **or** receive per class
+///   mirrors the paper's "one cross transfer per rack at a time");
+/// * transfers run for exactly `t_i` (same rack) or `t_c` (cross);
+/// * combines are free and instantaneous (§4.1 neglects decode time);
+/// * list scheduling: at every event time, all runnable transfers that can
+///   acquire their ports start, in op order.
+///
+/// # Panics
+/// Panics if the plan references nodes outside the topology.
+pub fn run_timestep(plan: &RepairPlan, topo: &Topology, t_i: f64, t_c: f64) -> TimestepReport {
+    let n_ops = plan.ops.len();
+    let nodes = topo.node_count();
+    let mut finish: Vec<Option<f64>> = vec![None; n_ops];
+    // Per-node, per-class port busy-until times: [inner, cross].
+    let mut busy = vec![[0.0f64; 2]; nodes];
+
+    let mut done = 0usize;
+    let mut now = 0.0f64;
+    let mut cross_transfers = 0usize;
+    let mut inner_transfers = 0usize;
+
+    let eps = 1e-12;
+    while done < n_ops {
+        let mut progressed = false;
+        // Start / complete everything runnable at `now`.
+        for i in 0..n_ops {
+            if finish[i].is_some() {
+                continue;
+            }
+            let deps_ready = plan
+                .deps_of(i)
+                .iter()
+                .all(|d| finish[d.0].is_some_and(|f| f <= now + eps));
+            if !deps_ready {
+                continue;
+            }
+            match &plan.ops[i] {
+                Op::Combine { .. } => {
+                    // Instantaneous once inputs are present.
+                    finish[i] = Some(now);
+                    done += 1;
+                    progressed = true;
+                }
+                Op::Send { from, to, .. } => {
+                    let cross = !topo.same_rack(*from, *to);
+                    let class = usize::from(cross);
+                    if busy[from.0][class] <= now + eps && busy[to.0][class] <= now + eps {
+                        let dur = if cross { t_c } else { t_i };
+                        busy[from.0][class] = now + dur;
+                        busy[to.0][class] = now + dur;
+                        finish[i] = Some(now + dur);
+                        if cross {
+                            cross_transfers += 1;
+                        } else {
+                            inner_transfers += 1;
+                        }
+                        done += 1;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        if done == n_ops {
+            break;
+        }
+        if progressed {
+            // New combines may have unblocked sends at the same instant.
+            continue;
+        }
+        // Advance to the next event: earliest op finish or port release
+        // strictly after `now`.
+        let mut next = f64::INFINITY;
+        for f in finish.iter().flatten() {
+            if *f > now + eps {
+                next = next.min(*f);
+            }
+        }
+        for b in &busy {
+            for &t in b {
+                if t > now + eps {
+                    next = next.min(t);
+                }
+            }
+        }
+        assert!(next.is_finite(), "timestep model stalled (malformed plan)");
+        now = next;
+    }
+
+    let makespan = finish.iter().flatten().fold(0.0f64, |acc, &f| acc.max(f));
+
+    // Decompose the makespan into cross/inner steps (greedy, cross first).
+    let cross_steps = (makespan / t_c).floor() as usize;
+    let rem = makespan - cross_steps as f64 * t_c;
+    let inner_steps = (rem / t_i).round() as usize;
+
+    TimestepReport {
+        makespan,
+        cross_steps,
+        inner_steps,
+        cross_transfers,
+        inner_transfers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::cost::CostModel;
+    use crate::scenario::RepairContext;
+    use crate::schemes::{CarPlanner, RepairPlanner, RprPlanner, TraditionalPlanner};
+    use rpr_codec::{BlockId, CodeParams, StripeCodec};
+    use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy};
+
+    const PAPER_CODES: [(usize, usize); 6] = [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)];
+    const T_I: f64 = 1.0;
+    const T_C: f64 = 10.0;
+
+    fn timestep_of(
+        n: usize,
+        k: usize,
+        failed: Vec<BlockId>,
+        planner: &dyn RepairPlanner,
+    ) -> TimestepReport {
+        let params = CodeParams::new(n, k);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+        // Profile chosen so the planner's internal t_c/t_i matches 10:1.
+        let profile = BandwidthProfile::uniform(topo.rack_count(), 1e9, 1e8);
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            failed,
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = planner.plan(&ctx);
+        plan.validate(&codec, &topo, &placement).expect("valid");
+        run_timestep(&plan, &topo, T_I, T_C)
+    }
+
+    #[test]
+    fn traditional_takes_exactly_n_cross_timesteps() {
+        // Eq. 10: with the recovery node in a spare rack, the n helper
+        // transfers serialize on its cross receive port: n * t_c.
+        for (n, k) in PAPER_CODES {
+            let r = timestep_of(n, k, vec![BlockId(0)], &TraditionalPlanner::new());
+            assert_eq!(r.cross_transfers, n, "({n},{k})");
+            assert!(
+                (r.makespan - n as f64 * T_C).abs() < 1e-9,
+                "({n},{k}): got {} want {}",
+                r.makespan,
+                n as f64 * T_C
+            );
+        }
+    }
+
+    #[test]
+    fn rpr_single_failure_respects_eq11_eq12_bounds() {
+        // Eqs. 11-13 are the *worst-case, unpipelined* bound; the greedy
+        // schedule must never exceed it.
+        for (n, k) in PAPER_CODES {
+            let params = CodeParams::new(n, k);
+            let a = analysis::AnalysisParams { t_i: T_I, t_c: T_C };
+            let bound = analysis::rpr_repair_time(params, a);
+            for fail in 0..n {
+                let r = timestep_of(n, k, vec![BlockId(fail)], &RprPlanner::new());
+                assert!(
+                    r.makespan <= bound + 1e-9,
+                    "({n},{k}) fail {fail}: {} exceeds eq.13 bound {}",
+                    r.makespan,
+                    bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_timestep_counts_match_the_paper() {
+        // RS(6,2), d1 fails: the paper's schedule 2 costs ~21 t_i
+        // (1 inner + 2 cross timesteps); CAR-style schedule 1 ~31 t_i.
+        let rpr = timestep_of(6, 2, vec![BlockId(1)], &RprPlanner::new());
+        assert!(
+            rpr.makespan <= 2.0 * T_C + T_I + 1e-9,
+            "RPR(6,2) should need at most 2 cross + 1 inner timesteps, got {}",
+            rpr.makespan
+        );
+        let car = timestep_of(6, 2, vec![BlockId(1)], &CarPlanner::new());
+        assert!(
+            car.makespan >= 3.0 * T_C - 1e-9,
+            "CAR(6,2) serializes 3 cross transfers, got {}",
+            car.makespan
+        );
+        assert!(rpr.makespan < car.makespan);
+    }
+
+    #[test]
+    fn rpr_never_exceeds_car_in_timesteps() {
+        for (n, k) in PAPER_CODES {
+            for fail in 0..n {
+                let rpr = timestep_of(n, k, vec![BlockId(fail)], &RprPlanner::new());
+                let car = timestep_of(n, k, vec![BlockId(fail)], &CarPlanner::new());
+                assert!(
+                    rpr.makespan <= car.makespan + 1e-9,
+                    "({n},{k}) fail {fail}: rpr {} > car {}",
+                    rpr.makespan,
+                    car.makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_failure_worst_case_stays_within_4_3_1_analysis() {
+        // §4.3.1: worst case needs at most ceil(log2 q) * k cross
+        // timesteps (plus the inner phase, bounded by k * t_i).
+        for (n, k) in [(6usize, 2usize), (8, 2), (12, 4)] {
+            let params = CodeParams::new(n, k);
+            let failed: Vec<BlockId> = (0..k).map(BlockId).collect();
+            let r = timestep_of(n, k, failed, &RprPlanner::new());
+            let bound = analysis::rpr_multi_worst_cross_timesteps(params) as f64 * T_C
+                + (k + 1) as f64 * T_I;
+            assert!(
+                r.makespan <= bound + 1e-9,
+                "({n},{k}) worst case: {} exceeds §4.3.1 bound {}",
+                r.makespan,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_counts_match_plan_stats() {
+        let params = CodeParams::new(8, 4);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::compact(params, &topo);
+        let profile = BandwidthProfile::uniform(topo.rack_count(), 1e9, 1e8);
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(2)],
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = RprPlanner::new().plan(&ctx);
+        let stats = plan.stats(&topo);
+        let r = run_timestep(&plan, &topo, T_I, T_C);
+        assert_eq!(r.cross_transfers, stats.cross_transfers);
+        assert_eq!(r.inner_transfers, stats.inner_transfers);
+    }
+}

@@ -1,0 +1,189 @@
+//! Plan visualization: ASCII Gantt charts from simulation reports and
+//! Graphviz DOT export of plan DAGs.
+//!
+//! Used by the CLI and the examples; handy when debugging why a schedule
+//! serializes where it should pipeline.
+
+use crate::plan::{Op, Payload, RepairPlan};
+use crate::sim::SimOutcome;
+use rpr_netsim::JobKind;
+use rpr_topology::Topology;
+
+/// Render an ASCII Gantt chart of a simulated plan: one row per operation,
+/// bars proportional to start/finish over the makespan.
+///
+/// `width` is the bar width in characters (clamped to at least 10).
+pub fn gantt(outcome: &SimOutcome, topo: &Topology, width: usize) -> String {
+    let width = width.max(10);
+    let span = outcome.repair_time.max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "makespan {:.3}s | cross {:.0} blk-bytes | {} jobs\n",
+        outcome.repair_time,
+        outcome.report.cross_rack_bytes,
+        outcome.report.records.len()
+    ));
+    for rec in &outcome.report.records {
+        let s = ((rec.start / span) * width as f64).floor() as usize;
+        let e = (((rec.finish / span) * width as f64).ceil() as usize).max(s + 1);
+        let mut bar = vec![b'.'; width];
+        for c in bar.iter_mut().take(e.min(width)).skip(s.min(width - 1)) {
+            *c = b'#';
+        }
+        let desc = match rec.kind {
+            JobKind::Transfer { from, to, .. } => format!(
+                "{from:?}->{to:?} {}",
+                if topo.same_rack(from, to) {
+                    "inner"
+                } else {
+                    "CROSS"
+                }
+            ),
+            JobKind::Compute { node, .. } => format!("{node:?} combine"),
+        };
+        out.push_str(&format!(
+            "[{}] {:>8.3}-{:<8.3} {desc}\n",
+            String::from_utf8(bar).expect("ascii"),
+            rec.start,
+            rec.finish
+        ));
+    }
+    out
+}
+
+/// Export a plan DAG as Graphviz DOT. Nodes are operations (sends as
+/// ellipses, combines as boxes, outputs double-circled); edges follow data
+/// dependencies; cross-rack sends are drawn bold red.
+pub fn dot(plan: &RepairPlan, topo: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str("digraph repair_plan {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    out.push_str(&format!(
+        "  label=\"{} repair of {:?} (RS({},{}))\";\n",
+        plan.scheme,
+        plan.targets(),
+        plan.params.n,
+        plan.params.k
+    ));
+    for (i, op) in plan.ops.iter().enumerate() {
+        let is_output = plan.outputs.iter().any(|&(_, o)| o.0 == i);
+        match op {
+            Op::Send { what, from, to } => {
+                let cross = !topo.same_rack(*from, *to);
+                let what_s = match what {
+                    Payload::Block(b) => format!("b{}", b.0),
+                    Payload::Intermediate(o) => format!("I(op{})", o.0),
+                };
+                out.push_str(&format!(
+                    "  op{i} [shape=ellipse,label=\"op{i} send {what_s}\\n{from:?}->{to:?}\"{}];\n",
+                    if cross { ",color=red,penwidth=2" } else { "" }
+                ));
+            }
+            Op::Combine { node, eq, inputs } => {
+                let shape = if is_output { "doublecircle" } else { "box" };
+                out.push_str(&format!(
+                    "  op{i} [shape={shape},label=\"op{i} combine@{node:?}\\neq{eq} ({} in)\"];\n",
+                    inputs.len()
+                ));
+            }
+        }
+        for dep in op.dependencies() {
+            out.push_str(&format!("  op{} -> op{i};\n", dep.0));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::scenario::RepairContext;
+    use crate::schemes::{RepairPlanner, RprPlanner};
+    use crate::sim::simulate;
+    use rpr_codec::{BlockId, CodeParams, StripeCodec};
+    use rpr_topology::{cluster_for, BandwidthProfile, Placement};
+
+    fn fixture() -> (
+        StripeCodec,
+        rpr_topology::Topology,
+        Placement,
+        BandwidthProfile,
+    ) {
+        let params = CodeParams::new(6, 2);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::compact(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        (codec, topo, placement, profile)
+    }
+
+    #[test]
+    fn gantt_renders_every_job() {
+        let (codec, topo, placement, profile) = fixture();
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = RprPlanner::new().plan(&ctx);
+        let outcome = simulate(&plan, &ctx);
+        let chart = gantt(&outcome, &topo, 40);
+        assert_eq!(
+            chart.lines().count(),
+            plan.ops.len() + 1,
+            "header plus one row per op"
+        );
+        assert!(chart.contains("CROSS"));
+        assert!(chart.contains("combine"));
+    }
+
+    #[test]
+    fn dot_is_structurally_valid() {
+        let (codec, topo, placement, profile) = fixture();
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = RprPlanner::new().plan(&ctx);
+        let d = dot(&plan, &topo);
+        assert!(d.starts_with("digraph"));
+        assert!(d.trim_end().ends_with('}'));
+        // Every op appears; the output op is double-circled.
+        for i in 0..plan.ops.len() {
+            assert!(d.contains(&format!("op{i} ")), "missing op{i}");
+        }
+        assert!(d.contains("doublecircle"));
+        // Edge count equals total dependency count.
+        let edges = d.matches(" -> ").count();
+        let deps: usize = plan.ops.iter().map(|o| o.dependencies().len()).sum();
+        assert_eq!(edges, deps);
+    }
+
+    #[test]
+    fn gantt_clamps_width() {
+        let (codec, topo, placement, profile) = fixture();
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(0)],
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = RprPlanner::new().plan(&ctx);
+        let outcome = simulate(&plan, &ctx);
+        let chart = gantt(&outcome, &topo, 0);
+        assert!(chart.lines().nth(1).unwrap().starts_with('['));
+    }
+}

@@ -1,0 +1,133 @@
+//! Degraded reads: a client somewhere in the cluster requests a block that
+//! is currently lost; the repair pipeline reconstructs it *at the client*
+//! (`RepairContext::with_recovery_node`) instead of at a replacement node.
+
+use rpr_codec::{BlockId, CodeParams, StripeCodec};
+use rpr_core::{simulate, CostModel, RepairContext, RepairPlanner, RprPlanner, TraditionalPlanner};
+use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy};
+
+fn world(
+    n: usize,
+    k: usize,
+) -> (
+    StripeCodec,
+    rpr_topology::Topology,
+    Placement,
+    BandwidthProfile,
+) {
+    let params = CodeParams::new(n, k);
+    let codec = StripeCodec::new(params);
+    let topo = cluster_for(params, 1, 1);
+    let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+    let profile = BandwidthProfile::simics_default(topo.rack_count());
+    (codec, topo, placement, profile)
+}
+
+#[test]
+fn degraded_read_delivers_to_every_possible_client() {
+    let (codec, topo, placement, profile) = world(6, 2);
+    let lost = BlockId(2);
+    let dead = placement.node_of(lost);
+    for client in topo.nodes() {
+        if client == dead {
+            continue;
+        }
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![lost],
+            1 << 20,
+            &profile,
+            CostModel::free(),
+        )
+        .with_recovery_node(client);
+        assert_eq!(ctx.recovery_node(), client);
+        assert_eq!(ctx.recovery_rack(), topo.rack_of(client));
+
+        let plan = RprPlanner::new().plan(&ctx);
+        plan.validate(&codec, &topo, &placement)
+            .unwrap_or_else(|e| panic!("client {client:?}: {e}"));
+        // The reconstruction lands at the client.
+        let (_, out_op) = plan.outputs[0];
+        assert_eq!(plan.ops[out_op.0].output_location(), client);
+        let t = simulate(&plan, &ctx).repair_time;
+        assert!(t.is_finite() && t > 0.0);
+    }
+}
+
+#[test]
+fn degraded_read_beats_fetching_n_blocks() {
+    // The client-side latency win: RPR's pipelined degraded read vs a
+    // traditional client that fetches n helper blocks itself.
+    let (codec, topo, placement, profile) = world(12, 4);
+    let lost = BlockId(0);
+    // A client in the spare rack (cold reader far from the data).
+    let client = *topo
+        .nodes_in(rpr_topology::RackId(topo.rack_count() - 1))
+        .first()
+        .unwrap();
+    let mk_ctx = || {
+        RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![lost],
+            256 << 20,
+            &profile,
+            CostModel::simics(),
+        )
+        .with_recovery_node(client)
+    };
+    let ctx = mk_ctx();
+    let rpr = simulate(&RprPlanner::new().plan(&ctx), &ctx).repair_time;
+    let ctx = mk_ctx();
+    let tra_plan = TraditionalPlanner::locality_aware().plan(&ctx);
+    tra_plan.validate(&codec, &topo, &placement).expect("valid");
+    let tra = simulate(&tra_plan, &ctx).repair_time;
+    assert!(
+        rpr < tra * 0.5,
+        "degraded read should be at least 2x faster: rpr {rpr} vs tra {tra}"
+    );
+}
+
+#[test]
+fn client_hosting_a_survivor_block_works() {
+    // The client itself stores one of the helper blocks: the local block
+    // must fold in place, never "sent to self".
+    let (codec, topo, placement, profile) = world(4, 2);
+    let lost = BlockId(0);
+    let client = placement.node_of(BlockId(1)); // hosts helper d1
+    let ctx = RepairContext::new(
+        &codec,
+        &topo,
+        &placement,
+        vec![lost],
+        1 << 20,
+        &profile,
+        CostModel::free(),
+    )
+    .with_recovery_node(client);
+    let plan = RprPlanner::new().plan(&ctx);
+    plan.validate(&codec, &topo, &placement).expect("valid");
+    let (_, out_op) = plan.outputs[0];
+    assert_eq!(plan.ops[out_op.0].output_location(), client);
+}
+
+#[test]
+#[should_panic(expected = "must not be a failed block's host")]
+fn dead_node_cannot_be_the_client() {
+    let (codec, topo, placement, profile) = world(4, 2);
+    let lost = BlockId(1);
+    let dead = placement.node_of(lost);
+    let _ = RepairContext::new(
+        &codec,
+        &topo,
+        &placement,
+        vec![lost],
+        1 << 20,
+        &profile,
+        CostModel::free(),
+    )
+    .with_recovery_node(dead);
+}

@@ -1,0 +1,133 @@
+//! Adversarial validator tests: take a correct plan and mutate it — the
+//! symbolic validator must catch every data-affecting corruption. This is
+//! the property that makes "plan validates" a real correctness proof
+//! rather than a smoke test.
+
+use proptest::prelude::*;
+use rpr_codec::{BlockId, CodeParams, StripeCodec};
+use rpr_core::{CostModel, Input, Op, RepairContext, RepairPlanner, RprPlanner};
+use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy};
+
+fn build_plan(
+    n: usize,
+    k: usize,
+    fail: usize,
+) -> (
+    StripeCodec,
+    rpr_topology::Topology,
+    Placement,
+    rpr_core::RepairPlan,
+) {
+    let params = CodeParams::new(n, k);
+    let codec = StripeCodec::new(params);
+    let topo = cluster_for(params, 1, 1);
+    let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+    let profile = BandwidthProfile::simics_default(topo.rack_count());
+    let ctx = RepairContext::new(
+        &codec,
+        &topo,
+        &placement,
+        vec![BlockId(fail)],
+        1 << 20,
+        &profile,
+        CostModel::free(),
+    );
+    let plan = RprPlanner::new().plan(&ctx);
+    drop(ctx);
+    (codec, topo, placement, plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Changing any combine coefficient to a different nonzero value must
+    /// break symbolic consistency (generator rows are independent, so the
+    /// perturbation cannot cancel).
+    #[test]
+    fn coefficient_corruption_is_always_caught(
+        (n, k) in prop_oneof![Just((4usize, 2usize)), Just((6, 2)), Just((8, 4))],
+        fail in 0usize..4,
+        pick in any::<u32>(),
+        delta in 1u8..,
+    ) {
+        let fail = fail % n;
+        let (codec, topo, placement, mut plan) = build_plan(n, k, fail);
+
+        // Collect all (op, input) coordinates holding Block coefficients.
+        let mut coords = Vec::new();
+        for (i, op) in plan.ops.iter().enumerate() {
+            if let Op::Combine { inputs, .. } = op {
+                for (j, inp) in inputs.iter().enumerate() {
+                    if matches!(inp, Input::Block { .. }) {
+                        coords.push((i, j));
+                    }
+                }
+            }
+        }
+        prop_assume!(!coords.is_empty());
+        let (oi, ij) = coords[pick as usize % coords.len()];
+        if let Op::Combine { inputs, .. } = &mut plan.ops[oi] {
+            if let Input::Block { coeff, .. } = &mut inputs[ij] {
+                let new = *coeff ^ delta;
+                prop_assume!(new != 0 && new != *coeff);
+                *coeff = new;
+            }
+        }
+        prop_assert!(
+            plan.validate(&codec, &topo, &placement).is_err(),
+            "corrupting op{oi} input {ij} must be caught"
+        );
+    }
+
+    /// Swapping an output op for any *other* op must be caught (either it
+    /// is misplaced or it decodes the wrong combination) — unless the
+    /// other op is a Send of the correct final intermediate to the same
+    /// node, which cannot occur for the final output of a valid RPR plan.
+    #[test]
+    fn output_rewiring_is_always_caught(
+        (n, k) in prop_oneof![Just((4usize, 2usize)), Just((6, 3))],
+        fail in 0usize..4,
+        pick in any::<u32>(),
+    ) {
+        let fail = fail % n;
+        let (codec, topo, placement, mut plan) = build_plan(n, k, fail);
+        let correct = plan.outputs[0].1;
+        prop_assume!(plan.ops.len() > 1);
+        let other = (pick as usize) % plan.ops.len();
+        prop_assume!(rpr_core::OpId(other) != correct);
+        plan.outputs[0].1 = rpr_core::OpId(other);
+        prop_assert!(
+            plan.validate(&codec, &topo, &placement).is_err(),
+            "rewiring output to op{other} must be caught"
+        );
+    }
+
+    /// Dropping any input from a multi-input combine must be caught.
+    #[test]
+    fn dropped_inputs_are_always_caught(
+        (n, k) in prop_oneof![Just((6usize, 2usize)), Just((12, 4))],
+        fail in 0usize..6,
+        pick in any::<u32>(),
+    ) {
+        let fail = fail % n;
+        let (codec, topo, placement, mut plan) = build_plan(n, k, fail);
+        let mut coords = Vec::new();
+        for (i, op) in plan.ops.iter().enumerate() {
+            if let Op::Combine { inputs, .. } = op {
+                if inputs.len() >= 2 {
+                    coords.push(i);
+                }
+            }
+        }
+        prop_assume!(!coords.is_empty());
+        let oi = coords[pick as usize % coords.len()];
+        if let Op::Combine { inputs, .. } = &mut plan.ops[oi] {
+            let drop_at = (pick as usize / 7) % inputs.len();
+            inputs.remove(drop_at);
+        }
+        prop_assert!(
+            plan.validate(&codec, &topo, &placement).is_err(),
+            "dropping an input from op{oi} must be caught"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Regenerate the tables and figures of the RPR paper (ICPP '20).
+//!
+//! ```text
+//! rpr-experiments <fig6..fig14|table1|fleet|ablation|all> [--fast] [--out DIR]
+//! ```
+//!
+//! Figures 6–11 run on the `rpr-netsim` flow simulator (the paper's Simics
+//! cluster); Table 1 and Figures 12–14 run on the `rpr-exec` real-data
+//! engine with the Table-1 EC2 bandwidth matrix (scaled). `--fast` shrinks
+//! blocks/samples for quick smoke runs; `--out DIR` also writes every table
+//! as CSV into DIR.
+
+mod ablation;
+mod exec_figs;
+mod fleet;
+mod sim_figs;
+mod table1;
+mod theory;
+mod util;
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        match args.get(i + 1) {
+            Some(dir) => util::set_output_dir(dir),
+            None => {
+                eprintln!("--out needs a directory");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut skip_next = false;
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if a.as_str() == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(|s| s.as_str())
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+
+    for w in which {
+        match w {
+            "fig6" => theory::fig6(),
+            "fig7" => sim_figs::fig7(),
+            "fig8" => sim_figs::fig8(),
+            "fig9" => sim_figs::fig9(fast),
+            "fig10" => sim_figs::fig10(fast),
+            "fig11" => sim_figs::fig11(fast),
+            "table1" => table1::table1(fast),
+            "fig12" => exec_figs::fig12(fast),
+            "fig13" => exec_figs::fig13(fast),
+            "fig14" => exec_figs::fig14(fast),
+            "fleet" => fleet::fleet(fast),
+            "ablation" => ablation::ablation(),
+            "all" => {
+                theory::fig6();
+                sim_figs::fig7();
+                sim_figs::fig8();
+                sim_figs::fig9(fast);
+                sim_figs::fig10(fast);
+                sim_figs::fig11(fast);
+                table1::table1(fast);
+                exec_figs::fig12(fast);
+                exec_figs::fig13(fast);
+                exec_figs::fig14(fast);
+                fleet::fleet(fast);
+                ablation::ablation();
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                eprintln!(
+                    "usage: rpr-experiments \
+                     <fig6..fig14|table1|fleet|ablation|all> [--fast] [--out DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

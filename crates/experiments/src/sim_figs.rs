@@ -1,0 +1,170 @@
+//! Figures 7–11: the "Simics" simulator experiments.
+
+use crate::util::{
+    failure_sets, fmt_pct, fmt_s, print_table, stats, Fixture, MULTI_CODES, PAPER_CODES,
+    WORST_CODES,
+};
+use rpr_codec::BlockId;
+use rpr_core::{CarPlanner, RprPlanner, TraditionalPlanner};
+
+const BLOCK: u64 = 256 << 20; // 256 MiB, §5.1.1
+
+/// Figure 7 — cross-rack traffic (blocks), single-block failures.
+pub fn fig7() {
+    let mut rows = Vec::new();
+    for (n, k) in PAPER_CODES {
+        let f = Fixture::simics(n, k, BLOCK);
+        let (mut tra, mut car, mut rpr) = (Vec::new(), Vec::new(), Vec::new());
+        for fail in 0..n {
+            tra.push(f.run_sim(&TraditionalPlanner::new(), vec![BlockId(fail)]).1);
+            car.push(f.run_sim(&CarPlanner::new(), vec![BlockId(fail)]).1);
+            rpr.push(f.run_sim(&RprPlanner::new(), vec![BlockId(fail)]).1);
+        }
+        rows.push(vec![
+            format!("({n},{k})"),
+            format!("{:.2}", stats(&tra).0),
+            format!("{:.2}", stats(&car).0),
+            format!("{:.2}", stats(&rpr).0),
+        ]);
+    }
+    print_table(
+        "Figure 7 — cross-rack traffic (blocks) for single-block failures, \
+         averaged over all data positions (Simics simulator)",
+        &["code", "Tra", "CAR", "RPR"],
+        &rows,
+    );
+    println!("\n> Paper's shape: CAR == RPR (both use partial decoding); both < Tra = n.");
+}
+
+/// Figure 8 — total repair time (s), single-block failures.
+pub fn fig8() {
+    let mut rows = Vec::new();
+    let mut reductions_tra = Vec::new();
+    let mut reductions_car = Vec::new();
+    for (n, k) in PAPER_CODES {
+        let f = Fixture::simics(n, k, BLOCK);
+        let (mut tra, mut car, mut rpr) = (Vec::new(), Vec::new(), Vec::new());
+        for fail in 0..n {
+            tra.push(f.run_sim(&TraditionalPlanner::new(), vec![BlockId(fail)]).0);
+            car.push(f.run_sim(&CarPlanner::new(), vec![BlockId(fail)]).0);
+            rpr.push(f.run_sim(&RprPlanner::new(), vec![BlockId(fail)]).0);
+        }
+        let (ta, _, _) = stats(&tra);
+        let (ca, _, _) = stats(&car);
+        let (ra, _, _) = stats(&rpr);
+        reductions_tra.push(1.0 - ra / ta);
+        reductions_car.push(1.0 - ra / ca);
+        rows.push(vec![
+            format!("({n},{k})"),
+            fmt_s(ta),
+            fmt_s(ca),
+            fmt_s(ra),
+            fmt_pct(1.0 - ra / ta),
+            fmt_pct(1.0 - ra / ca),
+        ]);
+    }
+    print_table(
+        "Figure 8 — total repair time (s) for single-block failures, averaged \
+         over all data positions (Simics simulator, 256 MiB blocks)",
+        &["code", "Tra", "CAR", "RPR", "RPR vs Tra", "RPR vs CAR"],
+        &rows,
+    );
+    let (at, _, mt) = stats(&reductions_tra);
+    let (ac, _, mc) = stats(&reductions_car);
+    println!(
+        "\n> vs traditional: avg {} / max {} (paper: 67% / 81.5%); \
+         vs CAR: avg {} / max {} (paper: 24% / 37%).",
+        fmt_pct(at),
+        fmt_pct(mt),
+        fmt_pct(ac),
+        fmt_pct(mc)
+    );
+}
+
+fn multi_rows(time_not_traffic: bool, fast: bool) -> Vec<Vec<String>> {
+    let cap = if fast { 20 } else { 300 };
+    let mut rows = Vec::new();
+    for (n, k, z) in MULTI_CODES {
+        let f = Fixture::simics(n, k, BLOCK);
+        let label = format!("({n},{k},{z})");
+        let sets = failure_sets(n, z, cap, &label);
+        let mut tra = Vec::new();
+        let mut rpr = Vec::new();
+        for failed in &sets {
+            let t = f.run_sim(&TraditionalPlanner::new(), failed.clone());
+            let r = f.run_sim(&RprPlanner::new(), failed.clone());
+            if time_not_traffic {
+                tra.push(t.0);
+                rpr.push(r.0);
+            } else {
+                tra.push(t.1);
+                rpr.push(r.1);
+            }
+        }
+        let (ta, _, _) = stats(&tra);
+        let (ra, rmin, rmax) = stats(&rpr);
+        rows.push(vec![
+            label,
+            fmt_s(ta),
+            format!("{} [{}, {}]", fmt_s(ra), fmt_s(rmin), fmt_s(rmax)),
+            fmt_pct(1.0 - ra / ta),
+        ]);
+    }
+    rows
+}
+
+/// Figure 9 — total repair time (s), multi-block non-worst failures.
+pub fn fig9(fast: bool) {
+    let rows = multi_rows(true, fast);
+    print_table(
+        "Figure 9 — total repair time (s) for 2..k-1 failures, averaged over \
+         data-block failure positions; RPR shown as avg [min, max] (Simics)",
+        &["code (n,k,z)", "Tra", "RPR avg [min,max]", "reduction"],
+        &rows,
+    );
+    println!("\n> Paper: RPR reduces repair time by avg 40.75%, up to 64.5%.");
+}
+
+/// Figure 10 — cross-rack traffic (blocks), multi-block non-worst failures.
+pub fn fig10(fast: bool) {
+    let rows = multi_rows(false, fast);
+    print_table(
+        "Figure 10 — cross-rack traffic (blocks) for 2..k-1 failures; RPR shown \
+         as avg [min, max] (Simics)",
+        &["code (n,k,z)", "Tra", "RPR avg [min,max]", "reduction"],
+        &rows,
+    );
+    println!("\n> Paper: RPR uses avg 29.35%, up to 50% less cross-rack traffic.");
+}
+
+/// Figure 11 — total repair time (s), worst case (k failures).
+pub fn fig11(fast: bool) {
+    let cap = if fast { 20 } else { 300 };
+    let mut rows = Vec::new();
+    for (n, k) in WORST_CODES {
+        let f = Fixture::simics(n, k, BLOCK);
+        let label = format!("({n},{k})");
+        let sets = failure_sets(n, k, cap, &label);
+        let mut tra = Vec::new();
+        let mut rpr = Vec::new();
+        for failed in &sets {
+            tra.push(f.run_sim(&TraditionalPlanner::new(), failed.clone()).0);
+            rpr.push(f.run_sim(&RprPlanner::new(), failed.clone()).0);
+        }
+        let (ta, _, _) = stats(&tra);
+        let (ra, rmin, rmax) = stats(&rpr);
+        rows.push(vec![
+            label,
+            fmt_s(ta),
+            format!("{} [{}, {}]", fmt_s(ra), fmt_s(rmin), fmt_s(rmax)),
+            fmt_pct(1.0 - ra / ta),
+        ]);
+    }
+    print_table(
+        "Figure 11 — total repair time (s) for the worst case (k failures), \
+         codes with (n+k)/k > 3; RPR shown as avg [min, max] (Simics)",
+        &["code", "Tra", "RPR avg [min,max]", "reduction"],
+        &rows,
+    );
+    println!("\n> Paper: RPR reduces worst-case repair time by avg 18.3%, up to 29.8%.");
+}

@@ -1,0 +1,47 @@
+//! Table 1: the inter/intra-region bandwidth matrix, as configured and as
+//! *measured* through the rpr-exec token-bucket links.
+
+use crate::util::print_table;
+use rpr_topology::{EC2_REGIONS, EC2_TABLE1_MBPS, MBIT};
+
+/// Regenerate Table 1. The configured matrix is the paper's measurement;
+/// the measured column verifies that the execution engine's shapers
+/// actually deliver those rates (scaled 1/16 to keep the probe fast).
+pub fn table1(fast: bool) {
+    let scale = 1.0 / 16.0;
+    let probe_seconds = if fast { 0.1 } else { 0.4 };
+
+    let mut rows = Vec::new();
+    for (i, from) in EC2_REGIONS.iter().enumerate() {
+        let mut row = vec![from.to_string()];
+        #[allow(clippy::needless_range_loop)] // j indexes both matrix axes
+        for j in 0..EC2_REGIONS.len() {
+            if j < i {
+                row.push(String::new());
+                continue;
+            }
+            let nominal = EC2_TABLE1_MBPS[i][j];
+            let measured = rpr_exec::measure_path_throughput(nominal * MBIT * scale, probe_seconds)
+                / MBIT
+                / scale;
+            row.push(format!("{nominal:.1} ({measured:.1})"));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["Mbps"];
+    headers.extend(EC2_REGIONS.iter().copied());
+    print_table(
+        "Table 1 — inter/intra-region bandwidth in Mbps: configured (measured \
+         through the rpr-exec shapers, rescaled)",
+        &headers,
+        &rows,
+    );
+    let profile = rpr_topology::ec2_table1_profile(5);
+    println!(
+        "\n> mean cross {:.2} Mbps (paper 53.03), mean inner {:.2} Mbps (paper \
+         600.97), ratio {:.2} (paper 11.32).",
+        profile.mean_cross() / MBIT,
+        profile.mean_inner() / MBIT,
+        profile.cross_to_inner_ratio()
+    );
+}

@@ -1,0 +1,190 @@
+//! Shared experiment scaffolding: fixtures, failure-set enumeration, and
+//! markdown table printing.
+
+use rpr_codec::{BlockId, CodeParams, StripeCodec};
+use rpr_core::{simulate, CostModel, RepairContext, RepairPlanner};
+use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy, Topology};
+
+/// The six RS configurations of the paper's single-failure evaluation.
+pub const PAPER_CODES: [(usize, usize); 6] = [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)];
+
+/// The multi-failure (non-worst) configurations of Figures 9/10/13:
+/// `(n, k, z)` = a `z`-block failure of the `(n, k)` code.
+pub const MULTI_CODES: [(usize, usize, usize); 5] =
+    [(6, 3, 2), (8, 4, 2), (8, 4, 3), (12, 4, 2), (12, 4, 3)];
+
+/// The worst-case configurations of Figures 11/14 (codes with
+/// `(n+k)/k > 3`, failing all `k` blocks).
+pub const WORST_CODES: [(usize, usize); 3] = [(6, 2), (8, 2), (12, 4)];
+
+/// A ready-to-run cluster for one code.
+pub struct Fixture {
+    pub codec: StripeCodec,
+    pub topo: Topology,
+    pub placement: Placement,
+    pub profile: BandwidthProfile,
+    pub block_bytes: u64,
+    pub cost: CostModel,
+}
+
+impl Fixture {
+    /// The "Simics" cluster of §5.1: compact placement with the §3.3
+    /// pre-placement, 1 Gb/s inner, 0.1 Gb/s cross, 256 MB blocks.
+    pub fn simics(n: usize, k: usize, block_bytes: u64) -> Fixture {
+        let params = CodeParams::new(n, k);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        Fixture {
+            codec: StripeCodec::new(params),
+            topo,
+            placement,
+            profile,
+            block_bytes,
+            cost: CostModel::simics().scaled_for_block(block_bytes),
+        }
+    }
+
+    /// The "EC2" cluster of §5.2: Table-1 bandwidths (scaled), t2.micro
+    /// decode costs (scaled to the block size).
+    pub fn ec2(n: usize, k: usize, block_bytes: u64, bw_scale: f64) -> Fixture {
+        let params = CodeParams::new(n, k);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+        let profile = rpr_exec::scaled_ec2_profile(topo.rack_count(), bw_scale);
+        Fixture {
+            codec: StripeCodec::new(params),
+            topo,
+            placement,
+            profile,
+            block_bytes,
+            cost: CostModel::ec2_t2micro().scaled_for_block(block_bytes),
+        }
+    }
+
+    pub fn ctx(&self, failed: Vec<BlockId>) -> RepairContext<'_> {
+        RepairContext::new(
+            &self.codec,
+            &self.topo,
+            &self.placement,
+            failed,
+            self.block_bytes,
+            &self.profile,
+            self.cost,
+        )
+    }
+
+    /// Simulated repair time and cross-rack traffic (in blocks) for one
+    /// scheme and failure set.
+    pub fn run_sim(&self, planner: &dyn RepairPlanner, failed: Vec<BlockId>) -> (f64, f64) {
+        let ctx = self.ctx(failed);
+        let plan = planner.plan(&ctx);
+        plan.validate(&self.codec, &self.topo, &self.placement)
+            .expect("generated plans must validate");
+        let out = simulate(&plan, &ctx);
+        (
+            out.repair_time,
+            out.stats.cross_bytes as f64 / self.block_bytes as f64,
+        )
+    }
+}
+
+/// All `z`-subsets of the data blocks `0..n`, optionally capped by seeded
+/// sampling (the cap is reported so no truncation is silent).
+pub fn failure_sets(n: usize, z: usize, cap: usize, label: &str) -> Vec<Vec<BlockId>> {
+    let mut all: Vec<Vec<BlockId>> = Vec::new();
+    rpr_linalg::for_each_combination(n, z, |sel| {
+        all.push(sel.iter().map(|&i| BlockId(i)).collect());
+    });
+    if all.len() > cap {
+        // Deterministic thinning: take every ceil(len/cap)-th combination.
+        let stride = all.len().div_ceil(cap);
+        let sampled: Vec<Vec<BlockId>> = all.into_iter().step_by(stride).collect();
+        println!(
+            "> note: {label}: sampled {} of C({n},{z}) failure sets (stride {stride})",
+            sampled.len()
+        );
+        sampled
+    } else {
+        all
+    }
+}
+
+/// Average, min, max of a slice.
+pub fn stats(xs: &[f64]) -> (f64, f64, f64) {
+    let avg = xs.iter().sum::<f64>() / xs.len() as f64;
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (avg, min, max)
+}
+
+/// Where CSV copies of every table go (set by `--out DIR`).
+static OUTPUT_DIR: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
+
+/// Enable CSV output: every subsequent [`print_table`] also writes
+/// `<slug>.csv` under `dir` (created if missing).
+pub fn set_output_dir(dir: &str) {
+    let path = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("create --out directory");
+    let _ = OUTPUT_DIR.set(path);
+}
+
+/// Print a markdown table (and, when `--out` is set, write it as CSV).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    if let Some(dir) = OUTPUT_DIR.get() {
+        let slug: String = title
+            .chars()
+            .take(40)
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let mut csv = String::new();
+        csv.push_str(&headers.join(","));
+        csv.push('\n');
+        for row in rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|cell| {
+                    if cell.contains(',') || cell.contains('"') {
+                        format!("\"{}\"", cell.replace('"', "\"\""))
+                    } else {
+                        cell.clone()
+                    }
+                })
+                .collect();
+            csv.push_str(&escaped.join(","));
+            csv.push('\n');
+        }
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, csv).expect("write CSV table");
+        println!("\n> csv: {}", path.display());
+    }
+}
+
+/// Format seconds with 2 decimals.
+pub fn fmt_s(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

@@ -1,0 +1,143 @@
+//! Compile-time lookup tables for GF(2^8) with primitive polynomial `0x11D`.
+//!
+//! * [`EXP`]: `EXP[i] = g^i` for `i in 0..512` (doubled so that
+//!   `EXP[log a + log b]` needs no modulo);
+//! * [`LOG`]: `LOG[a] = log_g(a)` for `a in 1..256` (`LOG[0]` is a sentinel
+//!   and must never be read — the public API guards all accesses);
+//! * [`MUL`]: the full 256×256 multiplication table, laid out row-major so a
+//!   single row serves as the per-coefficient lookup used by the slice
+//!   kernels.
+//!
+//! Everything is produced by `const fn` evaluation from the bit-level
+//! reference multiplier [`mul_slow`], so the tables cannot drift from the
+//! field definition.
+
+use crate::PRIMITIVE_POLY;
+
+/// Bit-by-bit carry-less multiplication with reduction by the primitive
+/// polynomial. Reference semantics for the whole field.
+pub const fn mul_slow(a: u8, b: u8) -> u8 {
+    let mut a = a as u16;
+    let mut b = b as u16;
+    let mut r: u16 = 0;
+    while b != 0 {
+        if b & 1 != 0 {
+            r ^= a;
+        }
+        b >>= 1;
+        a <<= 1;
+        if a & 0x100 != 0 {
+            a ^= PRIMITIVE_POLY;
+        }
+    }
+    r as u8
+}
+
+const fn build_exp() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x: u8 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x;
+        exp[i + 255] = x;
+        x = mul_slow(x, 2);
+        i += 1;
+    }
+    // Indices 510/511 are never referenced (max log sum is 508) but keep the
+    // table total: g^510 = g^0, g^511 = g^1.
+    exp[510] = 1;
+    exp[511] = 2;
+    exp
+}
+
+const fn build_log(exp: &[u8; 512]) -> [u8; 256] {
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+}
+
+const fn build_mul() -> [[u8; 256]; 256] {
+    let mut t = [[0u8; 256]; 256];
+    let mut a = 0usize;
+    while a < 256 {
+        let mut b = 0usize;
+        while b < 256 {
+            t[a][b] = mul_slow(a as u8, b as u8);
+            b += 1;
+        }
+        a += 1;
+    }
+    t
+}
+
+/// Exponentiation table: `EXP[i] = GENERATOR^i`, doubled to 512 entries.
+pub static EXP: [u8; 512] = build_exp();
+
+/// Logarithm table: `LOG[a] = log(a)` for nonzero `a`; `LOG[0]` is unused.
+pub static LOG: [u8; 256] = {
+    let exp = build_exp();
+    build_log(&exp)
+};
+
+/// Full multiplication table, row-major: `MUL[a][b] = a * b`.
+pub static MUL: [[u8; 256]; 256] = build_mul();
+
+/// The 256-entry multiplication row for coefficient `c`:
+/// `mul_row(c)[x] == c * x`.
+#[inline]
+pub fn mul_row(c: u8) -> &'static [u8; 256] {
+    &MUL[c as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_table_is_periodic() {
+        for i in 0..255 {
+            assert_eq!(EXP[i], EXP[i + 255]);
+        }
+        assert_eq!(EXP[0], 1);
+        assert_eq!(EXP[1], 2);
+    }
+
+    #[test]
+    fn exp_covers_all_nonzero_elements() {
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            seen[EXP[i] as usize] = true;
+        }
+        assert!(!seen[0]);
+        assert!(seen[1..].iter().all(|&s| s), "EXP must enumerate GF* fully");
+    }
+
+    #[test]
+    fn mul_table_matches_slow_path() {
+        // Spot-check a grid; the exhaustive cross-check lives in lib.rs.
+        for a in (0..256).step_by(17) {
+            for b in (0..256).step_by(13) {
+                assert_eq!(MUL[a][b], mul_slow(a as u8, b as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_row_is_table_row() {
+        assert_eq!(mul_row(7)[13], MUL[7][13]);
+    }
+
+    #[test]
+    fn mul_slow_agrees_with_known_vectors() {
+        // Known products under 0x11D.
+        assert_eq!(mul_slow(0x02, 0x80), 0x1D);
+        assert_eq!(mul_slow(0xFF, 0x01), 0xFF);
+        assert_eq!(mul_slow(0x00, 0xAB), 0x00);
+        // Commutativity spot check.
+        assert_eq!(mul_slow(0x53, 0xCA), mul_slow(0xCA, 0x53));
+    }
+}

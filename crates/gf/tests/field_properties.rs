@@ -1,0 +1,126 @@
+//! Property-based verification that GF(2^8) satisfies the field axioms and
+//! that the bulk slice kernels agree with scalar arithmetic.
+
+use proptest::prelude::*;
+use rpr_gf::{add, div, inv, is_xor_only, lin_comb, mul, mul_acc_slice, mul_slice, pow, xor_slice};
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_and_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(add(a, b), add(b, a));
+        prop_assert_eq!(add(add(a, b), c), add(a, add(b, c)));
+    }
+
+    #[test]
+    fn addition_identity_and_self_inverse(a: u8) {
+        prop_assert_eq!(add(a, 0), a);
+        prop_assert_eq!(add(a, a), 0, "every element is its own additive inverse");
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(mul(a, b), mul(b, a));
+        prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+    }
+
+    #[test]
+    fn multiplicative_identity_and_zero(a: u8) {
+        prop_assert_eq!(mul(a, 1), a);
+        prop_assert_eq!(mul(a, 0), 0);
+    }
+
+    #[test]
+    fn nonzero_elements_have_inverses(a in 1u8..) {
+        prop_assert_eq!(mul(a, inv(a)), 1);
+        prop_assert_eq!(div(1, a), inv(a));
+    }
+
+    #[test]
+    fn division_is_multiplication_by_inverse(a: u8, b in 1u8..) {
+        prop_assert_eq!(div(a, b), mul(a, inv(b)));
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication(a: u8, e in 0usize..600) {
+        let mut expect = 1u8;
+        for _ in 0..e {
+            expect = mul(expect, a);
+        }
+        prop_assert_eq!(pow(a, e), expect);
+    }
+
+    #[test]
+    fn xor_slice_equals_scalar_loop(
+        pair in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..200)
+    ) {
+        let src: Vec<u8> = pair.iter().map(|p| p.0).collect();
+        let mut dst: Vec<u8> = pair.iter().map(|p| p.1).collect();
+        let expect: Vec<u8> = dst.iter().zip(&src).map(|(d, s)| d ^ s).collect();
+        xor_slice(&mut dst, &src);
+        prop_assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn mul_slice_equals_scalar_loop(c: u8, src in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut dst = vec![0u8; src.len()];
+        mul_slice(c, &src, &mut dst);
+        let expect: Vec<u8> = src.iter().map(|&s| mul(c, s)).collect();
+        prop_assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn mul_acc_slice_equals_scalar_loop(
+        c: u8,
+        pair in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..200)
+    ) {
+        let src: Vec<u8> = pair.iter().map(|p| p.0).collect();
+        let mut dst: Vec<u8> = pair.iter().map(|p| p.1).collect();
+        let expect: Vec<u8> = dst.iter().zip(&src).map(|(d, s)| d ^ mul(c, *s)).collect();
+        mul_acc_slice(c, &src, &mut dst);
+        prop_assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn lin_comb_is_order_independent_under_permutation(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 16..=16), 1..6),
+        coeffs_seed in any::<u64>(),
+    ) {
+        // Build coefficient list of matching arity from the seed.
+        let coeffs: Vec<u8> = (0..blocks.len())
+            .map(|i| ((coeffs_seed >> (i * 8)) & 0xFF) as u8)
+            .collect();
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let mut out = vec![0u8; 16];
+        lin_comb(&coeffs, &refs, &mut out);
+
+        // Reversed order must give the same combination (commutativity).
+        let rev_coeffs: Vec<u8> = coeffs.iter().rev().copied().collect();
+        let rev_refs: Vec<&[u8]> = refs.iter().rev().copied().collect();
+        let mut out_rev = vec![0u8; 16];
+        lin_comb(&rev_coeffs, &rev_refs, &mut out_rev);
+        prop_assert_eq!(out, out_rev);
+    }
+
+    #[test]
+    fn xor_only_combinations_match_plain_xor(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 32..=32), 1..5),
+    ) {
+        let coeffs = vec![1u8; blocks.len()];
+        prop_assert!(is_xor_only(&coeffs));
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let mut via_lincomb = vec![0u8; 32];
+        lin_comb(&coeffs, &refs, &mut via_lincomb);
+        let mut via_xor = vec![0u8; 32];
+        for b in &blocks {
+            xor_slice(&mut via_xor, b);
+        }
+        prop_assert_eq!(via_lincomb, via_xor);
+    }
+}

@@ -1,0 +1,301 @@
+//! Dense matrix algebra over GF(2^8).
+//!
+//! Provides the matrix substrate the Reed-Solomon codec is built on:
+//!
+//! * [`Matrix`]: a dense row-major matrix of field elements with
+//!   multiplication, Gauss-Jordan inversion, rank, and sub-matrix selection;
+//! * [`vandermonde`] / [`cauchy`]: classical structured matrix builders;
+//! * [`is_superregular`]: the MDS certificate — a systematic generator
+//!   `[I; C]` is MDS iff every square submatrix of `C` is nonsingular;
+//! * construction helpers used by `rpr-codec` to obtain a systematic
+//!   distribution matrix whose *first coding row is all ones* — the property
+//!   the paper's pre-placement optimization (§3.3, eq. 6) depends on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+
+pub use matrix::Matrix;
+
+use rpr_gf as gf;
+
+/// Build the `rows × cols` Vandermonde matrix `V[i][j] = x_i ^ j` over the
+/// evaluation points `x_i = i` (the Jerasure "big Vandermonde" convention).
+///
+/// Any `cols` *distinct-point* rows of a Vandermonde matrix are linearly
+/// independent, which is what makes it suitable as an RS distribution matrix
+/// seed.
+///
+/// # Panics
+/// Panics if `rows > 256` (points must be distinct field elements).
+pub fn vandermonde(rows: usize, cols: usize) -> Matrix {
+    assert!(rows <= gf::FIELD_SIZE, "vandermonde: need distinct points");
+    let mut m = Matrix::zero(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            m[(i, j)] = gf::pow(i as u8, j);
+        }
+    }
+    m
+}
+
+/// Build the `rows × cols` Cauchy matrix `C[i][j] = 1 / (x_i + y_j)` with
+/// `x_i = i` and `y_j = rows + j`.
+///
+/// Cauchy matrices are *superregular* (every square submatrix is
+/// nonsingular), so `[I; C]` is always an MDS generator.
+///
+/// # Panics
+/// Panics if `rows + cols > 256` (all points must be distinct).
+pub fn cauchy(rows: usize, cols: usize) -> Matrix {
+    assert!(
+        rows + cols <= gf::FIELD_SIZE,
+        "cauchy: x and y points must be distinct"
+    );
+    let mut m = Matrix::zero(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            m[(i, j)] = gf::inv((i as u8) ^ (rows + j) as u8);
+        }
+    }
+    m
+}
+
+/// Check superregularity: every square submatrix (of every size) of `c` is
+/// nonsingular. For a systematic generator `[I; C]` this is exactly the MDS
+/// property.
+///
+/// Exponential in `min(rows, cols)` — intended for the small coding matrices
+/// of practical RS configurations (`k ≤ 4`, `n ≤ 16` in the paper), where the
+/// full check costs a few thousand tiny determinants.
+pub fn is_superregular(c: &Matrix) -> bool {
+    let r = c.rows();
+    let n = c.cols();
+    let max_s = r.min(n);
+    for s in 1..=max_s {
+        let mut singular = false;
+        for_each_combination(r, s, |row_sel| {
+            if singular {
+                return;
+            }
+            for_each_combination(n, s, |col_sel| {
+                if singular {
+                    return;
+                }
+                if c.select(row_sel, col_sel).determinant() == 0 {
+                    singular = true;
+                }
+            });
+        });
+        if singular {
+            return false;
+        }
+    }
+    true
+}
+
+/// Normalize the columns of a superregular matrix so its first row becomes
+/// all ones. Column scaling by nonzero constants preserves superregularity
+/// (every square submatrix determinant is multiplied by a nonzero product).
+///
+/// # Panics
+/// Panics if any first-row entry is zero (impossible for a superregular
+/// matrix, whose 1×1 submatrices are all nonzero).
+pub fn normalize_first_row(c: &Matrix) -> Matrix {
+    let mut out = c.clone();
+    for j in 0..c.cols() {
+        let d = c[(0, j)];
+        assert!(d != 0, "normalize_first_row: zero entry in first row");
+        let inv = gf::inv(d);
+        for i in 0..c.rows() {
+            out[(i, j)] = gf::mul(out[(i, j)], inv);
+        }
+    }
+    out
+}
+
+/// Construct the `k × n` coding matrix for a systematic RS(n, k) code such
+/// that:
+///
+/// 1. `[I_n; C]` is MDS (verified superregular), and
+/// 2. the first coding row is all ones, so `P0 = D0 ⊕ D1 ⊕ … ⊕ D(n-1)`
+///    (paper eq. 2), enabling the matrix-free XOR repair path of eq. 6.
+///
+/// The construction is a column-normalized Cauchy matrix, which satisfies
+/// both properties for every valid `(n, k)`; superregularity is re-verified
+/// at construction time (debug builds) as a defense-in-depth measure.
+///
+/// Naming note: the paper (and this crate) uses `n` = data blocks,
+/// `k` = parity blocks.
+///
+/// # Panics
+/// Panics if `n == 0`, `k == 0`, or `n + k > 256`.
+pub fn rs_coding_matrix(n: usize, k: usize) -> Matrix {
+    assert!(n > 0 && k > 0, "rs_coding_matrix: need n, k >= 1");
+    assert!(n + k <= gf::FIELD_SIZE, "rs_coding_matrix: n + k <= 256");
+    let c = normalize_first_row(&cauchy(k, n));
+    debug_assert!(is_superregular(&c));
+    debug_assert!((0..n).all(|j| c[(0, j)] == 1));
+    c
+}
+
+/// Construct a Jerasure-style systematic coding matrix from an extended
+/// Vandermonde seed, provided for cross-validation and ablation studies.
+///
+/// The `(n+k) × n` Vandermonde matrix is reduced by elementary *column*
+/// operations (which preserve the any-`n`-rows-invertible property) until its
+/// top `n × n` block is the identity; the bottom `k` rows form the coding
+/// matrix. Unlike [`rs_coding_matrix`], the all-ones first row is **not**
+/// guaranteed by this construction; callers should verify whichever
+/// properties they need.
+///
+/// # Panics
+/// Panics if the parameters are out of range.
+pub fn vandermonde_systematic(n: usize, k: usize) -> Matrix {
+    assert!(n > 0 && k > 0 && n + k <= gf::FIELD_SIZE);
+    let mut v = vandermonde(n + k, n);
+    // Column-reduce so that rows 0..n become the identity. Column ops are
+    // right-multiplications by invertible matrices, preserving the rank of
+    // every row subset.
+    for i in 0..n {
+        let pivot = (i..n)
+            .find(|&j| v[(i, j)] != 0)
+            .expect("vandermonde rows are independent");
+        v.swap_cols(i, pivot);
+        let inv = gf::inv(v[(i, i)]);
+        if inv != 1 {
+            v.scale_col(i, inv);
+        }
+        for j in 0..n {
+            if j != i && v[(i, j)] != 0 {
+                let factor = v[(i, j)];
+                v.add_scaled_col(i, j, factor);
+            }
+        }
+    }
+    let rows: Vec<usize> = (n..n + k).collect();
+    let cols: Vec<usize> = (0..n).collect();
+    v.select(&rows, &cols)
+}
+
+/// Iterate over all `s`-combinations of `0..limit` in lexicographic order,
+/// calling `f` for each.
+pub fn for_each_combination(limit: usize, s: usize, mut f: impl FnMut(&[usize])) {
+    if s > limit {
+        return;
+    }
+    let mut sel: Vec<usize> = (0..s).collect();
+    loop {
+        f(&sel);
+        if !next_combination(&mut sel, limit) {
+            break;
+        }
+    }
+}
+
+/// Advance `sel` to the next `s`-combination of `0..limit`; returns false
+/// when exhausted.
+fn next_combination(sel: &mut [usize], limit: usize) -> bool {
+    let s = sel.len();
+    let mut i = s;
+    while i > 0 {
+        i -= 1;
+        if sel[i] < limit - (s - i) {
+            sel[i] += 1;
+            for j in i + 1..s {
+                sel[j] = sel[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vandermonde_rows_are_powers() {
+        let v = vandermonde(5, 3);
+        assert_eq!(v[(0, 0)], 1); // 0^0 == 1 by convention
+        assert_eq!(v[(0, 1)], 0);
+        assert_eq!(v[(2, 2)], gf::mul(2, 2));
+        assert_eq!(v[(3, 2)], gf::mul(3, 3));
+    }
+
+    #[test]
+    fn cauchy_is_superregular_for_paper_configs() {
+        for (n, k) in [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)] {
+            assert!(is_superregular(&cauchy(k, n)), "cauchy ({n},{k})");
+        }
+    }
+
+    #[test]
+    fn normalized_cauchy_keeps_superregularity() {
+        for (n, k) in [(4, 2), (8, 4), (12, 4)] {
+            let c = normalize_first_row(&cauchy(k, n));
+            assert!(is_superregular(&c), "normalized cauchy ({n},{k})");
+            assert!((0..n).all(|j| c[(0, j)] == 1));
+        }
+    }
+
+    #[test]
+    fn rs_coding_matrix_first_row_is_all_ones() {
+        for (n, k) in [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4), (10, 4)] {
+            let c = rs_coding_matrix(n, k);
+            assert_eq!(c.rows(), k);
+            assert_eq!(c.cols(), n);
+            assert!((0..n).all(|j| c[(0, j)] == 1), "({n},{k})");
+        }
+    }
+
+    #[test]
+    fn superregularity_detects_singular_submatrices() {
+        // A matrix with a zero entry has a singular 1x1 submatrix.
+        let mut c = cauchy(2, 3);
+        c[(1, 1)] = 0;
+        assert!(!is_superregular(&c));
+        // A matrix with two proportional columns has a singular 2x2 submatrix.
+        let mut c = cauchy(2, 3);
+        c[(0, 1)] = c[(0, 0)];
+        c[(1, 1)] = c[(1, 0)];
+        assert!(!is_superregular(&c));
+    }
+
+    #[test]
+    fn vandermonde_systematic_yields_mds_generator() {
+        for (n, k) in [(4, 2), (6, 3), (8, 4), (12, 4)] {
+            let c = vandermonde_systematic(n, k);
+            assert_eq!((c.rows(), c.cols()), (k, n));
+            assert!(
+                is_superregular(&c),
+                "vandermonde systematic ({n},{k}) must be MDS"
+            );
+        }
+    }
+
+    #[test]
+    fn combinations_enumerate_binomials() {
+        let mut count = 0;
+        for_each_combination(6, 3, |sel| {
+            assert_eq!(sel.len(), 3);
+            assert!(sel.windows(2).all(|w| w[0] < w[1]));
+            count += 1;
+        });
+        assert_eq!(count, 20); // C(6,3)
+        let mut count = 0;
+        for_each_combination(3, 0, |_| count += 1);
+        assert_eq!(count, 1, "the empty combination");
+        let mut count = 0;
+        for_each_combination(2, 3, |_| count += 1);
+        assert_eq!(count, 0, "s > limit yields nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "n + k <= 256")]
+    fn rs_coding_matrix_rejects_oversized_codes() {
+        rs_coding_matrix(250, 10);
+    }
+}

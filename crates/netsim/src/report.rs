@@ -1,0 +1,138 @@
+//! Simulation results: makespan, per-job timing, and traffic statistics.
+
+use crate::{JobId, JobKind};
+
+/// Timing record for one job.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The job's id.
+    pub id: JobId,
+    /// What the job did.
+    pub kind: JobKind,
+    /// Free-form label supplied at construction (used by plan executors to
+    /// tag operations, e.g. `"inner r1 d2+d3"`).
+    pub label: String,
+    /// Simulation time at which the job became runnable and started.
+    pub start: f64,
+    /// Simulation time at which the job completed.
+    pub finish: f64,
+}
+
+impl JobRecord {
+    /// Wall-clock duration of the job.
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// The outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Completion time of the last job (the *total repair time* of the
+    /// paper when the DAG is a repair plan).
+    pub makespan: f64,
+    /// Per-job records, indexed by [`JobId`].
+    pub records: Vec<JobRecord>,
+    /// Total bytes that crossed the aggregation switch (Figures 7/10).
+    pub cross_rack_bytes: u64,
+    /// Total bytes that stayed under a TOR switch.
+    pub inner_rack_bytes: u64,
+    /// Bytes uploaded per node (load-balance analysis).
+    pub node_upload_bytes: Vec<u64>,
+    /// Bytes downloaded per node.
+    pub node_download_bytes: Vec<u64>,
+    /// CPU-seconds of decode work executed per node.
+    pub node_compute_seconds: Vec<f64>,
+}
+
+impl SimReport {
+    /// Record for a given job.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn record(&self, id: JobId) -> &JobRecord {
+        &self.records[id.0]
+    }
+
+    /// Cross-rack traffic measured in whole blocks of `block_bytes` each
+    /// (the unit of Figures 7 and 10).
+    pub fn cross_rack_blocks(&self, block_bytes: u64) -> f64 {
+        self.cross_rack_bytes as f64 / block_bytes as f64
+    }
+
+    /// Upload imbalance: max over nodes of uploaded bytes divided by the
+    /// mean over nodes that uploaded anything. 1.0 is perfectly balanced.
+    /// Returns 0.0 if nothing was uploaded.
+    pub fn upload_imbalance(&self) -> f64 {
+        let active: Vec<u64> = self
+            .node_upload_bytes
+            .iter()
+            .copied()
+            .filter(|&b| b > 0)
+            .collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        let max = *active.iter().max().unwrap() as f64;
+        let mean = active.iter().sum::<u64>() as f64 / active.len() as f64;
+        max / mean
+    }
+
+    /// Sum of all transfer payloads (conservation check).
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.cross_rack_bytes + self.inner_rack_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_topology::NodeId;
+
+    fn report() -> SimReport {
+        SimReport {
+            makespan: 10.0,
+            records: vec![JobRecord {
+                id: JobId(0),
+                kind: JobKind::Compute {
+                    node: NodeId(0),
+                    seconds: 1.0,
+                },
+                label: "c".into(),
+                start: 2.0,
+                finish: 3.5,
+            }],
+            cross_rack_bytes: 1024,
+            inner_rack_bytes: 512,
+            node_upload_bytes: vec![100, 300, 0],
+            node_download_bytes: vec![0, 0, 400],
+            node_compute_seconds: vec![1.0, 0.0, 0.0],
+        }
+    }
+
+    #[test]
+    fn record_accessors() {
+        let r = report();
+        assert_eq!(r.record(JobId(0)).label, "c");
+        assert!((r.record(JobId(0)).duration() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_in_blocks() {
+        let r = report();
+        assert!((r.cross_rack_blocks(256) - 4.0).abs() < 1e-12);
+        assert_eq!(r.total_transfer_bytes(), 1536);
+    }
+
+    #[test]
+    fn imbalance_uses_active_uploaders_only() {
+        let r = report();
+        // Active uploaders: 100 and 300; max 300, mean 200 -> 1.5.
+        assert!((r.upload_imbalance() - 1.5).abs() < 1e-12);
+        let idle = SimReport {
+            node_upload_bytes: vec![0, 0],
+            ..report()
+        };
+        assert_eq!(idle.upload_imbalance(), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests of the flow simulator: conservation, monotonicity,
+//! and lower bounds that must hold for any random job set.
+
+use proptest::prelude::*;
+use rpr_netsim::{JobId, Network, Simulator};
+use rpr_topology::{BandwidthProfile, NodeId, Topology};
+
+#[derive(Clone, Debug)]
+enum JobSpec {
+    Transfer { from: usize, to: usize, bytes: u64 },
+    Compute { node: usize, millis: u32 },
+}
+
+fn job_strategy(nodes: usize) -> impl Strategy<Value = JobSpec> {
+    prop_oneof![
+        (0..nodes, 0..nodes, 1u64..200_000).prop_filter_map("no loopback", |(f, t, b)| {
+            (f != t).then_some(JobSpec::Transfer {
+                from: f,
+                to: t,
+                bytes: b,
+            })
+        }),
+        (0..nodes, 1u32..500).prop_map(|(n, ms)| JobSpec::Compute {
+            node: n,
+            millis: ms
+        }),
+    ]
+}
+
+/// Build a simulator with random jobs; dependencies only point backwards
+/// (acyclic by construction), each job depending on an arbitrary subset of
+/// up to 2 earlier jobs derived from `dep_seed`.
+fn build(
+    racks: usize,
+    per_rack: usize,
+    specs: &[JobSpec],
+    dep_seed: u64,
+) -> (Simulator, Vec<JobId>) {
+    let topo = Topology::uniform(racks, per_rack);
+    let profile = BandwidthProfile::uniform(racks, 1_000_000.0, 100_000.0);
+    let mut sim = Simulator::new(Network::new(topo, profile));
+    let mut ids = Vec::new();
+    let mut seed = dep_seed | 1;
+    for (i, spec) in specs.iter().enumerate() {
+        let mut deps = Vec::new();
+        if i > 0 {
+            for _ in 0..2 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if seed & 4 == 0 {
+                    deps.push(ids[(seed >> 33) as usize % i]);
+                }
+            }
+            deps.dedup();
+        }
+        let id = match *spec {
+            JobSpec::Transfer { from, to, bytes } => {
+                sim.transfer(format!("t{i}"), NodeId(from), NodeId(to), bytes, &deps)
+            }
+            JobSpec::Compute { node, millis } => {
+                sim.compute(format!("c{i}"), NodeId(node), millis as f64 / 1000.0, &deps)
+            }
+        };
+        ids.push(id);
+    }
+    (sim, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn traffic_is_conserved_and_times_are_sane(
+        specs in proptest::collection::vec(job_strategy(6), 1..25),
+        dep_seed: u64,
+    ) {
+        let (sim, ids) = build(3, 2, &specs, dep_seed);
+        let report = sim.run();
+
+        // Every job has start <= finish <= makespan.
+        for &id in &ids {
+            let r = report.record(id);
+            prop_assert!(r.start >= 0.0);
+            prop_assert!(r.finish >= r.start - 1e-12);
+            prop_assert!(r.finish <= report.makespan + 1e-9);
+        }
+
+        // Byte conservation: per-node uploads == per-node downloads ==
+        // total transfer payloads.
+        let total: u64 = specs
+            .iter()
+            .filter_map(|s| match s {
+                JobSpec::Transfer { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(report.total_transfer_bytes(), total);
+        prop_assert_eq!(report.node_upload_bytes.iter().sum::<u64>(), total);
+        prop_assert_eq!(report.node_download_bytes.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn makespan_respects_physical_lower_bounds(
+        specs in proptest::collection::vec(job_strategy(6), 1..20),
+        dep_seed: u64,
+    ) {
+        let (sim, ids) = build(3, 2, &specs, dep_seed);
+        let report = sim.run();
+
+        // No single job can beat its own best-case duration.
+        for (&id, spec) in ids.iter().zip(&specs) {
+            let r = report.record(id);
+            let min = match *spec {
+                JobSpec::Transfer { from, to, bytes } => {
+                    let rate = if from / 2 == to / 2 { 1_000_000.0 } else { 100_000.0 };
+                    bytes as f64 / rate
+                }
+                JobSpec::Compute { millis, .. } => millis as f64 / 1000.0,
+            };
+            prop_assert!(
+                r.duration() >= min - 1e-9,
+                "job {:?} ran faster than its link/CPU allows: {} < {}",
+                id, r.duration(), min
+            );
+        }
+
+        // Aggregate bound: each node's uplink cannot push bytes faster
+        // than its NIC for the whole makespan.
+        for (node, &up) in report.node_upload_bytes.iter().enumerate() {
+            let _ = node;
+            prop_assert!(up as f64 / 1_000_000.0 <= report.makespan + 1e-6);
+        }
+    }
+
+    #[test]
+    fn dependencies_are_honoured(
+        specs in proptest::collection::vec(job_strategy(4), 2..20),
+        dep_seed: u64,
+    ) {
+        let (sim, ids) = build(2, 2, &specs, dep_seed);
+        // Recover the dependency lists the builder generated.
+        let mut seed = dep_seed | 1;
+        let mut deps_of: Vec<Vec<JobId>> = Vec::new();
+        for i in 0..specs.len() {
+            let mut deps = Vec::new();
+            if i > 0 {
+                for _ in 0..2 {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if seed & 4 == 0 {
+                        deps.push(ids[(seed >> 33) as usize % i]);
+                    }
+                }
+                deps.dedup();
+            }
+            deps_of.push(deps);
+        }
+        let report = sim.run();
+        for (i, deps) in deps_of.iter().enumerate() {
+            for d in deps {
+                prop_assert!(
+                    report.record(*d).finish <= report.record(ids[i]).start + 1e-9,
+                    "job {} started before its dependency {:?} finished", i, d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compute_only_workloads_equal_sum_per_node(
+        millis in proptest::collection::vec((0usize..4, 1u32..200), 1..12),
+    ) {
+        // All jobs independent on 4 separate nodes: makespan = max over
+        // nodes of that node's total work (processor sharing conserves
+        // total CPU time).
+        let topo = Topology::uniform(2, 2);
+        let profile = BandwidthProfile::uniform(2, 1e6, 1e5);
+        let mut sim = Simulator::new(Network::new(topo, profile));
+        let mut per_node = [0.0f64; 4];
+        for (i, &(node, ms)) in millis.iter().enumerate() {
+            let secs = ms as f64 / 1000.0;
+            per_node[node] += secs;
+            sim.compute(format!("c{i}"), NodeId(node), secs, &[]);
+        }
+        let report = sim.run();
+        let want = per_node.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((report.makespan - want).abs() < 1e-6,
+            "makespan {} vs per-node max {}", report.makespan, want);
+    }
+}

@@ -1,0 +1,29 @@
+//! A multi-stripe erasure-coded store model.
+//!
+//! The RPR paper evaluates single stripes, but its motivation is fleet
+//! scale: Facebook moves "a median of over 180 TB" of repair traffic per
+//! day because a *node* failure invalidates one block of **every stripe
+//! that node hosted** (§1). This crate models that setting:
+//!
+//! * a [`Store`] scatters `S` stripes of an RS `(n, k)` code over a cluster
+//!   much larger than one stripe (`R` racks × `N` nodes), at most `k`
+//!   blocks of any stripe per rack (single-rack fault tolerance preserved
+//!   per stripe);
+//! * a [`Failure`] (node or whole rack) identifies the affected stripes
+//!   and lost blocks;
+//! * [`Store::recover`] plans every affected stripe with the chosen
+//!   [`Scheme`] and simulates all repairs **concurrently** on the shared
+//!   cluster (`rpr_core::simulate_batch`), so plans contend for the same
+//!   links exactly as they would in production;
+//! * the CAR scheme applies its multi-stripe balancing here: helper racks
+//!   are chosen against the cross-rack load already assigned to them by
+//!   the other stripes' repairs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod recovery;
+mod store;
+
+pub use recovery::{Failure, RecoveryOptions, RecoveryOutcome, Scheme};
+pub use store::{Store, StoreConfig};

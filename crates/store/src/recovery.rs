@@ -1,0 +1,461 @@
+//! Whole-node and whole-rack failure recovery: plan every affected stripe,
+//! simulate all repairs concurrently on the shared cluster.
+
+use crate::store::Store;
+use rpr_codec::BlockId;
+use rpr_core::{
+    simulate_batch, CarPlanner, CostModel, RepairContext, RepairPlan, RepairPlanner, RprPlanner,
+    TraditionalPlanner,
+};
+use rpr_topology::{BandwidthProfile, NodeId, RackId};
+
+/// A fleet-level failure event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Failure {
+    /// One storage node dies: every stripe with a block on it loses that
+    /// block.
+    Node(NodeId),
+    /// A whole rack dies: every stripe loses all blocks it kept there
+    /// (at most `k` by single-rack fault tolerance — always recoverable).
+    Rack(RackId),
+}
+
+/// The repair scheme used for fleet recovery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    /// Classic repair, recovery in the failed block's rack (node failure)
+    /// or a surviving rack (rack failure).
+    Traditional,
+    /// CAR with multi-stripe cross-rack load balancing (single-block
+    /// failures only — i.e. node failures).
+    Car,
+    /// RPR.
+    Rpr,
+}
+
+impl Scheme {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Traditional => "traditional",
+            Scheme::Car => "car",
+            Scheme::Rpr => "rpr",
+        }
+    }
+}
+
+/// Knobs for fleet recovery.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoveryOptions {
+    /// Maximum number of stripes repairing concurrently (`None` = all at
+    /// once). Production systems throttle repair to protect foreground
+    /// traffic; excess stripes wait for the next wave.
+    pub max_concurrent: Option<usize>,
+    /// Total aggregation-switch capacity in bytes/sec shared by all
+    /// cross-rack repair traffic (`None` = unconstrained fabric).
+    pub agg_capacity: Option<f64>,
+}
+
+/// The result of a fleet recovery.
+#[derive(Clone, Debug)]
+pub struct RecoveryOutcome {
+    /// Number of stripes that had to repair.
+    pub stripes_repaired: usize,
+    /// Time until the last stripe finished.
+    pub makespan: f64,
+    /// Per-stripe completion times.
+    pub stripe_finish: Vec<f64>,
+    /// Total bytes moved across racks.
+    pub cross_rack_bytes: u64,
+    /// Total bytes moved inside racks.
+    pub inner_rack_bytes: u64,
+    /// Max-over-mean upload imbalance across nodes (1.0 = perfectly even).
+    pub upload_imbalance: f64,
+    /// Cross-rack upload bytes per rack (the quantity CAR balances).
+    pub rack_upload_bytes: Vec<u64>,
+}
+
+impl RecoveryOutcome {
+    /// Mean stripe completion time.
+    pub fn mean_stripe_finish(&self) -> f64 {
+        if self.stripe_finish.is_empty() {
+            return 0.0;
+        }
+        self.stripe_finish.iter().sum::<f64>() / self.stripe_finish.len() as f64
+    }
+
+    /// Max-over-mean imbalance of per-rack cross-rack uploads.
+    pub fn rack_upload_imbalance(&self) -> f64 {
+        let active: Vec<u64> = self
+            .rack_upload_bytes
+            .iter()
+            .copied()
+            .filter(|&b| b > 0)
+            .collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        let max = *active.iter().max().unwrap() as f64;
+        let mean = active.iter().sum::<u64>() as f64 / active.len() as f64;
+        max / mean
+    }
+}
+
+impl Store {
+    /// The `(stripe, lost blocks)` list a failure causes.
+    pub fn affected_stripes(&self, failure: Failure) -> Vec<(usize, Vec<BlockId>)> {
+        let mut per_stripe: Vec<(usize, Vec<BlockId>)> = Vec::new();
+        let raw = match failure {
+            Failure::Node(n) => self.blocks_on_node(n),
+            Failure::Rack(r) => self.blocks_in_rack(r),
+        };
+        for (stripe, block) in raw {
+            match per_stripe.iter_mut().find(|(s, _)| *s == stripe) {
+                Some((_, blocks)) => blocks.push(block),
+                None => per_stripe.push((stripe, vec![block])),
+            }
+        }
+        for (_, blocks) in per_stripe.iter_mut() {
+            blocks.sort_unstable();
+        }
+        per_stripe.sort_by_key(|&(s, _)| s);
+        per_stripe
+    }
+
+    /// Recover from a failure with the given scheme: plan each affected
+    /// stripe, then simulate every repair concurrently on the shared
+    /// cluster.
+    ///
+    /// # Panics
+    /// Panics if the scheme is [`Scheme::Car`] and the failure is a rack
+    /// failure that costs some stripe more than one block (CAR is
+    /// single-failure-only), or if a plan fails validation (a bug).
+    pub fn recover(
+        &self,
+        failure: Failure,
+        scheme: Scheme,
+        profile: &BandwidthProfile,
+        cost: CostModel,
+    ) -> RecoveryOutcome {
+        self.recover_with_options(failure, scheme, profile, cost, RecoveryOptions::default())
+    }
+
+    /// [`Store::recover`] with explicit [`RecoveryOptions`] — in
+    /// particular, `max_concurrent` throttles how many stripes repair at
+    /// once (production repair schedulers cap recovery traffic to protect
+    /// foreground I/O); the remaining stripes run in subsequent waves.
+    ///
+    /// # Panics
+    /// As for [`Store::recover`]; additionally panics if
+    /// `max_concurrent == Some(0)`.
+    pub fn recover_with_options(
+        &self,
+        failure: Failure,
+        scheme: Scheme,
+        profile: &BandwidthProfile,
+        cost: CostModel,
+        options: RecoveryOptions,
+    ) -> RecoveryOutcome {
+        if let Some(limit) = options.max_concurrent {
+            assert!(limit > 0, "recover: max_concurrent must be positive");
+        }
+        let affected = self.affected_stripes(failure);
+        if affected.is_empty() {
+            return RecoveryOutcome {
+                stripes_repaired: 0,
+                makespan: 0.0,
+                stripe_finish: Vec::new(),
+                cross_rack_bytes: 0,
+                inner_rack_bytes: 0,
+                upload_imbalance: 0.0,
+                rack_upload_bytes: vec![0; self.topology().rack_count()],
+            };
+        }
+
+        // Plan each stripe. CAR carries accumulated per-rack cross-upload
+        // loads forward (its multi-stripe balancing); the others plan
+        // independently.
+        let mut rack_loads = vec![0u64; self.topology().rack_count()];
+        let mut plans: Vec<RepairPlan> = Vec::with_capacity(affected.len());
+        let mut contexts: Vec<RepairContext<'_>> = Vec::with_capacity(affected.len());
+        for (stripe, failed) in &affected {
+            let placement = self.placement(*stripe);
+            let mut ctx = RepairContext::new(
+                self.codec(),
+                self.topology(),
+                placement,
+                failed.clone(),
+                self.config().block_bytes,
+                profile,
+                cost,
+            );
+            if let Some(cap) = options.agg_capacity {
+                ctx = ctx.with_agg_capacity(cap);
+            }
+            if let Failure::Rack(dead) = failure {
+                // Rebuild in the least-loaded surviving rack used by this
+                // stripe's survivors (or any other rack with a spare).
+                let target = self
+                    .topology()
+                    .racks()
+                    .filter(|&r| r != dead)
+                    .filter(|&r| placement.replacement_in(r, self.topology()).is_some())
+                    .min_by_key(|r| rack_loads[r.0])
+                    .expect("a surviving rack with a spare node exists");
+                ctx = ctx.with_recovery_rack(target);
+            }
+
+            let plan = match scheme {
+                Scheme::Traditional => TraditionalPlanner::locality_aware().plan(&ctx),
+                Scheme::Car => CarPlanner::with_rack_loads(rack_loads.clone()).plan(&ctx),
+                Scheme::Rpr => RprPlanner::new().plan(&ctx),
+            };
+            plan.validate(self.codec(), self.topology(), placement)
+                .expect("store-generated plans must validate");
+
+            // Account this plan's cross-rack uploads per source rack.
+            for op in &plan.ops {
+                if let rpr_core::Op::Send { from, to, .. } = op {
+                    if !self.topology().same_rack(*from, *to) {
+                        rack_loads[self.topology().rack_of(*from).0] += self.config().block_bytes;
+                    }
+                }
+            }
+            plans.push(plan);
+            contexts.push(ctx);
+        }
+
+        // Shared simulation, in waves of at most `max_concurrent` stripes:
+        // within a wave, repairs contend for the same links; waves
+        // serialize (the scheduler starts the next batch once the previous
+        // finished).
+        let wave_size = options.max_concurrent.unwrap_or(plans.len()).max(1);
+        let mut offset = 0.0f64;
+        let mut stripe_finish = Vec::with_capacity(plans.len());
+        let mut cross_rack_bytes = 0u64;
+        let mut inner_rack_bytes = 0u64;
+        let mut upload = vec![0u64; self.topology().node_count()];
+        for wave in plans.chunks(wave_size) {
+            let plan_refs: Vec<&RepairPlan> = wave.iter().collect();
+            let batch = simulate_batch(&plan_refs, &contexts[0]);
+            stripe_finish.extend(batch.plan_finish.iter().map(|f| f + offset));
+            cross_rack_bytes += batch.report.cross_rack_bytes;
+            inner_rack_bytes += batch.report.inner_rack_bytes;
+            for (u, b) in upload.iter_mut().zip(&batch.report.node_upload_bytes) {
+                *u += b;
+            }
+            offset += batch.makespan;
+        }
+        let makespan = offset;
+        let upload_imbalance = {
+            let active: Vec<u64> = upload.iter().copied().filter(|&b| b > 0).collect();
+            if active.is_empty() {
+                0.0
+            } else {
+                let max = *active.iter().max().unwrap() as f64;
+                let mean = active.iter().sum::<u64>() as f64 / active.len() as f64;
+                max / mean
+            }
+        };
+
+        RecoveryOutcome {
+            stripes_repaired: affected.len(),
+            makespan,
+            stripe_finish,
+            cross_rack_bytes,
+            inner_rack_bytes,
+            upload_imbalance,
+            rack_upload_bytes: rack_loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use rpr_codec::CodeParams;
+
+    fn small_store() -> Store {
+        Store::build(StoreConfig {
+            params: CodeParams::new(4, 2),
+            racks: 5,
+            nodes_per_rack: 4,
+            stripes: 12,
+            block_bytes: 8 << 20,
+            preplace_p0: true,
+            seed: 77,
+        })
+    }
+
+    fn profile(s: &Store) -> BandwidthProfile {
+        BandwidthProfile::simics_default(s.topology().rack_count())
+    }
+
+    #[test]
+    fn node_failure_affects_each_hosting_stripe_once() {
+        let s = small_store();
+        let node = NodeId(0);
+        let affected = s.affected_stripes(Failure::Node(node));
+        let hosted = s.blocks_on_node(node);
+        assert_eq!(affected.len(), hosted.len());
+        for (_, blocks) in &affected {
+            assert_eq!(blocks.len(), 1, "a node holds one block per stripe");
+        }
+    }
+
+    #[test]
+    fn rack_failure_loses_at_most_k_blocks_per_stripe() {
+        let s = small_store();
+        let affected = s.affected_stripes(Failure::Rack(RackId(1)));
+        assert!(!affected.is_empty());
+        for (stripe, blocks) in &affected {
+            assert!(
+                blocks.len() <= s.config().params.k,
+                "stripe {stripe} lost {} blocks",
+                blocks.len()
+            );
+        }
+    }
+
+    #[test]
+    fn all_schemes_recover_a_node_failure() {
+        let s = small_store();
+        let p = profile(&s);
+        let mut times = Vec::new();
+        for scheme in [Scheme::Traditional, Scheme::Car, Scheme::Rpr] {
+            let out = s.recover(Failure::Node(NodeId(2)), scheme, &p, CostModel::free());
+            assert!(out.stripes_repaired > 0);
+            assert!(out.makespan > 0.0 && out.makespan.is_finite());
+            assert_eq!(out.stripe_finish.len(), out.stripes_repaired);
+            assert!(out.mean_stripe_finish() <= out.makespan + 1e-9);
+            times.push((scheme, out.makespan, out.cross_rack_bytes));
+        }
+        // RPR must beat traditional on both time and traffic.
+        let tra = times[0];
+        let rpr = times[2];
+        assert!(rpr.1 < tra.1, "RPR {:?} vs Tra {:?}", rpr, tra);
+        assert!(rpr.2 <= tra.2);
+    }
+
+    #[test]
+    fn rpr_and_traditional_recover_a_rack_failure() {
+        let s = small_store();
+        let p = profile(&s);
+        for scheme in [Scheme::Traditional, Scheme::Rpr] {
+            let out = s.recover(Failure::Rack(RackId(0)), scheme, &p, CostModel::free());
+            assert!(out.stripes_repaired > 0, "{scheme:?}");
+            assert!(out.makespan.is_finite());
+        }
+    }
+
+    #[test]
+    fn car_balancing_spreads_rack_uploads() {
+        // With many stripes, load-aware CAR should not be more imbalanced
+        // than plain traditional repair.
+        let s = Store::build(StoreConfig {
+            params: CodeParams::new(4, 2),
+            racks: 6,
+            nodes_per_rack: 5,
+            stripes: 30,
+            block_bytes: 4 << 20,
+            preplace_p0: true,
+            seed: 5,
+        });
+        let p = profile(&s);
+        let car = s.recover(Failure::Node(NodeId(0)), Scheme::Car, &p, CostModel::free());
+        assert!(car.rack_upload_imbalance() >= 1.0);
+        assert!(
+            car.rack_upload_imbalance() < 3.0,
+            "CAR should keep rack uploads roughly even, got {}",
+            car.rack_upload_imbalance()
+        );
+    }
+
+    #[test]
+    fn throttled_recovery_is_slower_but_equal_traffic() {
+        let s = small_store();
+        let p = profile(&s);
+        let node = s
+            .topology()
+            .nodes()
+            .max_by_key(|&n| s.blocks_on_node(n).len())
+            .unwrap();
+        let unthrottled = s.recover(Failure::Node(node), Scheme::Rpr, &p, CostModel::free());
+        let throttled = s.recover_with_options(
+            Failure::Node(node),
+            Scheme::Rpr,
+            &p,
+            CostModel::free(),
+            RecoveryOptions {
+                max_concurrent: Some(1),
+                ..Default::default()
+            },
+        );
+        assert!(
+            unthrottled.stripes_repaired >= 2,
+            "need >=2 stripes to see waves"
+        );
+        assert!(
+            throttled.makespan >= unthrottled.makespan,
+            "serial waves cannot beat full concurrency: {} vs {}",
+            throttled.makespan,
+            unthrottled.makespan
+        );
+        assert_eq!(throttled.cross_rack_bytes, unthrottled.cross_rack_bytes);
+        assert_eq!(
+            throttled.stripe_finish.len(),
+            unthrottled.stripe_finish.len()
+        );
+        // Wave finishes are cumulative (non-decreasing after sorting by wave).
+        assert!(
+            throttled.makespan
+                >= *throttled
+                    .stripe_finish
+                    .iter()
+                    .max_by(|a, b| a.partial_cmp(b).unwrap())
+                    .unwrap()
+                    - 1e-9
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_concurrent must be positive")]
+    fn zero_concurrency_rejected() {
+        let s = small_store();
+        let p = profile(&s);
+        s.recover_with_options(
+            Failure::Node(NodeId(0)),
+            Scheme::Rpr,
+            &p,
+            CostModel::free(),
+            RecoveryOptions {
+                max_concurrent: Some(0),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn failure_on_empty_node_is_a_noop() {
+        // Build a store so small that some node hosts nothing.
+        let s = Store::build(StoreConfig {
+            params: CodeParams::new(4, 2),
+            racks: 8,
+            nodes_per_rack: 8,
+            stripes: 1,
+            block_bytes: 1 << 20,
+            preplace_p0: false,
+            seed: 1,
+        });
+        let empty = s
+            .topology()
+            .nodes()
+            .find(|&n| s.blocks_on_node(n).is_empty())
+            .expect("64 nodes, 6 blocks: most are empty");
+        let p = profile(&s);
+        let out = s.recover(Failure::Node(empty), Scheme::Rpr, &p, CostModel::free());
+        assert_eq!(out.stripes_repaired, 0);
+        assert_eq!(out.makespan, 0.0);
+    }
+}

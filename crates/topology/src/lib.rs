@@ -1,0 +1,216 @@
+//! Data-center topology model: racks of storage nodes behind top-of-rack
+//! switches, stripe-to-node placement policies, and bandwidth profiles.
+//!
+//! Mirrors the architecture of §2.2 of the paper: nodes within a rack talk
+//! through the TOR switch at *inner-rack* bandwidth; racks talk through the
+//! aggregation switch at *cross-rack* bandwidth (~10× slower in production).
+//!
+//! Three placement policies are provided (§2.2–§3.3):
+//!
+//! * [`Placement::flat`] — one block per rack (classic multi-rack fault
+//!   tolerance, maximal cross-rack repair traffic);
+//! * [`Placement::compact`] — `k` blocks per rack across
+//!   `q = ⌈(n+k)/k⌉` racks (single-rack fault tolerance, the paper's
+//!   baseline layout, Figure 3);
+//! * [`Placement::rpr_preplaced`] — compact layout plus the §3.3
+//!   data–parity pre-placement: `P0` (the all-ones parity) swaps places with
+//!   the last data block so it is co-located with data, enabling the
+//!   matrix-free XOR repair path for single data-block failures.
+//!
+//! ```
+//! use rpr_codec::{BlockId, CodeParams};
+//! use rpr_topology::{cluster_for, Placement, PlacementPolicy};
+//!
+//! let params = CodeParams::new(6, 2);              // q = 4 racks
+//! let topo = cluster_for(params, 1, 1);            // + spares
+//! let p = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+//! assert!(p.is_single_rack_fault_tolerant(&topo));
+//! assert!(p.p0_colocated_with_data(&topo));        // §3.3 property
+//! // d0 and d1 share rack 0 under the compact layout.
+//! assert_eq!(p.rack_of(BlockId(0), &topo), p.rack_of(BlockId(1), &topo));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod placement;
+
+pub use bandwidth::{
+    ec2_table1_profile, BandwidthProfile, EC2_REGIONS, EC2_TABLE1_MBPS, GBIT, MBIT,
+};
+pub use placement::{Placement, PlacementPolicy};
+
+use rpr_codec::CodeParams;
+
+/// Identifies a rack.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RackId(pub usize);
+
+impl core::fmt::Debug for RackId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifies a storage node (globally, across racks).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl core::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A cluster of racks, each holding a fixed set of nodes.
+///
+/// Node ids are dense: rack `r` with `m_r` nodes owns a contiguous id range.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    rack_of: Vec<RackId>,
+    racks: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Build a topology with `racks` racks of `nodes_per_rack` nodes each.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn uniform(racks: usize, nodes_per_rack: usize) -> Topology {
+        assert!(racks > 0 && nodes_per_rack > 0, "Topology: empty cluster");
+        Topology::with_rack_sizes(&vec![nodes_per_rack; racks])
+    }
+
+    /// Build a topology with explicit per-rack node counts.
+    ///
+    /// # Panics
+    /// Panics if there are no racks or any rack is empty.
+    pub fn with_rack_sizes(sizes: &[usize]) -> Topology {
+        assert!(!sizes.is_empty(), "Topology: no racks");
+        assert!(sizes.iter().all(|&s| s > 0), "Topology: empty rack");
+        let mut rack_of = Vec::new();
+        let mut racks = Vec::with_capacity(sizes.len());
+        let mut next = 0usize;
+        for (r, &size) in sizes.iter().enumerate() {
+            let mut nodes = Vec::with_capacity(size);
+            for _ in 0..size {
+                rack_of.push(RackId(r));
+                nodes.push(NodeId(next));
+                next += 1;
+            }
+            racks.push(nodes);
+        }
+        Topology { rack_of, racks }
+    }
+
+    /// Number of racks.
+    #[inline]
+    pub fn rack_count(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.rack_of.len()
+    }
+
+    /// The rack that hosts `node`.
+    ///
+    /// # Panics
+    /// Panics if the node id is out of range.
+    #[inline]
+    pub fn rack_of(&self, node: NodeId) -> RackId {
+        self.rack_of[node.0]
+    }
+
+    /// The nodes of a rack.
+    ///
+    /// # Panics
+    /// Panics if the rack id is out of range.
+    #[inline]
+    pub fn nodes_in(&self, rack: RackId) -> &[NodeId] {
+        &self.racks[rack.0]
+    }
+
+    /// True if the two nodes share a rack (their traffic stays under the
+    /// TOR switch).
+    #[inline]
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.rack_of(a) == self.rack_of(b)
+    }
+
+    /// Iterator over all rack ids.
+    pub fn racks(&self) -> impl Iterator<Item = RackId> {
+        (0..self.racks.len()).map(RackId)
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.rack_of.len()).map(NodeId)
+    }
+}
+
+/// Build the canonical evaluation cluster for a code: `q` racks (plus
+/// `extra_racks` spare racks), each with `k + spare_nodes` nodes, so every
+/// rack can host a replacement node for repairs.
+pub fn cluster_for(params: CodeParams, spare_nodes: usize, extra_racks: usize) -> Topology {
+    let q = params.rack_count();
+    Topology::uniform(q + extra_racks, params.k + spare_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_topology_geometry() {
+        let t = Topology::uniform(3, 4);
+        assert_eq!(t.rack_count(), 3);
+        assert_eq!(t.node_count(), 12);
+        assert_eq!(t.rack_of(NodeId(0)), RackId(0));
+        assert_eq!(t.rack_of(NodeId(4)), RackId(1));
+        assert_eq!(t.rack_of(NodeId(11)), RackId(2));
+        assert_eq!(
+            t.nodes_in(RackId(1)),
+            &[NodeId(4), NodeId(5), NodeId(6), NodeId(7)]
+        );
+        assert!(t.same_rack(NodeId(4), NodeId(7)));
+        assert!(!t.same_rack(NodeId(3), NodeId(4)));
+        assert_eq!(t.racks().count(), 3);
+        assert_eq!(t.nodes().count(), 12);
+    }
+
+    #[test]
+    fn ragged_topology() {
+        let t = Topology::with_rack_sizes(&[2, 5, 1]);
+        assert_eq!(t.node_count(), 8);
+        assert_eq!(t.rack_of(NodeId(2)), RackId(1));
+        assert_eq!(t.rack_of(NodeId(7)), RackId(2));
+        assert_eq!(t.nodes_in(RackId(2)), &[NodeId(7)]);
+    }
+
+    #[test]
+    fn cluster_for_paper_codes_has_replacement_capacity() {
+        for (n, k) in [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)] {
+            let p = CodeParams::new(n, k);
+            let t = cluster_for(p, 1, 0);
+            assert_eq!(t.rack_count(), p.rack_count());
+            // Each rack can hold its k blocks plus one replacement node.
+            assert!(t.nodes_in(RackId(0)).len() == k + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rack")]
+    fn empty_rack_rejected() {
+        Topology::with_rack_sizes(&[3, 0]);
+    }
+
+    #[test]
+    fn id_debug_formats() {
+        assert_eq!(format!("{:?}", RackId(2)), "r2");
+        assert_eq!(format!("{:?}", NodeId(5)), "n5");
+    }
+}

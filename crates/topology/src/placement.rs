@@ -1,0 +1,307 @@
+//! Stripe-to-node placement policies.
+
+use crate::{NodeId, RackId, Topology};
+use rpr_codec::{BlockId, CodeParams};
+
+/// The placement policies discussed in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlacementPolicy {
+    /// One block per rack (§2.2's classical layout).
+    Flat,
+    /// `k` blocks per rack across `q = ⌈(n+k)/k⌉` racks, data first then
+    /// parity (the paper's baseline, Figure 3).
+    Compact,
+    /// Compact, plus the §3.3 pre-placement: `P0` swapped with the last
+    /// data block so the all-ones parity is co-located with data.
+    RprPreplaced,
+}
+
+/// Where each block of one stripe lives.
+///
+/// Invariants (validated on construction):
+/// * every block maps to a distinct node;
+/// * block-to-node assignments respect the topology bounds.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    params: CodeParams,
+    location: Vec<NodeId>,
+}
+
+impl Placement {
+    /// Place blocks on explicit nodes (for tests and custom layouts).
+    ///
+    /// # Panics
+    /// Panics if the location count differs from `n + k`, a node repeats,
+    /// or a node is outside the topology.
+    pub fn from_locations(params: CodeParams, topo: &Topology, location: Vec<NodeId>) -> Placement {
+        assert_eq!(
+            location.len(),
+            params.total(),
+            "Placement: need one node per block"
+        );
+        let mut seen = vec![false; topo.node_count()];
+        for &node in &location {
+            assert!(node.0 < topo.node_count(), "Placement: node out of range");
+            assert!(!seen[node.0], "Placement: node hosts two blocks");
+            seen[node.0] = true;
+        }
+        Placement { params, location }
+    }
+
+    /// One block per rack, each on the rack's first node.
+    ///
+    /// # Panics
+    /// Panics if the topology has fewer than `n + k` racks.
+    pub fn flat(params: CodeParams, topo: &Topology) -> Placement {
+        assert!(
+            topo.rack_count() >= params.total(),
+            "flat placement: need n+k racks"
+        );
+        let location = (0..params.total())
+            .map(|b| topo.nodes_in(RackId(b))[0])
+            .collect();
+        Placement::from_locations(params, topo, location)
+    }
+
+    /// `k` blocks per rack in block order: rack 0 gets `d0..d(k-1)`, etc.;
+    /// parities fill the tail racks (Figure 3's layout).
+    ///
+    /// # Panics
+    /// Panics if the topology lacks racks or per-rack capacity.
+    pub fn compact(params: CodeParams, topo: &Topology) -> Placement {
+        let q = params.rack_count();
+        assert!(topo.rack_count() >= q, "compact placement: need q racks");
+        let location = (0..params.total())
+            .map(|b| {
+                let rack = RackId(b / params.k);
+                let slot = b % params.k;
+                let nodes = topo.nodes_in(rack);
+                assert!(slot < nodes.len(), "compact placement: rack too small");
+                nodes[slot]
+            })
+            .collect();
+        Placement::from_locations(params, topo, location)
+    }
+
+    /// Compact placement with the §3.3 pre-placement applied: swap `P0`
+    /// with the last data block `d(n-1)`, so `P0` shares a rack with data
+    /// blocks while the stripe keeps single-rack fault tolerance.
+    ///
+    /// Degenerate case: with `k = 1` every rack holds a single block, so
+    /// no parity can share a rack with data; the swap is then harmless but
+    /// cannot deliver co-location.
+    pub fn rpr_preplaced(params: CodeParams, topo: &Topology) -> Placement {
+        let mut p = Placement::compact(params, topo);
+        let p0 = BlockId::p0(&params).0;
+        let last_data = params.n - 1;
+        // In a compact layout d(n-1) and p0 are adjacent; when n is a
+        // multiple of k they sit in different racks and the swap co-locates
+        // P0 with data. When they already share a rack the swap is a no-op
+        // rack-wise but harmless.
+        p.location.swap(p0, last_data);
+        p
+    }
+
+    /// Build a placement by policy.
+    pub fn by_policy(policy: PlacementPolicy, params: CodeParams, topo: &Topology) -> Placement {
+        match policy {
+            PlacementPolicy::Flat => Placement::flat(params, topo),
+            PlacementPolicy::Compact => Placement::compact(params, topo),
+            PlacementPolicy::RprPreplaced => Placement::rpr_preplaced(params, topo),
+        }
+    }
+
+    /// The code geometry this placement serves.
+    #[inline]
+    pub fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    /// Node hosting a block.
+    ///
+    /// # Panics
+    /// Panics if the block id is out of range.
+    #[inline]
+    pub fn node_of(&self, block: BlockId) -> NodeId {
+        self.location[block.0]
+    }
+
+    /// Rack hosting a block.
+    #[inline]
+    pub fn rack_of(&self, block: BlockId, topo: &Topology) -> RackId {
+        topo.rack_of(self.node_of(block))
+    }
+
+    /// The block hosted by `node`, if any.
+    pub fn block_on(&self, node: NodeId) -> Option<BlockId> {
+        self.location.iter().position(|&l| l == node).map(BlockId)
+    }
+
+    /// All blocks hosted in `rack`, in block-id order.
+    pub fn blocks_in_rack(&self, rack: RackId, topo: &Topology) -> Vec<BlockId> {
+        (0..self.params.total())
+            .map(BlockId)
+            .filter(|&b| self.rack_of(b, topo) == rack)
+            .collect()
+    }
+
+    /// The distinct racks touched by this stripe, in rack-id order.
+    pub fn racks_used(&self, topo: &Topology) -> Vec<RackId> {
+        let mut racks: Vec<RackId> = self
+            .location
+            .iter()
+            .map(|&node| topo.rack_of(node))
+            .collect();
+        racks.sort_unstable();
+        racks.dedup();
+        racks
+    }
+
+    /// Single-rack fault tolerance (§2.3): no rack may hold more than `k`
+    /// blocks of the stripe, otherwise one rack failure is unrecoverable.
+    pub fn is_single_rack_fault_tolerant(&self, topo: &Topology) -> bool {
+        let mut per_rack = vec![0usize; topo.rack_count()];
+        for &node in &self.location {
+            per_rack[topo.rack_of(node).0] += 1;
+        }
+        per_rack.iter().all(|&c| c <= self.params.k)
+    }
+
+    /// True if `P0` shares a rack with at least one data block — the
+    /// §3.3 pre-placement property.
+    pub fn p0_colocated_with_data(&self, topo: &Topology) -> bool {
+        let p0_rack = self.rack_of(BlockId::p0(&self.params), topo);
+        self.params
+            .data_blocks()
+            .any(|d| self.rack_of(d, topo) == p0_rack)
+    }
+
+    /// Pick a replacement node for a failed block: a free node (hosting no
+    /// stripe block) in the requested rack.
+    pub fn replacement_in(&self, rack: RackId, topo: &Topology) -> Option<NodeId> {
+        topo.nodes_in(rack)
+            .iter()
+            .copied()
+            .find(|&node| self.block_on(node).is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_for;
+
+    const PAPER_CODES: [(usize, usize); 6] = [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)];
+
+    #[test]
+    fn compact_matches_figure3_layout() {
+        // RS(4,2): r0 = {d0, d1}, r1 = {d2, d3}, r2 = {p0, p1}.
+        let params = CodeParams::new(4, 2);
+        let topo = cluster_for(params, 1, 0);
+        let p = Placement::compact(params, &topo);
+        assert_eq!(p.rack_of(BlockId(0), &topo), RackId(0));
+        assert_eq!(p.rack_of(BlockId(1), &topo), RackId(0));
+        assert_eq!(p.rack_of(BlockId(2), &topo), RackId(1));
+        assert_eq!(p.rack_of(BlockId(3), &topo), RackId(1));
+        assert_eq!(p.rack_of(BlockId(4), &topo), RackId(2));
+        assert_eq!(p.rack_of(BlockId(5), &topo), RackId(2));
+        assert!(p.is_single_rack_fault_tolerant(&topo));
+        assert!(!p.p0_colocated_with_data(&topo));
+    }
+
+    #[test]
+    fn preplacement_colocates_p0_with_data_for_all_paper_codes() {
+        for (n, k) in PAPER_CODES {
+            let params = CodeParams::new(n, k);
+            let topo = cluster_for(params, 1, 0);
+            let p = Placement::rpr_preplaced(params, &topo);
+            assert!(
+                p.p0_colocated_with_data(&topo),
+                "({n},{k}): P0 must sit with data"
+            );
+            assert!(
+                p.is_single_rack_fault_tolerant(&topo),
+                "({n},{k}): pre-placement must not break fault tolerance"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_uses_one_rack_per_block() {
+        let params = CodeParams::new(4, 2);
+        let topo = Topology::uniform(6, 2);
+        let p = Placement::flat(params, &topo);
+        assert_eq!(p.racks_used(&topo).len(), 6);
+        assert!(p.is_single_rack_fault_tolerant(&topo));
+    }
+
+    #[test]
+    fn block_node_round_trips() {
+        let params = CodeParams::new(6, 3);
+        let topo = cluster_for(params, 2, 1);
+        let p = Placement::compact(params, &topo);
+        for b in params.all_blocks() {
+            let node = p.node_of(b);
+            assert_eq!(p.block_on(node), Some(b));
+        }
+        // Spare nodes host nothing.
+        let spare_racks = p.racks_used(&topo).len();
+        assert_eq!(spare_racks, params.rack_count());
+        let unused_rack = RackId(topo.rack_count() - 1);
+        for &node in topo.nodes_in(unused_rack) {
+            assert_eq!(p.block_on(node), None);
+        }
+    }
+
+    #[test]
+    fn blocks_in_rack_partitions_the_stripe() {
+        for (n, k) in PAPER_CODES {
+            let params = CodeParams::new(n, k);
+            let topo = cluster_for(params, 1, 0);
+            for policy in [PlacementPolicy::Compact, PlacementPolicy::RprPreplaced] {
+                let p = Placement::by_policy(policy, params, &topo);
+                let mut seen = Vec::new();
+                for r in topo.racks() {
+                    seen.extend(p.blocks_in_rack(r, &topo));
+                }
+                seen.sort_unstable();
+                let all: Vec<BlockId> = params.all_blocks().collect();
+                assert_eq!(seen, all, "({n},{k}) {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn replacement_node_is_free_and_in_rack() {
+        let params = CodeParams::new(4, 2);
+        let topo = cluster_for(params, 1, 0);
+        let p = Placement::compact(params, &topo);
+        let rack = RackId(0);
+        let node = p.replacement_in(rack, &topo).expect("spare exists");
+        assert_eq!(topo.rack_of(node), rack);
+        assert_eq!(p.block_on(node), None);
+        // A rack with zero spares yields None.
+        let tight = Topology::uniform(3, 2);
+        let p2 = Placement::compact(params, &tight);
+        assert_eq!(p2.replacement_in(RackId(0), &tight), None);
+    }
+
+    #[test]
+    fn fault_tolerance_detects_overloaded_rack() {
+        let params = CodeParams::new(4, 2);
+        let topo = Topology::uniform(2, 6);
+        // Pathological: all six blocks in rack 0.
+        let location: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let p = Placement::from_locations(params, &topo, location);
+        assert!(!p.is_single_rack_fault_tolerant(&topo));
+    }
+
+    #[test]
+    #[should_panic(expected = "node hosts two blocks")]
+    fn duplicate_nodes_rejected() {
+        let params = CodeParams::new(4, 2);
+        let topo = Topology::uniform(3, 4);
+        let location = vec![NodeId(0); 6];
+        Placement::from_locations(params, &topo, location);
+    }
+}

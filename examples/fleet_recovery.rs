@@ -1,0 +1,82 @@
+//! Fleet recovery: a whole storage node dies and every stripe it hosted
+//! repairs concurrently on the shared cluster — with and without a repair
+//! throttle.
+//!
+//! ```sh
+//! cargo run --release --example fleet_recovery
+//! ```
+
+use rpr::codec::CodeParams;
+use rpr::core::CostModel;
+use rpr::store::{Failure, RecoveryOptions, Scheme, Store, StoreConfig};
+use rpr::topology::BandwidthProfile;
+
+fn main() {
+    let store = Store::build(StoreConfig {
+        params: CodeParams::new(6, 3),
+        racks: 5,
+        nodes_per_rack: 5,
+        stripes: 60,
+        block_bytes: 64 << 20,
+        preplace_p0: true,
+        seed: 0xBEEF,
+    });
+    let profile = BandwidthProfile::simics_default(store.topology().rack_count());
+    let cost = CostModel::simics().scaled_for_block(store.config().block_bytes);
+
+    // Fail the busiest node.
+    let node = store
+        .topology()
+        .nodes()
+        .max_by_key(|&n| store.blocks_on_node(n).len())
+        .unwrap();
+    let affected = store.affected_stripes(Failure::Node(node));
+    println!(
+        "node {node:?} dies: {} of {} stripes lose a block ({} GiB to rebuild)\n",
+        affected.len(),
+        store.stripe_count(),
+        (affected.len() as u64 * store.config().block_bytes) >> 30,
+    );
+
+    println!(
+        "{:<14} {:>12} {:>14} {:>10} {:>12}",
+        "scheme", "makespan(s)", "mean stripe(s)", "cross GiB", "imbalance"
+    );
+    for scheme in [Scheme::Traditional, Scheme::Car, Scheme::Rpr] {
+        let out = store.recover(Failure::Node(node), scheme, &profile, cost);
+        println!(
+            "{:<14} {:>12.1} {:>14.1} {:>10.1} {:>11.2}x",
+            scheme.name(),
+            out.makespan,
+            out.mean_stripe_finish(),
+            out.cross_rack_bytes as f64 / (1u64 << 30) as f64,
+            out.upload_imbalance,
+        );
+    }
+
+    // Throttled RPR: at most 4 stripes repair at once (protecting
+    // foreground traffic); the rest queue in waves.
+    let throttled = store.recover_with_options(
+        Failure::Node(node),
+        Scheme::Rpr,
+        &profile,
+        cost,
+        RecoveryOptions {
+            max_concurrent: Some(4),
+            ..Default::default()
+        },
+    );
+    println!(
+        "{:<14} {:>12.1} {:>14.1} {:>10.1} {:>11.2}x   (waves of 4)",
+        "rpr throttled",
+        throttled.makespan,
+        throttled.mean_stripe_finish(),
+        throttled.cross_rack_bytes as f64 / (1u64 << 30) as f64,
+        throttled.upload_imbalance,
+    );
+    println!(
+        "\nEvery repair contends for the same links (simulate_batch); the \
+         single-stripe gains of\nRPR compound because partial decoding also \
+         removes the per-stripe recovery bottleneck."
+    );
+}

@@ -1,0 +1,80 @@
+//! Multi-block failure repair (§3.4): lose three blocks of an RS(8,4)
+//! stripe at once, rebuild all of them with the Inner-multi / Cross-multi
+//! pipeline, and verify every byte.
+//!
+//! ```sh
+//! cargo run --release --example multi_failure
+//! ```
+
+use rpr::codec::{BlockId, CodeParams, StripeCodec};
+use rpr::core::{
+    simulate, CostModel, RepairContext, RepairPlanner, RprPlanner, TraditionalPlanner,
+};
+use rpr::exec::execute;
+use rpr::topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy};
+
+fn main() {
+    let params = CodeParams::new(8, 4);
+    let codec = StripeCodec::new(params);
+    let topo = cluster_for(params, 2, 1);
+    let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+    let profile = BandwidthProfile::uniform(topo.rack_count(), 40.0e6, 4.0e6);
+    let block_bytes: u64 = 1 << 20;
+
+    // Three simultaneous data-block failures across two racks.
+    let failed = vec![BlockId(0), BlockId(2), BlockId(5)];
+    println!(
+        "RS(8,4): blocks {} failed simultaneously",
+        failed
+            .iter()
+            .map(|b| b.name(&params))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // Real stripe contents.
+    let data: Vec<Vec<u8>> = (0..params.n)
+        .map(|i| {
+            (0..block_bytes)
+                .map(|j| (j.wrapping_mul(2654435761).wrapping_add(i as u64)) as u8)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+    let stripe = codec.encode_stripe(&refs);
+
+    let cost = CostModel::simics().scaled_for_block(block_bytes);
+    for planner in [
+        &TraditionalPlanner::new() as &dyn RepairPlanner,
+        &RprPlanner::new(),
+    ] {
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            failed.clone(),
+            block_bytes,
+            &profile,
+            cost,
+        );
+        let plan = planner.plan(&ctx);
+        plan.validate(&codec, &topo, &placement).expect("valid");
+        let sim = simulate(&plan, &ctx);
+        let report = execute(&plan, &ctx, &stripe);
+        assert!(report.verified, "all three blocks must verify");
+        println!(
+            "{:<12} simulated {:.3} s | executed {:.3} s | cross {} blocks | \
+             all {} blocks verified",
+            planner.name(),
+            sim.repair_time,
+            report.wall_seconds,
+            sim.stats.cross_transfers,
+            plan.outputs.len(),
+        );
+    }
+    println!(
+        "\nEach failed block has its own repair sub-equation (paper eq. 9); \
+         every rack ships one\nintermediate per equation and the Cross-multi \
+         scheduler pipelines the aggregation trees."
+    );
+}

@@ -1,0 +1,91 @@
+//! Scheme showdown: traditional vs CAR vs RPR on the paper's RS(6,2)
+//! motivating example (Figure 5), with an op-level timeline for each plan.
+//!
+//! ```sh
+//! cargo run --release --example scheme_showdown
+//! ```
+
+use rpr::codec::{BlockId, CodeParams, StripeCodec};
+use rpr::core::{
+    simulate, CarPlanner, CostModel, RepairContext, RepairPlanner, RprPlanner, TraditionalPlanner,
+};
+use rpr::netsim::JobKind;
+use rpr::topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy};
+
+fn main() {
+    let params = CodeParams::new(6, 2);
+    let codec = StripeCodec::new(params);
+    let topo = cluster_for(params, 1, 1);
+    let placement = Placement::by_policy(PlacementPolicy::Compact, params, &topo);
+    let profile = BandwidthProfile::simics_default(topo.rack_count());
+    let block_bytes: u64 = 256 << 20;
+
+    let planners: [&dyn RepairPlanner; 3] = [
+        &TraditionalPlanner::new(),
+        &CarPlanner::new(),
+        &RprPlanner::new(),
+    ];
+
+    println!("RS(6,2), block 256 MiB, inner 1 Gb/s, cross 0.1 Gb/s; d1 fails.\n");
+    let mut base = f64::NAN;
+    for planner in planners {
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block_bytes,
+            &profile,
+            CostModel::simics(),
+        );
+        let plan = planner.plan(&ctx);
+        plan.validate(&codec, &topo, &placement).expect("valid");
+        let out = simulate(&plan, &ctx);
+        if base.is_nan() {
+            base = out.repair_time;
+        }
+
+        println!(
+            "=== {:<12} {:>7.2} s  ({} cross transfers, {:.0}% of traditional)",
+            planner.name(),
+            out.repair_time,
+            out.stats.cross_transfers,
+            out.repair_time / base * 100.0
+        );
+        // Timeline: one line per job, with a bar over the makespan.
+        let width = 48usize;
+        for rec in &out.report.records {
+            let s = (rec.start / out.repair_time * width as f64) as usize;
+            let e = ((rec.finish / out.repair_time * width as f64) as usize).max(s + 1);
+            let mut bar = vec![b' '; width];
+            for c in bar.iter_mut().take(e.min(width)).skip(s.min(width - 1)) {
+                *c = b'#';
+            }
+            let kind = match rec.kind {
+                JobKind::Transfer { from, to, .. } => {
+                    let cross = !topo.same_rack(from, to);
+                    format!(
+                        "{:?}->{:?} {}",
+                        from,
+                        to,
+                        if cross { "cross" } else { "inner" }
+                    )
+                }
+                JobKind::Compute { node, .. } => format!("{node:?} decode"),
+            };
+            println!(
+                "  [{}] {:>6.1}-{:<6.1}s {}",
+                String::from_utf8(bar).unwrap(),
+                rec.start,
+                rec.finish,
+                kind
+            );
+        }
+        println!();
+    }
+    println!(
+        "The paper's Figure 5: CAR-style serialization costs ~31 t_i, the RPR \
+         pipeline ~21 t_i.\nRead the bars: RPR's second cross transfer overlaps \
+         the first by merging at a peer rack."
+    );
+}

@@ -1,0 +1,38 @@
+//! Degraded-read byte verification spans rpr-core and rpr-exec, so it
+//! lives at the workspace level.
+
+use rpr::codec::{BlockId, CodeParams, StripeCodec};
+use rpr::core::{CostModel, RepairContext, RepairPlanner, RprPlanner};
+use rpr::topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy};
+
+#[test]
+fn degraded_read_verifies_real_bytes() {
+    let params = CodeParams::new(6, 3);
+    let codec = StripeCodec::new(params);
+    let topo = cluster_for(params, 1, 1);
+    let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+    let profile = BandwidthProfile::uniform(topo.rack_count(), 400.0e6, 40.0e6);
+    let lost = BlockId(4);
+    let client = placement.node_of(BlockId(0));
+    let block = 64 * 1024u64;
+    let data: Vec<Vec<u8>> = (0..6)
+        .map(|i| vec![0xA0 | i as u8; block as usize])
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+    let stripe = codec.encode_stripe(&refs);
+
+    let ctx = RepairContext::new(
+        &codec,
+        &topo,
+        &placement,
+        vec![lost],
+        block,
+        &profile,
+        CostModel::free(),
+    )
+    .with_recovery_node(client);
+    let plan = RprPlanner::new().plan(&ctx);
+    plan.validate(&codec, &topo, &placement).expect("valid");
+    let report = rpr::exec::execute(&plan, &ctx, &stripe);
+    assert!(report.verified, "{:?}", report.mismatches);
+}

@@ -1,0 +1,111 @@
+//! Cross-backend consistency: the real executor's wall-clock behaviour must
+//! track the flow simulator's predictions (loosely — thread scheduling and
+//! burst allowances introduce jitter), and per-op timings must respect the
+//! plan's dependency structure.
+
+use rpr::codec::{BlockId, CodeParams, StripeCodec};
+use rpr::core::{
+    simulate, CostModel, RepairContext, RepairPlanner, RprPlanner, TraditionalPlanner,
+};
+use rpr::exec::execute;
+use rpr::topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy};
+
+fn world() -> (
+    StripeCodec,
+    rpr::topology::Topology,
+    Placement,
+    BandwidthProfile,
+) {
+    let params = CodeParams::new(6, 2);
+    let codec = StripeCodec::new(params);
+    let topo = cluster_for(params, 1, 1);
+    let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+    // 20 MB/s inner, 2 MB/s cross: transfers in the hundreds of ms, big
+    // enough to dominate jitter.
+    let profile = BandwidthProfile::uniform(topo.rack_count(), 20.0e6, 2.0e6);
+    (codec, topo, placement, profile)
+}
+
+fn stripe(codec: &StripeCodec, len: usize) -> Vec<Vec<u8>> {
+    let data: Vec<Vec<u8>> = (0..codec.params().n)
+        .map(|i| (0..len).map(|j| (j as u8).wrapping_add(i as u8)).collect())
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+    codec.encode_stripe(&refs)
+}
+
+#[test]
+fn executor_wall_time_tracks_simulator_prediction() {
+    let (codec, topo, placement, profile) = world();
+    let block: u64 = 512 * 1024;
+    let s = stripe(&codec, block as usize);
+    for planner in [
+        &TraditionalPlanner::new() as &dyn RepairPlanner,
+        &RprPlanner::new(),
+    ] {
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = planner.plan(&ctx);
+        let predicted = simulate(&plan, &ctx).repair_time;
+        let report = execute(&plan, &ctx, &s);
+        assert!(report.verified);
+        let ratio = report.wall_seconds / predicted;
+        assert!(
+            (0.6..1.5).contains(&ratio),
+            "{}: executed {:.3}s vs simulated {:.3}s (ratio {ratio:.2})",
+            planner.name(),
+            report.wall_seconds,
+            predicted
+        );
+    }
+}
+
+#[test]
+fn op_timings_respect_dependencies() {
+    let (codec, topo, placement, profile) = world();
+    let block: u64 = 128 * 1024;
+    let s = stripe(&codec, block as usize);
+    let ctx = RepairContext::new(
+        &codec,
+        &topo,
+        &placement,
+        vec![BlockId(2)],
+        block,
+        &profile,
+        CostModel::free(),
+    );
+    let plan = RprPlanner::new().plan(&ctx);
+    let report = execute(&plan, &ctx, &s);
+    assert!(report.verified);
+    assert_eq!(report.op_timings.len(), plan.ops.len());
+    for i in 0..plan.ops.len() {
+        let t = report.op_timings[i];
+        assert!(t.end >= t.start, "op {i} ran backwards");
+        for dep in plan.deps_of(i) {
+            let d = report.op_timings[dep.0];
+            // Small tolerance: the start stamp is taken after channel
+            // receives, which may race the producer's end stamp by a
+            // scheduler quantum.
+            assert!(
+                d.end <= t.start + 0.05,
+                "op {i} started at {:.4} before dep {:?} ended at {:.4}",
+                t.start,
+                dep,
+                d.end
+            );
+        }
+    }
+    // Wall time is the max op end.
+    let max_end = report
+        .op_timings
+        .iter()
+        .fold(0.0f64, |acc, t| acc.max(t.end));
+    assert!(report.wall_seconds >= max_end - 0.05);
+}
