@@ -9,6 +9,7 @@ pub const USAGE: &str = "\
 usage:
   rpr plan    --code N,K --fail BLOCKS [options] [--gantt] [--dot]
   rpr compare --code N,K --fail BLOCKS [options]
+  rpr trace   --code N,K --fail BLOCKS [options] [--format F] [--out FILE]
   rpr topo    --code N,K [--placement P]
   rpr analyze [--ti-ms X] [--tc-ms Y]
 
@@ -18,7 +19,10 @@ options:
   --placement P     compact | preplaced | flat                   (default preplaced)
   --block-mib M     block size in MiB                            (default 256)
   --ratio R         inner:cross bandwidth ratio                  (default 10)
-  --cost C          simics | ec2 | free                          (default simics)";
+  --cost C          simics | ec2 | free                          (default simics)
+trace options (see docs/TRACING.md):
+  --format F        chrome | jsonl                               (default chrome)
+  --out FILE        write the trace to FILE instead of stdout";
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,6 +31,8 @@ pub enum Command {
     Plan(PlanArgs),
     /// Compare all schemes on one scenario.
     Compare(PlanArgs),
+    /// Simulate one scheme and dump its structured repair trace.
+    Trace(TraceArgs),
     /// Print the cluster/placement layout.
     Topo {
         /// Code geometry.
@@ -64,6 +70,26 @@ pub struct PlanArgs {
     pub gantt: bool,
     /// Emit Graphviz DOT.
     pub dot: bool,
+}
+
+/// Output format of `rpr trace`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome `trace_event` JSON — load in `chrome://tracing` or Perfetto.
+    Chrome,
+    /// One JSON object per line (machine-friendly event log).
+    Jsonl,
+}
+
+/// Options for the `trace` command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceArgs {
+    /// The scenario to trace (same knobs as `plan`).
+    pub plan: PlanArgs,
+    /// Output format.
+    pub format: TraceFormat,
+    /// Output path; stdout when absent.
+    pub out: Option<String>,
 }
 
 /// Parse a code spec like `6,2` or `12,4`.
@@ -177,7 +203,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let placement = parse_placement(flags.get("--placement").unwrap_or("preplaced"))?;
             Ok(Command::Topo { params, placement })
         }
-        "plan" | "compare" => {
+        "plan" | "compare" | "trace" => {
             let params = parse_code(flags.get("--code").ok_or("missing --code")?)?;
             let failed = parse_failed(flags.get("--fail").ok_or("missing --fail")?, params)?;
             let block_mib: u64 = flags
@@ -218,10 +244,18 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 gantt: flags.has("--gantt"),
                 dot: flags.has("--dot"),
             };
-            Ok(if verb == "plan" {
-                Command::Plan(args)
-            } else {
-                Command::Compare(args)
+            Ok(match verb.as_str() {
+                "plan" => Command::Plan(args),
+                "compare" => Command::Compare(args),
+                _ => Command::Trace(TraceArgs {
+                    plan: args,
+                    format: match flags.get("--format").unwrap_or("chrome") {
+                        "chrome" => TraceFormat::Chrome,
+                        "jsonl" => TraceFormat::Jsonl,
+                        other => return Err(format!("unknown trace format `{other}`")),
+                    },
+                    out: flags.get("--out").map(String::from),
+                }),
             })
         }
         other => Err(format!("unknown command `{other}`")),
@@ -295,6 +329,30 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_trace_command() {
+        let cmd = parse(&argv(
+            "trace --code 6,3 --fail d1 --format jsonl --out repair.jsonl",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Trace(t) => {
+                assert_eq!(t.plan.params, CodeParams::new(6, 3));
+                assert_eq!(t.format, TraceFormat::Jsonl);
+                assert_eq!(t.out.as_deref(), Some("repair.jsonl"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("trace --code 4,2 --fail d0")).unwrap() {
+            Command::Trace(t) => {
+                assert_eq!(t.format, TraceFormat::Chrome, "chrome is the default");
+                assert_eq!(t.out, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("trace --code 4,2 --fail d0 --format xml")).is_err());
     }
 
     #[test]

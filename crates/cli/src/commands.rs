@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{Command, PlanArgs};
+use crate::args::{Command, PlanArgs, TraceArgs, TraceFormat};
 use rpr_codec::{CodeParams, StripeCodec};
 use rpr_core::analysis::{rpr_repair_time, traditional_repair_time, AnalysisParams};
 use rpr_core::{
@@ -14,6 +14,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
     match cmd {
         Command::Plan(a) => plan(&a),
         Command::Compare(a) => compare(&a),
+        Command::Trace(t) => trace(&t),
         Command::Topo { params, placement } => topo(params, placement),
         Command::Analyze { ti_ms, tc_ms } => analyze(ti_ms, tc_ms),
     }
@@ -143,6 +144,55 @@ fn compare(a: &PlanArgs) -> Result<(), String> {
             outcome.repair_time / base * 100.0
         );
     }
+    Ok(())
+}
+
+/// Simulate the scenario once with a [`rpr_obs::TraceRecorder`] attached
+/// and dump the structured trace (schema: `docs/TRACING.md`). The trace
+/// goes to `--out` or stdout; the human summary goes to stderr so piped
+/// output stays valid JSON.
+fn trace(t: &TraceArgs) -> Result<(), String> {
+    let a = &t.plan;
+    let w = world(a);
+    let ctx = RepairContext::new(
+        &w.codec,
+        &w.topo,
+        &w.placement,
+        a.failed.clone(),
+        a.block_bytes,
+        &w.profile,
+        cost_model(&a.cost).scaled_for_block(a.block_bytes),
+    );
+    let plan = planner_by_name(&a.scheme).plan(&ctx);
+    plan.validate(&w.codec, &w.topo, &w.placement)
+        .expect("planner output must validate");
+    let rec = rpr_obs::TraceRecorder::default();
+    let outcome = rpr_core::simulate_traced(&plan, &ctx, &rec);
+
+    let snap = rec.snapshot();
+    let events = rec.take_events();
+    let output = match t.format {
+        TraceFormat::Chrome => rpr_obs::export::to_chrome_trace(&events),
+        TraceFormat::Jsonl => rpr_obs::export::to_json_lines(&events),
+    };
+    match &t.out {
+        Some(path) => {
+            std::fs::write(path, &output).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} events to {path}", events.len());
+        }
+        None => print!("{output}"),
+    }
+    let (_, waves) = plan.cross_waves(&w.topo);
+    eprintln!(
+        "# {} repair: {:.2} s | {} cross + {} inner transfers | \
+         {waves} cross-rack timesteps | {} events ({} dropped)",
+        a.scheme,
+        outcome.repair_time,
+        outcome.stats.cross_transfers,
+        outcome.stats.inner_transfers,
+        snap.recorded_events,
+        snap.dropped_events,
+    );
     Ok(())
 }
 

@@ -15,7 +15,7 @@
 //!   scheduling (Algorithm 2), the §3.3 pre-placement XOR fast path, and the
 //!   §3.4 multi-failure extension (Algorithms 3/4).
 //!
-//! Plans are backend-independent: [`simulate`](sim::simulate) lowers a plan
+//! Plans are backend-independent: [`simulate`] lowers a plan
 //! onto the `rpr-netsim` flow simulator (the "Simics" experiments), while
 //! `rpr-exec` executes the same plan on real bytes with rate-limited
 //! threads (the "EC2" experiments).
@@ -30,6 +30,7 @@ pub mod scenario;
 pub mod schemes;
 pub mod sim;
 pub mod timestep;
+pub mod trace;
 pub mod viz;
 
 pub use cost::CostModel;
@@ -39,3 +40,4 @@ pub use schemes::{
     CarPlanner, ChainPlanner, RecoverySite, RepairPlanner, RprPlanner, TraditionalPlanner,
 };
 pub use sim::{simulate, simulate_batch, BatchOutcome, SimOutcome};
+pub use trace::{combine_kernel, simulate_traced};

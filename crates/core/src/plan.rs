@@ -195,6 +195,47 @@ impl RepairPlan {
         self.outputs.iter().map(|&(b, _)| b).collect()
     }
 
+    /// Assign every cross-rack [`Op::Send`] to its pipeline *timestep*
+    /// (the paper's §3.2 "waves"): list-schedule the cross sends in op
+    /// order under the same discipline the planner's greedy scheduler
+    /// uses — a send must come after every cross send upstream of it in
+    /// the DAG, and a rack participates in at most one cross transfer per
+    /// timestep. Returns one `Option<usize>` per op (`None` for combines
+    /// and inner-rack sends) plus the total timestep count —
+    /// `⌈log2(s+1)⌉` for an optimally pipelined single-failure RPR plan
+    /// merging `s` source racks into the recovery rack.
+    pub fn cross_waves(&self, topo: &Topology) -> (Vec<Option<usize>>, usize) {
+        // depth[i] = first timestep usable by ops that consume op i's
+        // output. Dependencies always have smaller ids, so one forward
+        // pass suffices; ids follow the scheduler's materialization
+        // order, so first-fit per rack reproduces its schedule.
+        let mut depth = vec![0usize; self.ops.len()];
+        let mut wave = vec![None; self.ops.len()];
+        let mut rack_free = vec![0usize; topo.rack_count()];
+        let mut count = 0usize;
+        for i in 0..self.ops.len() {
+            let ready = self
+                .deps_of(i)
+                .iter()
+                .map(|d| depth[d.0])
+                .max()
+                .unwrap_or(0);
+            depth[i] = ready;
+            if let Op::Send { from, to, .. } = &self.ops[i] {
+                if !topo.same_rack(*from, *to) {
+                    let (a, b) = (topo.rack_of(*from).0, topo.rack_of(*to).0);
+                    let w = ready.max(rack_free[a]).max(rack_free[b]);
+                    wave[i] = Some(w);
+                    rack_free[a] = w + 1;
+                    rack_free[b] = w + 1;
+                    depth[i] = w + 1;
+                    count = count.max(w + 1);
+                }
+            }
+        }
+        (wave, count)
+    }
+
     /// Validate the plan against the codec and placement. Checks, for every
     /// operation:
     ///
@@ -502,6 +543,67 @@ mod tests {
         assert_eq!(s.combines, 2);
         assert!(!s.needs_matrix, "all-ones coefficients need no matrix");
         assert_eq!(plan.targets(), vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn figure4_plan_cross_waves() {
+        let (_, topo, _, plan) = figure4_plan();
+        let (waves, count) = plan.cross_waves(&topo);
+        // The two cross sends (ops 2 and 3) both land on the recovery
+        // rack, whose link admits one cross transfer per timestep — so
+        // they occupy waves 0 and 1 (⌈log2(2+1)⌉ = 2 for two source
+        // racks); inner sends and combines get no wave.
+        assert_eq!(waves, vec![None, None, Some(0), Some(1), None, None]);
+        assert_eq!(count, 2);
+    }
+
+    /// Minimal plan with two cross sends between disjoint rack pairs on a
+    /// four-rack topology (only `ops`/`ordering`/the topology matter to
+    /// `cross_waves`).
+    fn disjoint_cross_plan() -> (Topology, RepairPlan) {
+        let topo = Topology::uniform(4, 2);
+        let ops = vec![
+            Op::Send {
+                what: Payload::Block(BlockId(0)),
+                from: NodeId(0), // rack 0
+                to: NodeId(2),   // rack 1
+            },
+            Op::Send {
+                what: Payload::Block(BlockId(2)),
+                from: NodeId(4), // rack 2
+                to: NodeId(6),   // rack 3
+            },
+        ];
+        let plan = RepairPlan {
+            params: CodeParams::new(4, 2),
+            block_bytes: 1024,
+            ops,
+            outputs: Vec::new(),
+            force_matrix: false,
+            scheme: "test",
+            recovery: NodeId(2),
+            ordering: Vec::new(),
+        };
+        (topo, plan)
+    }
+
+    #[test]
+    fn cross_waves_overlap_on_disjoint_racks() {
+        let (topo, plan) = disjoint_cross_plan();
+        let (waves, count) = plan.cross_waves(&topo);
+        assert_eq!(waves, vec![Some(0), Some(0)]);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn cross_waves_follow_ordering_edges() {
+        let (topo, mut plan) = disjoint_cross_plan();
+        // Serialize the two (otherwise link-disjoint) cross sends with a
+        // pure ordering edge: the second must now sit one wave deeper.
+        plan.ordering.push((OpId(0), OpId(1)));
+        let (waves, count) = plan.cross_waves(&topo);
+        assert_eq!(waves, vec![Some(0), Some(1)]);
+        assert_eq!(count, 2);
     }
 
     #[test]

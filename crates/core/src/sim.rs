@@ -2,7 +2,7 @@
 //! "Simics cluster" half of the paper's evaluation.
 //!
 //! Sends become flows of `block_bytes`; combines become compute jobs whose
-//! duration follows the [`CostModel`] (XOR folds vs Galois folds, plus the
+//! duration follows the [`CostModel`](crate::CostModel) (XOR folds vs Galois folds, plus the
 //! one-time decoding-matrix surcharge per node for matrix-based plans).
 
 use crate::plan::{Input, Op, RepairPlan};
@@ -93,7 +93,7 @@ pub fn simulate_batch(plans: &[&RepairPlan], ctx: &RepairContext<'_>) -> BatchOu
 
 /// Build the simulated network for a context, honoring its optional
 /// aggregation-switch constraint.
-fn network_for(ctx: &RepairContext<'_>) -> Network {
+pub(crate) fn network_for(ctx: &RepairContext<'_>) -> Network {
     let net = Network::new(ctx.topo.clone(), ctx.profile.clone());
     match ctx.agg_capacity {
         Some(cap) => net.with_agg_capacity(cap),
@@ -104,7 +104,7 @@ fn network_for(ctx: &RepairContext<'_>) -> Network {
 /// Lower one plan's ops into an existing simulator. Returns the netsim job
 /// id of each op. `matrix_paid` tracks which nodes already built this
 /// plan's decoding matrix (one surcharge per node per stripe).
-fn lower_plan(
+pub(crate) fn lower_plan(
     sim: &mut Simulator,
     plan: &RepairPlan,
     cost: &crate::cost::CostModel,

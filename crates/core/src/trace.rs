@@ -1,0 +1,293 @@
+//! Traced simulation: [`simulate`](crate::sim::simulate) plus structured
+//! `rpr-obs` events.
+//!
+//! [`simulate_traced`] produces the same [`SimOutcome`] as the untraced
+//! path while recording the full event vocabulary of `docs/TRACING.md`:
+//! one `plan_built`, the netsim replay of every transfer and combine
+//! (tagged here with cross-rack timesteps and XOR-vs-GF kernel kinds,
+//! which the network layer cannot know), per-wave
+//! `timestep_started`/`timestep_finished` boundaries, and a final
+//! `repair_done`.
+
+use crate::plan::{Input, Op, RepairPlan};
+use crate::scenario::RepairContext;
+use crate::sim::{lower_plan, network_for, SimOutcome};
+use rpr_netsim::Simulator;
+use rpr_obs::{Event, Kernel, Recorder};
+
+/// The decode kernel combine op `i` runs: [`Kernel::Xor`] when the scheme
+/// doesn't force matrix decoding and every block coefficient is 1 (the
+/// §3.3 pre-placement fast path — intermediates always merge by XOR),
+/// [`Kernel::Gf`] otherwise. `None` when op `i` is a send.
+pub fn combine_kernel(plan: &RepairPlan, i: usize) -> Option<Kernel> {
+    match &plan.ops[i] {
+        Op::Send { .. } => None,
+        Op::Combine { inputs, .. } => {
+            let gf = plan.force_matrix
+                || inputs
+                    .iter()
+                    .any(|inp| matches!(inp, Input::Block { coeff, .. } if *coeff != 1));
+            Some(if gf { Kernel::Gf } else { Kernel::Xor })
+        }
+    }
+}
+
+/// Extract the op index from a `p{tag}op{i}:send|combine` label produced
+/// by plan lowering.
+fn op_index(label: &str) -> Option<usize> {
+    let rest = label.split("op").nth(1)?;
+    rest.split(':').next()?.parse().ok()
+}
+
+/// A [`Recorder`] adapter that rewrites the placeholder fields of
+/// netsim's untagged replay with plan knowledge: the pipeline timestep of
+/// each cross-rack send and the kernel/inputs/bytes of each combine.
+struct PlanTagger<'a> {
+    plan: &'a RepairPlan,
+    waves: &'a [Option<usize>],
+    inner: &'a dyn Recorder,
+}
+
+impl PlanTagger<'_> {
+    fn tag(&self, mut event: Event) -> Event {
+        match &mut event {
+            Event::TransferQueued { xfer, .. }
+            | Event::TransferStarted { xfer, .. }
+            | Event::TransferDone { xfer, .. } => {
+                if let Some(i) = op_index(&xfer.label) {
+                    xfer.timestep = self.waves.get(i).copied().flatten();
+                }
+            }
+            Event::CombineDone {
+                label,
+                kernel,
+                inputs,
+                bytes,
+                ..
+            } => {
+                if let Some(i) = op_index(label) {
+                    if let Some(k) = combine_kernel(self.plan, i) {
+                        *kernel = k;
+                    }
+                    if let Op::Combine { inputs: ins, .. } = &self.plan.ops[i] {
+                        *inputs = ins.len();
+                    }
+                    *bytes = self.plan.block_bytes;
+                }
+            }
+            _ => {}
+        }
+        event
+    }
+}
+
+impl Recorder for PlanTagger<'_> {
+    fn record(&self, event: Event) {
+        self.inner.record(self.tag(event));
+    }
+}
+
+/// Simulate a plan exactly like [`simulate`](crate::sim::simulate) while
+/// recording structured events into `rec`.
+///
+/// The event stream contains, in order: `plan_built`; every transfer
+/// (queued/started/done) and combine in chronological replay order, with
+/// cross sends tagged by timestep; `timestep_started`/`timestep_finished`
+/// per cross-rack wave; and `repair_done`.
+///
+/// # Panics
+/// Panics under the same conditions as `simulate` (malformed plans; run
+/// [`RepairPlan::validate`] first).
+pub fn simulate_traced(
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    rec: &dyn Recorder,
+) -> SimOutcome {
+    let stats = plan.stats(ctx.topo);
+    let (waves, wave_count) = plan.cross_waves(ctx.topo);
+    rec.record(Event::PlanBuilt {
+        scheme: plan.scheme.to_string(),
+        parts: plan.outputs.len(),
+        ops: plan.ops.len(),
+        cross_transfers: stats.cross_transfers,
+        inner_transfers: stats.inner_transfers,
+        cross_timesteps: wave_count,
+        block_bytes: plan.block_bytes,
+    });
+
+    let mut sim = Simulator::new(network_for(ctx));
+    let mut matrix_paid = vec![false; ctx.topo.node_count()];
+    let jobs = lower_plan(&mut sim, plan, &ctx.cost, &mut matrix_paid, 0);
+    let tagger = PlanTagger {
+        plan,
+        waves: &waves,
+        inner: rec,
+    };
+    let report = sim.run_recorded(&tagger);
+
+    // Wave boundaries: the span of each timestep is the earliest start to
+    // the latest finish among its cross sends.
+    for w in 0..wave_count {
+        let mut start = f64::INFINITY;
+        let mut finish = 0.0f64;
+        for (i, wave) in waves.iter().enumerate() {
+            if *wave == Some(w) {
+                let r = report.record(jobs[i]);
+                start = start.min(r.start);
+                finish = finish.max(r.finish);
+            }
+        }
+        rec.record(Event::TimestepStarted { step: w, t: start });
+        rec.record(Event::TimestepFinished { step: w, t: finish });
+    }
+    rec.record(Event::RepairDone {
+        t: report.makespan,
+        cross_bytes: report.cross_rack_bytes,
+        inner_bytes: report.inner_rack_bytes,
+    });
+
+    SimOutcome {
+        repair_time: report.makespan,
+        report,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::schemes::{RepairPlanner, RprPlanner};
+    use rpr_codec::{BlockId, CodeParams, StripeCodec};
+    use rpr_topology::{cluster_for, BandwidthProfile, Placement};
+
+    fn traced_rpr(n: usize, k: usize) -> (RepairPlan, rpr_obs::TraceRecorder, SimOutcome) {
+        let params = CodeParams::new(n, k);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::rpr_preplaced(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            64 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = RprPlanner::new().plan(&ctx);
+        plan.validate(&codec, &topo, &placement).expect("valid");
+        let rec = rpr_obs::TraceRecorder::default();
+        let out = simulate_traced(&plan, &ctx, &rec);
+        (plan, rec, out)
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced() {
+        let params = CodeParams::new(6, 3);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::rpr_preplaced(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(0)],
+            64 << 20,
+            &profile,
+            CostModel::simics(),
+        );
+        let plan = RprPlanner::new().plan(&ctx);
+        let plain = crate::sim::simulate(&plan, &ctx);
+        let traced = simulate_traced(&plan, &ctx, rpr_obs::noop());
+        assert_eq!(plain.repair_time, traced.repair_time);
+        assert_eq!(plain.stats, traced.stats);
+    }
+
+    #[test]
+    fn trace_brackets_run_with_plan_built_and_repair_done() {
+        let (plan, rec, out) = traced_rpr(4, 2);
+        let events = rec.take_events();
+        match &events[0] {
+            Event::PlanBuilt {
+                scheme,
+                ops,
+                block_bytes,
+                ..
+            } => {
+                assert_eq!(scheme, "rpr");
+                assert_eq!(*ops, plan.ops.len());
+                assert_eq!(*block_bytes, plan.block_bytes);
+            }
+            other => panic!("first event must be plan_built, got {other:?}"),
+        }
+        match events.last().unwrap() {
+            Event::RepairDone { t, cross_bytes, .. } => {
+                assert_eq!(*t, out.repair_time);
+                assert_eq!(*cross_bytes, out.report.cross_rack_bytes);
+            }
+            other => panic!("last event must be repair_done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_sends_are_tagged_and_waves_match_plan_built() {
+        let (plan, rec, _) = traced_rpr(6, 3);
+        let events = rec.take_events();
+        let advertised = events
+            .iter()
+            .find_map(|e| match e {
+                Event::PlanBuilt {
+                    cross_timesteps, ..
+                } => Some(*cross_timesteps),
+                _ => None,
+            })
+            .unwrap();
+        let started: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::TimestepStarted { step, .. } => Some(*step),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, (0..advertised).collect::<Vec<_>>());
+        // Every cross transfer_done carries a timestep below the count;
+        // inner ones carry none.
+        let mut cross_seen = 0;
+        for e in &events {
+            if let Event::TransferDone { xfer, .. } = e {
+                if xfer.cross {
+                    cross_seen += 1;
+                    assert!(xfer.timestep.expect("cross sends are tagged") < advertised);
+                } else {
+                    assert_eq!(xfer.timestep, None);
+                }
+            }
+        }
+        let topo = cluster_for(plan.params, 1, 1);
+        assert_eq!(cross_seen, plan.stats(&topo).cross_transfers);
+    }
+
+    #[test]
+    fn combine_kernel_classifies_xor_fast_path() {
+        let (plan, rec, _) = traced_rpr(4, 2);
+        let all_ones = !plan.stats(&cluster_for(plan.params, 1, 1)).needs_matrix;
+        let events = rec.take_events();
+        let kernels: Vec<Kernel> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::CombineDone { kernel, inputs, .. } => {
+                    assert!(*inputs > 0, "tagger must fill combine inputs");
+                    Some(*kernel)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!kernels.is_empty());
+        if all_ones {
+            assert!(kernels.iter().all(|k| *k == Kernel::Xor));
+        }
+    }
+}

@@ -4,7 +4,8 @@ use crate::ratelimit::TokenBucket;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rpr_codec::BlockId;
-use rpr_core::{Input, Op, Payload, RepairContext, RepairPlan};
+use rpr_core::{combine_kernel, Input, Op, Payload, RepairContext, RepairPlan};
+use rpr_obs::{Event, Recorder};
 use rpr_topology::NodeId;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -58,6 +59,25 @@ struct NodeLinks {
 /// Panics if the stripe has the wrong shape or the plan is malformed (run
 /// [`RepairPlan::validate`] first).
 pub fn execute(plan: &RepairPlan, ctx: &RepairContext<'_>, stripe: &[Vec<u8>]) -> ExecReport {
+    execute_recorded(plan, ctx, stripe, rpr_obs::noop())
+}
+
+/// Like [`execute`], but record structured wall-clock events into `rec`:
+/// `plan_built`, per-transfer queued/started/done (with the *real* wait
+/// between inputs becoming ready and the shapers admitting the first
+/// chunk), per-combine `combine_done` with its kernel kind, cross-rack
+/// timestep boundaries, and a final `repair_done`. Labels follow the same
+/// `p0op{i}:send|combine` convention as the simulator lowering, so traces
+/// from both substrates line up.
+///
+/// # Panics
+/// As [`execute`].
+pub fn execute_recorded(
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    stripe: &[Vec<u8>],
+    rec: &dyn Recorder,
+) -> ExecReport {
     assert_eq!(
         stripe.len(),
         plan.params.total(),
@@ -114,9 +134,21 @@ pub fn execute(plan: &RepairPlan, ctx: &RepairContext<'_>, stripe: &[Vec<u8>]) -
     // Optional shared aggregation-switch shaper for all cross traffic.
     let agg: Option<TokenBucket> = ctx.agg_capacity.map(TokenBucket::new);
 
+    let stats = plan.stats(ctx.topo);
+    let (waves, wave_count) = plan.cross_waves(ctx.topo);
+    rec.record(Event::PlanBuilt {
+        scheme: plan.scheme.to_string(),
+        parts: plan.outputs.len(),
+        ops: plan.ops.len(),
+        cross_transfers: stats.cross_transfers,
+        inner_transfers: stats.inner_transfers,
+        cross_timesteps: wave_count,
+        block_bytes: plan.block_bytes,
+    });
+
     // Matrix-build bookkeeping: one real inversion per combining node for
     // matrix-based plans, mirroring the cost model's surcharge.
-    let needs_matrix = plan.stats(ctx.topo).needs_matrix;
+    let needs_matrix = stats.needs_matrix;
     let matrix_done: Vec<Mutex<bool>> = (0..nodes).map(|_| Mutex::new(false)).collect();
 
     let t0 = Instant::now();
@@ -139,6 +171,7 @@ pub fn execute(plan: &RepairPlan, ctx: &RepairContext<'_>, stripe: &[Vec<u8>]) -
             let agg = &agg;
             let timings = &timings;
             let matrix_done = &matrix_done;
+            let waves = &waves;
             scope.spawn(move || {
                 // Gather dependency values.
                 let mut vals: HashMap<usize, Arc<Vec<u8>>> = HashMap::new();
@@ -154,7 +187,32 @@ pub fn execute(plan: &RepairPlan, ctx: &RepairContext<'_>, stripe: &[Vec<u8>]) -
                             Payload::Block(b) => Arc::new(stripe[b.0].clone()),
                             Payload::Intermediate(o) => vals[&o.0].clone(),
                         };
-                        shaped_transfer(ctx, links, agg.as_ref(), *from, *to, data.len());
+                        let xfer = rpr_obs::Transfer {
+                            label: format!("p0op{i}:send"),
+                            src_node: from.0,
+                            src_rack: ctx.topo.rack_of(*from).0,
+                            dst_node: to.0,
+                            dst_rack: ctx.topo.rack_of(*to).0,
+                            bytes: data.len() as u64,
+                            cross: !ctx.topo.same_rack(*from, *to),
+                            timestep: waves[i],
+                        };
+                        rec.record(Event::TransferQueued {
+                            xfer: xfer.clone(),
+                            t: started,
+                        });
+                        let admitted =
+                            shaped_transfer(ctx, links, agg.as_ref(), *from, *to, data.len());
+                        rec.record(Event::TransferStarted {
+                            xfer: xfer.clone(),
+                            queue_wait: admitted,
+                            t: started + admitted,
+                        });
+                        rec.record(Event::TransferDone {
+                            xfer,
+                            start: started + admitted,
+                            end: t0.elapsed().as_secs_f64(),
+                        });
                         data
                     }
                     Op::Combine { node, inputs, .. } => {
@@ -224,10 +282,23 @@ pub fn execute(plan: &RepairPlan, ctx: &RepairContext<'_>, stripe: &[Vec<u8>]) -
                     }
                 };
 
+                let ended = t0.elapsed().as_secs_f64();
                 {
                     let mut t = timings[i].lock();
                     t.start = started;
-                    t.end = t0.elapsed().as_secs_f64();
+                    t.end = ended;
+                }
+                if let Op::Combine { node, inputs, .. } = op {
+                    rec.record(Event::CombineDone {
+                        label: format!("p0op{i}:combine"),
+                        node: node.0,
+                        rack: ctx.topo.rack_of(*node).0,
+                        kernel: combine_kernel(plan, i).expect("op is a combine"),
+                        inputs: inputs.len(),
+                        bytes: plan.block_bytes,
+                        start: started,
+                        end: ended,
+                    });
                 }
                 for tx in my_producers {
                     tx.send(out.clone()).expect("consumer hung up");
@@ -260,9 +331,30 @@ pub fn execute(plan: &RepairPlan, ctx: &RepairContext<'_>, stripe: &[Vec<u8>]) -
         }
     }
 
+    // Timestep boundaries from the recorded wall-clock timings, then the
+    // closing repair_done.
+    let op_timings: Vec<OpTiming> = timings.into_iter().map(|m| m.into_inner()).collect();
+    for w in 0..wave_count {
+        let mut start = f64::INFINITY;
+        let mut finish = 0.0f64;
+        for (i, wave) in waves.iter().enumerate() {
+            if *wave == Some(w) {
+                start = start.min(op_timings[i].start);
+                finish = finish.max(op_timings[i].end);
+            }
+        }
+        rec.record(Event::TimestepStarted { step: w, t: start });
+        rec.record(Event::TimestepFinished { step: w, t: finish });
+    }
+    rec.record(Event::RepairDone {
+        t: wall_seconds,
+        cross_bytes,
+        inner_bytes,
+    });
+
     ExecReport {
         wall_seconds,
-        op_timings: timings.into_iter().map(|m| m.into_inner()).collect(),
+        op_timings,
         cross_bytes,
         inner_bytes,
         verified: mismatches.is_empty(),
@@ -285,7 +377,8 @@ fn cross_class_rate(ctx: &RepairContext<'_>, node: NodeId) -> f64 {
 
 /// Move `len` bytes from `from` to `to` through the shapers: the private
 /// pair-rate bucket plus the shared per-node (and, cross-rack, cross-class)
-/// buckets.
+/// buckets. Returns the seconds spent waiting for the shapers to admit the
+/// *first* chunk — the transfer's queue wait under link contention.
 fn shaped_transfer(
     ctx: &RepairContext<'_>,
     links: &[NodeLinks],
@@ -293,12 +386,14 @@ fn shaped_transfer(
     from: NodeId,
     to: NodeId,
     len: usize,
-) {
+) -> f64 {
     let pair_rate = ctx
         .profile
         .rate(ctx.topo.rack_of(from), ctx.topo.rack_of(to));
     let flow = TokenBucket::new(pair_rate);
     let cross = !ctx.topo.same_rack(from, to);
+    let entered = Instant::now();
+    let mut first_admit = 0.0f64;
     let mut left = len;
     while left > 0 {
         let take = left.min(CHUNK) as f64;
@@ -312,8 +407,12 @@ fn shaped_transfer(
                 bucket.take(take);
             }
         }
+        if left == len {
+            first_admit = entered.elapsed().as_secs_f64();
+        }
         left -= take as usize;
     }
+    first_admit
 }
 
 /// Perform a genuine decoding-matrix construction (survivor-row selection
@@ -384,6 +483,57 @@ mod tests {
             plan.stats(&topo).cross_bytes,
             "executor and plan must agree on traffic"
         );
+    }
+
+    #[test]
+    fn recorded_execution_emits_a_consistent_trace() {
+        let params = CodeParams::new(6, 2);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::rpr_preplaced(params, &topo);
+        let profile = BandwidthProfile::uniform(topo.rack_count(), 80.0e6, 8.0e6);
+        let block = 128 * 1024u64;
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = RprPlanner::new().plan(&ctx);
+        let stripe = stripe_for(&codec, block as usize, 11);
+        let rec = rpr_obs::TraceRecorder::default();
+        let report = execute_recorded(&plan, &ctx, &stripe, &rec);
+        assert!(report.verified, "mismatches: {:?}", report.mismatches);
+
+        // Aggregate metrics agree with the executor's own accounting.
+        let snap = rec.snapshot();
+        assert_eq!(snap.cross_bytes, report.cross_bytes);
+        assert_eq!(snap.inner_bytes, report.inner_bytes);
+
+        let events = rec.take_events();
+        assert!(matches!(events[0], Event::PlanBuilt { .. }));
+        assert!(matches!(events.last().unwrap(), Event::RepairDone { .. }));
+        let stats = plan.stats(&topo);
+        let dones = events
+            .iter()
+            .filter(|e| matches!(e, Event::TransferDone { .. }))
+            .count();
+        assert_eq!(dones, stats.cross_transfers + stats.inner_transfers);
+        let combines = events
+            .iter()
+            .filter(|e| matches!(e, Event::CombineDone { .. }))
+            .count();
+        assert_eq!(combines, stats.combines);
+        // Wave boundaries cover every advertised timestep.
+        let (_, wave_count) = plan.cross_waves(&topo);
+        let finished = events
+            .iter()
+            .filter(|e| matches!(e, Event::TimestepFinished { .. }))
+            .count();
+        assert_eq!(finished, wave_count);
     }
 
     #[test]

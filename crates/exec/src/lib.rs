@@ -20,7 +20,7 @@
 mod executor;
 mod ratelimit;
 
-pub use executor::{execute, ExecReport, OpTiming};
+pub use executor::{execute, execute_recorded, ExecReport, OpTiming};
 pub use ratelimit::TokenBucket;
 
 use rpr_topology::BandwidthProfile;
@@ -36,12 +36,13 @@ pub fn scaled_ec2_profile(racks: usize, scale: f64) -> BandwidthProfile {
 
 /// Measure the achieved throughput (bytes/sec) of a rate-limited path by
 /// pushing `seconds`-worth of traffic through a fresh token bucket — the
-/// microbenchmark used to regenerate Table 1. The initial burst allowance
-/// is drained before the clock starts, so the result reflects the steady
-/// rate.
+/// microbenchmark used to regenerate Table 1. The bucket's burst
+/// allowance is explicitly discarded ([`TokenBucket::drain_burst`])
+/// before the clock starts, so the result reflects the steady rate
+/// regardless of how large the allowance is.
 pub fn measure_path_throughput(rate_bps: f64, seconds: f64) -> f64 {
     let bucket = TokenBucket::new(rate_bps);
-    bucket.take(rate_bps * 0.02); // drain the burst allowance
+    bucket.drain_burst();
     let bytes = (rate_bps * seconds).max(1.0) as u64;
     let start = std::time::Instant::now();
     let mut left = bytes;
@@ -63,6 +64,15 @@ mod tests {
     fn scaled_profile_keeps_ratios() {
         let p = scaled_ec2_profile(5, 1.0 / 16.0);
         assert!((p.cross_to_inner_ratio() - 11.32).abs() < 0.02);
+    }
+
+    #[test]
+    fn measurement_is_not_inflated_by_the_burst_allowance() {
+        // Over a 0.1 s window an undrained 20 ms burst would read ~20%
+        // high; the explicit drain keeps short measurements honest.
+        let rate = 64.0 * MBIT;
+        let got = measure_path_throughput(rate, 0.1);
+        assert!(got <= rate * 1.10, "measured {got:.0} vs nominal {rate:.0}");
     }
 
     #[test]

@@ -43,6 +43,21 @@ impl TokenBucket {
         self.rate
     }
 
+    /// The burst allowance in units (20 ms worth of the rate).
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+
+    /// Discard every accumulated token without blocking, so the next
+    /// [`TokenBucket::take`] pays the full steady rate. Microbenchmarks
+    /// call this before starting their clock; see
+    /// `measure_path_throughput`.
+    pub fn drain_burst(&self) {
+        let mut s = self.state.lock();
+        s.tokens = 0.0;
+        s.last = Instant::now();
+    }
+
     /// Block until `amount` tokens are available, then consume them.
     ///
     /// # Panics
@@ -114,6 +129,19 @@ mod tests {
         let dt = start.elapsed().as_secs_f64();
         // 600 KB total at 2 MB/s ≈ 0.3 s minus the 100 KB of shared burst.
         assert!((0.15..0.80).contains(&dt), "took {dt}s");
+    }
+
+    #[test]
+    fn drain_burst_removes_the_free_allowance() {
+        let b = TokenBucket::new(1_000_000.0); // 1 MB/s, 20 KB burst
+        assert!((b.burst() - 20_000.0).abs() < 1e-9);
+        b.drain_burst();
+        let start = Instant::now();
+        // A fresh bucket would serve this instantly from the burst; after
+        // draining it must take ~20 ms of refill.
+        b.take(20_000.0);
+        let dt = start.elapsed().as_secs_f64();
+        assert!((0.01..0.30).contains(&dt), "took {dt}s");
     }
 
     #[test]

@@ -286,7 +286,7 @@ fn agg_switch() {
 }
 
 /// 6. Slice-pipelined chain repair (PUSH / ECPipe, the paper's related
-///    work [16]) vs RPR's tree pipeline: same cross-rack traffic, different
+///    work \[16\]) vs RPR's tree pipeline: same cross-rack traffic, different
 ///    schedule shape — the chain amortizes hops over slices, the tree
 ///    parallelizes racks over whole blocks.
 fn chain_baseline() {

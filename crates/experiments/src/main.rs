@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of the RPR paper (ICPP '20).
 //!
 //! ```text
-//! rpr-experiments <fig6..fig14|table1|fleet|ablation|all> [--fast] [--out DIR]
+//! rpr-experiments <fig6..fig14|table1|fleet|ablation|traces|all> [--fast] [--out DIR]
 //! ```
 //!
 //! Figures 6–11 run on the `rpr-netsim` flow simulator (the paper's Simics
@@ -16,6 +16,7 @@ mod fleet;
 mod sim_figs;
 mod table1;
 mod theory;
+mod traces;
 mod util;
 
 use std::env;
@@ -64,6 +65,7 @@ fn main() {
             "fig14" => exec_figs::fig14(fast),
             "fleet" => fleet::fleet(fast),
             "ablation" => ablation::ablation(),
+            "traces" => traces::traces(fast),
             "all" => {
                 theory::fig6();
                 sim_figs::fig7();
@@ -77,12 +79,13 @@ fn main() {
                 exec_figs::fig14(fast);
                 fleet::fleet(fast);
                 ablation::ablation();
+                traces::traces(fast);
             }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
                     "usage: rpr-experiments \
-                     <fig6..fig14|table1|fleet|ablation|all> [--fast] [--out DIR]"
+                     <fig6..fig14|table1|fleet|ablation|traces|all> [--fast] [--out DIR]"
                 );
                 std::process::exit(2);
             }

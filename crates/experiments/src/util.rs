@@ -121,6 +121,11 @@ pub fn stats(xs: &[f64]) -> (f64, f64, f64) {
 /// Where CSV copies of every table go (set by `--out DIR`).
 static OUTPUT_DIR: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
 
+/// The `--out` directory, if one was set. Trace dumps go here too.
+pub fn output_dir() -> Option<&'static std::path::Path> {
+    OUTPUT_DIR.get().map(|p| p.as_path())
+}
+
 /// Enable CSV output: every subsequent [`print_table`] also writes
 /// `<slug>.csv` under `dir` (created if missing).
 pub fn set_output_dir(dir: &str) {

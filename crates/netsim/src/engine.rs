@@ -179,6 +179,84 @@ impl Simulator {
         self.jobs.len()
     }
 
+    /// Like [`Simulator::run`], but also replay every job into `rec` as
+    /// structured [`rpr_obs`] trace events, in chronological order.
+    ///
+    /// The engine activates a job the instant its dependencies finish, so
+    /// `TransferQueued` and `TransferStarted` coincide and the reported
+    /// queue wait is zero (the real-bytes executor in `rpr-exec` measures
+    /// genuine waits). Compute jobs become [`rpr_obs::Event::CombineDone`]
+    /// events with placeholder kernel/input/byte fields — this layer sees
+    /// only opaque labeled jobs; callers that know the plan (see
+    /// `rpr-core`'s traced simulation) rewrite those fields.
+    pub fn run_recorded(self, rec: &dyn rpr_obs::Recorder) -> SimReport {
+        let topo = self.net.topology().clone();
+        let report = self.run();
+        let rack = |n: rpr_topology::NodeId| topo.rack_of(n).0;
+        // (time, event) in record order; stable sort puts same-time events
+        // in insertion order (queued/started before done).
+        let mut events: Vec<(f64, rpr_obs::Event)> = Vec::new();
+        for r in &report.records {
+            match r.kind {
+                JobKind::Transfer { from, to, bytes } => {
+                    let xfer = rpr_obs::Transfer {
+                        label: r.label.clone(),
+                        src_node: from.0,
+                        src_rack: rack(from),
+                        dst_node: to.0,
+                        dst_rack: rack(to),
+                        bytes,
+                        cross: !topo.same_rack(from, to),
+                        timestep: None,
+                    };
+                    events.push((
+                        r.start,
+                        rpr_obs::Event::TransferQueued {
+                            xfer: xfer.clone(),
+                            t: r.start,
+                        },
+                    ));
+                    events.push((
+                        r.start,
+                        rpr_obs::Event::TransferStarted {
+                            xfer: xfer.clone(),
+                            queue_wait: 0.0,
+                            t: r.start,
+                        },
+                    ));
+                    events.push((
+                        r.finish,
+                        rpr_obs::Event::TransferDone {
+                            xfer,
+                            start: r.start,
+                            end: r.finish,
+                        },
+                    ));
+                }
+                JobKind::Compute { node, .. } => {
+                    events.push((
+                        r.finish,
+                        rpr_obs::Event::CombineDone {
+                            label: r.label.clone(),
+                            node: node.0,
+                            rack: rack(node),
+                            kernel: rpr_obs::Kernel::Gf,
+                            inputs: 0,
+                            bytes: 0,
+                            start: r.start,
+                            end: r.finish,
+                        },
+                    ));
+                }
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite job times"));
+        for (_, e) in events {
+            rec.record(e);
+        }
+        report
+    }
+
     /// Run the DAG to completion and produce a report.
     ///
     /// # Panics
@@ -557,6 +635,48 @@ mod tests {
         assert_eq!(r.node_upload_bytes[0], 1600);
         assert_eq!(r.node_download_bytes[1], 700);
         assert_eq!(r.node_download_bytes[2], 900);
+    }
+
+    #[test]
+    fn run_recorded_replays_jobs_in_time_order() {
+        use rpr_obs::{Event, TraceRecorder};
+        let rec = TraceRecorder::default();
+        let mut sim = Simulator::new(net());
+        let a = sim.transfer("inner", NodeId(0), NodeId(1), 500, &[]); // 5 s
+        let b = sim.transfer("cross", NodeId(1), NodeId(2), 100, &[a]); // 10 s
+        let _c = sim.compute("decode", NodeId(2), 1.0, &[b]);
+        let report = sim.run_recorded(&rec);
+        assert!((report.makespan - 16.0).abs() < 1e-6);
+
+        let events = rec.take_events();
+        // Two transfers at three events each, plus one combine.
+        assert_eq!(events.len(), 7);
+        let mut last = 0.0;
+        for e in &events {
+            assert!(e.time() >= last, "events out of order");
+            last = e.time();
+        }
+        match &events[0] {
+            Event::TransferQueued { xfer, t } => {
+                assert_eq!(xfer.label, "inner");
+                assert!(!xfer.cross);
+                assert_eq!((xfer.src_rack, xfer.dst_rack), (0, 0));
+                assert_eq!(*t, 0.0);
+            }
+            other => panic!("expected queued first, got {other:?}"),
+        }
+        match events.last().unwrap() {
+            Event::CombineDone { node, rack, end, .. } => {
+                assert_eq!((*node, *rack), (2, 1));
+                assert!((end - 16.0).abs() < 1e-6);
+            }
+            other => panic!("expected combine last, got {other:?}"),
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.inner_bytes, 500);
+        assert_eq!(snap.cross_bytes, 100);
+        assert_eq!(snap.racks[0].inner_bytes_out, 500);
+        assert_eq!(snap.racks[0].cross_bytes_out, 100);
     }
 
     #[test]

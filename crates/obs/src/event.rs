@@ -1,0 +1,171 @@
+//! Structured repair events.
+//!
+//! Every event carries simulation or wall-clock time in **seconds** from
+//! the start of the repair (`t`, or `start`/`end` for spans). Racks and
+//! nodes are plain indices so this crate has no dependency on the
+//! topology types; callers translate.
+//!
+//! The full schema — every event type, field, and unit — is documented in
+//! `docs/TRACING.md` at the repository root.
+
+/// Which combine kernel ran: plain XOR (all coefficients 1) or a general
+/// GF(2^8) linear combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Pure XOR accumulation — no field multiplications.
+    Xor,
+    /// General GF(2^8) scaled accumulation.
+    Gf,
+}
+
+impl Kernel {
+    /// Stable lowercase name used in trace output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Xor => "xor",
+            Kernel::Gf => "gf",
+        }
+    }
+}
+
+/// Endpoints and classification of one block/intermediate movement,
+/// shared by the three transfer events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    /// Plan-derived label (e.g. `"p0op5:send"`), stable across sim/exec.
+    pub label: String,
+    /// Sending node index.
+    pub src_node: usize,
+    /// Rack of the sending node.
+    pub src_rack: usize,
+    /// Receiving node index.
+    pub dst_node: usize,
+    /// Rack of the receiving node.
+    pub dst_rack: usize,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// True when the transfer crosses racks (uses oversubscribed links).
+    pub cross: bool,
+    /// Cross-rack pipeline timestep (wave) this transfer belongs to;
+    /// `None` for inner-rack transfers.
+    pub timestep: Option<usize>,
+}
+
+/// One structured repair event. See `docs/TRACING.md` for the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A repair plan was constructed and is about to run.
+    PlanBuilt {
+        /// Planner name (`"rpr"`, `"traditional"`, ...).
+        scheme: String,
+        /// Independent failure-repair parts in the plan.
+        parts: usize,
+        /// Total operation count (sends + combines).
+        ops: usize,
+        /// Cross-rack transfer count.
+        cross_transfers: usize,
+        /// Inner-rack transfer count.
+        inner_transfers: usize,
+        /// Number of cross-rack pipeline timesteps (waves) in the plan.
+        cross_timesteps: usize,
+        /// Block size in bytes.
+        block_bytes: u64,
+    },
+    /// First transfer of cross-rack timestep `step` began at `t`.
+    TimestepStarted {
+        /// Zero-based wave index.
+        step: usize,
+        /// Seconds from repair start.
+        t: f64,
+    },
+    /// Last transfer of cross-rack timestep `step` finished at `t`.
+    TimestepFinished {
+        /// Zero-based wave index.
+        step: usize,
+        /// Seconds from repair start.
+        t: f64,
+    },
+    /// A transfer became eligible to run (its inputs were ready).
+    TransferQueued {
+        /// Endpoints and classification.
+        xfer: Transfer,
+        /// Seconds from repair start.
+        t: f64,
+    },
+    /// A transfer began moving bytes.
+    TransferStarted {
+        /// Endpoints and classification.
+        xfer: Transfer,
+        /// Seconds spent waiting between queued and started.
+        queue_wait: f64,
+        /// Seconds from repair start.
+        t: f64,
+    },
+    /// A transfer completed.
+    TransferDone {
+        /// Endpoints and classification.
+        xfer: Transfer,
+        /// Seconds from repair start when the transfer began.
+        start: f64,
+        /// Seconds from repair start when the last byte arrived.
+        end: f64,
+    },
+    /// A partial-decode combine completed on a node.
+    CombineDone {
+        /// Plan-derived label (e.g. `"p0op7:combine"`).
+        label: String,
+        /// Node the combine ran on.
+        node: usize,
+        /// Rack of that node.
+        rack: usize,
+        /// Kernel kind: XOR or general GF(2^8).
+        kernel: Kernel,
+        /// Number of input payloads folded.
+        inputs: usize,
+        /// Output size in bytes.
+        bytes: u64,
+        /// Seconds from repair start when the combine began.
+        start: f64,
+        /// Seconds from repair start when it finished.
+        end: f64,
+    },
+    /// The whole repair finished.
+    RepairDone {
+        /// Seconds from repair start (the repair makespan).
+        t: f64,
+        /// Total bytes moved across racks.
+        cross_bytes: u64,
+        /// Total bytes moved within racks.
+        inner_bytes: u64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case event-type name used in trace output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::PlanBuilt { .. } => "plan_built",
+            Event::TimestepStarted { .. } => "timestep_started",
+            Event::TimestepFinished { .. } => "timestep_finished",
+            Event::TransferQueued { .. } => "transfer_queued",
+            Event::TransferStarted { .. } => "transfer_started",
+            Event::TransferDone { .. } => "transfer_done",
+            Event::CombineDone { .. } => "combine_done",
+            Event::RepairDone { .. } => "repair_done",
+        }
+    }
+
+    /// Representative timestamp: the instant for point events, the end
+    /// for spans. Useful for chronological sorting.
+    pub fn time(&self) -> f64 {
+        match self {
+            Event::PlanBuilt { .. } => 0.0,
+            Event::TimestepStarted { t, .. }
+            | Event::TimestepFinished { t, .. }
+            | Event::TransferQueued { t, .. }
+            | Event::TransferStarted { t, .. }
+            | Event::RepairDone { t, .. } => *t,
+            Event::TransferDone { end, .. } | Event::CombineDone { end, .. } => *end,
+        }
+    }
+}

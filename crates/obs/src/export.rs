@@ -1,0 +1,540 @@
+//! Trace exporters: JSON-lines and Chrome `trace_event`.
+//!
+//! Both formats are documented field-by-field in `docs/TRACING.md`.
+//! Serialization is hand-rolled (this crate is dependency-free); all
+//! strings are escaped per RFC 8259 and non-finite floats are emitted
+//! as `null` so output is always valid JSON.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, Transfer};
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental writer for one JSON object.
+struct Obj {
+    out: String,
+    first: bool,
+}
+
+impl Obj {
+    fn new() -> Obj {
+        Obj {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_json_string(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key);
+        push_json_string(&mut self.out, v);
+        self
+    }
+
+    fn u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    fn usize(&mut self, key: &str, v: usize) -> &mut Self {
+        self.u64(key, v as u64)
+    }
+
+    fn f64(&mut self, key: &str, v: f64) -> &mut Self {
+        self.key(key);
+        push_f64(&mut self.out, v);
+        self
+    }
+
+    fn bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    fn opt_usize(&mut self, key: &str, v: Option<usize>) -> &mut Self {
+        self.key(key);
+        match v {
+            Some(v) => {
+                let _ = write!(self.out, "{v}");
+            }
+            None => self.out.push_str("null"),
+        }
+        self
+    }
+
+    fn raw(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str(v);
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+fn transfer_fields(o: &mut Obj, x: &Transfer) {
+    o.str("label", &x.label)
+        .usize("src_node", x.src_node)
+        .usize("src_rack", x.src_rack)
+        .usize("dst_node", x.dst_node)
+        .usize("dst_rack", x.dst_rack)
+        .u64("bytes", x.bytes)
+        .bool("cross", x.cross)
+        .opt_usize("timestep", x.timestep);
+}
+
+/// Serialize one event as a single-line JSON object (no trailing newline).
+pub fn event_to_json(event: &Event) -> String {
+    let mut o = Obj::new();
+    o.str("type", event.name());
+    match event {
+        Event::PlanBuilt {
+            scheme,
+            parts,
+            ops,
+            cross_transfers,
+            inner_transfers,
+            cross_timesteps,
+            block_bytes,
+        } => {
+            o.str("scheme", scheme)
+                .usize("parts", *parts)
+                .usize("ops", *ops)
+                .usize("cross_transfers", *cross_transfers)
+                .usize("inner_transfers", *inner_transfers)
+                .usize("cross_timesteps", *cross_timesteps)
+                .u64("block_bytes", *block_bytes);
+        }
+        Event::TimestepStarted { step, t } | Event::TimestepFinished { step, t } => {
+            o.usize("step", *step).f64("t", *t);
+        }
+        Event::TransferQueued { xfer, t } => {
+            transfer_fields(&mut o, xfer);
+            o.f64("t", *t);
+        }
+        Event::TransferStarted {
+            xfer,
+            queue_wait,
+            t,
+        } => {
+            transfer_fields(&mut o, xfer);
+            o.f64("queue_wait", *queue_wait).f64("t", *t);
+        }
+        Event::TransferDone { xfer, start, end } => {
+            transfer_fields(&mut o, xfer);
+            o.f64("start", *start).f64("end", *end);
+        }
+        Event::CombineDone {
+            label,
+            node,
+            rack,
+            kernel,
+            inputs,
+            bytes,
+            start,
+            end,
+        } => {
+            o.str("label", label)
+                .usize("node", *node)
+                .usize("rack", *rack)
+                .str("kernel", kernel.name())
+                .usize("inputs", *inputs)
+                .u64("bytes", *bytes)
+                .f64("start", *start)
+                .f64("end", *end);
+        }
+        Event::RepairDone {
+            t,
+            cross_bytes,
+            inner_bytes,
+        } => {
+            o.f64("t", *t)
+                .u64("cross_bytes", *cross_bytes)
+                .u64("inner_bytes", *inner_bytes);
+        }
+    }
+    o.finish()
+}
+
+/// Serialize events as JSON-lines: one JSON object per line.
+pub fn to_json_lines(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+const MICROS: f64 = 1e6;
+
+/// Serialize events as a Chrome `trace_event` JSON document, loadable in
+/// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+///
+/// Mapping: **pid = rack**, **tid = node** (transfer spans sit on the
+/// sending node's row); timesteps and repair-level events live on a
+/// synthetic "pipeline" process one past the highest rack. Timestamps
+/// are microseconds (`ts`/`dur`), per the format.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut entries: Vec<String> = Vec::new();
+    let mut max_rack = 0usize;
+    for e in events {
+        match e {
+            Event::TransferQueued { xfer, .. }
+            | Event::TransferStarted { xfer, .. }
+            | Event::TransferDone { xfer, .. } => {
+                max_rack = max_rack.max(xfer.src_rack).max(xfer.dst_rack);
+            }
+            Event::CombineDone { rack, .. } => max_rack = max_rack.max(*rack),
+            _ => {}
+        }
+    }
+    let pipeline_pid = max_rack + 1;
+
+    for rack in 0..=max_rack {
+        let mut o = Obj::new();
+        o.str("name", "process_name")
+            .str("ph", "M")
+            .usize("pid", rack)
+            .raw("args", &format!("{{\"name\":\"rack {rack}\"}}"));
+        entries.push(o.finish());
+    }
+    {
+        let mut o = Obj::new();
+        o.str("name", "process_name")
+            .str("ph", "M")
+            .usize("pid", pipeline_pid)
+            .raw("args", "{\"name\":\"repair pipeline\"}");
+        entries.push(o.finish());
+    }
+
+    for e in events {
+        match e {
+            Event::PlanBuilt {
+                scheme,
+                ops,
+                cross_transfers,
+                cross_timesteps,
+                ..
+            } => {
+                let mut o = Obj::new();
+                o.str("name", &format!("plan: {scheme}"))
+                    .str("cat", "plan")
+                    .str("ph", "i")
+                    .f64("ts", 0.0)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw(
+                        "args",
+                        &format!(
+                            "{{\"ops\":{ops},\"cross_transfers\":{cross_transfers},\
+                             \"cross_timesteps\":{cross_timesteps}}}"
+                        ),
+                    );
+                entries.push(o.finish());
+            }
+            Event::TimestepStarted { .. } => {
+                // Rendered as a span from the paired TimestepFinished below.
+            }
+            Event::TimestepFinished { step, t } => {
+                let start = events
+                    .iter()
+                    .find_map(|e| match e {
+                        Event::TimestepStarted { step: s, t } if s == step => Some(*t),
+                        _ => None,
+                    })
+                    .unwrap_or(0.0);
+                let mut o = Obj::new();
+                o.str("name", &format!("timestep {step}"))
+                    .str("cat", "timestep")
+                    .str("ph", "X")
+                    .f64("ts", start * MICROS)
+                    .f64("dur", (t - start).max(0.0) * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 1)
+                    .raw("args", &format!("{{\"step\":{step}}}"));
+                entries.push(o.finish());
+            }
+            Event::TransferQueued { .. } | Event::TransferStarted { .. } => {
+                // Queue wait is visible as the gap between the queued
+                // instant (below, on the source node row) and the span.
+                if let Event::TransferQueued { xfer, t } = e {
+                    let mut o = Obj::new();
+                    o.str("name", &format!("queued: {}", xfer.label))
+                        .str("cat", "queue")
+                        .str("ph", "i")
+                        .f64("ts", t * MICROS)
+                        .usize("pid", xfer.src_rack)
+                        .usize("tid", xfer.src_node)
+                        .str("s", "t");
+                    entries.push(o.finish());
+                }
+            }
+            Event::TransferDone { xfer, start, end } => {
+                let cat = if xfer.cross {
+                    "transfer.cross"
+                } else {
+                    "transfer.inner"
+                };
+                let mut args = String::from("{");
+                let _ = write!(
+                    args,
+                    "\"bytes\":{},\"dst_node\":{},\"dst_rack\":{}",
+                    xfer.bytes, xfer.dst_node, xfer.dst_rack
+                );
+                if let Some(step) = xfer.timestep {
+                    let _ = write!(args, ",\"timestep\":{step}");
+                }
+                args.push('}');
+                let mut o = Obj::new();
+                o.str("name", &xfer.label)
+                    .str("cat", cat)
+                    .str("ph", "X")
+                    .f64("ts", start * MICROS)
+                    .f64("dur", (end - start).max(0.0) * MICROS)
+                    .usize("pid", xfer.src_rack)
+                    .usize("tid", xfer.src_node)
+                    .raw("args", &args);
+                entries.push(o.finish());
+            }
+            Event::CombineDone {
+                label,
+                node,
+                rack,
+                kernel,
+                inputs,
+                bytes,
+                start,
+                end,
+            } => {
+                let mut o = Obj::new();
+                o.str("name", label)
+                    .str("cat", "combine")
+                    .str("ph", "X")
+                    .f64("ts", start * MICROS)
+                    .f64("dur", (end - start).max(0.0) * MICROS)
+                    .usize("pid", *rack)
+                    .usize("tid", *node)
+                    .raw(
+                        "args",
+                        &format!(
+                            "{{\"kernel\":\"{}\",\"inputs\":{inputs},\"bytes\":{bytes}}}",
+                            kernel.name()
+                        ),
+                    );
+                entries.push(o.finish());
+            }
+            Event::RepairDone {
+                t,
+                cross_bytes,
+                inner_bytes,
+            } => {
+                let mut o = Obj::new();
+                o.str("name", "repair done")
+                    .str("cat", "plan")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw(
+                        "args",
+                        &format!(
+                            "{{\"cross_bytes\":{cross_bytes},\"inner_bytes\":{inner_bytes}}}"
+                        ),
+                    );
+                entries.push(o.finish());
+            }
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Kernel;
+
+    fn sample_events() -> Vec<Event> {
+        let xfer = Transfer {
+            label: "p0op1:send \"quoted\"\n".into(),
+            src_node: 3,
+            src_rack: 1,
+            dst_node: 0,
+            dst_rack: 0,
+            bytes: 4096,
+            cross: true,
+            timestep: Some(0),
+        };
+        vec![
+            Event::PlanBuilt {
+                scheme: "rpr".into(),
+                parts: 1,
+                ops: 4,
+                cross_transfers: 2,
+                inner_transfers: 1,
+                cross_timesteps: 2,
+                block_bytes: 4096,
+            },
+            Event::TimestepStarted { step: 0, t: 0.0 },
+            Event::TransferQueued {
+                xfer: xfer.clone(),
+                t: 0.0,
+            },
+            Event::TransferStarted {
+                xfer: xfer.clone(),
+                queue_wait: 0.25,
+                t: 0.25,
+            },
+            Event::TransferDone {
+                xfer,
+                start: 0.25,
+                end: 0.75,
+            },
+            Event::TimestepFinished { step: 0, t: 0.75 },
+            Event::CombineDone {
+                label: "p0op2:combine".into(),
+                node: 0,
+                rack: 0,
+                kernel: Kernel::Gf,
+                inputs: 2,
+                bytes: 4096,
+                start: 0.75,
+                end: 1.0,
+            },
+            Event::RepairDone {
+                t: 1.0,
+                cross_bytes: 4096,
+                inner_bytes: 0,
+            },
+        ]
+    }
+
+    /// A tiny structural JSON validator: verifies balanced braces and
+    /// brackets outside strings, and that strings close with proper
+    /// escape handling. Catches malformed output without a JSON parser.
+    fn assert_structurally_valid_json(s: &str) {
+        let mut depth_obj = 0i32;
+        let mut depth_arr = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            assert!(depth_obj >= 0 && depth_arr >= 0, "unbalanced close in {s}");
+        }
+        assert!(!in_str, "unterminated string in {s}");
+        assert_eq!(depth_obj, 0, "unbalanced braces in {s}");
+        assert_eq!(depth_arr, 0, "unbalanced brackets in {s}");
+    }
+
+    #[test]
+    fn json_lines_one_valid_object_per_event() {
+        let events = sample_events();
+        let out = to_json_lines(&events);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_structurally_valid_json(line);
+        }
+        assert!(lines[0].contains("\"type\":\"plan_built\""));
+        assert!(lines[4].contains("\"type\":\"transfer_done\""));
+        // The quote and newline in the label must be escaped.
+        assert!(lines[4].contains("\\\"quoted\\\"\\n"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_complete() {
+        let out = to_chrome_trace(&sample_events());
+        assert_structurally_valid_json(&out);
+        assert!(out.starts_with("{\"traceEvents\":["));
+        // Spans for the transfer, the combine, and the timestep.
+        assert!(out.contains("\"cat\":\"transfer.cross\""));
+        assert!(out.contains("\"cat\":\"combine\""));
+        assert!(out.contains("\"name\":\"timestep 0\""));
+        // pid = rack of the sender (1), tid = sending node (3).
+        assert!(out.contains("\"pid\":1,\"tid\":3"));
+        // Process-name metadata for racks and the pipeline lane.
+        assert!(out.contains("\"name\":\"rack 0\""));
+        assert!(out.contains("\"name\":\"repair pipeline\""));
+        // Durations are microseconds: the 0.5 s transfer is 500000 µs.
+        assert!(out.contains("\"dur\":500000"));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let e = Event::RepairDone {
+            t: f64::NAN,
+            cross_bytes: 0,
+            inner_bytes: 0,
+        };
+        let line = event_to_json(&e);
+        assert_structurally_valid_json(&line);
+        assert!(line.contains("\"t\":null"));
+    }
+}

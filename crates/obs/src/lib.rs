@@ -1,0 +1,61 @@
+//! # rpr-obs — repair observability
+//!
+//! Structured trace events, per-rack metrics, and exporters for the
+//! rack-aware pipeline repair (RPR) reproduction. The paper's central
+//! claims are measurements — cross-rack timesteps (`⌈log2(sources+1)⌉`),
+//! per-rack upload imbalance, the wide-/narrow-decode gap — and this
+//! crate makes them visible *inside* a repair rather than only as final
+//! aggregates.
+//!
+//! Three pieces:
+//!
+//! - [`Recorder`]: the sink trait. [`NoopRecorder`] (via [`noop()`])
+//!   keeps untraced call sites free; [`TraceRecorder`] is the default
+//!   real implementation — relaxed atomic counters, per-rack totals,
+//!   log2 latency histograms, and a bounded drop-oldest event ring.
+//! - [`Event`]: the structured event vocabulary (plan built, timestep
+//!   started/finished, transfer queued/started/done, combine done with
+//!   XOR-vs-GF kernel kind, repair done). Units and semantics are
+//!   specified in `docs/TRACING.md`.
+//! - [`export`]: JSON-lines ([`export::to_json_lines`]) and Chrome
+//!   `trace_event` ([`export::to_chrome_trace`]) serialization, both
+//!   hand-rolled so this crate stays dependency-free (the build
+//!   environment has no registry access).
+//!
+//! Racks and nodes appear as plain `usize` indices, so `rpr-obs` sits at
+//! the bottom of the workspace dependency graph next to `rpr-gf`, and
+//! every layer (`core`, `netsim`, `exec`, `cli`, `experiments`) can
+//! record into it without cycles.
+//!
+//! ```
+//! use rpr_obs::{Event, Recorder, TraceRecorder, Transfer};
+//!
+//! let rec = TraceRecorder::default();
+//! rec.record(Event::TransferDone {
+//!     xfer: Transfer {
+//!         label: "p0op0:send".into(),
+//!         src_node: 4, src_rack: 1, dst_node: 0, dst_rack: 0,
+//!         bytes: 4096, cross: true, timestep: Some(0),
+//!     },
+//!     start: 0.0,
+//!     end: 0.5,
+//! });
+//! let snapshot = rec.snapshot();
+//! assert_eq!(snapshot.cross_bytes, 4096);
+//! let jsonl = rpr_obs::export::to_json_lines(&rec.take_events());
+//! assert!(jsonl.contains("\"type\":\"transfer_done\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod export;
+mod metrics;
+mod recorder;
+
+pub use event::{Event, Kernel, Transfer};
+pub use metrics::{Histogram, HistogramSnapshot, RackCounters, RackTotals, HISTOGRAM_BUCKETS};
+pub use recorder::{
+    noop, MetricsSnapshot, NoopRecorder, Recorder, TraceRecorder, DEFAULT_RING_CAPACITY,
+};

@@ -1,0 +1,188 @@
+//! Lock-cheap aggregate metrics: atomic counters, per-rack totals, and
+//! power-of-two latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets in a [`Histogram`]. Bucket `i` counts
+/// values in `[2^(i-1), 2^i)` microseconds (bucket 0: `< 1 µs`), so the
+/// top bucket covers everything from ~9 hours up.
+pub const HISTOGRAM_BUCKETS: usize = 45;
+
+/// A fixed-bucket log2 histogram of durations, safe for concurrent
+/// recording (one relaxed atomic increment per sample).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record a duration in seconds.
+    pub fn record(&self, seconds: f64) {
+        let micros = (seconds * 1e6).max(0.0);
+        let idx = if micros < 1.0 {
+            0
+        } else {
+            ((micros.log2().floor() as usize) + 1).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.each_ref().map(|b| b.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An owned copy of histogram state at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample counts per power-of-two microsecond bucket.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (seconds) of the bucket containing the `q`-quantile
+    /// sample (`q` in `[0, 1]`), or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i upper bound: 2^i µs (bucket 0 is < 1 µs).
+                return Some(2f64.powi(i as i32) / 1e6);
+            }
+        }
+        None
+    }
+}
+
+/// Per-rack traffic totals, updated with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct RackCounters {
+    /// Bytes sent by nodes in this rack.
+    pub bytes_out: AtomicU64,
+    /// Bytes received by nodes in this rack.
+    pub bytes_in: AtomicU64,
+    /// Bytes this rack sent across the rack boundary.
+    pub cross_bytes_out: AtomicU64,
+    /// Bytes this rack sent to peers in the same rack.
+    pub inner_bytes_out: AtomicU64,
+    /// Transfers originating in this rack.
+    pub transfers_out: AtomicU64,
+    /// Combines executed in this rack.
+    pub combines: AtomicU64,
+    /// Total seconds transfers from this rack waited between queued and
+    /// started, scaled to microseconds for atomic accumulation.
+    pub queue_wait_micros: AtomicU64,
+}
+
+/// An owned copy of one rack's counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RackTotals {
+    /// Rack index.
+    pub rack: usize,
+    /// Bytes sent by nodes in this rack.
+    pub bytes_out: u64,
+    /// Bytes received by nodes in this rack.
+    pub bytes_in: u64,
+    /// Bytes this rack sent across the rack boundary.
+    pub cross_bytes_out: u64,
+    /// Bytes this rack sent to peers in the same rack.
+    pub inner_bytes_out: u64,
+    /// Transfers originating in this rack.
+    pub transfers_out: u64,
+    /// Combines executed in this rack.
+    pub combines: u64,
+    /// Total seconds transfers from this rack waited in queue.
+    pub queue_wait_seconds: f64,
+}
+
+impl RackCounters {
+    /// Copy out the current values.
+    pub fn totals(&self, rack: usize) -> RackTotals {
+        RackTotals {
+            rack,
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            cross_bytes_out: self.cross_bytes_out.load(Ordering::Relaxed),
+            inner_bytes_out: self.inner_bytes_out.load(Ordering::Relaxed),
+            transfers_out: self.transfers_out.load(Ordering::Relaxed),
+            combines: self.combines.load(Ordering::Relaxed),
+            queue_wait_seconds: self.queue_wait_micros.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_micros() {
+        let h = Histogram::default();
+        h.record(0.0); // < 1 µs → bucket 0
+        h.record(1.5e-6); // [1, 2) µs → bucket 1
+        h.record(3e-6); // [2, 4) µs → bucket 2
+        h.record(1.0); // 1 s = 2^19.93 µs → bucket 20
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[20], 1);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn histogram_quantile_walks_buckets() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(1e-6); // bucket 1, upper bound 2 µs
+        }
+        h.record(1.0); // bucket 20
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), Some(2e-6));
+        assert!(s.quantile(1.0).unwrap() > 0.5);
+        let empty = HistogramSnapshot {
+            buckets: [0u64; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_clamps_huge_values() {
+        let h = Histogram::default();
+        h.record(1e12); // astronomically large → top bucket, no panic
+        assert_eq!(h.snapshot().buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn rack_counters_round_trip() {
+        let c = RackCounters::default();
+        c.bytes_out.fetch_add(100, Ordering::Relaxed);
+        c.queue_wait_micros.fetch_add(2_500_000, Ordering::Relaxed);
+        let t = c.totals(3);
+        assert_eq!(t.rack, 3);
+        assert_eq!(t.bytes_out, 100);
+        assert!((t.queue_wait_seconds - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,326 @@
+//! The [`Recorder`] trait, the no-op recorder, and the default
+//! [`TraceRecorder`] (atomic counters + bounded event ring).
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::Event;
+use crate::metrics::{Histogram, HistogramSnapshot, RackCounters, RackTotals};
+
+/// A sink for structured repair events.
+///
+/// Implementations must be cheap and thread-safe: the executor calls
+/// [`Recorder::record`] from many worker threads on the data path.
+pub trait Recorder: Sync {
+    /// Record one event. Implementations must not block for long.
+    fn record(&self, event: Event);
+}
+
+/// Discards every event. [`noop()`] returns a shared instance so callers
+/// without a recorder pay one virtual call per event and nothing else.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&self, _event: Event) {}
+}
+
+/// A shared no-op recorder for call sites that don't trace.
+pub fn noop() -> &'static NoopRecorder {
+    static NOOP: NoopRecorder = NoopRecorder;
+    &NOOP
+}
+
+/// Default number of events a [`TraceRecorder`] ring retains.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// The default [`Recorder`]: lock-cheap aggregate metrics (relaxed
+/// atomics), per-rack counters, latency histograms, and a bounded
+/// event ring for export.
+///
+/// Overflow policy: when the ring is full the **oldest** event is dropped
+/// and `dropped_events` is incremented — recent history wins, and the
+/// metrics (which are updated before ring insertion) stay complete.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    ring_capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+    recorded: AtomicU64,
+    cross_bytes: AtomicU64,
+    inner_bytes: AtomicU64,
+    transfers: AtomicU64,
+    combines: AtomicU64,
+    racks: RwLock<Vec<RackCounters>>,
+    queue_wait: Histogram,
+    transfer_time: Histogram,
+    combine_time: Histogram,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl TraceRecorder {
+    /// Create a recorder retaining at most `ring_capacity` events.
+    pub fn with_capacity(ring_capacity: usize) -> TraceRecorder {
+        TraceRecorder {
+            ring_capacity: ring_capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            cross_bytes: AtomicU64::new(0),
+            inner_bytes: AtomicU64::new(0),
+            transfers: AtomicU64::new(0),
+            combines: AtomicU64::new(0),
+            racks: RwLock::new(Vec::new()),
+            queue_wait: Histogram::default(),
+            transfer_time: Histogram::default(),
+            combine_time: Histogram::default(),
+        }
+    }
+
+    /// Run `f` against the counters for `rack`, growing the per-rack
+    /// table if this rack has not been seen yet. The fast path is a read
+    /// lock plus relaxed atomic updates.
+    fn with_rack(&self, rack: usize, f: impl Fn(&RackCounters)) {
+        {
+            let racks = self.racks.read();
+            if let Some(c) = racks.get(rack) {
+                f(c);
+                return;
+            }
+        }
+        let mut racks = self.racks.write();
+        while racks.len() <= rack {
+            racks.push(RackCounters::default());
+        }
+        f(&racks[rack]);
+    }
+
+    fn update_metrics(&self, event: &Event) {
+        match event {
+            Event::TransferStarted {
+                xfer, queue_wait, ..
+            } => {
+                self.queue_wait.record(*queue_wait);
+                self.with_rack(xfer.src_rack, |c| {
+                    c.queue_wait_micros
+                        .fetch_add((queue_wait * 1e6) as u64, Ordering::Relaxed);
+                });
+            }
+            Event::TransferDone { xfer, start, end } => {
+                self.transfers.fetch_add(1, Ordering::Relaxed);
+                self.transfer_time.record(end - start);
+                if xfer.cross {
+                    self.cross_bytes.fetch_add(xfer.bytes, Ordering::Relaxed);
+                } else {
+                    self.inner_bytes.fetch_add(xfer.bytes, Ordering::Relaxed);
+                }
+                self.with_rack(xfer.src_rack, |c| {
+                    c.bytes_out.fetch_add(xfer.bytes, Ordering::Relaxed);
+                    c.transfers_out.fetch_add(1, Ordering::Relaxed);
+                    if xfer.cross {
+                        c.cross_bytes_out.fetch_add(xfer.bytes, Ordering::Relaxed);
+                    } else {
+                        c.inner_bytes_out.fetch_add(xfer.bytes, Ordering::Relaxed);
+                    }
+                });
+                self.with_rack(xfer.dst_rack, |c| {
+                    c.bytes_in.fetch_add(xfer.bytes, Ordering::Relaxed);
+                });
+            }
+            Event::CombineDone {
+                rack, start, end, ..
+            } => {
+                self.combines.fetch_add(1, Ordering::Relaxed);
+                self.combine_time.record(end - start);
+                self.with_rack(*rack, |c| {
+                    c.combines.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Drain and return the retained events in arrival order.
+    pub fn take_events(&self) -> Vec<Event> {
+        self.ring.lock().drain(..).collect()
+    }
+
+    /// Copy out the aggregate metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let racks = self.racks.read();
+        MetricsSnapshot {
+            recorded_events: self.recorded.load(Ordering::Relaxed),
+            dropped_events: self.dropped.load(Ordering::Relaxed),
+            transfers: self.transfers.load(Ordering::Relaxed),
+            combines: self.combines.load(Ordering::Relaxed),
+            cross_bytes: self.cross_bytes.load(Ordering::Relaxed),
+            inner_bytes: self.inner_bytes.load(Ordering::Relaxed),
+            racks: racks
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.totals(i))
+                .collect(),
+            queue_wait: self.queue_wait.snapshot(),
+            transfer_time: self.transfer_time.snapshot(),
+            combine_time: self.combine_time.snapshot(),
+        }
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record(&self, event: Event) {
+        self.update_metrics(&event);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        if ring.len() >= self.ring_capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+}
+
+/// An owned copy of a [`TraceRecorder`]'s aggregate metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Events seen by the recorder (including any later dropped).
+    pub recorded_events: u64,
+    /// Events evicted from the ring by the drop-oldest policy.
+    pub dropped_events: u64,
+    /// Completed transfers.
+    pub transfers: u64,
+    /// Completed combines.
+    pub combines: u64,
+    /// Total bytes moved across racks.
+    pub cross_bytes: u64,
+    /// Total bytes moved within racks.
+    pub inner_bytes: u64,
+    /// Per-rack totals, indexed by rack.
+    pub racks: Vec<RackTotals>,
+    /// Distribution of queued→started waits.
+    pub queue_wait: HistogramSnapshot,
+    /// Distribution of transfer durations.
+    pub transfer_time: HistogramSnapshot,
+    /// Distribution of combine durations.
+    pub combine_time: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Kernel, Transfer};
+
+    fn xfer(src_rack: usize, dst_rack: usize, bytes: u64) -> Transfer {
+        Transfer {
+            label: "p0op0:send".into(),
+            src_node: src_rack * 10,
+            src_rack,
+            dst_node: dst_rack * 10,
+            dst_rack,
+            bytes,
+            cross: src_rack != dst_rack,
+            timestep: if src_rack != dst_rack { Some(0) } else { None },
+        }
+    }
+
+    #[test]
+    fn counters_aggregate_by_rack_and_class() {
+        let rec = TraceRecorder::default();
+        rec.record(Event::TransferDone {
+            xfer: xfer(0, 1, 100),
+            start: 0.0,
+            end: 0.5,
+        });
+        rec.record(Event::TransferDone {
+            xfer: xfer(1, 1, 40),
+            start: 0.0,
+            end: 0.1,
+        });
+        rec.record(Event::CombineDone {
+            label: "p0op2:combine".into(),
+            node: 10,
+            rack: 1,
+            kernel: Kernel::Xor,
+            inputs: 2,
+            bytes: 100,
+            start: 0.5,
+            end: 0.6,
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.transfers, 2);
+        assert_eq!(snap.combines, 1);
+        assert_eq!(snap.cross_bytes, 100);
+        assert_eq!(snap.inner_bytes, 40);
+        assert_eq!(snap.racks[0].cross_bytes_out, 100);
+        assert_eq!(snap.racks[0].bytes_out, 100);
+        assert_eq!(snap.racks[1].bytes_in, 140);
+        assert_eq!(snap.racks[1].inner_bytes_out, 40);
+        assert_eq!(snap.racks[1].combines, 1);
+        assert_eq!(snap.transfer_time.count(), 2);
+    }
+
+    #[test]
+    fn ring_drops_oldest_on_overflow() {
+        let rec = TraceRecorder::with_capacity(3);
+        for step in 0..5 {
+            rec.record(Event::TimestepStarted {
+                step,
+                t: step as f64,
+            });
+        }
+        let events = rec.take_events();
+        assert_eq!(events.len(), 3);
+        // Oldest (steps 0 and 1) were evicted; newest retained in order.
+        let steps: Vec<usize> = events
+            .iter()
+            .map(|e| match e {
+                Event::TimestepStarted { step, .. } => *step,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(steps, vec![2, 3, 4]);
+        let snap = rec.snapshot();
+        assert_eq!(snap.recorded_events, 5);
+        assert_eq!(snap.dropped_events, 2);
+    }
+
+    #[test]
+    fn queue_wait_feeds_histogram_and_rack_total() {
+        let rec = TraceRecorder::default();
+        rec.record(Event::TransferStarted {
+            xfer: xfer(2, 0, 64),
+            queue_wait: 0.25,
+            t: 0.25,
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.queue_wait.count(), 1);
+        assert!((snap.racks[2].queue_wait_seconds - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recorder_is_usable_across_threads() {
+        let rec = TraceRecorder::default();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let rec = &rec;
+                s.spawn(move || {
+                    for j in 0..100 {
+                        rec.record(Event::TransferDone {
+                            xfer: xfer(i, (i + 1) % 4, j),
+                            start: 0.0,
+                            end: 0.001,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().transfers, 400);
+        assert_eq!(rec.take_events().len(), 400);
+    }
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Tier-1 verification recipe (see ROADMAP.md): build, tests, lints, docs.
+#
+# Usage: scripts/verify.sh [--offline]
+#   --offline   forward --offline to every cargo invocation (default when
+#               CARGO_NET_OFFLINE=true); required in registry-less builds.
+#
+# Steps:
+#   1. cargo build --release --workspace
+#   2. cargo test -q --workspace
+#   3. cargo clippy --workspace --all-targets -- -D warnings
+#   4. cargo doc --no-deps --workspace   (rustdoc warnings are errors)
+#
+# Note: `cargo doc` prints a filename-collision warning for the `rpr` CLI
+# binary vs the `rpr` facade lib (cargo#6313); it is cargo's, not
+# rustdoc's, and does not fail the run.
+
+set -eu
+
+OFFLINE=""
+for arg in "$@"; do
+    case "$arg" in
+        --offline) OFFLINE="--offline" ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+if [ "${CARGO_NET_OFFLINE:-}" = "true" ]; then
+    OFFLINE="--offline"
+fi
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build $OFFLINE --release --workspace
+run cargo test $OFFLINE -q --workspace
+run cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc $OFFLINE --no-deps --workspace"
+RUSTDOCFLAGS="-D warnings" cargo doc $OFFLINE --no-deps --workspace
+
+echo "==> verify OK"

@@ -48,6 +48,11 @@
 //! | [`core`] | planners (Traditional/CAR/RPR), plans, analysis, viz |
 //! | [`exec`] | the real-data executor |
 //! | [`store`] | multi-stripe store and fleet-failure recovery |
+//! | [`obs`] | structured repair traces and per-rack metrics |
+//!
+//! To capture a structured trace of a repair, attach an [`obs::TraceRecorder`]
+//! via [`core::simulate_traced`] (or `exec::execute_recorded`) and export the
+//! events with [`obs::export`] — schema in `docs/TRACING.md`.
 
 pub use rpr_codec as codec;
 pub use rpr_core as core;
@@ -55,5 +60,6 @@ pub use rpr_exec as exec;
 pub use rpr_gf as gf;
 pub use rpr_linalg as linalg;
 pub use rpr_netsim as netsim;
+pub use rpr_obs as obs;
 pub use rpr_store as store;
 pub use rpr_topology as topology;

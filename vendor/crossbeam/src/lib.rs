@@ -1,0 +1,143 @@
+//! Minimal in-tree stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the small slice of `crossbeam::channel` it uses, implemented on top of
+//! `std::sync::mpsc`. The key interface difference from raw `mpsc` is
+//! preserved: senders are cloneable and both endpoints use the
+//! `crossbeam` type names (`Sender`, `Receiver`, `bounded`, `unbounded`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex, PoisonError};
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Sending half of a channel; cloneable like `crossbeam`'s.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(SenderInner<T>);
+
+    #[derive(Debug, Clone)]
+    enum SenderInner<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    /// Receiving half of a channel; cloneable (multi-consumer) like
+    /// `crossbeam`'s — clones share one underlying queue, each value is
+    /// delivered to exactly one receiver.
+    #[derive(Debug)]
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderInner::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                SenderInner::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Receive a value, blocking until one is available or all senders
+        /// have disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner().recv().map_err(|_| RecvError)
+        }
+
+        /// Receive without blocking, `None` when empty (disconnected or not).
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner().try_recv().ok()
+        }
+
+        /// Collect values until all senders disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.recv().ok())
+        }
+    }
+
+    /// Create a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender(SenderInner::Bounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender(SenderInner::Unbounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+    }
+
+    #[test]
+    fn bounded_blocks_then_drains_across_threads() {
+        let (tx, rx) = channel::bounded(1);
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+}

@@ -1,0 +1,101 @@
+//! The [`Arbitrary`] trait and [`any`] entry point.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy covering the whole domain of the type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy producing any value of `T` (see [`Arbitrary`]).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain strategy for primitives.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(PhantomData<T>);
+
+macro_rules! arbitrary_ints {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                let f: fn(&mut TestRng) -> $t = $conv;
+                Ok(f(rng))
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(
+    u8 => |r| r.next_u32() as u8,
+    u16 => |r| r.next_u32() as u16,
+    u32 => |r| r.next_u32(),
+    u64 => |r| r.next_u64(),
+    usize => |r| r.next_u64() as usize,
+    i8 => |r| r.next_u32() as i8,
+    i16 => |r| r.next_u32() as i16,
+    i32 => |r| r.next_u32() as i32,
+    i64 => |r| r.next_u64() as i64,
+    isize => |r| r.next_u64() as isize,
+    bool => |r| r.next_u32() & 1 == 1,
+);
+
+impl Strategy for AnyPrimitive<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+        // Finite floats across a wide dynamic range (sign × magnitude).
+        let mag = rng.unit_f64();
+        let exp = (rng.below(61) as i32) - 30;
+        let sign = if rng.next_u32() & 1 == 1 { -1.0 } else { 1.0 };
+        Ok(sign * mag * 2f64.powi(exp))
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrimitive<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(PhantomData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u8_covers_domain_edges() {
+        let strat = any::<u8>();
+        let mut rng = TestRng::new(7);
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[strat.new_value(&mut rng).unwrap() as usize] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(covered > 250, "only {covered}/256 u8 values seen");
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let strat = any::<f64>();
+        let mut rng = TestRng::new(11);
+        for _ in 0..1_000 {
+            assert!(strat.new_value(&mut rng).unwrap().is_finite());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Strategies for collections (`proptest::collection`).
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+
+/// An inclusive size window for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.min == self.max {
+            self.min
+        } else {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with sizes in a window.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate vectors whose elements come from `element` and whose length
+/// falls in `size` (a `usize`, `Range<usize>`, or `RangeInclusive<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+        let len = self.size.pick(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.new_value(rng)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with sizes in a window.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate ordered sets of distinct elements with sizes in `size`.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Result<BTreeSet<S::Value>, Rejection> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates don't grow the set, so allow generous retries before
+        // rejecting (the element domain may be barely larger than `target`).
+        let max_attempts = target * 20 + 64;
+        let mut attempts = 0;
+        while out.len() < target && attempts < max_attempts {
+            out.insert(self.element.new_value(rng)?);
+            attempts += 1;
+        }
+        if out.len() >= self.size.min {
+            Ok(out)
+        } else {
+            Err(Rejection("btree_set: element domain too small for requested size"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_in_window() {
+        let strat = vec(0u8..=255, 3..7);
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng).unwrap();
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_exact_size_from_usize() {
+        let strat = vec(0u8..=255, 16usize);
+        let mut rng = TestRng::new(5);
+        assert_eq!(strat.new_value(&mut rng).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn btree_set_distinct_and_sized() {
+        let strat = btree_set(0usize..10, 1..=4);
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let s = strat.new_value(&mut rng).unwrap();
+            assert!((1..=4).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_rejects_impossible_size() {
+        // Domain of 2 values can never reach 5 distinct elements.
+        let strat = btree_set(0usize..2, 5..=5);
+        let mut rng = TestRng::new(5);
+        assert!(strat.new_value(&mut rng).is_err());
+    }
+}

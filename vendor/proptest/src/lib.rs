@@ -1,0 +1,246 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a compact property-testing harness exposing the `proptest` API surface
+//! its tests use: the [`proptest!`] macro (both `pat in strategy` and
+//! `ident: Type` parameters, with optional `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! [`prop_oneof!`], [`strategy::Strategy`] with the `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `prop_filter_map` adapters,
+//! [`arbitrary::any`], [`collection::vec`] / [`collection::btree_set`],
+//! and [`sample::select`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking** — a failing input is reported exactly as generated.
+//! - **Fixed deterministic seeding** — every run generates the same cases,
+//!   so failures always reproduce; `.proptest-regressions` files are
+//!   ignored.
+//! - Rejection handling is coarse: a global cap (default 65 536) rather
+//!   than local/global split.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test usually needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a: u32, b in 0u32..1000) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+// The `#[test]` in the example is the macro's whole point, not a doctest
+// mistake.
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr) $(#[$meta:meta])* fn $name:ident( $($params:tt)* ) $body:block $($rest:tt)* ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_body! { ($config) () () ($($params)*) $body }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    // All parameters consumed: run the cases.
+    ( ($config:expr) ($($pat:pat_param),+) ($($strat:expr),+) () $body:block ) => {{
+        let __proptest_config = $config;
+        $crate::test_runner::run_cases(
+            &__proptest_config,
+            ($($strat,)+),
+            |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            },
+        );
+    }};
+    // `pat in strategy, ...`
+    ( ($config:expr) ($($pat:pat_param),*) ($($strat:expr),*) ($p:pat_param in $s:expr, $($rest:tt)*) $body:block ) => {
+        $crate::__proptest_body! { ($config) ($($pat,)* $p) ($($strat,)* $s) ($($rest)*) $body }
+    };
+    // `pat in strategy` (final parameter)
+    ( ($config:expr) ($($pat:pat_param),*) ($($strat:expr),*) ($p:pat_param in $s:expr) $body:block ) => {
+        $crate::__proptest_body! { ($config) ($($pat,)* $p) ($($strat,)* $s) () $body }
+    };
+    // `ident: Type, ...` (uses the type's canonical `any` strategy)
+    ( ($config:expr) ($($pat:pat_param),*) ($($strat:expr),*) ($i:ident : $t:ty, $($rest:tt)*) $body:block ) => {
+        $crate::__proptest_body! {
+            ($config) ($($pat,)* $i) ($($strat,)* $crate::arbitrary::any::<$t>()) ($($rest)*) $body
+        }
+    };
+    // `ident: Type` (final parameter)
+    ( ($config:expr) ($($pat:pat_param),*) ($($strat:expr),*) ($i:ident : $t:ty) $body:block ) => {
+        $crate::__proptest_body! {
+            ($config) ($($pat,)* $i) ($($strat,)* $crate::arbitrary::any::<$t>()) () $body
+        }
+    };
+}
+
+/// Assert a property holds; on failure the case fails with the condition
+/// (or a formatted message) and the generated input is reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert two expressions are equal (`==`), with `{:?}` diagnostics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert two expressions are unequal (`!=`), with `{:?}` diagnostics.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `left != right`\n  both: `{:?}`: {}",
+            __l,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discard the current case (it does not count toward the case budget)
+/// when a precondition on generated inputs does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod macro_tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn pat_in_strategy_form((a, b) in (0u32..100, 0u32..100)) {
+            prop_assert!(a < 100 && b < 100);
+        }
+
+        #[test]
+        fn ident_type_form(x: u8, y: u64) {
+            let _ = y;
+            prop_assert!(u64::from(x) <= 255);
+        }
+
+        #[test]
+        fn mixed_forms(v in crate::collection::vec(any::<u8>(), 0..10), seed: u64) {
+            let _ = seed;
+            prop_assert!(v.len() < 10);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_sample(choice in prop_oneof![Just(1u8), Just(7u8)],
+                            pick in crate::sample::select(vec![10usize, 20, 30])) {
+            prop_assert!(choice == 1 || choice == 7);
+            prop_assert_ne!(pick, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+}

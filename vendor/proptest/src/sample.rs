@@ -1,0 +1,42 @@
+//! Strategies that sample from explicit value lists (`proptest::sample`).
+
+use std::fmt::Debug;
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+
+/// Strategy yielding uniformly chosen elements of a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// Choose uniformly among the given values.
+pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "sample::select on empty list");
+    Select { items }
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        let i = rng.below(self.items.len() as u64) as usize;
+        Ok(self.items[i].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_all_items() {
+        let strat = select(vec!['a', 'b', 'c']);
+        let mut rng = TestRng::new(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.new_value(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,368 @@
+//! The [`Strategy`] trait, adapters, and strategies for primitive types.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A value could not be generated (e.g. a filter predicate failed); the
+/// runner retries with fresh randomness, up to its global reject cap.
+#[derive(Debug, Clone)]
+pub struct Rejection(pub &'static str);
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// A recipe for generating values of a type.
+///
+/// Unlike real proptest there is no shrinking: strategies produce final
+/// values directly, and a failing input is reported as generated.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generate one value, or reject (runner retries).
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate a value, then use it to pick a second strategy to draw
+    /// the final value from (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; others are rejected with
+    /// `reason` and regenerated.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Map and filter in one step: `None` rejects with `reason`.
+    fn prop_filter_map<O: Debug, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            source: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.source.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<S2::Value, Rejection> {
+        let inner = (self.f)(self.source.new_value(rng)?);
+        inner.new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        let v = self.source.new_value(rng)?;
+        if (self.pred)(&v) {
+            Ok(v)
+        } else {
+            Err(Rejection(self.reason))
+        }
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    source: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        match (self.f)(self.source.new_value(rng)?) {
+            Some(v) => Ok(v),
+            None => Err(Rejection(self.reason)),
+        }
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> Result<V, Rejection> {
+        self.0.new_value(rng)
+    }
+}
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Picks uniformly among alternative strategies (`prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Build from a non-empty list of alternatives.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> Result<V, Rejection> {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].new_value(rng)
+    }
+}
+
+fn sample_int_span(rng: &mut TestRng, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    wide % span
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                Ok((self.start as i128 + sample_int_span(rng, span) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                Ok((lo as i128 + sample_int_span(rng, span) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                (self.start..=<$t>::MAX).new_value(rng)
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+        assert!(self.start < self.end, "empty range strategy");
+        Ok(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> Result<f32, Rejection> {
+        assert!(self.start < self.end, "empty range strategy");
+        Ok(self.start + rng.unit_f64() as f32 * (self.end - self.start))
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (10u32..20).new_value(&mut r).unwrap();
+            assert!((10..20).contains(&v));
+            let w = (250u8..=255).new_value(&mut r).unwrap();
+            assert!(w >= 250);
+            let x = (1u8..).new_value(&mut r).unwrap();
+            assert!(x >= 1);
+            let f = (1.0f64..2.0).new_value(&mut r).unwrap();
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let strat = (0u32..100).prop_map(|v| v * 2).prop_filter("nonzero", |&v| v != 0);
+        let mut r = rng();
+        for _ in 0..100 {
+            match strat.new_value(&mut r) {
+                Ok(v) => {
+                    assert_eq!(v % 2, 0);
+                    assert_ne!(v, 0);
+                }
+                Err(rej) => assert_eq!(rej.0, "nonzero"),
+            }
+        }
+    }
+
+    #[test]
+    fn flat_map_dependent_generation() {
+        let strat = (1usize..10).prop_flat_map(|n| (Just(n), 0usize..n));
+        let mut r = rng();
+        for _ in 0..200 {
+            let (n, v) = strat.new_value(&mut r).unwrap();
+            assert!(v < n);
+        }
+    }
+
+    #[test]
+    fn union_uses_all_arms() {
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut r = rng();
+        let draws: Vec<u8> = (0..100).map(|_| u.new_value(&mut r).unwrap()).collect();
+        assert!(draws.contains(&1) && draws.contains(&2));
+    }
+
+    #[test]
+    fn filter_map_rejects_none() {
+        let strat = (0u32..4).prop_filter_map("must be even", |v| {
+            if v % 2 == 0 {
+                Some(v / 2)
+            } else {
+                None
+            }
+        });
+        let mut r = rng();
+        let mut saw_reject = false;
+        for _ in 0..100 {
+            match strat.new_value(&mut r) {
+                Ok(v) => assert!(v < 2),
+                Err(_) => saw_reject = true,
+            }
+        }
+        assert!(saw_reject);
+    }
+}

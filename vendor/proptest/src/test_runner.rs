@@ -1,0 +1,217 @@
+//! Test execution: deterministic RNG, configuration, and the case runner.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// Deterministic generator state handed to strategies.
+///
+/// splitmix64: full-period, passes BigCrush for this use, and — critically
+/// for a test harness — identical sequences on every platform and run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`. Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is false for this input (`prop_assert!` failure).
+    Fail(String),
+    /// The input does not satisfy a precondition (`prop_assume!`); the
+    /// case is discarded without counting against the property.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// Result of a single test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration, set per-`proptest!` block via
+/// `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+    /// Cap on strategy rejections before the run is declared stuck.
+    pub max_global_rejects: u32,
+    /// Seed for the deterministic generator.
+    pub rng_seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+            rng_seed: 0x70726F70_74657374, // "proptest"
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Default configuration with a specific case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Drive `test` over `config.cases` generated inputs. Panics (failing the
+/// enclosing `#[test]`) on the first failing case, printing the input.
+///
+/// No shrinking: the failing input is reported as generated. Inputs are
+/// deterministic for a given seed, so a reported failure reproduces by
+/// re-running the test.
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    strategy: S,
+    test: impl Fn(S::Value) -> TestCaseResult,
+) {
+    let mut rng = TestRng::new(config.rng_seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        let value = match strategy.new_value(&mut rng) {
+            Ok(v) => v,
+            Err(rejection) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest: too many inputs rejected during generation ({rejection})",
+                );
+                continue;
+            }
+        };
+        let described = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(reason))) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest: too many inputs rejected by prop_assume ({reason})",
+                );
+            }
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                panic!(
+                    "proptest: property failed after {accepted} passing case(s): {reason}\n\
+                     \x20   input: {described}"
+                );
+            }
+            Err(payload) => {
+                eprintln!("proptest: panic while testing input: {described}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn run_cases_runs_exactly_cases_accepted() {
+        use std::cell::Cell;
+        let count = Cell::new(0u32);
+        let config = ProptestConfig::with_cases(10);
+        run_cases(&config, 0u64..100, |_| {
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn run_cases_panics_on_failure() {
+        let config = ProptestConfig::with_cases(10);
+        run_cases(&config, 0u64..100, |v| {
+            if v < 1_000 {
+                Err(TestCaseError::fail("always fails"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_cases() {
+        use std::cell::Cell;
+        let accepted = Cell::new(0u32);
+        let seen = Cell::new(0u32);
+        let config = ProptestConfig::with_cases(5);
+        run_cases(&config, 0u64..10, |v| {
+            seen.set(seen.get() + 1);
+            if v % 2 == 0 {
+                return Err(TestCaseError::reject("odd only"));
+            }
+            accepted.set(accepted.get() + 1);
+            Ok(())
+        });
+        assert_eq!(accepted.get(), 5);
+        assert!(seen.get() >= 5);
+    }
+}
