@@ -10,6 +10,8 @@ usage:
   rpr plan    --code N,K --fail BLOCKS [options] [--gantt] [--dot]
   rpr compare --code N,K --fail BLOCKS [options]
   rpr trace   --code N,K --fail BLOCKS [options] [--format F] [--out FILE]
+  rpr inject  --code N,K --fail BLOCKS [options] [--fault F] [--seed S]
+              [--backend B] [--format F] [--out FILE]
   rpr topo    --code N,K [--placement P]
   rpr analyze [--ti-ms X] [--tc-ms Y]
 
@@ -21,8 +23,14 @@ options:
   --ratio R         inner:cross bandwidth ratio                  (default 10)
   --cost C          simics | ec2 | free                          (default simics)
 trace options (see docs/TRACING.md):
-  --format F        chrome | jsonl                               (default chrome)
-  --out FILE        write the trace to FILE instead of stdout";
+  --format F        chrome | jsonl                               (default chrome;
+                                                                  inject: jsonl)
+  --out FILE        write the trace to FILE instead of stdout
+inject options (see docs/ROBUSTNESS.md):
+  --fault F         crash | timeout | corrupt | slow | rack      (default crash)
+  --seed S          deterministic fault seed                     (default 17)
+  --backend B       sim | exec                                   (default sim)
+                    exec moves real bytes: pass a small --block-mib";
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +41,9 @@ pub enum Command {
     Compare(PlanArgs),
     /// Simulate one scheme and dump its structured repair trace.
     Trace(TraceArgs),
+    /// Run one scheme under a seed-picked injected fault and dump the
+    /// degraded repair trace.
+    Inject(InjectArgs),
     /// Print the cluster/placement layout.
     Topo {
         /// Code geometry.
@@ -87,6 +98,48 @@ pub struct TraceArgs {
     /// The scenario to trace (same knobs as `plan`).
     pub plan: PlanArgs,
     /// Output format.
+    pub format: TraceFormat,
+    /// Output path; stdout when absent.
+    pub out: Option<String>,
+}
+
+/// Fault family injected by `rpr inject`; the concrete site (node, op,
+/// rack, timestep) is picked deterministically from the seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultChoice {
+    /// A helper node dies mid-pipeline; recovery replans around it.
+    Crash,
+    /// One transfer stalls partway and times out once.
+    Timeout,
+    /// One intermediate block arrives corrupted (checksum rejects it).
+    Corrupt,
+    /// One helper's links run degraded for the whole repair.
+    Slow,
+    /// A rack switch drops every cross transfer of one timestep once.
+    Rack,
+}
+
+/// Which substrate runs the injected repair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectBackend {
+    /// Virtual-clock flow simulator (bit-deterministic traces).
+    Sim,
+    /// Real-byte executor (wall-clock timing, byte-exact verification).
+    Exec,
+}
+
+/// Options for the `inject` command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InjectArgs {
+    /// The scenario to degrade (same knobs as `plan`).
+    pub plan: PlanArgs,
+    /// Fault family to inject.
+    pub fault: FaultChoice,
+    /// Backend that runs the repair.
+    pub backend: InjectBackend,
+    /// Seed driving both the site pick and the fault parameters.
+    pub seed: u64,
+    /// Output format of the trace.
     pub format: TraceFormat,
     /// Output path; stdout when absent.
     pub out: Option<String>,
@@ -203,7 +256,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let placement = parse_placement(flags.get("--placement").unwrap_or("preplaced"))?;
             Ok(Command::Topo { params, placement })
         }
-        "plan" | "compare" | "trace" => {
+        "plan" | "compare" | "trace" | "inject" => {
             let params = parse_code(flags.get("--code").ok_or("missing --code")?)?;
             let failed = parse_failed(flags.get("--fail").ok_or("missing --fail")?, params)?;
             let block_mib: u64 = flags
@@ -244,16 +297,42 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 gantt: flags.has("--gantt"),
                 dot: flags.has("--dot"),
             };
+            let format = |default: TraceFormat| match flags.get("--format") {
+                None => Ok(default),
+                Some("chrome") => Ok(TraceFormat::Chrome),
+                Some("jsonl") => Ok(TraceFormat::Jsonl),
+                Some(other) => Err(format!("unknown trace format `{other}`")),
+            };
             Ok(match verb.as_str() {
                 "plan" => Command::Plan(args),
                 "compare" => Command::Compare(args),
-                _ => Command::Trace(TraceArgs {
+                "trace" => Command::Trace(TraceArgs {
                     plan: args,
-                    format: match flags.get("--format").unwrap_or("chrome") {
-                        "chrome" => TraceFormat::Chrome,
-                        "jsonl" => TraceFormat::Jsonl,
-                        other => return Err(format!("unknown trace format `{other}`")),
+                    format: format(TraceFormat::Chrome)?,
+                    out: flags.get("--out").map(String::from),
+                }),
+                _ => Command::Inject(InjectArgs {
+                    plan: args,
+                    fault: match flags.get("--fault").unwrap_or("crash") {
+                        "crash" => FaultChoice::Crash,
+                        "timeout" => FaultChoice::Timeout,
+                        "corrupt" => FaultChoice::Corrupt,
+                        "slow" => FaultChoice::Slow,
+                        "rack" => FaultChoice::Rack,
+                        other => return Err(format!("unknown fault `{other}`")),
                     },
+                    backend: match flags.get("--backend").unwrap_or("sim") {
+                        "sim" => InjectBackend::Sim,
+                        "exec" => InjectBackend::Exec,
+                        other => return Err(format!("unknown backend `{other}`")),
+                    },
+                    seed: flags
+                        .get("--seed")
+                        .map(|v| v.parse().map_err(|_| "bad --seed"))
+                        .transpose()?
+                        .unwrap_or(17),
+                    // JSONL by default: injected traces exist to be diffed.
+                    format: format(TraceFormat::Jsonl)?,
                     out: flags.get("--out").map(String::from),
                 }),
             })
@@ -353,6 +432,38 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse(&argv("trace --code 4,2 --fail d0 --format xml")).is_err());
+    }
+
+    #[test]
+    fn parse_inject_command() {
+        let cmd = parse(&argv(
+            "inject --code 6,3 --fail d1 --fault timeout --seed 4242 \
+             --backend exec --format chrome --out chaos.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Inject(i) => {
+                assert_eq!(i.plan.params, CodeParams::new(6, 3));
+                assert_eq!(i.fault, FaultChoice::Timeout);
+                assert_eq!(i.backend, InjectBackend::Exec);
+                assert_eq!(i.seed, 4242);
+                assert_eq!(i.format, TraceFormat::Chrome);
+                assert_eq!(i.out.as_deref(), Some("chaos.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("inject --code 6,3 --fail d1")).unwrap() {
+            Command::Inject(i) => {
+                assert_eq!(i.fault, FaultChoice::Crash, "crash is the default");
+                assert_eq!(i.backend, InjectBackend::Sim, "sim is the default");
+                assert_eq!(i.seed, 17);
+                assert_eq!(i.format, TraceFormat::Jsonl, "inject defaults to jsonl");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("inject --code 6,3 --fail d1 --fault meteor")).is_err());
+        assert!(parse(&argv("inject --code 6,3 --fail d1 --backend fpga")).is_err());
+        assert!(parse(&argv("inject --code 6,3 --fail d1 --seed -1")).is_err());
     }
 
     #[test]

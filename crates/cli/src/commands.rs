@@ -1,12 +1,15 @@
 //! Command implementations.
 
-use crate::args::{Command, PlanArgs, TraceArgs, TraceFormat};
+use crate::args::{
+    Command, FaultChoice, InjectArgs, InjectBackend, PlanArgs, TraceArgs, TraceFormat,
+};
 use rpr_codec::{CodeParams, StripeCodec};
 use rpr_core::analysis::{rpr_repair_time, traditional_repair_time, AnalysisParams};
 use rpr_core::{
-    simulate, viz, CarPlanner, CostModel, RepairContext, RepairPlanner, RprPlanner,
-    TraditionalPlanner,
+    crash_candidates, simulate, simulate_injected, viz, CarPlanner, CostModel, Op, Payload,
+    RepairContext, RepairPlanner, RprPlanner, TraditionalPlanner,
 };
+use rpr_faults::{FaultKind, FaultPlan, RetryPolicy, SplitMix64};
 use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy, GBIT};
 
 /// Execute a parsed command.
@@ -15,6 +18,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Plan(a) => plan(&a),
         Command::Compare(a) => compare(&a),
         Command::Trace(t) => trace(&t),
+        Command::Inject(i) => inject(&i),
         Command::Topo { params, placement } => topo(params, placement),
         Command::Analyze { ti_ms, tc_ms } => analyze(ti_ms, tc_ms),
     }
@@ -192,6 +196,197 @@ fn trace(t: &TraceArgs) -> Result<(), String> {
         outcome.stats.inner_transfers,
         snap.recorded_events,
         snap.dropped_events,
+    );
+    Ok(())
+}
+
+/// Turn a fault *family* into a concrete [`FaultPlan`]: the site (node,
+/// op, rack, timestep) is picked from the seed, so the same seed always
+/// degrades the same transfer — the property the chaos determinism check
+/// in `scripts/verify.sh` relies on.
+fn seeded_fault_plan(
+    plan: &rpr_core::RepairPlan,
+    ctx: &RepairContext<'_>,
+    choice: FaultChoice,
+    seed: u64,
+) -> Result<FaultPlan, String> {
+    let mut rng = SplitMix64::new(seed);
+    let sends_matching = |pred: &dyn Fn(&Op) -> bool| -> Vec<usize> {
+        plan.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| pred(op))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let kind = match choice {
+        FaultChoice::Crash => {
+            let cands = crash_candidates(plan, ctx);
+            if cands.is_empty() {
+                return Err("no crash candidate: every cross sender is the recovery node".into());
+            }
+            let (node, timestep) = cands[rng.pick(cands.len())];
+            FaultKind::HelperCrash { node, timestep }
+        }
+        FaultChoice::Timeout => {
+            let sends = sends_matching(&|op| matches!(op, Op::Send { .. }));
+            if sends.is_empty() {
+                return Err("plan has no transfers to time out".into());
+            }
+            FaultKind::TransferTimeout {
+                op: sends[rng.pick(sends.len())],
+            }
+        }
+        FaultChoice::Corrupt => {
+            let ints = sends_matching(&|op| {
+                matches!(
+                    op,
+                    Op::Send {
+                        what: Payload::Intermediate(_),
+                        ..
+                    }
+                )
+            });
+            if ints.is_empty() {
+                return Err(
+                    "plan ships no intermediate blocks to corrupt (try --scheme rpr)".into(),
+                );
+            }
+            FaultKind::CorruptIntermediate {
+                op: ints[rng.pick(ints.len())],
+            }
+        }
+        FaultChoice::Slow => {
+            let mut helpers: Vec<usize> = plan
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Send { from, .. } => Some(from.0),
+                    _ => None,
+                })
+                .collect();
+            helpers.sort_unstable();
+            helpers.dedup();
+            FaultKind::SlowLink {
+                node: helpers[rng.pick(helpers.len())],
+                factor: 0.25,
+            }
+        }
+        FaultChoice::Rack => {
+            let (waves, _) = plan.cross_waves(ctx.topo);
+            let mut sites: Vec<(usize, usize)> = plan
+                .ops
+                .iter()
+                .enumerate()
+                .filter_map(|(i, op)| match (op, waves[i]) {
+                    (Op::Send { from, .. }, Some(w)) => Some((ctx.topo.rack_of(*from).0, w)),
+                    _ => None,
+                })
+                .collect();
+            sites.sort_unstable();
+            sites.dedup();
+            if sites.is_empty() {
+                return Err("plan has no cross-rack transfers to drop".into());
+            }
+            let (rack, timestep) = sites[rng.pick(sites.len())];
+            FaultKind::RackSwitchOutage { rack, timestep }
+        }
+    };
+    Ok(FaultPlan::new(seed).with(kind))
+}
+
+/// Deterministic stripe contents for the exec backend (same LCG as the
+/// executor's own tests, so corruption scenarios are reproducible).
+fn deterministic_stripe(codec: &StripeCodec, len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut s = seed | 1;
+    let data: Vec<Vec<u8>> = (0..codec.params().n)
+        .map(|_| {
+            (0..len)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (s >> 33) as u8
+                })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+    codec.encode_stripe(&refs)
+}
+
+/// Run the scenario once under a seed-picked injected fault and dump the
+/// degraded trace (`--backend sim` replays on the virtual clock and is
+/// bit-deterministic; `--backend exec` moves real bytes and verifies the
+/// reconstruction). Trace to `--out`/stdout, human summary to stderr.
+fn inject(t: &InjectArgs) -> Result<(), String> {
+    let a = &t.plan;
+    let w = world(a);
+    let ctx = RepairContext::new(
+        &w.codec,
+        &w.topo,
+        &w.placement,
+        a.failed.clone(),
+        a.block_bytes,
+        &w.profile,
+        cost_model(&a.cost).scaled_for_block(a.block_bytes),
+    );
+    let plan = planner_by_name(&a.scheme).plan(&ctx);
+    plan.validate(&w.codec, &w.topo, &w.placement)
+        .expect("planner output must validate");
+    let fp = seeded_fault_plan(&plan, &ctx, t.fault, t.seed)?;
+    eprintln!("# injecting (seed {}): {:?}", t.seed, fp.faults[0]);
+
+    let policy = RetryPolicy::default();
+    let rec = rpr_obs::TraceRecorder::default();
+    let summary = match t.backend {
+        InjectBackend::Sim => {
+            let out = simulate_injected(&plan, &ctx, &fp, &policy, &rec)?;
+            format!(
+                "degraded {:.2} s vs clean {:.2} s (+{:.1}%) | retries {} | \
+                 replans {} | reused ops {} | finished as {}",
+                out.repair_time,
+                out.clean_time,
+                (out.repair_time / out.clean_time - 1.0) * 100.0,
+                out.retries,
+                out.replans,
+                out.reused_ops,
+                out.final_scheme
+            )
+        }
+        InjectBackend::Exec => {
+            let stripe = deterministic_stripe(&w.codec, a.block_bytes as usize, t.seed);
+            let out = rpr_exec::execute_resilient(&plan, &ctx, &stripe, &rec, &fp, &policy)
+                .map_err(|e| e.to_string())?;
+            format!(
+                "wall {:.2} s | verified: {} | retries {} | replans {} | \
+                 reused ops {} | finished as {}",
+                out.report.wall_seconds,
+                if out.report.verified { "yes" } else { "NO" },
+                out.retries,
+                out.replans,
+                out.reused_ops,
+                out.final_scheme
+            )
+        }
+    };
+
+    let snap = rec.snapshot();
+    let events = rec.take_events();
+    let output = match t.format {
+        TraceFormat::Chrome => rpr_obs::export::to_chrome_trace(&events),
+        TraceFormat::Jsonl => rpr_obs::export::to_json_lines(&events),
+    };
+    match &t.out {
+        Some(path) => {
+            std::fs::write(path, &output).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} events to {path}", events.len());
+        }
+        None => print!("{output}"),
+    }
+    eprintln!(
+        "# {} repair under fault: {summary} | {} events ({} dropped)",
+        a.scheme, snap.recorded_events, snap.dropped_events,
     );
     Ok(())
 }

@@ -26,6 +26,7 @@
 pub mod analysis;
 pub mod cost;
 pub mod plan;
+pub mod robust;
 pub mod scenario;
 pub mod schemes;
 pub mod sim;
@@ -38,6 +39,10 @@ pub use plan::{Input, Op, OpId, Payload, PlanStats, RepairPlan};
 pub use scenario::RepairContext;
 pub use schemes::{
     CarPlanner, ChainPlanner, RecoverySite, RepairPlanner, RprPlanner, TraditionalPlanner,
+};
+pub use robust::{
+    crash_candidates, replan_after_crash, resolve, simulate_injected, AttemptFault, CrashFault,
+    Replan, ResolvedFaults, RobustOutcome,
 };
 pub use sim::{simulate, simulate_batch, BatchOutcome, SimOutcome};
 pub use trace::{combine_kernel, simulate_traced};

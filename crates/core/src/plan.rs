@@ -236,6 +236,48 @@ impl RepairPlan {
         (wave, count)
     }
 
+    /// The symbolic coefficient vector of every op's value over the
+    /// stripe's blocks — the same vectors [`RepairPlan::validate`] checks
+    /// output ops against. Two ops (possibly from *different* plans over
+    /// the same stripe) whose outputs share a location and have equal
+    /// vectors hold byte-identical values for any stripe contents; the
+    /// crash-recovery replanner uses this to reuse partial results.
+    ///
+    /// Assumes a structurally valid plan (run [`RepairPlan::validate`]
+    /// first); out-of-range references panic.
+    pub fn symbolic_vectors(&self) -> Vec<Vec<u8>> {
+        let total = self.params.total();
+        let mut vectors: Vec<Vec<u8>> = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let v = match op {
+                Op::Send { what, .. } => match what {
+                    Payload::Block(b) => {
+                        let mut v = vec![0u8; total];
+                        v[b.0] = 1;
+                        v
+                    }
+                    Payload::Intermediate(src) => vectors[src.0].clone(),
+                },
+                Op::Combine { inputs, .. } => {
+                    let mut v = vec![0u8; total];
+                    for inp in inputs {
+                        match inp {
+                            Input::Block { block, coeff, .. } => v[block.0] ^= *coeff,
+                            Input::Intermediate(src) => {
+                                for (acc, &c) in v.iter_mut().zip(&vectors[src.0]) {
+                                    *acc ^= c;
+                                }
+                            }
+                        }
+                    }
+                    v
+                }
+            };
+            vectors.push(v);
+        }
+        vectors
+    }
+
     /// Validate the plan against the codec and placement. Checks, for every
     /// operation:
     ///
@@ -604,6 +646,19 @@ mod tests {
         let (waves, count) = plan.cross_waves(&topo);
         assert_eq!(waves, vec![Some(0), Some(1)]);
         assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn symbolic_vectors_match_validator_semantics() {
+        let (_, _, _, plan) = figure4_plan();
+        let v = plan.symbolic_vectors();
+        // Output op 5 folds d0, d2, d3, p0 with coefficient 1 each and
+        // never touches the failed d1.
+        assert_eq!(v[5], vec![1, 0, 1, 1, 1, 0]);
+        // A forwarded intermediate carries its producer's vector.
+        assert_eq!(v[2], v[1]);
+        // A raw-block send is a unit vector.
+        assert_eq!(v[0], vec![0, 0, 0, 1, 0, 0]);
     }
 
     #[test]

@@ -112,54 +112,67 @@ pub(crate) fn lower_plan(
     tag: usize,
 ) -> Vec<JobId> {
     let mut job_of: Vec<JobId> = Vec::with_capacity(plan.ops.len());
-    for (i, op) in plan.ops.iter().enumerate() {
+    for i in 0..plan.ops.len() {
         let deps: Vec<JobId> = plan.deps_of(i).iter().map(|d| job_of[d.0]).collect();
-        let job = match op {
-            Op::Send { from, to, .. } => sim.transfer(
-                format!("p{tag}op{i}:send"),
-                *from,
-                *to,
-                plan.block_bytes,
-                &deps,
-            ),
-            Op::Combine { node, inputs, .. } => {
-                // force_matrix schemes (traditional, CAR) run every fold
-                // through the unoptimized matrix-decode function; RPR's
-                // optimized path exploits coefficient-1 XOR folds.
-                let forced = plan.force_matrix;
-                let mut seconds = 0.0;
-                let mut uses_matrix_coeffs = forced;
-                for inp in inputs {
-                    match inp {
-                        Input::Block { coeff, .. } => {
-                            seconds += if forced {
-                                cost.forced_fold_seconds(plan.block_bytes)
-                            } else {
-                                cost.fold_seconds(*coeff, plan.block_bytes)
-                            };
-                            if *coeff != 1 {
-                                uses_matrix_coeffs = true;
-                            }
-                        }
-                        Input::Intermediate(_) => {
-                            seconds += if forced {
-                                cost.forced_fold_seconds(plan.block_bytes)
-                            } else {
-                                cost.merge_seconds(plan.block_bytes)
-                            };
-                        }
-                    }
-                }
-                if uses_matrix_coeffs && !matrix_paid[node.0] {
-                    matrix_paid[node.0] = true;
-                    seconds += cost.matrix_build_seconds;
-                }
-                sim.compute(format!("p{tag}op{i}:combine"), *node, seconds, &deps)
-            }
-        };
-        job_of.push(job);
+        job_of.push(lower_op(sim, plan, i, cost, matrix_paid, tag, &deps));
     }
     job_of
+}
+
+/// Lower one op of a plan into the simulator, with explicit dependency
+/// jobs (partial lowering after a replan filters out prefilled deps).
+pub(crate) fn lower_op(
+    sim: &mut Simulator,
+    plan: &RepairPlan,
+    i: usize,
+    cost: &crate::cost::CostModel,
+    matrix_paid: &mut [bool],
+    tag: usize,
+    deps: &[JobId],
+) -> JobId {
+    match &plan.ops[i] {
+        Op::Send { from, to, .. } => sim.transfer(
+            format!("p{tag}op{i}:send"),
+            *from,
+            *to,
+            plan.block_bytes,
+            deps,
+        ),
+        Op::Combine { node, inputs, .. } => {
+            // force_matrix schemes (traditional, CAR) run every fold
+            // through the unoptimized matrix-decode function; RPR's
+            // optimized path exploits coefficient-1 XOR folds.
+            let forced = plan.force_matrix;
+            let mut seconds = 0.0;
+            let mut uses_matrix_coeffs = forced;
+            for inp in inputs {
+                match inp {
+                    Input::Block { coeff, .. } => {
+                        seconds += if forced {
+                            cost.forced_fold_seconds(plan.block_bytes)
+                        } else {
+                            cost.fold_seconds(*coeff, plan.block_bytes)
+                        };
+                        if *coeff != 1 {
+                            uses_matrix_coeffs = true;
+                        }
+                    }
+                    Input::Intermediate(_) => {
+                        seconds += if forced {
+                            cost.forced_fold_seconds(plan.block_bytes)
+                        } else {
+                            cost.merge_seconds(plan.block_bytes)
+                        };
+                    }
+                }
+            }
+            if uses_matrix_coeffs && !matrix_paid[node.0] {
+                matrix_paid[node.0] = true;
+                seconds += cost.matrix_build_seconds;
+            }
+            sim.compute(format!("p{tag}op{i}:combine"), *node, seconds, deps)
+        }
+    }
 }
 
 #[cfg(test)]

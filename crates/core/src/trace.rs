@@ -34,7 +34,7 @@ pub fn combine_kernel(plan: &RepairPlan, i: usize) -> Option<Kernel> {
 
 /// Extract the op index from a `p{tag}op{i}:send|combine` label produced
 /// by plan lowering.
-fn op_index(label: &str) -> Option<usize> {
+pub(crate) fn op_index(label: &str) -> Option<usize> {
     let rest = label.split("op").nth(1)?;
     rest.split(':').next()?.parse().ok()
 }
@@ -42,10 +42,10 @@ fn op_index(label: &str) -> Option<usize> {
 /// A [`Recorder`] adapter that rewrites the placeholder fields of
 /// netsim's untagged replay with plan knowledge: the pipeline timestep of
 /// each cross-rack send and the kernel/inputs/bytes of each combine.
-struct PlanTagger<'a> {
-    plan: &'a RepairPlan,
-    waves: &'a [Option<usize>],
-    inner: &'a dyn Recorder,
+pub(crate) struct PlanTagger<'a> {
+    pub(crate) plan: &'a RepairPlan,
+    pub(crate) waves: &'a [Option<usize>],
+    pub(crate) inner: &'a dyn Recorder,
 }
 
 impl PlanTagger<'_> {
@@ -53,7 +53,8 @@ impl PlanTagger<'_> {
         match &mut event {
             Event::TransferQueued { xfer, .. }
             | Event::TransferStarted { xfer, .. }
-            | Event::TransferDone { xfer, .. } => {
+            | Event::TransferDone { xfer, .. }
+            | Event::TransferFailed { xfer, .. } => {
                 if let Some(i) = op_index(&xfer.label) {
                     xfer.timestep = self.waves.get(i).copied().flatten();
                 }
@@ -125,21 +126,7 @@ pub fn simulate_traced(
     };
     let report = sim.run_recorded(&tagger);
 
-    // Wave boundaries: the span of each timestep is the earliest start to
-    // the latest finish among its cross sends.
-    for w in 0..wave_count {
-        let mut start = f64::INFINITY;
-        let mut finish = 0.0f64;
-        for (i, wave) in waves.iter().enumerate() {
-            if *wave == Some(w) {
-                let r = report.record(jobs[i]);
-                start = start.min(r.start);
-                finish = finish.max(r.finish);
-            }
-        }
-        rec.record(Event::TimestepStarted { step: w, t: start });
-        rec.record(Event::TimestepFinished { step: w, t: finish });
-    }
+    emit_wave_boundaries(rec, &waves, wave_count, &jobs, &report);
     rec.record(Event::RepairDone {
         t: report.makespan,
         cross_bytes: report.cross_rack_bytes,
@@ -150,6 +137,32 @@ pub fn simulate_traced(
         repair_time: report.makespan,
         report,
         stats,
+    }
+}
+
+/// Emit `timestep_started`/`timestep_finished` boundaries: the span of
+/// each cross-rack wave is the earliest activation (first attempt, for
+/// retried transfers) to the latest finish among its cross sends.
+pub(crate) fn emit_wave_boundaries(
+    rec: &dyn Recorder,
+    waves: &[Option<usize>],
+    wave_count: usize,
+    jobs: &[rpr_netsim::JobId],
+    report: &rpr_netsim::SimReport,
+) {
+    for w in 0..wave_count {
+        let mut start = f64::INFINITY;
+        let mut finish = 0.0f64;
+        for (i, wave) in waves.iter().enumerate() {
+            if *wave == Some(w) {
+                let r = report.record(jobs[i]);
+                let first = r.failures.first().map(|f| f.start).unwrap_or(r.start);
+                start = start.min(first);
+                finish = finish.max(r.finish);
+            }
+        }
+        rec.record(Event::TimestepStarted { step: w, t: start });
+        rec.record(Event::TimestepFinished { step: w, t: finish });
     }
 }
 

@@ -1,13 +1,20 @@
-//! Thread-per-operation plan execution with real bytes.
+//! Thread-per-operation plan execution with real bytes, including the
+//! fault-injected path: per-attempt transfer failures with checksum
+//! verification and bounded retry, helper-crash propagation through the
+//! operation DAG, and supervised replanning that reuses completed partial
+//! results (see `docs/ROBUSTNESS.md`).
 
 use crate::ratelimit::TokenBucket;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rpr_codec::BlockId;
+use rpr_core::robust::{replan_after_crash, resolve, ResolvedFaults};
 use rpr_core::{combine_kernel, Input, Op, Payload, RepairContext, RepairPlan};
+use rpr_faults::{checksum64, reason, FaultPlan, RetryPolicy};
 use rpr_obs::{Event, Recorder};
 use rpr_topology::NodeId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,9 +36,12 @@ pub struct OpTiming {
 pub struct ExecReport {
     /// Total wall-clock repair time in seconds.
     pub wall_seconds: f64,
-    /// Per-op timings, indexed like `plan.ops`.
+    /// Per-op timings, indexed like the ops of the plan that finished the
+    /// repair (the replacement plan after a crash recovery). Skipped and
+    /// reused ops read as zero.
     pub op_timings: Vec<OpTiming>,
-    /// Bytes moved across racks.
+    /// Bytes moved across racks (full payloads; aborted attempts and
+    /// retransmissions are not counted).
     pub cross_bytes: u64,
     /// Bytes moved within racks.
     pub inner_bytes: u64,
@@ -41,12 +51,84 @@ pub struct ExecReport {
     pub mismatches: Vec<BlockId>,
 }
 
+/// Why a fault-injected execution could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The fault plan does not apply to this repair, or the crash made the
+    /// stripe unrecoverable (more than `k` total failures).
+    Unrecoverable(String),
+    /// A transfer's injected failures exhaust the retry budget.
+    RetriesExhausted(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Unrecoverable(m) => write!(f, "unrecoverable: {m}"),
+            ExecError::RetriesExhausted(m) => write!(f, "retries exhausted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The result of a fault-injected, supervised execution.
+#[derive(Clone, Debug)]
+pub struct ResilientReport {
+    /// The final execution report (verification runs against the plan
+    /// that actually completed the repair).
+    pub report: ExecReport,
+    /// Transfer attempts that failed and were retried.
+    pub retries: usize,
+    /// Plan replacements after a helper crash (0 or 1).
+    pub replans: usize,
+    /// Replacement-plan ops satisfied by reused partial results.
+    pub reused_ops: usize,
+    /// Scheme of the plan that completed the repair.
+    pub final_scheme: &'static str,
+}
+
 struct NodeLinks {
     up: TokenBucket,
     down: TokenBucket,
     xup: TokenBucket,
     xdown: TokenBucket,
     cpu: Mutex<()>,
+}
+
+/// What flows through a dependency channel: the producer's output, or
+/// notice that it will never arrive (dead helper upstream).
+#[derive(Debug)]
+enum Delivery {
+    Data(Arc<Vec<u8>>),
+    Failed,
+}
+
+/// Everything that parameterizes one execution attempt beyond the plan
+/// itself.
+struct AttemptCfg<'a> {
+    /// Faults to enact (attempt failures, crash, link derates).
+    faults: Option<&'a ResolvedFaults>,
+    /// Retry backoff schedule.
+    policy: RetryPolicy,
+    /// Per-op values already available from a previous attempt.
+    prefilled: &'a [Option<Arc<Vec<u8>>>],
+    /// Which ops actually execute (false: skipped or reused).
+    lowered: &'a [bool],
+    /// Label tag (`p{tag}op{i}`), 0 for the original plan, 1 after replan.
+    tag: usize,
+}
+
+/// What one attempt produced.
+struct AttemptRun {
+    /// Output value of every op that completed.
+    values: Vec<Option<Arc<Vec<u8>>>>,
+    /// Wall-clock timings (zero for ops that did not run).
+    op_timings: Vec<OpTiming>,
+    /// Wall time at which the helper crash fired, if one did.
+    crash_t: Option<f64>,
+    /// Failed-and-retried transfer attempts.
+    retries: usize,
 }
 
 /// Execute a plan on real stripe contents.
@@ -78,6 +160,181 @@ pub fn execute_recorded(
     stripe: &[Vec<u8>],
     rec: &dyn Recorder,
 ) -> ExecReport {
+    check_stripe(plan, stripe);
+    record_plan_built(plan, ctx, rec);
+    let t0 = Instant::now();
+    let lowered = vec![true; plan.ops.len()];
+    let prefilled: Vec<Option<Arc<Vec<u8>>>> = vec![None; plan.ops.len()];
+    let cfg = AttemptCfg {
+        faults: None,
+        policy: RetryPolicy::default(),
+        prefilled: &prefilled,
+        lowered: &lowered,
+        tag: 0,
+    };
+    let run = run_attempt(plan, ctx, stripe, rec, t0, &cfg);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    close_run(plan, ctx, stripe, rec, run, wall_seconds)
+}
+
+/// Execute a plan under injected faults with bounded retry and crash
+/// recovery — the wall-clock counterpart of
+/// [`rpr_core::simulate_injected`].
+///
+/// Transient faults (timeouts, corrupted intermediates, switch outages)
+/// replay the affected transfer: the failed attempt moves real bytes
+/// through the shapers, corruption is detected by an FNV-1a checksum
+/// mismatch, and the retry follows the policy's exponential backoff. A
+/// helper crash marks every remaining op of the dead node failed; the
+/// failure propagates through the DAG, surviving branches run to
+/// completion, and the supervisor replans via
+/// [`replan_after_crash`], re-executing
+/// only what reused partial results cannot satisfy. The reconstruction is
+/// verified byte-for-byte against the original blocks regardless of how
+/// many faults fired.
+///
+/// # Panics
+/// Panics if the stripe has the wrong shape or the plan is malformed (run
+/// [`RepairPlan::validate`] first).
+pub fn execute_resilient(
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    stripe: &[Vec<u8>],
+    rec: &dyn Recorder,
+    fp: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<ResilientReport, ExecError> {
+    check_stripe(plan, stripe);
+    let resolved = resolve(plan, ctx.topo, fp).map_err(ExecError::Unrecoverable)?;
+    for (i, fs) in resolved.op_faults.iter().enumerate() {
+        if !fs.is_empty() && fs.len() >= policy.max_attempts {
+            return Err(ExecError::RetriesExhausted(format!(
+                "op {i}: {} injected failures exhaust the retry budget \
+                 (max_attempts = {})",
+                fs.len(),
+                policy.max_attempts
+            )));
+        }
+    }
+    record_plan_built(plan, ctx, rec);
+    let t0 = Instant::now();
+    let all = vec![true; plan.ops.len()];
+    let no_prefill: Vec<Option<Arc<Vec<u8>>>> = vec![None; plan.ops.len()];
+    let cfg1 = AttemptCfg {
+        faults: Some(&resolved),
+        policy: *policy,
+        prefilled: &no_prefill,
+        lowered: &all,
+        tag: 0,
+    };
+    let run1 = run_attempt(plan, ctx, stripe, rec, t0, &cfg1);
+
+    if run1.crash_t.is_none() {
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let retries = run1.retries;
+        let report = close_run(plan, ctx, stripe, rec, run1, wall_seconds);
+        return Ok(ResilientReport {
+            report,
+            retries,
+            replans: 0,
+            reused_ops: 0,
+            final_scheme: plan.scheme,
+        });
+    }
+
+    // A helper died. Surviving branches have run to completion; replan
+    // around the dead node, reusing what finished.
+    let crash = resolved.crash.expect("crash_t implies a crash fault");
+    let completed: Vec<bool> = run1.values.iter().map(|v| v.is_some()).collect();
+    let rep =
+        replan_after_crash(ctx, plan, crash.node, &completed).map_err(ExecError::Unrecoverable)?;
+    let reused_ops = rep.reused_count();
+    rec.record(Event::Replanned {
+        scheme: rep.plan.scheme.to_string(),
+        failed: rep.failed.len(),
+        reused_ops,
+        t: t0.elapsed().as_secs_f64(),
+    });
+    std::thread::sleep(std::time::Duration::from_secs_f64(policy.delay(0)));
+
+    let prefilled: Vec<Option<Arc<Vec<u8>>>> = rep
+        .reused
+        .iter()
+        .map(|r| r.and_then(|j| run1.values[j.0].clone()))
+        .collect();
+    // Slow links persist into the recovery attempt; one-shot faults and
+    // the crash were consumed by the original plan.
+    let faults2 = ResolvedFaults {
+        op_faults: vec![Vec::new(); rep.plan.ops.len()],
+        crash: None,
+        slow: resolved.slow.clone(),
+    };
+    let cfg2 = AttemptCfg {
+        faults: Some(&faults2),
+        policy: *policy,
+        prefilled: &prefilled,
+        lowered: &rep.lowered,
+        tag: 1,
+    };
+    let run2 = run_attempt(&rep.plan, ctx, stripe, rec, t0, &cfg2);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let mut mismatches = Vec::new();
+    for &(target, op) in &rep.plan.outputs {
+        let got = run2.values[op.0]
+            .clone()
+            .or_else(|| prefilled[op.0].clone())
+            .ok_or_else(|| {
+                ExecError::Unrecoverable(format!("replacement output {op:?} never produced"))
+            })?;
+        if got.as_slice() != stripe[target.0].as_slice() {
+            mismatches.push(target);
+        }
+    }
+
+    // Traffic actually moved: completed original sends plus executed
+    // replacement sends.
+    let mut cross_bytes = 0u64;
+    let mut inner_bytes = 0u64;
+    for (i, op) in plan.ops.iter().enumerate() {
+        if completed[i] {
+            add_send_bytes(ctx, op, plan.block_bytes, &mut cross_bytes, &mut inner_bytes);
+        }
+    }
+    for (i, op) in rep.plan.ops.iter().enumerate() {
+        if rep.lowered[i] {
+            add_send_bytes(
+                ctx,
+                op,
+                rep.plan.block_bytes,
+                &mut cross_bytes,
+                &mut inner_bytes,
+            );
+        }
+    }
+    rec.record(Event::RepairDone {
+        t: wall_seconds,
+        cross_bytes,
+        inner_bytes,
+    });
+
+    Ok(ResilientReport {
+        report: ExecReport {
+            wall_seconds,
+            op_timings: run2.op_timings,
+            cross_bytes,
+            inner_bytes,
+            verified: mismatches.is_empty(),
+            mismatches,
+        },
+        retries: run1.retries + run2.retries,
+        replans: 1,
+        reused_ops,
+        final_scheme: rep.plan.scheme,
+    })
+}
+
+fn check_stripe(plan: &RepairPlan, stripe: &[Vec<u8>]) {
     assert_eq!(
         stripe.len(),
         plan.params.total(),
@@ -92,50 +349,11 @@ pub fn execute_recorded(
         block_len as u64, plan.block_bytes,
         "execute: stripe block size must match the plan"
     );
+}
 
-    // Per-node link shapers, mirroring rpr-netsim's resource layout.
-    let nodes = ctx.topo.node_count();
-    let links: Vec<NodeLinks> = (0..nodes)
-        .map(|i| {
-            let node = NodeId(i);
-            let rack = ctx.topo.rack_of(node);
-            let nic = ctx.profile.rate(rack, rack);
-            let cross = cross_class_rate(ctx, node);
-            NodeLinks {
-                up: TokenBucket::new(nic),
-                down: TokenBucket::new(nic),
-                xup: TokenBucket::new(cross),
-                xdown: TokenBucket::new(cross),
-                cpu: Mutex::new(()),
-            }
-        })
-        .collect();
-
-    // Wire one channel per (producer, consumer) dependency edge.
-    let mut producers: Vec<Vec<Sender<Arc<Vec<u8>>>>> = vec![Vec::new(); plan.ops.len()];
-    type Edge = (usize, Receiver<Arc<Vec<u8>>>);
-    let mut consumers: Vec<Vec<Edge>> = vec![Vec::new(); plan.ops.len()];
-    #[allow(clippy::needless_range_loop)] // deps_of takes an index
-    for i in 0..plan.ops.len() {
-        for dep in plan.deps_of(i) {
-            let (tx, rx) = bounded(1);
-            producers[dep.0].push(tx);
-            consumers[i].push((dep.0, rx));
-        }
-    }
-    // The verifier consumes every output op.
-    let mut output_rx: Vec<(BlockId, Receiver<Arc<Vec<u8>>>)> = Vec::new();
-    for &(target, op) in &plan.outputs {
-        let (tx, rx) = bounded(1);
-        producers[op.0].push(tx);
-        output_rx.push((target, rx));
-    }
-
-    // Optional shared aggregation-switch shaper for all cross traffic.
-    let agg: Option<TokenBucket> = ctx.agg_capacity.map(TokenBucket::new);
-
+fn record_plan_built(plan: &RepairPlan, ctx: &RepairContext<'_>, rec: &dyn Recorder) {
     let stats = plan.stats(ctx.topo);
-    let (waves, wave_count) = plan.cross_waves(ctx.topo);
+    let (_, wave_count) = plan.cross_waves(ctx.topo);
     rec.record(Event::PlanBuilt {
         scheme: plan.scheme.to_string(),
         parts: plan.outputs.len(),
@@ -145,13 +363,98 @@ pub fn execute_recorded(
         cross_timesteps: wave_count,
         block_bytes: plan.block_bytes,
     });
+}
+
+fn add_send_bytes(
+    ctx: &RepairContext<'_>,
+    op: &Op,
+    bytes: u64,
+    cross: &mut u64,
+    inner: &mut u64,
+) {
+    if let Op::Send { from, to, .. } = op {
+        if ctx.topo.same_rack(*from, *to) {
+            *inner += bytes;
+        } else {
+            *cross += bytes;
+        }
+    }
+}
+
+/// Per-node link shapers, mirroring rpr-netsim's resource layout, with
+/// optional per-node derates from injected slow-link faults.
+fn node_links(ctx: &RepairContext<'_>, slow: &[(NodeId, f64)]) -> Vec<NodeLinks> {
+    (0..ctx.topo.node_count())
+        .map(|i| {
+            let node = NodeId(i);
+            let rack = ctx.topo.rack_of(node);
+            let factor: f64 = slow
+                .iter()
+                .filter(|(n, _)| *n == node)
+                .map(|&(_, f)| f)
+                .product();
+            let nic = ctx.profile.rate(rack, rack) * factor;
+            let cross = cross_class_rate(ctx, node) * factor;
+            NodeLinks {
+                up: TokenBucket::new(nic),
+                down: TokenBucket::new(nic),
+                xup: TokenBucket::new(cross),
+                xdown: TokenBucket::new(cross),
+                cpu: Mutex::new(()),
+            }
+        })
+        .collect()
+}
+
+/// Run every lowered op of a plan once, enacting the configured faults.
+/// Transfers with injected attempt failures retry in place; a helper
+/// crash poisons the dead node's remaining ops and propagates `Failed`
+/// through the DAG, while independent branches run to completion.
+fn run_attempt(
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    stripe: &[Vec<u8>],
+    rec: &dyn Recorder,
+    t0: Instant,
+    cfg: &AttemptCfg<'_>,
+) -> AttemptRun {
+    let empty_slow: &[(NodeId, f64)] = &[];
+    let slow = cfg.faults.map_or(empty_slow, |f| f.slow.as_slice());
+    let links = node_links(ctx, slow);
+    let crash = cfg.faults.and_then(|f| f.crash);
+
+    // Wire one channel per (producer, consumer) dependency edge between
+    // executing ops; dependencies on reused ops read the prefilled value.
+    let mut producers: Vec<Vec<Sender<Delivery>>> =
+        (0..plan.ops.len()).map(|_| Vec::new()).collect();
+    type Edge = (usize, Receiver<Delivery>);
+    let mut consumers: Vec<Vec<Edge>> = (0..plan.ops.len()).map(|_| Vec::new()).collect();
+    #[allow(clippy::needless_range_loop)] // deps_of takes an index
+    for i in 0..plan.ops.len() {
+        if !cfg.lowered[i] {
+            continue;
+        }
+        for dep in plan.deps_of(i) {
+            if cfg.lowered[dep.0] {
+                let (tx, rx) = bounded(1);
+                producers[dep.0].push(tx);
+                consumers[i].push((dep.0, rx));
+            }
+        }
+    }
+
+    // Optional shared aggregation-switch shaper for all cross traffic.
+    let agg: Option<TokenBucket> = ctx.agg_capacity.map(TokenBucket::new);
 
     // Matrix-build bookkeeping: one real inversion per combining node for
     // matrix-based plans, mirroring the cost model's surcharge.
-    let needs_matrix = stats.needs_matrix;
+    let needs_matrix = plan.stats(ctx.topo).needs_matrix;
+    let nodes = ctx.topo.node_count();
     let matrix_done: Vec<Mutex<bool>> = (0..nodes).map(|_| Mutex::new(false)).collect();
 
-    let t0 = Instant::now();
+    let (waves, _) = plan.cross_waves(ctx.topo);
+    let values: Vec<Mutex<Option<Arc<Vec<u8>>>>> =
+        plan.ops.iter().map(|_| Mutex::new(None)).collect();
     let timings: Vec<Mutex<OpTiming>> = plan
         .ops
         .iter()
@@ -162,22 +465,78 @@ pub fn execute_recorded(
             })
         })
         .collect();
+    let crash_t: Mutex<Option<f64>> = Mutex::new(None);
+    let retries = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for (i, op) in plan.ops.iter().enumerate() {
+            if !cfg.lowered[i] {
+                continue;
+            }
             let my_consumers = std::mem::take(&mut consumers[i]);
             let my_producers = std::mem::take(&mut producers[i]);
             let links = &links;
             let agg = &agg;
+            let values = &values;
             let timings = &timings;
             let matrix_done = &matrix_done;
             let waves = &waves;
+            let crash_t = &crash_t;
+            let retries = &retries;
             scope.spawn(move || {
-                // Gather dependency values.
+                // Gather dependency values: prefilled (reused) first, then
+                // the channel edges.
                 let mut vals: HashMap<usize, Arc<Vec<u8>>> = HashMap::new();
+                for dep in plan.deps_of(i) {
+                    if let Some(v) = &cfg.prefilled[dep.0] {
+                        vals.insert(dep.0, v.clone());
+                    }
+                }
+                let mut failed_input = false;
                 for (dep, rx) in my_consumers {
-                    let v = rx.recv().expect("producer thread panicked");
-                    vals.insert(dep, v);
+                    match rx.recv().expect("producer thread panicked") {
+                        Delivery::Data(v) => {
+                            vals.insert(dep, v);
+                        }
+                        Delivery::Failed => failed_input = true,
+                    }
+                }
+                let exec_node = match op {
+                    Op::Send { from, .. } => *from,
+                    Op::Combine { node, .. } => *node,
+                };
+                let down =
+                    crash.is_some_and(|c| c.node == exec_node && i >= c.trigger.0);
+                if failed_input || down {
+                    if crash.is_some_and(|c| c.trigger.0 == i) {
+                        // The crash trigger: the node dies as this send
+                        // begins, so the failure is observed here.
+                        let c = crash.expect("checked above");
+                        let now = t0.elapsed().as_secs_f64();
+                        if let Op::Send { from, to, .. } = op {
+                            let xfer = transfer_descr(plan, ctx, cfg.tag, i, from, to, waves);
+                            rec.record(Event::TransferQueued {
+                                xfer: xfer.clone(),
+                                t: now,
+                            });
+                            rec.record(Event::TransferFailed {
+                                xfer,
+                                attempt: 0,
+                                reason: reason::NODE_DOWN.to_string(),
+                                t: now,
+                            });
+                        }
+                        rec.record(Event::HelperCrashed {
+                            node: c.node.0,
+                            rack: ctx.topo.rack_of(c.node).0,
+                            t: now,
+                        });
+                        *crash_t.lock() = Some(now);
+                    }
+                    for tx in my_producers {
+                        tx.send(Delivery::Failed).expect("consumer hung up");
+                    }
+                    return;
                 }
                 let started = t0.elapsed().as_secs_f64();
 
@@ -187,30 +546,100 @@ pub fn execute_recorded(
                             Payload::Block(b) => Arc::new(stripe[b.0].clone()),
                             Payload::Intermediate(o) => vals[&o.0].clone(),
                         };
-                        let xfer = rpr_obs::Transfer {
-                            label: format!("p0op{i}:send"),
-                            src_node: from.0,
-                            src_rack: ctx.topo.rack_of(*from).0,
-                            dst_node: to.0,
-                            dst_rack: ctx.topo.rack_of(*to).0,
-                            bytes: data.len() as u64,
-                            cross: !ctx.topo.same_rack(*from, *to),
-                            timestep: waves[i],
-                        };
+                        // Sender-side digest: every delivery is verified
+                        // against it on arrival.
+                        let expected = checksum64(&data);
+                        let xfer = transfer_descr(plan, ctx, cfg.tag, i, from, to, waves);
+                        let no_faults: &[rpr_core::AttemptFault] = &[];
+                        let injected = cfg
+                            .faults
+                            .map_or(no_faults, |f| f.op_faults[i].as_slice());
+                        for (a, fault) in injected.iter().enumerate() {
+                            let queued = t0.elapsed().as_secs_f64();
+                            rec.record(Event::TransferQueued {
+                                xfer: xfer.clone(),
+                                t: queued,
+                            });
+                            if fault.reason == reason::CORRUPT {
+                                // The full payload arrives with a flipped
+                                // byte; the checksum rejects it.
+                                let mut bad = (*data).clone();
+                                bad[0] ^= 0x01;
+                                let admitted = shaped_transfer(
+                                    ctx,
+                                    links,
+                                    agg.as_ref(),
+                                    *from,
+                                    *to,
+                                    bad.len(),
+                                );
+                                rec.record(Event::TransferStarted {
+                                    xfer: xfer.clone(),
+                                    queue_wait: admitted,
+                                    t: queued + admitted,
+                                });
+                                assert_ne!(
+                                    checksum64(&bad),
+                                    expected,
+                                    "checksum must detect injected corruption"
+                                );
+                            } else {
+                                // The attempt stalls after moving a
+                                // fraction of the payload.
+                                let part = (data.len() as f64 * fault.fraction) as usize;
+                                let admitted = shaped_transfer(
+                                    ctx,
+                                    links,
+                                    agg.as_ref(),
+                                    *from,
+                                    *to,
+                                    part,
+                                );
+                                rec.record(Event::TransferStarted {
+                                    xfer: xfer.clone(),
+                                    queue_wait: admitted,
+                                    t: queued + admitted,
+                                });
+                            }
+                            let now = t0.elapsed().as_secs_f64();
+                            rec.record(Event::TransferFailed {
+                                xfer: xfer.clone(),
+                                attempt: a,
+                                reason: fault.reason.to_string(),
+                                t: now,
+                            });
+                            let delay = cfg.policy.delay(a);
+                            rec.record(Event::RetryScheduled {
+                                label: xfer.label.clone(),
+                                rack: xfer.src_rack,
+                                attempt: a,
+                                delay,
+                                t: now,
+                            });
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(std::time::Duration::from_secs_f64(delay));
+                        }
+                        // The (final) successful attempt.
+                        let queued = t0.elapsed().as_secs_f64();
                         rec.record(Event::TransferQueued {
                             xfer: xfer.clone(),
-                            t: started,
+                            t: queued,
                         });
                         let admitted =
                             shaped_transfer(ctx, links, agg.as_ref(), *from, *to, data.len());
                         rec.record(Event::TransferStarted {
                             xfer: xfer.clone(),
                             queue_wait: admitted,
-                            t: started + admitted,
+                            t: queued + admitted,
                         });
+                        assert_eq!(
+                            checksum64(&data),
+                            expected,
+                            "delivered payload failed verification"
+                        );
                         rec.record(Event::TransferDone {
                             xfer,
-                            start: started + admitted,
+                            start: queued + admitted,
                             end: t0.elapsed().as_secs_f64(),
                         });
                         data
@@ -290,7 +719,7 @@ pub fn execute_recorded(
                 }
                 if let Op::Combine { node, inputs, .. } = op {
                     rec.record(Event::CombineDone {
-                        label: format!("p0op{i}:combine"),
+                        label: format!("p{}op{i}:combine", cfg.tag),
                         node: node.0,
                         rack: ctx.topo.rack_of(*node).0,
                         kernel: combine_kernel(plan, i).expect("op is a combine"),
@@ -300,19 +729,57 @@ pub fn execute_recorded(
                         end: ended,
                     });
                 }
+                *values[i].lock() = Some(out.clone());
                 for tx in my_producers {
-                    tx.send(out.clone()).expect("consumer hung up");
+                    tx.send(Delivery::Data(out.clone())).expect("consumer hung up");
                 }
             });
         }
     });
 
-    let wall_seconds = t0.elapsed().as_secs_f64();
+    AttemptRun {
+        values: values.into_iter().map(|m| m.into_inner()).collect(),
+        op_timings: timings.into_iter().map(|m| m.into_inner()).collect(),
+        crash_t: crash_t.into_inner(),
+        retries: retries.into_inner(),
+    }
+}
 
-    // Verify reconstructions.
+/// The shared transfer descriptor of op `i`.
+fn transfer_descr(
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    tag: usize,
+    i: usize,
+    from: &NodeId,
+    to: &NodeId,
+    waves: &[Option<usize>],
+) -> rpr_obs::Transfer {
+    rpr_obs::Transfer {
+        label: format!("p{tag}op{i}:send"),
+        src_node: from.0,
+        src_rack: ctx.topo.rack_of(*from).0,
+        dst_node: to.0,
+        dst_rack: ctx.topo.rack_of(*to).0,
+        bytes: plan.block_bytes,
+        cross: !ctx.topo.same_rack(*from, *to),
+        timestep: waves[i],
+    }
+}
+
+/// Verify outputs, account traffic, emit the closing timestep/repair_done
+/// events, and assemble the report for a fully completed run.
+fn close_run(
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    stripe: &[Vec<u8>],
+    rec: &dyn Recorder,
+    run: AttemptRun,
+    wall_seconds: f64,
+) -> ExecReport {
     let mut mismatches = Vec::new();
-    for (target, rx) in output_rx {
-        let got = rx.recv().expect("output never produced");
+    for &(target, op) in &plan.outputs {
+        let got = run.values[op.0].as_ref().expect("output never produced");
         if got.as_slice() != stripe[target.0].as_slice() {
             mismatches.push(target);
         }
@@ -322,25 +789,19 @@ pub fn execute_recorded(
     let mut cross_bytes = 0u64;
     let mut inner_bytes = 0u64;
     for op in &plan.ops {
-        if let Op::Send { from, to, .. } = op {
-            if ctx.topo.same_rack(*from, *to) {
-                inner_bytes += plan.block_bytes;
-            } else {
-                cross_bytes += plan.block_bytes;
-            }
-        }
+        add_send_bytes(ctx, op, plan.block_bytes, &mut cross_bytes, &mut inner_bytes);
     }
 
     // Timestep boundaries from the recorded wall-clock timings, then the
     // closing repair_done.
-    let op_timings: Vec<OpTiming> = timings.into_iter().map(|m| m.into_inner()).collect();
+    let (waves, wave_count) = plan.cross_waves(ctx.topo);
     for w in 0..wave_count {
         let mut start = f64::INFINITY;
         let mut finish = 0.0f64;
         for (i, wave) in waves.iter().enumerate() {
             if *wave == Some(w) {
-                start = start.min(op_timings[i].start);
-                finish = finish.max(op_timings[i].end);
+                start = start.min(run.op_timings[i].start);
+                finish = finish.max(run.op_timings[i].end);
             }
         }
         rec.record(Event::TimestepStarted { step: w, t: start });
@@ -354,7 +815,7 @@ pub fn execute_recorded(
 
     ExecReport {
         wall_seconds,
-        op_timings,
+        op_timings: run.op_timings,
         cross_bytes,
         inner_bytes,
         verified: mismatches.is_empty(),
@@ -431,7 +892,8 @@ fn build_decoding_matrix(ctx: &RepairContext<'_>) {
 mod tests {
     use super::*;
     use rpr_codec::{CodeParams, StripeCodec};
-    use rpr_core::{CostModel, RepairPlanner, RprPlanner, TraditionalPlanner};
+    use rpr_core::{crash_candidates, CostModel, RepairPlanner, RprPlanner, TraditionalPlanner};
+    use rpr_faults::FaultKind;
     use rpr_topology::{cluster_for, BandwidthProfile, Placement};
 
     fn stripe_for(codec: &StripeCodec, len: usize, seed: u64) -> Vec<Vec<u8>> {
@@ -451,6 +913,15 @@ mod tests {
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
         codec.encode_stripe(&refs)
+    }
+
+    /// A fast retry policy so backoff sleeps stay in the milliseconds.
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: 0.01,
+            multiplier: 2.0,
+        }
     }
 
     #[test]
@@ -628,5 +1099,177 @@ mod tests {
             report.wall_seconds
         );
         assert!(report.verified);
+    }
+
+    struct Fx {
+        codec: StripeCodec,
+        topo: rpr_topology::Topology,
+        placement: Placement,
+        profile: BandwidthProfile,
+        block: u64,
+    }
+
+    impl Fx {
+        fn new(n: usize, k: usize, block: u64) -> Fx {
+            let params = CodeParams::new(n, k);
+            let topo = cluster_for(params, 1, 1);
+            let placement = Placement::rpr_preplaced(params, &topo);
+            let profile = BandwidthProfile::uniform(topo.rack_count(), 80.0e6, 8.0e6);
+            Fx {
+                codec: StripeCodec::new(params),
+                topo,
+                placement,
+                profile,
+                block,
+            }
+        }
+
+        fn ctx(&self, failed: Vec<BlockId>) -> RepairContext<'_> {
+            RepairContext::new(
+                &self.codec,
+                &self.topo,
+                &self.placement,
+                failed,
+                self.block,
+                &self.profile,
+                CostModel::free(),
+            )
+        }
+    }
+
+    #[test]
+    fn injected_timeout_retries_and_still_verifies() {
+        let fx = Fx::new(6, 2, 32 * 1024);
+        let ctx = fx.ctx(vec![BlockId(1)]);
+        let plan = RprPlanner::new().plan(&ctx);
+        let send = plan
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::Send { .. }))
+            .unwrap();
+        let fp = FaultPlan::new(3)
+            .with(FaultKind::TransferTimeout { op: send })
+            .with(FaultKind::SlowLink {
+                node: 0,
+                factor: 0.9,
+            });
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 21);
+        let rec = rpr_obs::TraceRecorder::default();
+        let out = execute_resilient(&plan, &ctx, &stripe, &rec, &fp, &fast_policy())
+            .expect("recovers");
+        assert!(out.report.verified, "mismatches: {:?}", out.report.mismatches);
+        assert_eq!(out.retries, 1);
+        assert_eq!(out.replans, 0);
+        let names: Vec<&str> = rec.take_events().iter().map(|e| e.name()).collect();
+        assert!(names.contains(&"transfer_failed"));
+        assert!(names.contains(&"retry_scheduled"));
+        assert_eq!(*names.last().unwrap(), "repair_done");
+    }
+
+    #[test]
+    fn corrupted_intermediate_is_detected_by_checksum_and_retried() {
+        let fx = Fx::new(6, 2, 32 * 1024);
+        let ctx = fx.ctx(vec![BlockId(1)]);
+        let plan = RprPlanner::new().plan(&ctx);
+        let interm = plan
+            .ops
+            .iter()
+            .position(|op| {
+                matches!(
+                    op,
+                    Op::Send {
+                        what: Payload::Intermediate(_),
+                        ..
+                    }
+                )
+            })
+            .expect("rpr ships intermediates");
+        let fp = FaultPlan::new(8).with(FaultKind::CorruptIntermediate { op: interm });
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 33);
+        let rec = rpr_obs::TraceRecorder::default();
+        let out = execute_resilient(&plan, &ctx, &stripe, &rec, &fp, &fast_policy())
+            .expect("recovers");
+        assert!(out.report.verified, "mismatches: {:?}", out.report.mismatches);
+        assert_eq!(out.retries, 1);
+        let events = rec.take_events();
+        let corrupt_failures = events
+            .iter()
+            .filter(|e| {
+                matches!(e, Event::TransferFailed { reason, .. } if reason == reason::CORRUPT)
+            })
+            .count();
+        assert_eq!(corrupt_failures, 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.transfer_failures, 1);
+        assert_eq!(snap.retries, 1);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_an_error() {
+        let fx = Fx::new(6, 2, 16 * 1024);
+        let ctx = fx.ctx(vec![BlockId(1)]);
+        let plan = RprPlanner::new().plan(&ctx);
+        let send = plan
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::Send { .. }))
+            .unwrap();
+        let fp = FaultPlan::new(3).with(FaultKind::TransferTimeout { op: send });
+        let tight = RetryPolicy {
+            max_attempts: 1,
+            ..fast_policy()
+        };
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 5);
+        let err = execute_resilient(&plan, &ctx, &stripe, rpr_obs::noop(), &fp, &tight)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::RetriesExhausted(_)), "{err}");
+    }
+
+    #[test]
+    fn helper_crash_replans_and_verifies() {
+        let fx = Fx::new(6, 3, 16 * 1024);
+        let ctx = fx.ctx(vec![BlockId(1)]);
+        let plan = RprPlanner::new().plan(&ctx);
+        plan.validate(&fx.codec, &fx.topo, &fx.placement)
+            .expect("valid");
+        let (node, step) = crash_candidates(&plan, &ctx)[0];
+        let fp = FaultPlan::new(17).with(FaultKind::HelperCrash {
+            node,
+            timestep: step,
+        });
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 55);
+        let rec = rpr_obs::TraceRecorder::default();
+        let out = execute_resilient(&plan, &ctx, &stripe, &rec, &fp, &fast_policy())
+            .expect("recovers");
+        assert!(out.report.verified, "mismatches: {:?}", out.report.mismatches);
+        assert_eq!(out.replans, 1);
+        let names: Vec<&str> = rec.take_events().iter().map(|e| e.name()).collect();
+        assert!(names.contains(&"helper_crashed"));
+        assert!(names.contains(&"replanned"));
+        assert_eq!(*names.last().unwrap(), "repair_done");
+    }
+
+    #[test]
+    fn empty_fault_plan_behaves_like_plain_execution() {
+        let fx = Fx::new(4, 2, 32 * 1024);
+        let ctx = fx.ctx(vec![BlockId(1)]);
+        let plan = RprPlanner::new().plan(&ctx);
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 77);
+        let out = execute_resilient(
+            &plan,
+            &ctx,
+            &stripe,
+            rpr_obs::noop(),
+            &FaultPlan::new(0),
+            &fast_policy(),
+        )
+        .expect("runs");
+        assert!(out.report.verified);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.replans, 0);
+        assert_eq!(out.final_scheme, plan.scheme);
+        let plain = execute(&plan, &ctx, &stripe);
+        assert_eq!(out.report.cross_bytes, plain.cross_bytes);
+        assert_eq!(out.report.inner_bytes, plain.inner_bytes);
     }
 }

@@ -20,7 +20,9 @@
 mod executor;
 mod ratelimit;
 
-pub use executor::{execute, execute_recorded, ExecReport, OpTiming};
+pub use executor::{
+    execute, execute_recorded, execute_resilient, ExecError, ExecReport, OpTiming, ResilientReport,
+};
 pub use ratelimit::TokenBucket;
 
 use rpr_topology::BandwidthProfile;

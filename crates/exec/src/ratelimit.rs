@@ -149,4 +149,52 @@ mod tests {
     fn zero_rate_rejected() {
         TokenBucket::new(0.0);
     }
+
+    #[test]
+    #[should_panic(expected = "bad rate")]
+    fn negative_rate_rejected() {
+        TokenBucket::new(-8.0e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rate")]
+    fn non_finite_rate_rejected() {
+        TokenBucket::new(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rate")]
+    fn nan_rate_rejected() {
+        TokenBucket::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "amount")]
+    fn negative_take_rejected() {
+        TokenBucket::new(1.0e6).take(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "amount")]
+    fn non_finite_take_rejected() {
+        TokenBucket::new(1.0e6).take(f64::NAN);
+    }
+
+    #[test]
+    fn burst_larger_than_transfer_still_caps_accumulation() {
+        // A request far larger than the burst allowance must not deadlock:
+        // the cap tracks max(burst, amount), so the bucket eventually
+        // accumulates enough, paying the full steady rate for the excess.
+        let b = TokenBucket::new(1_000_000.0); // 1 MB/s, 20 KB burst
+        let start = Instant::now();
+        b.take(5.0 * b.burst()); // 100 KB: ~80 ms beyond the burst
+        let dt = start.elapsed().as_secs_f64();
+        assert!((0.05..0.40).contains(&dt), "took {dt}s");
+        // And the opposite shape: a transfer smaller than the burst goes
+        // through instantly on a fresh bucket.
+        let small = TokenBucket::new(1_000_000.0);
+        let start = Instant::now();
+        small.take(small.burst() * 0.5);
+        assert!(start.elapsed().as_secs_f64() < 0.01);
+    }
 }

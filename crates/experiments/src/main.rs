@@ -12,6 +12,7 @@
 
 mod ablation;
 mod exec_figs;
+mod faults;
 mod fleet;
 mod sim_figs;
 mod table1;
@@ -66,6 +67,7 @@ fn main() {
             "fleet" => fleet::fleet(fast),
             "ablation" => ablation::ablation(),
             "traces" => traces::traces(fast),
+            "faults" => faults::faults(),
             "all" => {
                 theory::fig6();
                 sim_figs::fig7();
@@ -80,12 +82,13 @@ fn main() {
                 fleet::fleet(fast);
                 ablation::ablation();
                 traces::traces(fast);
+                faults::faults();
             }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
                     "usage: rpr-experiments \
-                     <fig6..fig14|table1|fleet|ablation|traces|all> [--fast] [--out DIR]"
+                     <fig6..fig14|table1|fleet|ablation|traces|faults|all> [--fast] [--out DIR]"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,282 @@
+//! Deterministic fault-injection primitives.
+//!
+//! This crate is the dependency-free bottom of the robustness layer: it
+//! defines *what can go wrong* during a repair ([`FaultKind`],
+//! [`FaultPlan`]) and *how the system reacts* ([`RetryPolicy`]), plus two
+//! small utilities the recovery machinery needs — a seeded [`SplitMix64`]
+//! PRNG so every injected fault is reproducible, and a [`checksum64`]
+//! digest used to verify intermediate blocks in flight.
+//!
+//! Faults are described against a repair plan symbolically (op indices,
+//! node indices, pipeline timesteps — all plain `usize`); `rpr-core`
+//! resolves them against a concrete [`RepairPlan`] and both backends
+//! (`rpr-netsim`, `rpr-exec`) enact them. The full fault model and
+//! recovery semantics are documented in `docs/ROBUSTNESS.md`.
+//!
+//! [`RepairPlan`]: https://docs.rs/rpr-core
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Stable failure-reason strings carried by `transfer_failed` trace
+/// events. Kept as constants so backends and tests agree byte-for-byte.
+pub mod reason {
+    /// A transfer stalled past its deadline and was abandoned mid-flight.
+    pub const TIMEOUT: &str = "timeout";
+    /// An intermediate block arrived but failed checksum verification.
+    pub const CORRUPT: &str = "corrupt";
+    /// The rack aggregation switch dropped the transfer.
+    pub const SWITCH_OUTAGE: &str = "switch_outage";
+    /// The sending helper died; no retry will succeed.
+    pub const NODE_DOWN: &str = "node_down";
+}
+
+/// SplitMix64 — a tiny, high-quality, seedable PRNG (Steele et al.,
+/// "Fast splittable pseudorandom number generators", OOPSLA '14).
+///
+/// Used everywhere the robustness layer needs reproducible randomness:
+/// fault-site selection, failure fractions, and the seeded property-test
+/// harness in `tests/`. Identical seeds yield identical streams on every
+/// platform.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`. Any value (including 0) is fine.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of a u64, scaled.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "SplitMix64::pick: empty range");
+        // Modulo bias is negligible for the small n used here (op/node
+        // counts), and determinism matters more than perfect uniformity.
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// FNV-1a 64-bit digest of a byte slice.
+///
+/// Fast, dependency-free, and good enough to detect the single- and
+/// multi-byte corruptions the fault plane injects; not cryptographic.
+pub fn checksum64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// One injectable fault. Indices are plain `usize` (node, rack, plan-op,
+/// pipeline timestep); `rpr-core` validates them against a concrete plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Helper `node` dies immediately before performing its first
+    /// cross-rack send scheduled at wave `timestep` or later. Survived by
+    /// replanning (the node never comes back).
+    HelperCrash {
+        /// Node index that crashes.
+        node: usize,
+        /// Pipeline timestep at (or after) which the crash takes effect.
+        timestep: usize,
+    },
+    /// The transfer for plan op `op` stalls partway and times out once;
+    /// the retry succeeds.
+    TransferTimeout {
+        /// Plan op index (must be a `Send`).
+        op: usize,
+    },
+    /// The intermediate block carried by plan op `op` arrives corrupted
+    /// once; checksum verification detects it and the retry succeeds.
+    CorruptIntermediate {
+        /// Plan op index (must be a `Send` carrying an intermediate).
+        op: usize,
+    },
+    /// Every link of `node` runs at `factor` of its profiled bandwidth
+    /// for the whole repair (a degraded NIC / contended ToR port).
+    SlowLink {
+        /// Node index whose links are derated.
+        node: usize,
+        /// Rate multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// The aggregation switch of `rack` drops every cross-rack transfer
+    /// of pipeline wave `timestep` touching that rack, once each.
+    RackSwitchOutage {
+        /// Rack index whose switch blips.
+        rack: usize,
+        /// Pipeline timestep during which the outage occurs.
+        timestep: usize,
+    },
+}
+
+/// A deterministic, seed-driven set of faults to inject into one repair.
+///
+/// The seed feeds a [`SplitMix64`] stream that fixes every free parameter
+/// (failure fractions, corruption offsets), so the same plan + same
+/// `FaultPlan` produce bit-identical behavior on the simulator backend.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for the deterministic parameter stream.
+    pub seed: u64,
+    /// The faults to inject, in declaration order.
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty fault plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Builder-style: append one fault.
+    pub fn with(mut self, fault: FaultKind) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// True when no faults are injected.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Bounded-retry policy for failed transfers and crash recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum transfer attempts (first try included). A transfer that
+    /// fails this many times aborts the repair attempt.
+    pub max_attempts: usize,
+    /// Backoff before the first retry, in seconds (virtual seconds on the
+    /// simulator backend, wall seconds on the executor).
+    pub backoff: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: 0.05,
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay in seconds before the retry following failed attempt
+    /// `attempt` (zero-based): `backoff * multiplier^attempt`.
+    pub fn delay(&self, attempt: usize) -> f64 {
+        self.backoff * self.multiplier.powi(attempt as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_matches_reference() {
+        // Reference values for seed 1234567 from the public-domain
+        // splitmix64.c by Sebastiano Vigna.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pick_stays_in_range() {
+        let mut rng = SplitMix64::new(9);
+        for n in 1..=17 {
+            for _ in 0..50 {
+                assert!(rng.pick(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn pick_rejects_empty_range() {
+        SplitMix64::new(0).pick(0);
+    }
+
+    #[test]
+    fn checksum_detects_single_byte_flips() {
+        let data = vec![0xABu8; 4096];
+        let base = checksum64(&data);
+        for i in [0usize, 1, 100, 4095] {
+            let mut copy = data.clone();
+            copy[i] ^= 0x01;
+            assert_ne!(checksum64(&copy), base, "flip at {i} undetected");
+        }
+        assert_eq!(checksum64(&data), base);
+    }
+
+    #[test]
+    fn retry_policy_backoff_grows_geometrically() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            backoff: 0.1,
+            multiplier: 2.0,
+        };
+        assert!((p.delay(0) - 0.1).abs() < 1e-12);
+        assert!((p.delay(1) - 0.2).abs() < 1e-12);
+        assert!((p.delay(3) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_plan_builder_appends_in_order() {
+        let fp = FaultPlan::new(3)
+            .with(FaultKind::TransferTimeout { op: 2 })
+            .with(FaultKind::SlowLink {
+                node: 1,
+                factor: 0.5,
+            });
+        assert_eq!(fp.seed, 3);
+        assert_eq!(fp.faults.len(), 2);
+        assert!(!fp.is_empty());
+        assert!(FaultPlan::new(0).is_empty());
+    }
+}

@@ -1,7 +1,7 @@
 //! The discrete-event engine: dependency scheduling plus max-min fair rate
 //! allocation (progressive filling) over link and CPU resources.
 
-use crate::report::{JobRecord, SimReport};
+use crate::report::{FailSpec, FailureRecord, JobRecord, SimReport};
 use crate::{JobId, JobKind, Network};
 
 /// Relative tolerance for "work finished" comparisons.
@@ -18,9 +18,31 @@ struct Job {
     rate_cap: f64,
     /// Remaining work: bytes for transfers, CPU-seconds for computes.
     remaining: f64,
+    /// Total work of one attempt (restored when an attempt fails).
+    total: f64,
+    /// Injected one-shot attempt failures, consumed in order.
+    fails: Vec<FailSpec>,
+    /// Index of the next unconsumed entry in `fails`.
+    next_fail: usize,
+    /// Earliest time a retry may start (0 until a failure fires).
+    resume_at: f64,
+    /// Failed attempts so far, for the report and trace replay.
+    failures: Vec<FailureRecord>,
     state: JobState,
     start: f64,
     finish: f64,
+}
+
+impl Job {
+    fn has_pending_fail(&self) -> bool {
+        self.next_fail < self.fails.len()
+    }
+
+    /// True when this job is waiting only on the clock (deps done, retry
+    /// backoff not yet elapsed).
+    fn runnable(&self, jobs: &[Job]) -> bool {
+        self.state == JobState::Pending && self.deps.iter().all(|d| jobs[d.0].state == JobState::Done)
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -133,6 +155,11 @@ impl Simulator {
             resources,
             rate_cap,
             remaining: bytes as f64,
+            total: bytes as f64,
+            fails: Vec::new(),
+            next_fail: 0,
+            resume_at: 0.0,
+            failures: Vec::new(),
             state: JobState::Pending,
             start: f64::NAN,
             finish: f64::NAN,
@@ -160,10 +187,56 @@ impl Simulator {
             resources: vec![node.0 * RES_PER_NODE + 4],
             rate_cap: 1.0,
             remaining: seconds,
+            total: seconds,
+            fails: Vec::new(),
+            next_fail: 0,
+            resume_at: 0.0,
+            failures: Vec::new(),
             state: JobState::Pending,
             start: f64::NAN,
             finish: f64::NAN,
         })
+    }
+
+    /// Inject one-shot attempt failures into a job, consumed in order: the
+    /// job's first attempt aborts after `specs[0].fraction` of its work and
+    /// restarts from scratch `specs[0].delay` seconds later, the second
+    /// attempt consumes `specs[1]`, and so on until the specs run out and
+    /// an attempt completes. Deterministic: same specs, same schedule.
+    ///
+    /// # Panics
+    /// Panics if the job id is unknown or a spec has a fraction outside
+    /// `[0, 1]` or a negative/non-finite delay.
+    pub fn fail_attempts(&mut self, job: JobId, specs: Vec<FailSpec>) {
+        assert!(job.0 < self.jobs.len(), "fail_attempts: unknown job");
+        for s in &specs {
+            assert!(
+                (0.0..=1.0).contains(&s.fraction),
+                "fail_attempts: fraction out of range"
+            );
+            assert!(
+                s.delay >= 0.0 && s.delay.is_finite(),
+                "fail_attempts: bad delay"
+            );
+        }
+        self.jobs[job.0].fails.extend(specs);
+    }
+
+    /// Derate every link of `node` to `factor` of its profiled bandwidth
+    /// (a slow NIC or congested ToR port). Affects uplink, downlink, and
+    /// both cross-class shapers; CPU is untouched. Call before `run`.
+    ///
+    /// # Panics
+    /// Panics if the node is out of range or `factor` is not in `(0, 1]`.
+    pub fn derate_node(&mut self, node: rpr_topology::NodeId, factor: f64) {
+        assert!(node.0 < self.net.topology().node_count(), "derate: node");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "derate: factor must be in (0, 1]"
+        );
+        for r in 0..4 {
+            self.capacity[node.0 * RES_PER_NODE + r] *= factor;
+        }
     }
 
     fn push(&mut self, job: Job) -> JobId {
@@ -209,6 +282,45 @@ impl Simulator {
                         cross: !topo.same_rack(from, to),
                         timestep: None,
                     };
+                    // Failed attempts first: each one queued/started at its
+                    // attempt start, failed at its abort time, retried
+                    // after the backoff.
+                    for (attempt, f) in r.failures.iter().enumerate() {
+                        events.push((
+                            f.start,
+                            rpr_obs::Event::TransferQueued {
+                                xfer: xfer.clone(),
+                                t: f.start,
+                            },
+                        ));
+                        events.push((
+                            f.start,
+                            rpr_obs::Event::TransferStarted {
+                                xfer: xfer.clone(),
+                                queue_wait: 0.0,
+                                t: f.start,
+                            },
+                        ));
+                        events.push((
+                            f.at,
+                            rpr_obs::Event::TransferFailed {
+                                xfer: xfer.clone(),
+                                attempt,
+                                reason: f.reason.clone(),
+                                t: f.at,
+                            },
+                        ));
+                        events.push((
+                            f.at,
+                            rpr_obs::Event::RetryScheduled {
+                                label: r.label.clone(),
+                                rack: xfer.src_rack,
+                                attempt,
+                                delay: f.delay,
+                                t: f.at,
+                            },
+                        ));
+                    }
                     events.push((
                         r.start,
                         rpr_obs::Event::TransferQueued {
@@ -268,38 +380,45 @@ impl Simulator {
         let total = self.jobs.len();
 
         while done < total {
-            // Activate every pending job whose dependencies are all done.
-            let mut activated = false;
+            // Activate every pending job whose dependencies are all done
+            // and whose retry backoff (if any) has elapsed.
             for i in 0..self.jobs.len() {
-                if self.jobs[i].state == JobState::Pending
-                    && self.jobs[i]
-                        .deps
-                        .iter()
-                        .all(|d| self.jobs[d.0].state == JobState::Done)
-                {
+                if self.jobs[i].runnable(&self.jobs) && self.jobs[i].resume_at <= now {
                     self.jobs[i].state = JobState::Active;
                     self.jobs[i].start = now;
-                    activated = true;
                 }
             }
 
             let active: Vec<usize> = (0..self.jobs.len())
                 .filter(|&i| self.jobs[i].state == JobState::Active)
                 .collect();
-            assert!(
-                !active.is_empty(),
-                "simulator deadlock: {} pending jobs form a cycle",
-                total - done
-            );
-            let _ = activated;
+            if active.is_empty() {
+                // Everything runnable is backing off after a failure:
+                // advance the clock to the earliest retry.
+                let next = (0..self.jobs.len())
+                    .filter(|&i| self.jobs[i].runnable(&self.jobs))
+                    .map(|i| self.jobs[i].resume_at)
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    next.is_finite(),
+                    "simulator deadlock: {} pending jobs form a cycle",
+                    total - done
+                );
+                now = next;
+                continue;
+            }
 
-            // Zero-work jobs complete instantly.
+            // Zero-work jobs complete (or fail) instantly.
             let mut instant = false;
             for &i in &active {
                 if self.jobs[i].remaining <= EPS {
-                    self.jobs[i].state = JobState::Done;
-                    self.jobs[i].finish = now;
-                    done += 1;
+                    if self.jobs[i].has_pending_fail() {
+                        self.fail_job(i, now);
+                    } else {
+                        self.jobs[i].state = JobState::Done;
+                        self.jobs[i].finish = now;
+                        done += 1;
+                    }
                     instant = true;
                 }
             }
@@ -309,7 +428,8 @@ impl Simulator {
 
             let rates = self.allocate(&active);
 
-            // Find the earliest completion among active jobs.
+            // Find the earliest event among active jobs: a completion or
+            // an injected attempt failure.
             let mut dt = f64::INFINITY;
             for (idx, &i) in active.iter().enumerate() {
                 let r = rates[idx];
@@ -319,14 +439,39 @@ impl Simulator {
                     JobId(i),
                     self.jobs[i].label
                 );
-                dt = dt.min(self.jobs[i].remaining / r);
+                let job = &self.jobs[i];
+                let mut t = job.remaining / r;
+                if let Some(spec) = job.fails.get(job.next_fail) {
+                    let to_fail = spec.fraction * job.total - (job.total - job.remaining);
+                    t = t.min(to_fail.max(0.0) / r);
+                }
+                dt = dt.min(t);
+            }
+            // Don't step past a pending retry: the retrying job must
+            // re-enter the bandwidth competition exactly at resume time.
+            for i in 0..self.jobs.len() {
+                if self.jobs[i].runnable(&self.jobs) && self.jobs[i].resume_at > now {
+                    dt = dt.min(self.jobs[i].resume_at - now);
+                }
             }
             assert!(dt.is_finite(), "no progress possible");
 
             now += dt;
             for (idx, &i) in active.iter().enumerate() {
                 self.jobs[i].remaining -= rates[idx] * dt;
-                if self.jobs[i].remaining <= EPS * (1.0 + rates[idx] * dt) {
+                let tol = EPS * (1.0 + rates[idx] * dt);
+                let failing = {
+                    let job = &self.jobs[i];
+                    match job.fails.get(job.next_fail) {
+                        Some(spec) => {
+                            job.total - job.remaining >= spec.fraction * job.total - tol
+                        }
+                        None => false,
+                    }
+                };
+                if failing {
+                    self.fail_job(i, now);
+                } else if self.jobs[i].remaining <= tol {
                     self.jobs[i].remaining = 0.0;
                     self.jobs[i].state = JobState::Done;
                     self.jobs[i].finish = now;
@@ -336,6 +481,25 @@ impl Simulator {
         }
 
         self.into_report(now)
+    }
+
+    /// Fire the next injected failure of job `i` at time `now`: record it,
+    /// reset the job's work, and schedule the retry after the backoff.
+    fn fail_job(&mut self, i: usize, now: f64) {
+        let job = &mut self.jobs[i];
+        let spec = job.fails[job.next_fail].clone();
+        job.next_fail += 1;
+        job.failures.push(FailureRecord {
+            start: job.start,
+            at: now,
+            delay: spec.delay,
+            fraction: spec.fraction,
+            reason: spec.reason,
+        });
+        job.remaining = job.total;
+        job.state = JobState::Pending;
+        job.resume_at = now + spec.delay;
+        job.start = f64::NAN;
     }
 
     /// Max-min fair allocation (progressive filling with per-job caps) for
@@ -423,6 +587,7 @@ impl Simulator {
         let mut upload = vec![0u64; nodes];
         let mut download = vec![0u64; nodes];
         let mut compute_seconds = vec![0.0f64; nodes];
+        let mut retransmitted = 0u64;
 
         for (i, job) in self.jobs.iter().enumerate() {
             match job.kind {
@@ -434,6 +599,9 @@ impl Simulator {
                     }
                     upload[from.0] += bytes;
                     download[to.0] += bytes;
+                    for f in &job.failures {
+                        retransmitted += (f.fraction * bytes as f64).round() as u64;
+                    }
                 }
                 JobKind::Compute { node, seconds } => {
                     compute_seconds[node.0] += seconds;
@@ -445,6 +613,7 @@ impl Simulator {
                 label: job.label.clone(),
                 start: job.start,
                 finish: job.finish,
+                failures: job.failures.clone(),
             });
         }
 
@@ -456,6 +625,7 @@ impl Simulator {
             node_upload_bytes: upload,
             node_download_bytes: download,
             node_compute_seconds: compute_seconds,
+            retransmitted_bytes: retransmitted,
         }
     }
 }
@@ -677,6 +847,152 @@ mod tests {
         assert_eq!(snap.cross_bytes, 100);
         assert_eq!(snap.racks[0].inner_bytes_out, 500);
         assert_eq!(snap.racks[0].cross_bytes_out, 100);
+    }
+
+    fn fail(fraction: f64, delay: f64) -> crate::FailSpec {
+        crate::FailSpec {
+            fraction,
+            delay,
+            reason: "timeout".into(),
+        }
+    }
+
+    #[test]
+    fn injected_failure_retries_with_backoff() {
+        // Cross transfer at 10 B/s: clean time 100 s. Fail at 50% with a
+        // 5 s backoff: 50 s wasted + 5 s backoff + 100 s retry = 155 s.
+        let mut sim = Simulator::new(net());
+        let j = sim.transfer("t", NodeId(0), NodeId(2), 1000, &[]);
+        sim.fail_attempts(j, vec![fail(0.5, 5.0)]);
+        let r = sim.run();
+        assert!((r.makespan - 155.0).abs() < 1e-6, "{}", r.makespan);
+        let rec = r.record(j);
+        assert_eq!(rec.attempts(), 2);
+        assert_eq!(rec.failures.len(), 1);
+        assert!((rec.failures[0].at - 50.0).abs() < 1e-6);
+        assert!((rec.start - 55.0).abs() < 1e-6, "{}", rec.start);
+        assert_eq!(r.retransmitted_bytes, 500);
+        // Clean per-class accounting is unchanged by the retry.
+        assert_eq!(r.cross_rack_bytes, 1000);
+    }
+
+    #[test]
+    fn full_fraction_failure_models_detected_corruption() {
+        // fraction 1.0: the whole payload arrives, verification rejects
+        // it, and the transfer repeats — exactly double the clean time.
+        let mut sim = Simulator::new(net());
+        let j = sim.transfer("t", NodeId(0), NodeId(2), 1000, &[]);
+        sim.fail_attempts(j, vec![fail(1.0, 0.0)]);
+        let r = sim.run();
+        assert!((r.makespan - 200.0).abs() < 1e-6, "{}", r.makespan);
+        assert_eq!(r.retransmitted_bytes, 1000);
+    }
+
+    #[test]
+    fn multiple_failures_consume_specs_in_order() {
+        let mut sim = Simulator::new(net());
+        let j = sim.transfer("t", NodeId(0), NodeId(2), 1000, &[]);
+        sim.fail_attempts(j, vec![fail(0.1, 1.0), fail(0.2, 2.0)]);
+        let r = sim.run();
+        // 10 + 1 + 20 + 2 + 100 = 133 s.
+        assert!((r.makespan - 133.0).abs() < 1e-6, "{}", r.makespan);
+        assert_eq!(r.record(j).failures.len(), 2);
+        assert!((r.record(j).failures[1].at - 31.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dependent_jobs_wait_for_a_retried_producer() {
+        let mut sim = Simulator::new(net());
+        let a = sim.transfer("a", NodeId(0), NodeId(1), 500, &[]); // clean 5 s
+        sim.fail_attempts(a, vec![fail(0.5, 1.0)]);
+        let b = sim.transfer("b", NodeId(1), NodeId(0), 500, &[a]);
+        let r = sim.run();
+        // a: 2.5 wasted + 1 backoff + 5 = 8.5; b starts only then.
+        assert!((r.record(a).finish - 8.5).abs() < 1e-6);
+        assert!((r.record(b).start - 8.5).abs() < 1e-6);
+        assert!((r.makespan - 13.5).abs() < 1e-6, "{}", r.makespan);
+    }
+
+    #[test]
+    fn concurrent_job_keeps_running_through_anothers_backoff() {
+        // The retrying cross flow leaves and re-enters the competition;
+        // the long-running independent flow is simulated continuously.
+        let mut sim = Simulator::new(net());
+        let a = sim.transfer("a", NodeId(0), NodeId(2), 1000, &[]); // 100 s clean
+        let b = sim.transfer("b", NodeId(1), NodeId(4), 2000, &[]); // 200 s clean
+        sim.fail_attempts(a, vec![fail(0.3, 10.0)]);
+        let r = sim.run();
+        // Disjoint rack pairs: no contention. a = 30 + 10 + 100 = 140.
+        assert!((r.record(a).finish - 140.0).abs() < 1e-6);
+        assert!((r.record(b).finish - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derate_node_slows_only_its_links() {
+        let mut sim = Simulator::new(net());
+        sim.derate_node(NodeId(0), 0.5);
+        let a = sim.transfer("a", NodeId(0), NodeId(1), 1000, &[]);
+        let b = sim.transfer("b", NodeId(2), NodeId(3), 1000, &[]);
+        let r = sim.run();
+        // Node 0 uplink halved to 50 B/s → 20 s; node 2 untouched → 10 s.
+        assert!((r.record(a).finish - 20.0).abs() < 1e-6, "{}", r.record(a).finish);
+        assert!((r.record(b).finish - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn fail_attempts_rejects_bad_fraction() {
+        let mut sim = Simulator::new(net());
+        let j = sim.transfer("t", NodeId(0), NodeId(1), 100, &[]);
+        sim.fail_attempts(j, vec![fail(1.5, 0.0)]);
+    }
+
+    #[test]
+    fn run_recorded_replays_failures_and_retries() {
+        use rpr_obs::{Event, TraceRecorder};
+        let rec = TraceRecorder::default();
+        let mut sim = Simulator::new(net());
+        let j = sim.transfer("p0op0:send", NodeId(0), NodeId(2), 1000, &[]);
+        sim.fail_attempts(j, vec![fail(0.5, 5.0)]);
+        let report = sim.run_recorded(&rec);
+        assert!((report.makespan - 155.0).abs() < 1e-6);
+        let events = rec.take_events();
+        // queued/started (failed attempt), failed, retry_scheduled,
+        // queued/started (retry), done.
+        let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "transfer_queued",
+                "transfer_started",
+                "transfer_failed",
+                "retry_scheduled",
+                "transfer_queued",
+                "transfer_started",
+                "transfer_done",
+            ]
+        );
+        match &events[2] {
+            Event::TransferFailed {
+                attempt, reason, t, ..
+            } => {
+                assert_eq!(*attempt, 0);
+                assert_eq!(reason, "timeout");
+                assert!((t - 50.0).abs() < 1e-6);
+            }
+            other => panic!("expected transfer_failed, got {other:?}"),
+        }
+        match &events[3] {
+            Event::RetryScheduled { delay, rack, .. } => {
+                assert!((delay - 5.0).abs() < 1e-6);
+                assert_eq!(*rack, 0);
+            }
+            other => panic!("expected retry_scheduled, got {other:?}"),
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.transfer_failures, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.racks[0].retries, 1);
     }
 
     #[test]

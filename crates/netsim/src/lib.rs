@@ -27,7 +27,7 @@ mod engine;
 mod report;
 
 pub use engine::Simulator;
-pub use report::{JobRecord, SimReport};
+pub use report::{FailSpec, FailureRecord, JobRecord, SimReport};
 
 use rpr_topology::{BandwidthProfile, NodeId, Topology};
 

@@ -2,6 +2,36 @@
 
 use crate::{JobId, JobKind};
 
+/// One injected attempt failure: the attempt aborts after completing
+/// `fraction` of the job's work, and the job retries after `delay`
+/// simulated seconds. Injected with `Simulator::fail_attempts`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailSpec {
+    /// Fraction of the job's work done when the attempt fails, in `[0, 1]`
+    /// (1.0 models a transfer that completes but fails verification).
+    pub fraction: f64,
+    /// Retry backoff in simulated seconds.
+    pub delay: f64,
+    /// Stable failure-reason string (see `rpr-faults::reason`), carried
+    /// into `transfer_failed` trace events.
+    pub reason: String,
+}
+
+/// What actually happened when an injected [`FailSpec`] fired.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureRecord {
+    /// Simulation time the failed attempt started.
+    pub start: f64,
+    /// Simulation time the failure fired.
+    pub at: f64,
+    /// Backoff before the retry, in simulated seconds.
+    pub delay: f64,
+    /// Fraction of the work completed (and wasted) by the failed attempt.
+    pub fraction: f64,
+    /// Failure reason copied from the spec.
+    pub reason: String,
+}
+
 /// Timing record for one job.
 #[derive(Clone, Debug)]
 pub struct JobRecord {
@@ -12,16 +42,23 @@ pub struct JobRecord {
     /// Free-form label supplied at construction (used by plan executors to
     /// tag operations, e.g. `"inner r1 d2+d3"`).
     pub label: String,
-    /// Simulation time at which the job became runnable and started.
+    /// Simulation time at which the *successful* attempt started.
     pub start: f64,
     /// Simulation time at which the job completed.
     pub finish: f64,
+    /// Failed attempts before the successful one (empty without faults).
+    pub failures: Vec<FailureRecord>,
 }
 
 impl JobRecord {
-    /// Wall-clock duration of the job.
+    /// Wall-clock duration of the successful attempt.
     pub fn duration(&self) -> f64 {
         self.finish - self.start
+    }
+
+    /// Total attempts made (failed retries plus the successful one).
+    pub fn attempts(&self) -> usize {
+        self.failures.len() + 1
     }
 }
 
@@ -43,6 +80,10 @@ pub struct SimReport {
     pub node_download_bytes: Vec<u64>,
     /// CPU-seconds of decode work executed per node.
     pub node_compute_seconds: Vec<f64>,
+    /// Bytes moved by failed transfer attempts and re-sent on retry.
+    /// Not included in the per-class or per-node totals above, which
+    /// count each payload once (the clean-plan traffic).
+    pub retransmitted_bytes: u64,
 }
 
 impl SimReport {
@@ -101,12 +142,14 @@ mod tests {
                 label: "c".into(),
                 start: 2.0,
                 finish: 3.5,
+                failures: Vec::new(),
             }],
             cross_rack_bytes: 1024,
             inner_rack_bytes: 512,
             node_upload_bytes: vec![100, 300, 0],
             node_download_bytes: vec![0, 0, 400],
             node_compute_seconds: vec![1.0, 0.0, 0.0],
+            retransmitted_bytes: 0,
         }
     }
 
@@ -115,6 +158,7 @@ mod tests {
         let r = report();
         assert_eq!(r.record(JobId(0)).label, "c");
         assert!((r.record(JobId(0)).duration() - 1.5).abs() < 1e-12);
+        assert_eq!(r.record(JobId(0)).attempts(), 1);
     }
 
     #[test]

@@ -129,6 +129,58 @@ pub enum Event {
         /// Seconds from repair start when it finished.
         end: f64,
     },
+    /// A transfer attempt failed — injected fault, checksum mismatch, or
+    /// dead sender. Followed by [`Event::RetryScheduled`] when the
+    /// transfer will be retried, or by [`Event::HelperCrashed`] /
+    /// [`Event::Replanned`] when the failure escalates to a replan.
+    TransferFailed {
+        /// Endpoints and classification of the failed attempt.
+        xfer: Transfer,
+        /// Zero-based attempt number that failed.
+        attempt: usize,
+        /// Stable failure reason (`"timeout"`, `"corrupt"`,
+        /// `"switch_outage"`, `"node_down"` — see `rpr-faults`).
+        reason: String,
+        /// Seconds from repair start when the failure was detected.
+        t: f64,
+    },
+    /// A failed transfer was scheduled for retry after a backoff delay.
+    RetryScheduled {
+        /// Plan-derived label of the transfer being retried.
+        label: String,
+        /// Rack of the sending node (per-rack retry accounting).
+        rack: usize,
+        /// Zero-based attempt number that just failed.
+        attempt: usize,
+        /// Backoff delay in seconds before the retry starts.
+        delay: f64,
+        /// Seconds from repair start when the retry was scheduled.
+        t: f64,
+    },
+    /// A helper node died mid-repair; its partial results on other nodes
+    /// survive but everything it still had to produce is lost.
+    HelperCrashed {
+        /// The dead node.
+        node: usize,
+        /// Rack of the dead node.
+        rack: usize,
+        /// Seconds from repair start when the crash was detected.
+        t: f64,
+    },
+    /// The supervisor produced a replacement plan after a helper crash,
+    /// re-selecting surviving helpers and reusing partial results.
+    Replanned {
+        /// Scheme of the replacement plan (`"rpr"`, `"traditional"`, ...).
+        scheme: String,
+        /// Failure count the replacement plan repairs (original failures
+        /// plus the crashed helper's block).
+        failed: usize,
+        /// Ops of the replacement plan satisfied by already-aggregated
+        /// partial results (not re-executed).
+        reused_ops: usize,
+        /// Seconds from repair start when the new plan was adopted.
+        t: f64,
+    },
     /// The whole repair finished.
     RepairDone {
         /// Seconds from repair start (the repair makespan).
@@ -151,6 +203,10 @@ impl Event {
             Event::TransferStarted { .. } => "transfer_started",
             Event::TransferDone { .. } => "transfer_done",
             Event::CombineDone { .. } => "combine_done",
+            Event::TransferFailed { .. } => "transfer_failed",
+            Event::RetryScheduled { .. } => "retry_scheduled",
+            Event::HelperCrashed { .. } => "helper_crashed",
+            Event::Replanned { .. } => "replanned",
             Event::RepairDone { .. } => "repair_done",
         }
     }
@@ -164,6 +220,10 @@ impl Event {
             | Event::TimestepFinished { t, .. }
             | Event::TransferQueued { t, .. }
             | Event::TransferStarted { t, .. }
+            | Event::TransferFailed { t, .. }
+            | Event::RetryScheduled { t, .. }
+            | Event::HelperCrashed { t, .. }
+            | Event::Replanned { t, .. }
             | Event::RepairDone { t, .. } => *t,
             Event::TransferDone { end, .. } | Event::CombineDone { end, .. } => *end,
         }

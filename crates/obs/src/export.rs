@@ -180,6 +180,42 @@ pub fn event_to_json(event: &Event) -> String {
                 .f64("start", *start)
                 .f64("end", *end);
         }
+        Event::TransferFailed {
+            xfer,
+            attempt,
+            reason,
+            t,
+        } => {
+            transfer_fields(&mut o, xfer);
+            o.usize("attempt", *attempt).str("reason", reason).f64("t", *t);
+        }
+        Event::RetryScheduled {
+            label,
+            rack,
+            attempt,
+            delay,
+            t,
+        } => {
+            o.str("label", label)
+                .usize("rack", *rack)
+                .usize("attempt", *attempt)
+                .f64("delay", *delay)
+                .f64("t", *t);
+        }
+        Event::HelperCrashed { node, rack, t } => {
+            o.usize("node", *node).usize("rack", *rack).f64("t", *t);
+        }
+        Event::Replanned {
+            scheme,
+            failed,
+            reused_ops,
+            t,
+        } => {
+            o.str("scheme", scheme)
+                .usize("failed", *failed)
+                .usize("reused_ops", *reused_ops)
+                .f64("t", *t);
+        }
         Event::RepairDone {
             t,
             cross_bytes,
@@ -219,10 +255,13 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
         match e {
             Event::TransferQueued { xfer, .. }
             | Event::TransferStarted { xfer, .. }
-            | Event::TransferDone { xfer, .. } => {
+            | Event::TransferDone { xfer, .. }
+            | Event::TransferFailed { xfer, .. } => {
                 max_rack = max_rack.max(xfer.src_rack).max(xfer.dst_rack);
             }
-            Event::CombineDone { rack, .. } => max_rack = max_rack.max(*rack),
+            Event::CombineDone { rack, .. }
+            | Event::RetryScheduled { rack, .. }
+            | Event::HelperCrashed { rack, .. } => max_rack = max_rack.max(*rack),
             _ => {}
         }
     }
@@ -359,6 +398,77 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                             "{{\"kernel\":\"{}\",\"inputs\":{inputs},\"bytes\":{bytes}}}",
                             kernel.name()
                         ),
+                    );
+                entries.push(o.finish());
+            }
+            Event::TransferFailed {
+                xfer,
+                attempt,
+                reason,
+                t,
+            } => {
+                let mut o = Obj::new();
+                o.str("name", &format!("failed: {} ({reason})", xfer.label))
+                    .str("cat", "fault")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", xfer.src_rack)
+                    .usize("tid", xfer.src_node)
+                    .str("s", "t")
+                    .raw("args", &format!("{{\"attempt\":{attempt}}}"));
+                entries.push(o.finish());
+            }
+            Event::RetryScheduled {
+                label,
+                rack,
+                attempt,
+                delay,
+                t,
+            } => {
+                let mut args = String::from("{");
+                let _ = write!(args, "\"rack\":{rack},\"attempt\":{attempt},\"delay\":");
+                push_f64(&mut args, *delay);
+                args.push('}');
+                let mut o = Obj::new();
+                o.str("name", &format!("retry: {label}"))
+                    .str("cat", "fault")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &args);
+                entries.push(o.finish());
+            }
+            Event::HelperCrashed { node, rack, t } => {
+                let mut o = Obj::new();
+                o.str("name", &format!("helper crashed: node {node}"))
+                    .str("cat", "fault")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", *rack)
+                    .usize("tid", *node)
+                    .str("s", "p")
+                    .raw("args", &format!("{{\"node\":{node}}}"));
+                entries.push(o.finish());
+            }
+            Event::Replanned {
+                scheme,
+                failed,
+                reused_ops,
+                t,
+            } => {
+                let mut o = Obj::new();
+                o.str("name", &format!("replanned: {scheme}"))
+                    .str("cat", "fault")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw(
+                        "args",
+                        &format!("{{\"failed\":{failed},\"reused_ops\":{reused_ops}}}"),
                     );
                 entries.push(o.finish());
             }
@@ -524,6 +634,62 @@ mod tests {
         assert!(out.contains("\"name\":\"repair pipeline\""));
         // Durations are microseconds: the 0.5 s transfer is 500000 µs.
         assert!(out.contains("\"dur\":500000"));
+    }
+
+    #[test]
+    fn failure_events_serialize_in_both_formats() {
+        let xfer = Transfer {
+            label: "p0op1:send".into(),
+            src_node: 3,
+            src_rack: 1,
+            dst_node: 0,
+            dst_rack: 0,
+            bytes: 4096,
+            cross: true,
+            timestep: Some(0),
+        };
+        let events = vec![
+            Event::TransferFailed {
+                xfer,
+                attempt: 0,
+                reason: "timeout".into(),
+                t: 0.4,
+            },
+            Event::RetryScheduled {
+                label: "p0op1:send".into(),
+                rack: 1,
+                attempt: 0,
+                delay: 0.05,
+                t: 0.4,
+            },
+            Event::HelperCrashed {
+                node: 3,
+                rack: 1,
+                t: 0.6,
+            },
+            Event::Replanned {
+                scheme: "rpr".into(),
+                failed: 2,
+                reused_ops: 3,
+                t: 0.65,
+            },
+        ];
+        let jsonl = to_json_lines(&events);
+        for line in jsonl.lines() {
+            assert_structurally_valid_json(line);
+        }
+        assert!(jsonl.contains("\"type\":\"transfer_failed\""));
+        assert!(jsonl.contains("\"reason\":\"timeout\""));
+        assert!(jsonl.contains("\"type\":\"retry_scheduled\""));
+        assert!(jsonl.contains("\"delay\":0.05"));
+        assert!(jsonl.contains("\"type\":\"helper_crashed\""));
+        assert!(jsonl.contains("\"type\":\"replanned\""));
+        assert!(jsonl.contains("\"reused_ops\":3"));
+        let chrome = to_chrome_trace(&events);
+        assert_structurally_valid_json(&chrome);
+        assert!(chrome.contains("\"cat\":\"fault\""));
+        assert!(chrome.contains("failed: p0op1:send (timeout)"));
+        assert!(chrome.contains("replanned: rpr"));
     }
 
     #[test]

@@ -91,6 +91,10 @@ pub struct RackCounters {
     pub transfers_out: AtomicU64,
     /// Combines executed in this rack.
     pub combines: AtomicU64,
+    /// Failed transfer attempts originating in this rack.
+    pub transfer_failures: AtomicU64,
+    /// Retries scheduled for transfers originating in this rack.
+    pub retries: AtomicU64,
     /// Total seconds transfers from this rack waited between queued and
     /// started, scaled to microseconds for atomic accumulation.
     pub queue_wait_micros: AtomicU64,
@@ -113,6 +117,10 @@ pub struct RackTotals {
     pub transfers_out: u64,
     /// Combines executed in this rack.
     pub combines: u64,
+    /// Failed transfer attempts originating in this rack.
+    pub transfer_failures: u64,
+    /// Retries scheduled for transfers originating in this rack.
+    pub retries: u64,
     /// Total seconds transfers from this rack waited in queue.
     pub queue_wait_seconds: f64,
 }
@@ -128,6 +136,8 @@ impl RackCounters {
             inner_bytes_out: self.inner_bytes_out.load(Ordering::Relaxed),
             transfers_out: self.transfers_out.load(Ordering::Relaxed),
             combines: self.combines.load(Ordering::Relaxed),
+            transfer_failures: self.transfer_failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
             queue_wait_seconds: self.queue_wait_micros.load(Ordering::Relaxed) as f64 / 1e6,
         }
     }

@@ -52,6 +52,10 @@ pub struct TraceRecorder {
     inner_bytes: AtomicU64,
     transfers: AtomicU64,
     combines: AtomicU64,
+    transfer_failures: AtomicU64,
+    retries: AtomicU64,
+    crashes: AtomicU64,
+    replans: AtomicU64,
     racks: RwLock<Vec<RackCounters>>,
     queue_wait: Histogram,
     transfer_time: Histogram,
@@ -76,6 +80,10 @@ impl TraceRecorder {
             inner_bytes: AtomicU64::new(0),
             transfers: AtomicU64::new(0),
             combines: AtomicU64::new(0),
+            transfer_failures: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
             racks: RwLock::new(Vec::new()),
             queue_wait: Histogram::default(),
             transfer_time: Histogram::default(),
@@ -142,6 +150,24 @@ impl TraceRecorder {
                     c.combines.fetch_add(1, Ordering::Relaxed);
                 });
             }
+            Event::TransferFailed { xfer, .. } => {
+                self.transfer_failures.fetch_add(1, Ordering::Relaxed);
+                self.with_rack(xfer.src_rack, |c| {
+                    c.transfer_failures.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            Event::RetryScheduled { rack, .. } => {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                self.with_rack(*rack, |c| {
+                    c.retries.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            Event::HelperCrashed { .. } => {
+                self.crashes.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::Replanned { .. } => {
+                self.replans.fetch_add(1, Ordering::Relaxed);
+            }
             _ => {}
         }
     }
@@ -159,6 +185,10 @@ impl TraceRecorder {
             dropped_events: self.dropped.load(Ordering::Relaxed),
             transfers: self.transfers.load(Ordering::Relaxed),
             combines: self.combines.load(Ordering::Relaxed),
+            transfer_failures: self.transfer_failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            replans: self.replans.load(Ordering::Relaxed),
             cross_bytes: self.cross_bytes.load(Ordering::Relaxed),
             inner_bytes: self.inner_bytes.load(Ordering::Relaxed),
             racks: racks
@@ -197,6 +227,15 @@ pub struct MetricsSnapshot {
     pub transfers: u64,
     /// Completed combines.
     pub combines: u64,
+    /// Failed transfer attempts (injected faults, checksum mismatches,
+    /// dead senders).
+    pub transfer_failures: u64,
+    /// Retries scheduled for failed transfers.
+    pub retries: u64,
+    /// Helper crashes detected mid-repair.
+    pub crashes: u64,
+    /// Replacement plans adopted after a crash.
+    pub replans: u64,
     /// Total bytes moved across racks.
     pub cross_bytes: u64,
     /// Total bytes moved within racks.
@@ -301,6 +340,44 @@ mod tests {
         let snap = rec.snapshot();
         assert_eq!(snap.queue_wait.count(), 1);
         assert!((snap.racks[2].queue_wait_seconds - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failure_events_feed_retry_counters() {
+        let rec = TraceRecorder::default();
+        rec.record(Event::TransferFailed {
+            xfer: xfer(2, 0, 64),
+            attempt: 0,
+            reason: "timeout".into(),
+            t: 0.5,
+        });
+        rec.record(Event::RetryScheduled {
+            label: "p0op0:send".into(),
+            rack: 2,
+            attempt: 0,
+            delay: 0.05,
+            t: 0.5,
+        });
+        rec.record(Event::HelperCrashed {
+            node: 20,
+            rack: 2,
+            t: 0.7,
+        });
+        rec.record(Event::Replanned {
+            scheme: "rpr".into(),
+            failed: 2,
+            reused_ops: 3,
+            t: 0.75,
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.transfer_failures, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.crashes, 1);
+        assert_eq!(snap.replans, 1);
+        assert_eq!(snap.racks[2].transfer_failures, 1);
+        assert_eq!(snap.racks[2].retries, 1);
+        // Failed attempts never count as completed transfers.
+        assert_eq!(snap.transfers, 0);
     }
 
     #[test]

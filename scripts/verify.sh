@@ -10,6 +10,8 @@
 #   2. cargo test -q --workspace
 #   3. cargo clippy --workspace --all-targets -- -D warnings
 #   4. cargo doc --no-deps --workspace   (rustdoc warnings are errors)
+#   5. chaos determinism: `rpr inject` twice per fixed seed must emit
+#      byte-identical JSONL traces (docs/ROBUSTNESS.md)
 #
 # Note: `cargo doc` prints a filename-collision warning for the `rpr` CLI
 # binary vs the `rpr` facade lib (cargo#6313); it is cargo's, not
@@ -38,5 +40,24 @@ run cargo test $OFFLINE -q --workspace
 run cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
 echo "==> RUSTDOCFLAGS='-D warnings' cargo doc $OFFLINE --no-deps --workspace"
 RUSTDOCFLAGS="-D warnings" cargo doc $OFFLINE --no-deps --workspace
+
+# Step 5: the degraded (fault-injected) repair trace must be
+# bit-deterministic under a fixed seed — run the crash scenario twice per
+# seed and byte-compare the JSONL traces.
+CHAOS_DIR="target/chaos"
+mkdir -p "$CHAOS_DIR"
+RPR="target/release/rpr"
+for seed in 17 4242; do
+    for rep in a b; do
+        echo "==> $RPR inject --code 6,3 --fail d1 --fault crash --seed $seed (run $rep)"
+        "$RPR" inject --code 6,3 --fail d1 --fault crash --seed "$seed" \
+            --out "$CHAOS_DIR/crash_s${seed}_${rep}.jsonl" 2>/dev/null
+    done
+    if ! cmp -s "$CHAOS_DIR/crash_s${seed}_a.jsonl" "$CHAOS_DIR/crash_s${seed}_b.jsonl"; then
+        echo "chaos determinism FAILED: seed $seed traces differ" >&2
+        exit 1
+    fi
+    echo "==> chaos trace for seed $seed is byte-identical across runs"
+done
 
 echo "==> verify OK"

@@ -49,6 +49,7 @@
 //! | [`exec`] | the real-data executor |
 //! | [`store`] | multi-stripe store and fleet-failure recovery |
 //! | [`obs`] | structured repair traces and per-rack metrics |
+//! | [`faults`] | deterministic fault injection: fault plans, retry policies |
 //!
 //! To capture a structured trace of a repair, attach an [`obs::TraceRecorder`]
 //! via [`core::simulate_traced`] (or `exec::execute_recorded`) and export the
@@ -57,6 +58,7 @@
 pub use rpr_codec as codec;
 pub use rpr_core as core;
 pub use rpr_exec as exec;
+pub use rpr_faults as faults;
 pub use rpr_gf as gf;
 pub use rpr_linalg as linalg;
 pub use rpr_netsim as netsim;
