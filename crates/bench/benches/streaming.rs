@@ -1,0 +1,67 @@
+//! Cut-through streaming benchmarks: the chunked planner + simulator path
+//! (plan shape changes under streaming, so planning is re-run per chunk
+//! size) and the chunked real-byte executor against its store-and-forward
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpr_bench::BenchWorld;
+use rpr_codec::BlockId;
+use rpr_core::{simulate, RepairPlanner, RprPlanner};
+use std::hint::black_box;
+
+const SIM_BLOCK: u64 = 256 << 20;
+/// Execution benches use small blocks and fast links so one iteration is
+/// tens of milliseconds rather than seconds.
+const EXEC_BLOCK: u64 = 64 * 1024;
+
+/// Plan + simulate (6,3) under a range of chunk sizes; `0` is the
+/// store-and-forward baseline. Measures the full chunk-aware lowering —
+/// job count grows with the chunk count.
+fn bench_sim_streaming(c: &mut Criterion) {
+    let w = BenchWorld::simics(6, 3, SIM_BLOCK);
+    let mut g = c.benchmark_group("streaming/sim_plan_and_simulate");
+    for chunk_mib in [0u64, 32, 8, 2] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("chunk_{chunk_mib}mib")),
+            &chunk_mib,
+            |b, &chunk_mib| {
+                b.iter(|| {
+                    let ctx = match chunk_mib {
+                        0 => w.ctx(vec![BlockId(1)]),
+                        m => w.ctx(vec![BlockId(1)]).with_chunk_size(m << 20),
+                    };
+                    let plan = RprPlanner::new().plan(&ctx);
+                    black_box(simulate(&plan, &ctx).repair_time)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Real-byte execution at (6,3) with and without cut-through chunks.
+fn bench_exec_streaming(c: &mut Criterion) {
+    let w = BenchWorld::simics(6, 3, EXEC_BLOCK);
+    let stripe = w.stripe(7);
+    let mut g = c.benchmark_group("streaming/exec");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(EXEC_BLOCK));
+    for chunk in [0u64, 16 * 1024, 4 * 1024] {
+        let ctx = match chunk {
+            0 => w.ctx(vec![BlockId(1)]),
+            c => w.ctx(vec![BlockId(1)]).with_chunk_size(c),
+        };
+        let plan = RprPlanner::new().plan(&ctx);
+        let label = match chunk {
+            0 => "store_and_forward".to_string(),
+            c => format!("chunk_{}kib", c >> 10),
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &chunk, |b, _| {
+            b.iter(|| black_box(rpr_exec::execute(&plan, &ctx, &stripe)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_streaming, bench_exec_streaming);
+criterion_main!(benches);

@@ -20,6 +20,9 @@ options:
   --scheme S        rpr | car | chain | traditional | traditional-local (default rpr)
   --placement P     compact | preplaced | flat                   (default preplaced)
   --block-mib M     block size in MiB                            (default 256)
+  --chunk-size M    streaming chunk in MiB; payloads cut through
+                    hop-to-hop in M-MiB chunks                   (default off:
+                                                                  store-and-forward)
   --ratio R         inner:cross bandwidth ratio                  (default 10)
   --cost C          simics | ec2 | free                          (default simics)
 trace options (see docs/TRACING.md):
@@ -73,6 +76,8 @@ pub struct PlanArgs {
     pub placement: PlacementPolicy,
     /// Block size in bytes.
     pub block_bytes: u64,
+    /// Streaming chunk size in bytes; `None` keeps store-and-forward.
+    pub chunk_bytes: Option<u64>,
     /// inner:cross bandwidth ratio.
     pub ratio: f64,
     /// Cost model name.
@@ -267,6 +272,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if block_mib == 0 {
                 return Err("--block-mib must be positive".into());
             }
+            let chunk_mib: Option<u64> = flags
+                .get("--chunk-size")
+                .map(|v| v.parse().map_err(|_| "bad --chunk-size"))
+                .transpose()?;
+            if chunk_mib == Some(0) {
+                return Err("--chunk-size must be positive".into());
+            }
             let ratio: f64 = flags
                 .get("--ratio")
                 .map(|v| v.parse().map_err(|_| "bad --ratio"))
@@ -292,6 +304,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 scheme,
                 placement: parse_placement(flags.get("--placement").unwrap_or("preplaced"))?,
                 block_bytes: block_mib << 20,
+                chunk_bytes: chunk_mib.map(|m| m << 20),
                 ratio,
                 cost,
                 gantt: flags.has("--gantt"),
@@ -389,6 +402,7 @@ mod tests {
                 assert_eq!(a.scheme, "car");
                 assert_eq!(a.placement, PlacementPolicy::Compact);
                 assert_eq!(a.block_bytes, 64 << 20);
+                assert_eq!(a.chunk_bytes, None, "streaming is off by default");
                 assert_eq!(a.ratio, 5.0);
                 assert!(a.gantt && !a.dot);
             }
@@ -464,6 +478,20 @@ mod tests {
         assert!(parse(&argv("inject --code 6,3 --fail d1 --fault meteor")).is_err());
         assert!(parse(&argv("inject --code 6,3 --fail d1 --backend fpga")).is_err());
         assert!(parse(&argv("inject --code 6,3 --fail d1 --seed -1")).is_err());
+    }
+
+    #[test]
+    fn parse_chunk_size_flag() {
+        match parse(&argv("plan --code 6,3 --fail d1 --chunk-size 8")).unwrap() {
+            Command::Plan(a) => assert_eq!(a.chunk_bytes, Some(8 << 20)),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("compare --code 6,3 --fail d1 --chunk-size 1")).unwrap() {
+            Command::Compare(a) => assert_eq!(a.chunk_bytes, Some(1 << 20)),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("plan --code 6,3 --fail d1 --chunk-size 0")).is_err());
+        assert!(parse(&argv("plan --code 6,3 --fail d1 --chunk-size lots")).is_err());
     }
 
     #[test]

@@ -61,7 +61,9 @@ fn world(a: &PlanArgs) -> World {
     }
 }
 
-fn run_one(a: &PlanArgs, w: &World, scheme: &str) -> (rpr_core::RepairPlan, rpr_core::SimOutcome) {
+/// Build the repair context of a scenario, including the optional
+/// `--chunk-size` streaming configuration.
+fn context<'w>(a: &PlanArgs, w: &'w World) -> RepairContext<'w> {
     let ctx = RepairContext::new(
         &w.codec,
         &w.topo,
@@ -71,6 +73,14 @@ fn run_one(a: &PlanArgs, w: &World, scheme: &str) -> (rpr_core::RepairPlan, rpr_
         &w.profile,
         cost_model(&a.cost).scaled_for_block(a.block_bytes),
     );
+    match a.chunk_bytes {
+        Some(c) => ctx.with_chunk_size(c),
+        None => ctx,
+    }
+}
+
+fn run_one(a: &PlanArgs, w: &World, scheme: &str) -> (rpr_core::RepairPlan, rpr_core::SimOutcome) {
+    let ctx = context(a, w);
     let plan = planner_by_name(scheme).plan(&ctx);
     plan.validate(&w.codec, &w.topo, &w.placement)
         .expect("planner output must validate");
@@ -83,13 +93,17 @@ fn plan(a: &PlanArgs) -> Result<(), String> {
     let (plan, outcome) = run_one(a, &w, &a.scheme);
     let names: Vec<String> = a.failed.iter().map(|b| b.name(&a.params)).collect();
     println!(
-        "{} repair of {} on RS({},{}), block {} MiB, inner:cross 1:{}",
+        "{} repair of {} on RS({},{}), block {} MiB, inner:cross 1:{}{}",
         a.scheme,
         names.join(","),
         a.params.n,
         a.params.k,
         a.block_bytes >> 20,
-        a.ratio
+        a.ratio,
+        match a.chunk_bytes {
+            Some(c) => format!(", cut-through chunk {} MiB", c >> 20),
+            None => String::new(),
+        }
     );
     // Sliced plans (chain) move fractional blocks per send; report whole
     // blocks uniformly.
@@ -158,15 +172,7 @@ fn compare(a: &PlanArgs) -> Result<(), String> {
 fn trace(t: &TraceArgs) -> Result<(), String> {
     let a = &t.plan;
     let w = world(a);
-    let ctx = RepairContext::new(
-        &w.codec,
-        &w.topo,
-        &w.placement,
-        a.failed.clone(),
-        a.block_bytes,
-        &w.profile,
-        cost_model(&a.cost).scaled_for_block(a.block_bytes),
-    );
+    let ctx = context(a, &w);
     let plan = planner_by_name(&a.scheme).plan(&ctx);
     plan.validate(&w.codec, &w.topo, &w.placement)
         .expect("planner output must validate");
@@ -322,15 +328,7 @@ fn deterministic_stripe(codec: &StripeCodec, len: usize, seed: u64) -> Vec<Vec<u
 fn inject(t: &InjectArgs) -> Result<(), String> {
     let a = &t.plan;
     let w = world(a);
-    let ctx = RepairContext::new(
-        &w.codec,
-        &w.topo,
-        &w.placement,
-        a.failed.clone(),
-        a.block_bytes,
-        &w.profile,
-        cost_model(&a.cost).scaled_for_block(a.block_bytes),
-    );
+    let ctx = context(a, &w);
     let plan = planner_by_name(&a.scheme).plan(&ctx);
     plan.validate(&w.codec, &w.topo, &w.placement)
         .expect("planner output must validate");

@@ -44,5 +44,5 @@ pub use robust::{
     crash_candidates, replan_after_crash, resolve, simulate_injected, AttemptFault, CrashFault,
     Replan, ResolvedFaults, RobustOutcome,
 };
-pub use sim::{simulate, simulate_batch, BatchOutcome, SimOutcome};
+pub use sim::{chunk_sizes, simulate, simulate_batch, BatchOutcome, SimOutcome};
 pub use trace::{combine_kernel, simulate_traced};

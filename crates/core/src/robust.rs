@@ -20,7 +20,7 @@ use crate::plan::{Op, OpId, Payload, RepairPlan};
 use crate::scenario::RepairContext;
 use crate::schemes::{CarPlanner, RepairPlanner, RprPlanner, TraditionalPlanner};
 use crate::sim::{lower_op, lower_plan, network_for, simulate};
-use crate::trace::{emit_wave_boundaries, PlanTagger};
+use crate::trace::{emit_stream_summaries, emit_wave_boundaries, PlanTagger};
 use rpr_codec::BlockId;
 use rpr_faults::{reason, FaultKind, FaultPlan, RetryPolicy, SplitMix64};
 use rpr_netsim::{FailSpec, JobId, SimReport, Simulator};
@@ -422,6 +422,7 @@ fn shift_event(mut event: Event, dt: f64) -> Event {
         | Event::RetryScheduled { t, .. }
         | Event::HelperCrashed { t, .. }
         | Event::Replanned { t, .. }
+        | Event::StreamSummary { t, .. }
         | Event::RepairDone { t, .. } => *t += dt,
         Event::TransferDone { start, end, .. } | Event::CombineDone { start, end, .. } => {
             *start += dt;
@@ -432,11 +433,15 @@ fn shift_event(mut event: Event, dt: f64) -> Event {
 }
 
 /// Apply resolved derates and per-op attempt failures to a fresh
-/// simulator holding `jobs` (one per plan op). Errors when an op's
-/// injected failure count exhausts the retry budget.
+/// simulator holding `jobs` (the chunk jobs of each plan op — a
+/// singleton without streaming). Attempt faults land on the op's *first*
+/// chunk: corruption is detected at the first verified chunk and a
+/// stream resumes from its last verified chunk, so only that chunk's
+/// latency is re-paid. Errors when an op's injected failure count
+/// exhausts the retry budget.
 fn arm_simulator(
     sim: &mut Simulator,
-    jobs: &[JobId],
+    jobs: &[Vec<JobId>],
     faults: &ResolvedFaults,
     policy: &RetryPolicy,
 ) -> Result<(), String> {
@@ -464,7 +469,7 @@ fn arm_simulator(
                 reason: f.reason.to_string(),
             })
             .collect();
-        sim.fail_attempts(jobs[i], specs);
+        sim.fail_attempts(jobs[i][0], specs);
     }
     Ok(())
 }
@@ -512,19 +517,17 @@ pub fn simulate_injected(
         block_bytes: plan.block_bytes,
     });
 
+    let chunk = ctx.effective_chunk();
     let mut sim = Simulator::new(network_for(ctx));
     let mut matrix_paid = vec![false; ctx.topo.node_count()];
-    let jobs = lower_plan(&mut sim, plan, &ctx.cost, &mut matrix_paid, 0);
+    let jobs = lower_plan(&mut sim, plan, &ctx.cost, &mut matrix_paid, 0, chunk);
     arm_simulator(&mut sim, &jobs, &resolved, policy)?;
 
     let Some(crash) = resolved.crash else {
         // Transient faults only: one simulation, retries in place.
-        let tagger = PlanTagger {
-            plan,
-            waves: &waves,
-            inner: rec,
-        };
+        let tagger = PlanTagger::new(plan, &waves, chunk, rec);
         let report = sim.run_recorded(&tagger);
+        emit_stream_summaries(rec, plan, ctx, &waves, &jobs, &report);
         emit_wave_boundaries(rec, &waves, wave_count, &jobs, &report);
         rec.record(Event::RepairDone {
             t: report.makespan,
@@ -546,15 +549,14 @@ pub fn simulate_injected(
     // instant, replay its trace up to that point, then replan and splice
     // in the recovery simulation.
     let buffer = Collect::default();
-    let tagger = PlanTagger {
-        plan,
-        waves: &waves,
-        inner: &buffer,
-    };
+    let tagger = PlanTagger::new(plan, &waves, chunk, &buffer);
     let report1 = sim.run_recorded(&tagger);
-    let t_star = first_start(&report1, jobs[crash.trigger.0]);
+    let t_star = first_start(&report1, jobs[crash.trigger.0][0]);
     let completed: Vec<bool> = (0..plan.ops.len())
-        .map(|i| report1.record(jobs[i]).finish <= t_star + EPS)
+        .map(|i| {
+            let last = *jobs[i].last().expect("ops lower to >= 1 job");
+            report1.record(last).finish <= t_star + EPS
+        })
         .collect();
     let retries_before: usize = report1
         .records
@@ -610,17 +612,23 @@ pub fn simulate_injected(
         sim2.derate_node(node, factor);
     }
     let mut matrix_paid2 = vec![false; ctx.topo.node_count()];
-    let mut jobs2: Vec<Option<JobId>> = Vec::with_capacity(replan.plan.ops.len());
+    let mut jobs2: Vec<Option<Vec<JobId>>> = Vec::with_capacity(replan.plan.ops.len());
     for i in 0..replan.plan.ops.len() {
         if !replan.lowered[i] {
             jobs2.push(None);
             continue;
         }
-        let deps: Vec<JobId> = replan
+        let data = replan.plan.ops[i].dependencies();
+        let data_jobs: Vec<Vec<JobId>> = data
+            .iter()
+            .filter_map(|d| jobs2[d.0].clone())
+            .collect();
+        let ordering_jobs: Vec<Vec<JobId>> = replan
             .plan
             .deps_of(i)
             .iter()
-            .filter_map(|d| jobs2[d.0])
+            .filter(|d| !data.contains(d))
+            .filter_map(|d| jobs2[d.0].clone())
             .collect();
         jobs2.push(Some(lower_op(
             &mut sim2,
@@ -629,16 +637,14 @@ pub fn simulate_injected(
             &ctx.cost,
             &mut matrix_paid2,
             1,
-            &deps,
+            &data_jobs,
+            &ordering_jobs,
+            chunk,
         )));
     }
     let (waves2, _) = replan.plan.cross_waves(ctx.topo);
     let buffer2 = Collect::default();
-    let tagger2 = PlanTagger {
-        plan: &replan.plan,
-        waves: &waves2,
-        inner: &buffer2,
-    };
+    let tagger2 = PlanTagger::new(&replan.plan, &waves2, chunk, &buffer2);
     let report2 = sim2.run_recorded(&tagger2);
     for event in buffer2.into_events() {
         rec.record(shift_event(event, t0));

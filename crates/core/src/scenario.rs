@@ -35,6 +35,12 @@ pub struct RepairContext<'a> {
     /// all concurrent cross-rack traffic (`None` = unconstrained
     /// backplane, the paper's implicit assumption).
     pub agg_capacity: Option<f64>,
+    /// Optional cut-through streaming chunk size in bytes. `None` keeps
+    /// the classic store-and-forward behavior (each hop waits for the full
+    /// block); `Some(c)` streams every payload hop-to-hop in `c`-byte
+    /// sub-block chunks, ECPipe-style, and also sets the executor's
+    /// rate-limiter granularity so shaping and streaming agree.
+    pub chunk_bytes: Option<u64>,
 }
 
 impl<'a> RepairContext<'a> {
@@ -86,6 +92,7 @@ impl<'a> RepairContext<'a> {
             recovery_override: None,
             recovery_node_override: None,
             agg_capacity: None,
+            chunk_bytes: None,
         };
         assert!(
             ctx.placement
@@ -152,6 +159,35 @@ impl<'a> RepairContext<'a> {
         );
         self.agg_capacity = Some(bytes_per_sec);
         self
+    }
+
+    /// Stream payloads hop-to-hop in `bytes`-sized chunks instead of
+    /// store-and-forwarding whole blocks (§3.2 pipelining done at the
+    /// slice level, as in ECPipe). Chunk sizes at or above the block size
+    /// degenerate to a single chunk, i.e. classic behavior with the same
+    /// timing.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is zero.
+    pub fn with_chunk_size(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "chunk size must be positive");
+        self.chunk_bytes = Some(bytes);
+        self
+    }
+
+    /// The effective streaming chunk size: the configured chunk clamped
+    /// to the block size, or `None` when streaming is off.
+    pub fn effective_chunk(&self) -> Option<u64> {
+        self.chunk_bytes.map(|c| c.min(self.block_bytes))
+    }
+
+    /// How many chunks one block splits into under the effective chunk
+    /// size (1 when streaming is off).
+    pub fn chunk_count(&self) -> usize {
+        match self.effective_chunk() {
+            Some(c) => self.block_bytes.div_ceil(c) as usize,
+            None => 1,
+        }
     }
 
     /// The code geometry.

@@ -325,6 +325,20 @@ pub fn inner_star(
 /// later produced by the simulator or executor, which honours the same
 /// link constraints.
 ///
+/// When the context enables cut-through streaming
+/// ([`RepairContext::with_chunk_size`](crate::RepairContext::with_chunk_size)
+/// with more than one chunk per block), the store-and-forward timestep
+/// discipline is the wrong objective: a merge *tree* funnels several full
+/// blocks through the sink's downlink, which lower-bounds the makespan at
+/// `fan_in × t_block` no matter how finely the payloads are chunked. Each
+/// equation is instead merged as an ECPipe-style *chain* — earliest-ready
+/// intermediate at the head, the sink as the only final receiver — so
+/// every rack's downlink carries exactly one stream and chunk `j` of each
+/// hop overlaps chunk `j + 1` of the hop upstream. The chain's extra
+/// depth costs only one chunk latency per hop, collapsing the critical
+/// path from `waves × t_block` to `t_block + (waves − 1) × t_chunk`
+/// (paper §3.2 meets ECPipe §3).
+///
 /// Returns the final op per sub-equation, each located at `sink_node`.
 #[allow(clippy::needless_range_loop)] // per-equation state is index-addressed
 pub fn cross_pipeline(
@@ -336,12 +350,25 @@ pub fn cross_pipeline(
     t_c: f64,
 ) -> Vec<(usize, OpId)> {
     assert!(!items.is_empty(), "cross_pipeline: nothing to merge");
+    let streaming = ctx.chunk_count() > 1;
     let eq_count = 1 + items.iter().map(|i| i.eq).max().unwrap();
     // Per-rack half-duplex cross-link availability.
     let mut link_free = vec![0.0f64; ctx.topo.rack_count()];
     let mut finals: Vec<Option<(usize, OpId)>> = vec![None; eq_count];
 
-    loop {
+    if streaming {
+        chain_equations(
+            b,
+            &mut items,
+            &mut link_free,
+            eq_count,
+            sink_rack,
+            sink_node,
+            t_c,
+        );
+    }
+
+    while !streaming && !items.is_empty() {
         // An equation is finished when its only item sits at the sink.
         // Collect per-equation live item indices.
         let mut live: Vec<Vec<usize>> = vec![Vec::new(); eq_count];
@@ -408,61 +435,9 @@ pub fn cross_pipeline(
             }
         }
         let (done, s_idx, r_idx) = best.expect("pending equations always admit a merge");
-        let sender = items[s_idx].clone();
-
-        // Materialize: ship the sender's value, fold at the receiver.
-        let (recv_node, recv_rack, recv_prev): (NodeId, RackId, Option<Interm>) = match r_idx {
-            Some(r) => (items[r].node, items[r].rack, Some(items[r].value)),
-            None => (sink_node, sink_rack, None),
-        };
-        let delivered = match sender.value {
-            Interm::Raw(block, coeff) => {
-                let s = b.send_block(block, sender.node, recv_node);
-                Input::Block {
-                    block,
-                    coeff,
-                    via: Some(s),
-                }
-            }
-            Interm::Op(op) => {
-                let s = b.send_interm(op, sender.node, recv_node);
-                Input::Intermediate(s)
-            }
-        };
-        let mut inputs = Vec::with_capacity(2);
-        match recv_prev {
-            None => {}
-            Some(Interm::Raw(block, coeff)) => inputs.push(Input::Block {
-                block,
-                coeff,
-                via: None,
-            }),
-            Some(Interm::Op(op)) => inputs.push(Input::Intermediate(op)),
-        }
-        inputs.push(delivered);
-        let merged = b.combine(recv_node, sender.eq, inputs);
-
-        link_free[sender.rack.0] = done;
-        link_free[recv_rack.0] = done;
-
-        // Update the pool.
-        let eq = sender.eq;
-        match r_idx {
-            Some(r) => {
-                items[r].value = Interm::Op(merged);
-                items[r].ready = done;
-                items.remove(s_idx);
-            }
-            None => {
-                items[s_idx] = RackInterm {
-                    eq,
-                    rack: sink_rack,
-                    node: sink_node,
-                    value: Interm::Op(merged),
-                    ready: done,
-                };
-            }
-        }
+        merge_items(
+            b, &mut items, &mut link_free, done, s_idx, r_idx, sink_rack, sink_node,
+        );
     }
 
     // Read off the finals; every equation must have its item at the sink.
@@ -488,6 +463,174 @@ pub fn cross_pipeline(
         finals[it.eq] = Some((it.eq, op));
     }
     finals.into_iter().flatten().collect()
+}
+
+/// The cut-through chain policy of [`cross_pipeline`]: merge each
+/// equation's intermediates as an ECPipe-style chain into the sink.
+///
+/// The discipline that makes streaming pay off is *receiver-at-most-once*:
+/// each hop sends the running accumulator into the earliest-ready item
+/// that has not yet participated, so every rack's cross downlink carries
+/// exactly one full-block stream. (Any tree shape — including the
+/// store-and-forward greedy's — makes some rack receive twice, and the two
+/// streams contend on that downlink for `2 × t_block` no matter the chunk
+/// size.) Later-ready items join closer to the sink, paying fewer
+/// downstream chunk latencies.
+#[allow(clippy::too_many_arguments)]
+fn chain_equations(
+    b: &mut PlanBuilder,
+    items: &mut Vec<RackInterm>,
+    link_free: &mut [f64],
+    eq_count: usize,
+    sink_rack: RackId,
+    sink_node: NodeId,
+    t_c: f64,
+) {
+    for e in 0..eq_count {
+        // The chain order is fixed up front by readiness (ties broken by
+        // rack id for determinism).
+        let mut remote: Vec<usize> = (0..items.len())
+            .filter(|&i| items[i].eq == e && items[i].rack != sink_rack)
+            .collect();
+        if remote.is_empty() {
+            continue;
+        }
+        remote.sort_by(|&a, &b| {
+            items[a]
+                .ready
+                .total_cmp(&items[b].ready)
+                .then(items[a].rack.0.cmp(&items[b].rack.0))
+        });
+
+        // Fold the chain: accumulator starts at the earliest-ready item
+        // and rolls through the rest. `merge_items` removes the sender's
+        // slot, so every stored index above it shifts down by one after
+        // each hop.
+        let mut acc = remote[0];
+        for w in 1..remote.len() {
+            let next = remote[w];
+            let start = items[acc]
+                .ready
+                .max(items[next].ready)
+                .max(link_free[items[acc].rack.0])
+                .max(link_free[items[next].rack.0]);
+            merge_items(
+                b,
+                items,
+                link_free,
+                start + t_c,
+                acc,
+                Some(next),
+                sink_rack,
+                sink_node,
+            );
+            for idx in remote[w + 1..].iter_mut() {
+                if *idx > acc {
+                    *idx -= 1;
+                }
+            }
+            // The accumulator now lives in the receiver's slot.
+            acc = if next > acc { next - 1 } else { next };
+        }
+
+        // Final hop into the sink: fold into the sink rack's own item if
+        // this equation has one, the bare sink node otherwise.
+        let sink_item = (0..items.len())
+            .find(|&i| items[i].eq == e && items[i].rack == sink_rack && i != acc);
+        let start = match sink_item {
+            Some(r) => items[acc]
+                .ready
+                .max(items[r].ready)
+                .max(link_free[items[acc].rack.0])
+                .max(link_free[items[r].rack.0]),
+            None => items[acc]
+                .ready
+                .max(link_free[items[acc].rack.0])
+                .max(link_free[sink_rack.0]),
+        };
+        merge_items(
+            b,
+            items,
+            link_free,
+            start + t_c,
+            acc,
+            sink_item,
+            sink_rack,
+            sink_node,
+        );
+    }
+}
+
+/// Materialize one cross-rack merge chosen by [`cross_pipeline`]: ship
+/// `items[s_idx]`'s value, fold it at the receiver (`items[r_idx]`, or the
+/// bare sink when `None`), and update the item pool and per-rack link
+/// availability.
+#[allow(clippy::too_many_arguments)]
+fn merge_items(
+    b: &mut PlanBuilder,
+    items: &mut Vec<RackInterm>,
+    link_free: &mut [f64],
+    done: f64,
+    s_idx: usize,
+    r_idx: Option<usize>,
+    sink_rack: RackId,
+    sink_node: NodeId,
+) {
+    let sender = items[s_idx].clone();
+
+    // Materialize: ship the sender's value, fold at the receiver.
+    let (recv_node, recv_rack, recv_prev): (NodeId, RackId, Option<Interm>) = match r_idx {
+        Some(r) => (items[r].node, items[r].rack, Some(items[r].value)),
+        None => (sink_node, sink_rack, None),
+    };
+    let delivered = match sender.value {
+        Interm::Raw(block, coeff) => {
+            let s = b.send_block(block, sender.node, recv_node);
+            Input::Block {
+                block,
+                coeff,
+                via: Some(s),
+            }
+        }
+        Interm::Op(op) => {
+            let s = b.send_interm(op, sender.node, recv_node);
+            Input::Intermediate(s)
+        }
+    };
+    let mut inputs = Vec::with_capacity(2);
+    match recv_prev {
+        None => {}
+        Some(Interm::Raw(block, coeff)) => inputs.push(Input::Block {
+            block,
+            coeff,
+            via: None,
+        }),
+        Some(Interm::Op(op)) => inputs.push(Input::Intermediate(op)),
+    }
+    inputs.push(delivered);
+    let merged = b.combine(recv_node, sender.eq, inputs);
+
+    link_free[sender.rack.0] = done;
+    link_free[recv_rack.0] = done;
+
+    // Update the pool.
+    let eq = sender.eq;
+    match r_idx {
+        Some(r) => {
+            items[r].value = Interm::Op(merged);
+            items[r].ready = done;
+            items.remove(s_idx);
+        }
+        None => {
+            items[s_idx] = RackInterm {
+                eq,
+                rack: sink_rack,
+                node: sink_node,
+                value: Interm::Op(merged),
+                ready: done,
+            };
+        }
+    }
 }
 
 /// Split one repair equation into per-rack term lists, ordered as

@@ -4,6 +4,15 @@
 //! Sends become flows of `block_bytes`; combines become compute jobs whose
 //! duration follows the [`CostModel`](crate::CostModel) (XOR folds vs Galois folds, plus the
 //! one-time decoding-matrix surcharge per node for matrix-based plans).
+//!
+//! When the context enables cut-through streaming
+//! ([`RepairContext::with_chunk_size`](crate::RepairContext::with_chunk_size)),
+//! every op lowers to one job **per chunk** instead: chunk `j` of a send
+//! depends on chunk `j` of each upstream producer plus its own chunk
+//! `j - 1` (in-order on the wire), so a downstream hop starts as soon as
+//! its first chunk arrives and the critical path collapses from
+//! `waves × t_block` to `t_block + (waves − 1) × t_chunk` — the ECPipe
+//! slice-pipelining model applied to RPR's §3.2 wave schedule.
 
 use crate::plan::{Input, Op, RepairPlan};
 use crate::scenario::RepairContext;
@@ -31,7 +40,14 @@ pub fn simulate(plan: &RepairPlan, ctx: &RepairContext<'_>) -> SimOutcome {
     let mut sim = Simulator::new(net);
     let stats = plan.stats(ctx.topo);
     let mut matrix_paid = vec![false; ctx.topo.node_count()];
-    lower_plan(&mut sim, plan, &ctx.cost, &mut matrix_paid, 0);
+    lower_plan(
+        &mut sim,
+        plan,
+        &ctx.cost,
+        &mut matrix_paid,
+        0,
+        ctx.effective_chunk(),
+    );
     let report = sim.run();
     SimOutcome {
         repair_time: report.makespan,
@@ -71,8 +87,19 @@ pub fn simulate_batch(plans: &[&RepairPlan], ctx: &RepairContext<'_>) -> BatchOu
         // Each stripe has its own decoding matrix, so the per-node
         // surcharge bookkeeping is per plan.
         let mut matrix_paid = vec![false; ctx.topo.node_count()];
-        let jobs = lower_plan(&mut sim, plan, &ctx.cost, &mut matrix_paid, pi);
-        let outputs: Vec<JobId> = plan.outputs.iter().map(|&(_, op)| jobs[op.0]).collect();
+        let jobs = lower_plan(
+            &mut sim,
+            plan,
+            &ctx.cost,
+            &mut matrix_paid,
+            pi,
+            ctx.effective_chunk(),
+        );
+        let outputs: Vec<JobId> = plan
+            .outputs
+            .iter()
+            .map(|&(_, op)| *jobs[op.0].last().expect("ops lower to >= 1 job"))
+            .collect();
         last_jobs.push(outputs);
     }
     let report = sim.run();
@@ -101,26 +128,89 @@ pub(crate) fn network_for(ctx: &RepairContext<'_>) -> Network {
     }
 }
 
-/// Lower one plan's ops into an existing simulator. Returns the netsim job
-/// id of each op. `matrix_paid` tracks which nodes already built this
-/// plan's decoding matrix (one surcharge per node per stripe).
+/// The byte sizes one block splits into under an optional chunk size:
+/// `m - 1` full chunks plus a (possibly short) tail. `None` — or a chunk
+/// at or above the block size — yields a single full-block "chunk".
+///
+/// Shared by the analytical lowering and the wall-clock executor so both
+/// backends split payloads identically.
+pub fn chunk_sizes(block_bytes: u64, chunk: Option<u64>) -> Vec<u64> {
+    match chunk {
+        Some(c) if c > 0 && c < block_bytes => {
+            let m = block_bytes.div_ceil(c);
+            (0..m)
+                .map(|j| {
+                    if j + 1 < m {
+                        c
+                    } else {
+                        block_bytes - (m - 1) * c
+                    }
+                })
+                .collect()
+        }
+        _ => vec![block_bytes],
+    }
+}
+
+/// The lowering label of chunk `j` of op `i`: the classic
+/// `p{tag}op{i}:{kind}` for single-chunk (block-level) lowering,
+/// `p{tag}op{i}c{j}:{kind}` when streaming splits the op.
+fn chunk_label(tag: usize, i: usize, j: usize, m: usize, kind: &str) -> String {
+    if m == 1 {
+        format!("p{tag}op{i}:{kind}")
+    } else {
+        format!("p{tag}op{i}c{j}:{kind}")
+    }
+}
+
+/// Lower one plan's ops into an existing simulator. Returns the netsim
+/// jobs of each op — one per chunk (a singleton without streaming).
+/// `matrix_paid` tracks which nodes already built this plan's decoding
+/// matrix (one surcharge per node per stripe).
 pub(crate) fn lower_plan(
     sim: &mut Simulator,
     plan: &RepairPlan,
     cost: &crate::cost::CostModel,
     matrix_paid: &mut [bool],
     tag: usize,
-) -> Vec<JobId> {
-    let mut job_of: Vec<JobId> = Vec::with_capacity(plan.ops.len());
+    chunk: Option<u64>,
+) -> Vec<Vec<JobId>> {
+    let mut job_of: Vec<Vec<JobId>> = Vec::with_capacity(plan.ops.len());
     for i in 0..plan.ops.len() {
-        let deps: Vec<JobId> = plan.deps_of(i).iter().map(|d| job_of[d.0]).collect();
-        job_of.push(lower_op(sim, plan, i, cost, matrix_paid, tag, &deps));
+        let data = plan.ops[i].dependencies();
+        let data_jobs: Vec<Vec<JobId>> = data.iter().map(|d| job_of[d.0].clone()).collect();
+        let ordering_jobs: Vec<Vec<JobId>> = plan
+            .deps_of(i)
+            .iter()
+            .filter(|d| !data.contains(d))
+            .map(|d| job_of[d.0].clone())
+            .collect();
+        job_of.push(lower_op(
+            sim,
+            plan,
+            i,
+            cost,
+            matrix_paid,
+            tag,
+            &data_jobs,
+            &ordering_jobs,
+            chunk,
+        ));
     }
     job_of
 }
 
 /// Lower one op of a plan into the simulator, with explicit dependency
 /// jobs (partial lowering after a replan filters out prefilled deps).
+///
+/// Block-level lowering (`chunk = None`) emits one transfer/compute job
+/// per op. Chunked lowering emits one job per chunk: chunk `j` waits on
+/// chunk `j` of every *data* dependency (cut-through — the payload flows
+/// as soon as each sub-block is ready), on its own chunk `j - 1` (chunks
+/// of one op are in-order on the wire / CPU), and — for chunk 0 only —
+/// on the **last** chunk of every *ordering* dependency (link-FIFO edges
+/// serialize whole ops, exactly as at block level).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn lower_op(
     sim: &mut Simulator,
     plan: &RepairPlan,
@@ -128,51 +218,76 @@ pub(crate) fn lower_op(
     cost: &crate::cost::CostModel,
     matrix_paid: &mut [bool],
     tag: usize,
-    deps: &[JobId],
-) -> JobId {
-    match &plan.ops[i] {
-        Op::Send { from, to, .. } => sim.transfer(
-            format!("p{tag}op{i}:send"),
-            *from,
-            *to,
-            plan.block_bytes,
-            deps,
-        ),
-        Op::Combine { node, inputs, .. } => {
-            // force_matrix schemes (traditional, CAR) run every fold
-            // through the unoptimized matrix-decode function; RPR's
-            // optimized path exploits coefficient-1 XOR folds.
-            let forced = plan.force_matrix;
-            let mut seconds = 0.0;
-            let mut uses_matrix_coeffs = forced;
-            for inp in inputs {
-                match inp {
-                    Input::Block { coeff, .. } => {
-                        seconds += if forced {
-                            cost.forced_fold_seconds(plan.block_bytes)
-                        } else {
-                            cost.fold_seconds(*coeff, plan.block_bytes)
-                        };
-                        if *coeff != 1 {
-                            uses_matrix_coeffs = true;
-                        }
-                    }
-                    Input::Intermediate(_) => {
-                        seconds += if forced {
-                            cost.forced_fold_seconds(plan.block_bytes)
-                        } else {
-                            cost.merge_seconds(plan.block_bytes)
-                        };
-                    }
+    data_deps: &[Vec<JobId>],
+    ordering_deps: &[Vec<JobId>],
+    chunk: Option<u64>,
+) -> Vec<JobId> {
+    let sizes = chunk_sizes(plan.block_bytes, chunk);
+    let m = sizes.len();
+    let mut jobs: Vec<JobId> = Vec::with_capacity(m);
+    for (j, &bytes) in sizes.iter().enumerate() {
+        let mut deps: Vec<JobId> = Vec::new();
+        for d in data_deps {
+            // Every op of a plan shares block_bytes, hence chunk counts;
+            // `.or(last)` is a guard for partial lowerings only.
+            if let Some(&job) = d.get(j).or_else(|| d.last()) {
+                deps.push(job);
+            }
+        }
+        if let Some(&prev) = jobs.last() {
+            deps.push(prev);
+        }
+        if j == 0 {
+            for o in ordering_deps {
+                if let Some(&job) = o.last() {
+                    deps.push(job);
                 }
             }
-            if uses_matrix_coeffs && !matrix_paid[node.0] {
-                matrix_paid[node.0] = true;
-                seconds += cost.matrix_build_seconds;
-            }
-            sim.compute(format!("p{tag}op{i}:combine"), *node, seconds, deps)
         }
+        let job = match &plan.ops[i] {
+            Op::Send { from, to, .. } => {
+                sim.transfer(chunk_label(tag, i, j, m, "send"), *from, *to, bytes, &deps)
+            }
+            Op::Combine { node, inputs, .. } => {
+                // force_matrix schemes (traditional, CAR) run every fold
+                // through the unoptimized matrix-decode function; RPR's
+                // optimized path exploits coefficient-1 XOR folds.
+                let forced = plan.force_matrix;
+                let mut seconds = 0.0;
+                let mut uses_matrix_coeffs = forced;
+                for inp in inputs {
+                    match inp {
+                        Input::Block { coeff, .. } => {
+                            seconds += if forced {
+                                cost.forced_fold_seconds(bytes)
+                            } else {
+                                cost.fold_seconds(*coeff, bytes)
+                            };
+                            if *coeff != 1 {
+                                uses_matrix_coeffs = true;
+                            }
+                        }
+                        Input::Intermediate(_) => {
+                            seconds += if forced {
+                                cost.forced_fold_seconds(bytes)
+                            } else {
+                                cost.merge_seconds(bytes)
+                            };
+                        }
+                    }
+                }
+                // The decoding matrix is built once, before the first
+                // chunk is folded.
+                if j == 0 && uses_matrix_coeffs && !matrix_paid[node.0] {
+                    matrix_paid[node.0] = true;
+                    seconds += cost.matrix_build_seconds;
+                }
+                sim.compute(chunk_label(tag, i, j, m, "combine"), *node, seconds, &deps)
+            }
+        };
+        jobs.push(job);
     }
+    jobs
 }
 
 #[cfg(test)]
@@ -286,6 +401,239 @@ mod tests {
             constrained > unconstrained * 1.5,
             "agg cap must bind: {constrained} vs {unconstrained}"
         );
+    }
+
+    #[test]
+    fn chunk_sizes_cover_tail_and_degenerate_cases() {
+        // Tail chunk: 10 bytes in 4-byte chunks → 4, 4, 2.
+        assert_eq!(chunk_sizes(10, Some(4)), vec![4, 4, 2]);
+        // Exact multiple: no short tail.
+        assert_eq!(chunk_sizes(8, Some(4)), vec![4, 4]);
+        // Chunk at or above the block degenerates to one chunk.
+        assert_eq!(chunk_sizes(8, Some(8)), vec![8]);
+        assert_eq!(chunk_sizes(8, Some(100)), vec![8]);
+        // Chunk = 1: one chunk per byte.
+        assert_eq!(chunk_sizes(3, Some(1)), vec![1, 1, 1]);
+        // Streaming off.
+        assert_eq!(chunk_sizes(8, None), vec![8]);
+        // Every split conserves bytes.
+        for (block, chunk) in [(10, 4), (8, 4), (8, 9), (3, 1), (1 << 20, 4097)] {
+            let sizes = chunk_sizes(block, Some(chunk));
+            assert_eq!(sizes.iter().sum::<u64>(), block, "{block}/{chunk}");
+            assert!(sizes.iter().all(|&s| s > 0));
+        }
+    }
+
+    #[test]
+    fn chunked_streaming_collapses_the_critical_path() {
+        // The acceptance bar of the streaming work: at (6, 3) the
+        // simulated makespan must drop from ~waves × t_block to within
+        // 15% of the analytical cut-through model
+        // t_block + (waves − 1) × t_chunk (ECPipe §3 applied to RPR's
+        // §3.2 wave schedule).
+        let params = CodeParams::new(6, 3);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::rpr_preplaced(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let block: u64 = 64 << 20;
+        let chunk: u64 = 1 << 20;
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            crate::cost::CostModel::free(),
+        );
+        let plan = crate::schemes::RprPlanner::new().plan(&ctx);
+        let (_, waves) = plan.cross_waves(&topo);
+        assert!(waves >= 2, "need a multi-wave pipeline, got {waves}");
+
+        let store_and_forward = simulate(&plan, &ctx).repair_time;
+        // Planning under the streaming context reshapes the cross phase
+        // into the cut-through chain.
+        let streamed_ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            crate::cost::CostModel::free(),
+        )
+        .with_chunk_size(chunk);
+        let streamed_plan = crate::schemes::RprPlanner::new().plan(&streamed_ctx);
+        let streamed = simulate(&streamed_plan, &streamed_ctx).repair_time;
+
+        let t_block = block as f64 / (0.1 * GBIT);
+        let t_chunk = chunk as f64 / (0.1 * GBIT);
+        let expected = t_block + (waves as f64 - 1.0) * t_chunk;
+        assert!(
+            (streamed - expected).abs() <= 0.15 * expected,
+            "streamed {streamed} vs analytical {expected} (waves = {waves})"
+        );
+        assert!(
+            streamed < store_and_forward * 0.75,
+            "streaming must collapse the store-and-forward path: \
+             {streamed} vs {store_and_forward}"
+        );
+        // Store-and-forward really does pay ~waves × t_block.
+        assert!(store_and_forward > (waves as f64) * t_block * 0.95);
+    }
+
+    #[test]
+    fn streamed_chain_lets_each_rack_receive_at_most_once() {
+        // Regression for the chain discipline at (8, 2) — four
+        // intermediates to merge. A greedy tree makes some rack receive
+        // two full-block streams, and its downlink pins the makespan at
+        // 2 × t_block no matter the chunk size; the ECPipe-style chain
+        // gives every rack at most one incoming cross stream and reaches
+        // t_block + hops × t_chunk.
+        let params = CodeParams::new(8, 2);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::rpr_preplaced(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let block: u64 = 64 << 20;
+        let chunk: u64 = 1 << 20;
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            crate::cost::CostModel::free(),
+        )
+        .with_chunk_size(chunk);
+        let plan = crate::schemes::RprPlanner::new().plan(&ctx);
+        plan.validate(&codec, &topo, &placement).expect("valid");
+
+        let sink_rack = ctx.recovery_rack();
+        let mut incoming = vec![0usize; topo.rack_count()];
+        let mut hops = 0usize;
+        for op in &plan.ops {
+            if let crate::plan::Op::Send { from, to, .. } = op {
+                let (fr, tr) = (topo.rack_of(*from), topo.rack_of(*to));
+                if fr != tr {
+                    incoming[tr.0] += 1;
+                    hops += 1;
+                }
+            }
+        }
+        assert!(hops >= 3, "need a deep chain, got {hops} cross hops");
+        for (rack, &n) in incoming.iter().enumerate() {
+            if rack != sink_rack.0 {
+                assert!(
+                    n <= 1,
+                    "rack {rack} receives {n} cross streams; the chain \
+                     discipline allows at most one"
+                );
+            }
+        }
+        assert_eq!(incoming[sink_rack.0], 1, "the chain enters the sink once");
+
+        let t_block = block as f64 / (0.1 * GBIT);
+        let t_chunk = chunk as f64 / (0.1 * GBIT);
+        let expected = t_block + (hops as f64 - 1.0) * t_chunk;
+        let streamed = simulate(&plan, &ctx).repair_time;
+        assert!(
+            (streamed - expected).abs() <= 0.15 * expected,
+            "streamed {streamed} vs analytical {expected} ({hops} hops)"
+        );
+        // In particular the makespan beats the 2 × t_block floor that any
+        // twice-receiving rack would impose.
+        assert!(streamed < 1.5 * t_block, "streamed {streamed}");
+    }
+
+    #[test]
+    fn chunk_at_or_above_block_matches_block_level_exactly() {
+        let params = CodeParams::new(6, 2);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::rpr_preplaced(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let block: u64 = 16 << 20;
+        let base = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(2)],
+            block,
+            &profile,
+            crate::cost::CostModel::simics(),
+        );
+        let plan = crate::schemes::RprPlanner::new().plan(&base);
+        let plain = simulate(&plan, &base).repair_time;
+        for chunk in [block, block + 1, block * 4] {
+            let ctx = RepairContext::new(
+                &codec,
+                &topo,
+                &placement,
+                vec![BlockId(2)],
+                block,
+                &profile,
+                crate::cost::CostModel::simics(),
+            )
+            .with_chunk_size(chunk);
+            assert_eq!(simulate(&plan, &ctx).repair_time, plain, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn chunked_simulation_moves_the_same_traffic() {
+        let params = CodeParams::new(6, 3);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::rpr_preplaced(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        // Block deliberately not a multiple of the chunk: 64 MiB + 3.
+        let block: u64 = (64 << 20) + 3;
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            crate::cost::CostModel::free(),
+        );
+        let plan = crate::schemes::RprPlanner::new().plan(&ctx);
+        let plain = simulate(&plan, &ctx);
+        let chunked_ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            crate::cost::CostModel::free(),
+        )
+        .with_chunk_size(5 << 20);
+        // Chunking the SAME plan must conserve traffic exactly (the tail
+        // chunk included) and never slow it down.
+        let chunked_same = simulate(&plan, &chunked_ctx);
+        assert_eq!(
+            chunked_same.report.cross_rack_bytes,
+            plain.report.cross_rack_bytes
+        );
+        assert_eq!(
+            chunked_same.report.inner_rack_bytes,
+            plain.report.inner_rack_bytes
+        );
+        assert!(chunked_same.repair_time <= plain.repair_time + 1e-9);
+        // Re-planning under streaming (the cut-through chain) moves the
+        // same cross traffic — one stream per helper rack — strictly
+        // faster.
+        let chain = crate::schemes::RprPlanner::new().plan(&chunked_ctx);
+        let chunked = simulate(&chain, &chunked_ctx);
+        assert_eq!(
+            chunked.report.cross_rack_bytes,
+            plain.report.cross_rack_bytes
+        );
+        assert!(chunked.repair_time < plain.repair_time);
     }
 
     #[test]

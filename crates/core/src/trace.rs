@@ -11,9 +11,9 @@
 
 use crate::plan::{Input, Op, RepairPlan};
 use crate::scenario::RepairContext;
-use crate::sim::{lower_plan, network_for, SimOutcome};
+use crate::sim::{chunk_sizes, lower_plan, network_for, SimOutcome};
 use rpr_netsim::Simulator;
-use rpr_obs::{Event, Kernel, Recorder};
+use rpr_obs::{Event, Kernel, Recorder, Transfer};
 
 /// The decode kernel combine op `i` runs: [`Kernel::Xor`] when the scheme
 /// doesn't force matrix decoding and every block coefficient is 1 (the
@@ -32,11 +32,22 @@ pub fn combine_kernel(plan: &RepairPlan, i: usize) -> Option<Kernel> {
     }
 }
 
-/// Extract the op index from a `p{tag}op{i}:send|combine` label produced
-/// by plan lowering.
-pub(crate) fn op_index(label: &str) -> Option<usize> {
+/// Extract the op index — and, for chunked lowering, the chunk index —
+/// from a `p{tag}op{i}:send`, `p{tag}op{i}c{j}:send`, or corresponding
+/// `:combine` label produced by plan lowering.
+pub(crate) fn parse_label(label: &str) -> Option<(usize, Option<usize>)> {
     let rest = label.split("op").nth(1)?;
-    rest.split(':').next()?.parse().ok()
+    let body = rest.split(':').next()?;
+    match body.split_once('c') {
+        Some((op, chunk)) => Some((op.parse().ok()?, Some(chunk.parse().ok()?))),
+        None => Some((body.parse().ok()?, None)),
+    }
+}
+
+/// Extract the op index from a lowering label, chunked or not.
+#[cfg(test)]
+pub(crate) fn op_index(label: &str) -> Option<usize> {
+    parse_label(label).map(|(i, _)| i)
 }
 
 /// A [`Recorder`] adapter that rewrites the placeholder fields of
@@ -45,17 +56,33 @@ pub(crate) fn op_index(label: &str) -> Option<usize> {
 pub(crate) struct PlanTagger<'a> {
     pub(crate) plan: &'a RepairPlan,
     pub(crate) waves: &'a [Option<usize>],
+    /// Per-chunk byte sizes of one block (a singleton at block level).
+    pub(crate) sizes: Vec<u64>,
     pub(crate) inner: &'a dyn Recorder,
 }
 
-impl PlanTagger<'_> {
+impl<'a> PlanTagger<'a> {
+    pub(crate) fn new(
+        plan: &'a RepairPlan,
+        waves: &'a [Option<usize>],
+        chunk: Option<u64>,
+        inner: &'a dyn Recorder,
+    ) -> PlanTagger<'a> {
+        PlanTagger {
+            plan,
+            waves,
+            sizes: chunk_sizes(plan.block_bytes, chunk),
+            inner,
+        }
+    }
+
     fn tag(&self, mut event: Event) -> Event {
         match &mut event {
             Event::TransferQueued { xfer, .. }
             | Event::TransferStarted { xfer, .. }
             | Event::TransferDone { xfer, .. }
             | Event::TransferFailed { xfer, .. } => {
-                if let Some(i) = op_index(&xfer.label) {
+                if let Some((i, _)) = parse_label(&xfer.label) {
                     xfer.timestep = self.waves.get(i).copied().flatten();
                 }
             }
@@ -66,14 +93,18 @@ impl PlanTagger<'_> {
                 bytes,
                 ..
             } => {
-                if let Some(i) = op_index(label) {
+                if let Some((i, chunk)) = parse_label(label) {
                     if let Some(k) = combine_kernel(self.plan, i) {
                         *kernel = k;
                     }
                     if let Op::Combine { inputs: ins, .. } = &self.plan.ops[i] {
                         *inputs = ins.len();
                     }
-                    *bytes = self.plan.block_bytes;
+                    *bytes = self
+                        .sizes
+                        .get(chunk.unwrap_or(0))
+                        .copied()
+                        .unwrap_or(self.plan.block_bytes);
                 }
             }
             _ => {}
@@ -116,16 +147,14 @@ pub fn simulate_traced(
         block_bytes: plan.block_bytes,
     });
 
+    let chunk = ctx.effective_chunk();
     let mut sim = Simulator::new(network_for(ctx));
     let mut matrix_paid = vec![false; ctx.topo.node_count()];
-    let jobs = lower_plan(&mut sim, plan, &ctx.cost, &mut matrix_paid, 0);
-    let tagger = PlanTagger {
-        plan,
-        waves: &waves,
-        inner: rec,
-    };
+    let jobs = lower_plan(&mut sim, plan, &ctx.cost, &mut matrix_paid, 0, chunk);
+    let tagger = PlanTagger::new(plan, &waves, chunk, rec);
     let report = sim.run_recorded(&tagger);
 
+    emit_stream_summaries(rec, plan, ctx, &waves, &jobs, &report);
     emit_wave_boundaries(rec, &waves, wave_count, &jobs, &report);
     rec.record(Event::RepairDone {
         t: report.makespan,
@@ -140,14 +169,66 @@ pub fn simulate_traced(
     }
 }
 
+/// Emit one bounded `stream_summary` per streamed send once the replay
+/// finished: first-chunk (cut-through) latency and whole-stream
+/// throughput, measured off the per-chunk job records. A no-op for
+/// block-level (single-chunk) lowerings.
+pub(crate) fn emit_stream_summaries(
+    rec: &dyn Recorder,
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    waves: &[Option<usize>],
+    jobs: &[Vec<rpr_netsim::JobId>],
+    report: &rpr_netsim::SimReport,
+) {
+    let Some(chunk) = ctx.effective_chunk() else {
+        return;
+    };
+    for (i, op) in plan.ops.iter().enumerate() {
+        let Op::Send { from, to, .. } = op else {
+            continue;
+        };
+        let chunks = jobs[i].len();
+        if chunks < 2 {
+            continue;
+        }
+        let first = report.record(jobs[i][0]);
+        let start = first.failures.first().map(|f| f.start).unwrap_or(first.start);
+        let end = report.record(*jobs[i].last().expect("chunks >= 2")).finish;
+        let span = end - start;
+        rec.record(Event::StreamSummary {
+            xfer: Transfer {
+                label: format!("p0op{i}:send"),
+                src_node: from.0,
+                src_rack: ctx.topo.rack_of(*from).0,
+                dst_node: to.0,
+                dst_rack: ctx.topo.rack_of(*to).0,
+                bytes: plan.block_bytes,
+                cross: !ctx.topo.same_rack(*from, *to),
+                timestep: waves.get(i).copied().flatten(),
+            },
+            chunks,
+            chunk_bytes: chunk,
+            first_chunk_latency: first.finish - start,
+            throughput: if span > 0.0 {
+                plan.block_bytes as f64 / span
+            } else {
+                f64::INFINITY
+            },
+            t: end,
+        });
+    }
+}
+
 /// Emit `timestep_started`/`timestep_finished` boundaries: the span of
 /// each cross-rack wave is the earliest activation (first attempt, for
-/// retried transfers) to the latest finish among its cross sends.
+/// retried transfers; first chunk, for streamed ones) to the latest
+/// finish among its cross sends.
 pub(crate) fn emit_wave_boundaries(
     rec: &dyn Recorder,
     waves: &[Option<usize>],
     wave_count: usize,
-    jobs: &[rpr_netsim::JobId],
+    jobs: &[Vec<rpr_netsim::JobId>],
     report: &rpr_netsim::SimReport,
 ) {
     for w in 0..wave_count {
@@ -155,10 +236,12 @@ pub(crate) fn emit_wave_boundaries(
         let mut finish = 0.0f64;
         for (i, wave) in waves.iter().enumerate() {
             if *wave == Some(w) {
-                let r = report.record(jobs[i]);
+                let first_job = jobs[i].first().expect("ops lower to >= 1 job");
+                let r = report.record(*first_job);
                 let first = r.failures.first().map(|f| f.start).unwrap_or(r.start);
                 start = start.min(first);
-                finish = finish.max(r.finish);
+                let last = report.record(*jobs[i].last().expect("non-empty"));
+                finish = finish.max(last.finish);
             }
         }
         rec.record(Event::TimestepStarted { step: w, t: start });
@@ -281,6 +364,75 @@ mod tests {
         }
         let topo = cluster_for(plan.params, 1, 1);
         assert_eq!(cross_seen, plan.stats(&topo).cross_transfers);
+    }
+
+    #[test]
+    fn streamed_trace_emits_bounded_stream_summaries() {
+        let params = CodeParams::new(6, 3);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::rpr_preplaced(params, &topo);
+        let profile = BandwidthProfile::simics_default(topo.rack_count());
+        let block: u64 = 64 << 20;
+        let chunk: u64 = 1 << 20;
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            block,
+            &profile,
+            CostModel::free(),
+        )
+        .with_chunk_size(chunk);
+        let plan = RprPlanner::new().plan(&ctx);
+        plan.validate(&codec, &topo, &placement).expect("valid");
+        let rec = rpr_obs::TraceRecorder::default();
+        let out = simulate_traced(&plan, &ctx, &rec);
+        let sends = plan
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Send { .. }))
+            .count();
+        let events = rec.take_events();
+        let summaries: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::StreamSummary {
+                    xfer,
+                    chunks,
+                    chunk_bytes,
+                    first_chunk_latency,
+                    throughput,
+                    t,
+                } => Some((xfer, *chunks, *chunk_bytes, *first_chunk_latency, *throughput, *t)),
+                _ => None,
+            })
+            .collect();
+        // Bounded: exactly one summary per send edge, never per chunk.
+        assert_eq!(summaries.len(), sends);
+        let m = block.div_ceil(chunk) as usize;
+        for (xfer, chunks, chunk_bytes, latency, throughput, t) in summaries {
+            assert_eq!(chunks, m);
+            assert_eq!(chunk_bytes, chunk);
+            assert_eq!(xfer.bytes, block);
+            assert!(latency > 0.0 && latency < t);
+            assert!(throughput > 0.0 && throughput.is_finite());
+            assert!(t <= out.repair_time + 1e-9);
+        }
+        // Cross sends stay wave-tagged under streaming: every chunk of a
+        // cross send carries its op's timestep, and the distinct tagged
+        // ops are exactly the plan's cross transfers.
+        let mut cross_ops = std::collections::BTreeSet::new();
+        for e in &events {
+            if let Event::TransferDone { xfer, .. } = e {
+                if xfer.cross {
+                    assert!(xfer.timestep.is_some(), "untagged cross chunk {}", xfer.label);
+                    cross_ops.insert(op_index(&xfer.label).expect("lowering label"));
+                }
+            }
+        }
+        assert_eq!(cross_ops.len(), plan.stats(&topo).cross_transfers);
     }
 
     #[test]

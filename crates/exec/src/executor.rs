@@ -5,11 +5,11 @@
 //! results (see `docs/ROBUSTNESS.md`).
 
 use crate::ratelimit::TokenBucket;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rpr_codec::BlockId;
 use rpr_core::robust::{replan_after_crash, resolve, ResolvedFaults};
-use rpr_core::{combine_kernel, Input, Op, Payload, RepairContext, RepairPlan};
+use rpr_core::{chunk_sizes, combine_kernel, Input, Op, Payload, RepairContext, RepairPlan};
 use rpr_faults::{checksum64, reason, FaultPlan, RetryPolicy};
 use rpr_obs::{Event, Recorder};
 use rpr_topology::NodeId;
@@ -18,8 +18,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Transfers move in chunks of this size through the rate limiters.
-const CHUNK: usize = 64 * 1024;
+/// Rate-limiter granularity when the context does not configure a
+/// streaming chunk size. With [`RepairContext::with_chunk_size`] the
+/// limiters instead admit exactly one streaming chunk per take, so shaper
+/// granularity and cut-through chunk size always agree.
+const DEFAULT_SHAPER_CHUNK: usize = 64 * 1024;
 
 /// Wall-clock timing of one executed operation, in seconds since the run
 /// started.
@@ -117,6 +120,33 @@ struct AttemptCfg<'a> {
     lowered: &'a [bool],
     /// Label tag (`p{tag}op{i}`), 0 for the original plan, 1 after replan.
     tag: usize,
+}
+
+/// Immutable per-run state shared by every op thread.
+struct RunEnv<'r, 'c> {
+    plan: &'r RepairPlan,
+    ctx: &'r RepairContext<'c>,
+    stripe: &'r [Vec<u8>],
+    rec: &'r dyn Recorder,
+    t0: Instant,
+    links: &'r [NodeLinks],
+    agg: Option<&'r TokenBucket>,
+    waves: &'r [Option<usize>],
+    needs_matrix: bool,
+    matrix_done: &'r [Mutex<bool>],
+    /// Rate-limiter granularity in bytes (the streaming chunk size, or
+    /// [`DEFAULT_SHAPER_CHUNK`] when streaming is off).
+    chunk: usize,
+    /// Chunk split of one block (a singleton without streaming).
+    sizes: &'r [u64],
+}
+
+impl RunEnv<'_, '_> {
+    /// Byte range of chunk `j` within a block.
+    fn range(&self, j: usize) -> std::ops::Range<usize> {
+        let start: u64 = self.sizes[..j].iter().sum();
+        (start as usize)..((start + self.sizes[j]) as usize)
+    }
 }
 
 /// What one attempt produced.
@@ -422,9 +452,15 @@ fn run_attempt(
     let slow = cfg.faults.map_or(empty_slow, |f| f.slow.as_slice());
     let links = node_links(ctx, slow);
     let crash = cfg.faults.and_then(|f| f.crash);
+    let sizes = chunk_sizes(plan.block_bytes, ctx.effective_chunk());
+    let streaming = sizes.len() > 1;
 
     // Wire one channel per (producer, consumer) dependency edge between
     // executing ops; dependencies on reused ops read the prefilled value.
+    // Block-level edges carry exactly one delivery, so a rendezvous
+    // channel suffices; streamed edges carry one delivery per chunk and
+    // are unbounded — the shapers pace the producers, and cut-through
+    // must never let a slow fan-out branch stall the stream.
     let mut producers: Vec<Vec<Sender<Delivery>>> =
         (0..plan.ops.len()).map(|_| Vec::new()).collect();
     type Edge = (usize, Receiver<Delivery>);
@@ -436,7 +472,7 @@ fn run_attempt(
         }
         for dep in plan.deps_of(i) {
             if cfg.lowered[dep.0] {
-                let (tx, rx) = bounded(1);
+                let (tx, rx) = if streaming { unbounded() } else { bounded(1) };
                 producers[dep.0].push(tx);
                 consumers[i].push((dep.0, rx));
             }
@@ -468,6 +504,23 @@ fn run_attempt(
     let crash_t: Mutex<Option<f64>> = Mutex::new(None);
     let retries = AtomicUsize::new(0);
 
+    let env = RunEnv {
+        plan,
+        ctx,
+        stripe,
+        rec,
+        t0,
+        links: &links,
+        agg: agg.as_ref(),
+        waves: &waves,
+        needs_matrix,
+        matrix_done: &matrix_done,
+        chunk: ctx
+            .effective_chunk()
+            .map_or(DEFAULT_SHAPER_CHUNK, |c| c as usize),
+        sizes: &sizes,
+    };
+
     std::thread::scope(|scope| {
         for (i, op) in plan.ops.iter().enumerate() {
             if !cfg.lowered[i] {
@@ -475,6 +528,7 @@ fn run_attempt(
             }
             let my_consumers = std::mem::take(&mut consumers[i]);
             let my_producers = std::mem::take(&mut producers[i]);
+            let env = &env;
             let links = &links;
             let agg = &agg;
             let values = &values;
@@ -484,6 +538,10 @@ fn run_attempt(
             let crash_t = &crash_t;
             let retries = &retries;
             scope.spawn(move || {
+                if streaming {
+                    stream_op(env, cfg, i, op, my_consumers, &my_producers, values, timings, crash_t, retries);
+                    return;
+                }
                 // Gather dependency values: prefilled (reused) first, then
                 // the channel edges.
                 let mut vals: HashMap<usize, Arc<Vec<u8>>> = HashMap::new();
@@ -572,6 +630,7 @@ fn run_attempt(
                                     *from,
                                     *to,
                                     bad.len(),
+                                    env.chunk,
                                 );
                                 rec.record(Event::TransferStarted {
                                     xfer: xfer.clone(),
@@ -594,6 +653,7 @@ fn run_attempt(
                                     *from,
                                     *to,
                                     part,
+                                    env.chunk,
                                 );
                                 rec.record(Event::TransferStarted {
                                     xfer: xfer.clone(),
@@ -625,8 +685,15 @@ fn run_attempt(
                             xfer: xfer.clone(),
                             t: queued,
                         });
-                        let admitted =
-                            shaped_transfer(ctx, links, agg.as_ref(), *from, *to, data.len());
+                        let admitted = shaped_transfer(
+                            ctx,
+                            links,
+                            agg.as_ref(),
+                            *from,
+                            *to,
+                            data.len(),
+                            env.chunk,
+                        );
                         rec.record(Event::TransferStarted {
                             xfer: xfer.clone(),
                             queue_wait: admitted,
@@ -745,6 +812,452 @@ fn run_attempt(
     }
 }
 
+/// A send's per-chunk payload source: a whole buffer already in memory
+/// (local block or prefilled value) or a live upstream stream.
+struct SendSource<'f> {
+    whole: Option<&'f [u8]>,
+    edge: Option<Receiver<Delivery>>,
+    have: usize,
+}
+
+impl SendSource<'_> {
+    /// Materialize chunks up to and including `j` into `buf`, recording
+    /// each chunk's FNV-1a checksum. Returns false if the upstream
+    /// producer died.
+    fn ensure(&mut self, j: usize, env: &RunEnv<'_, '_>, buf: &mut [u8], sums: &mut Vec<u64>) -> bool {
+        while self.have <= j {
+            let r = env.range(self.have);
+            match (&self.whole, &self.edge) {
+                (Some(w), _) => buf[r.clone()].copy_from_slice(&w[r.clone()]),
+                (None, Some(rx)) => match rx.recv().expect("producer thread panicked") {
+                    Delivery::Data(c) => buf[r.clone()].copy_from_slice(&c),
+                    Delivery::Failed => return false,
+                },
+                (None, None) => unreachable!("send payload always has a source"),
+            }
+            sums.push(checksum64(&buf[r]));
+            self.have += 1;
+        }
+        true
+    }
+}
+
+/// One combine input's chunk source.
+enum ChunkFeed<'f> {
+    /// A buffer fully in memory (local stripe block or prefilled value).
+    Whole(&'f [u8]),
+    /// A live upstream stream delivering one chunk per message.
+    Edge(Receiver<Delivery>),
+}
+
+/// How a combine folds one input.
+enum FoldKind {
+    /// `dst ^= coeff · src` (coefficient-scaled raw block).
+    Coeff(u8),
+    /// `dst ^= src` (intermediate merge).
+    Merge,
+}
+
+/// Streamed (cut-through) execution of one op. Payloads move hop-to-hop
+/// in `env.sizes`-sized chunks: a send verifies each chunk against its
+/// FNV-1a checksum and forwards it downstream the moment it is intact, so
+/// a retry resumes from the first unverified chunk instead of
+/// re-streaming the whole block; a combine folds chunk `j` with the GF
+/// kernels as soon as every input's chunk `j` arrived and forwards the
+/// folded chunk immediately. The downstream hop therefore starts after
+/// one chunk, not one block — the executor's critical path collapses
+/// from `waves × t_block` toward `t_block + (waves − 1) × t_chunk`.
+#[allow(clippy::too_many_arguments)]
+fn stream_op(
+    env: &RunEnv<'_, '_>,
+    cfg: &AttemptCfg<'_>,
+    i: usize,
+    op: &Op,
+    consumers: Vec<(usize, Receiver<Delivery>)>,
+    producers: &[Sender<Delivery>],
+    values: &[Mutex<Option<Arc<Vec<u8>>>>],
+    timings: &[Mutex<OpTiming>],
+    crash_t: &Mutex<Option<f64>>,
+    retries: &AtomicUsize,
+) {
+    let plan = env.plan;
+    let ctx = env.ctx;
+    let rec = env.rec;
+    let t0 = env.t0;
+    let m = env.sizes.len();
+    let total = plan.block_bytes as usize;
+    let crash = cfg.faults.and_then(|f| f.crash);
+    // A downstream consumer may have aborted (failed input on another
+    // edge) and dropped its receiver while this stream is mid-flight;
+    // chunk sends into a closed channel are simply dropped.
+    let forward = |chunk: Arc<Vec<u8>>| {
+        for tx in producers {
+            let _ = tx.send(Delivery::Data(chunk.clone()));
+        }
+    };
+    let fail_downstream = || {
+        for tx in producers {
+            let _ = tx.send(Delivery::Failed);
+        }
+    };
+
+    // Split edges: data edges feed payload chunks; ordering edges (link
+    // FIFO, used by slice-pipelined plans) must drain completely before
+    // this op may start — they serialize whole ops, exactly as the
+    // analytical lowering does.
+    let data = op.dependencies();
+    let mut edges: HashMap<usize, Receiver<Delivery>> = HashMap::new();
+    let mut failed_input = false;
+    for (dep, rx) in consumers {
+        if data.iter().any(|d| d.0 == dep) {
+            edges.insert(dep, rx);
+        } else {
+            for _ in 0..m {
+                match rx.recv().expect("producer thread panicked") {
+                    Delivery::Data(_) => {}
+                    Delivery::Failed => {
+                        failed_input = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let exec_node = match op {
+        Op::Send { from, .. } => *from,
+        Op::Combine { node, .. } => *node,
+    };
+    let down = crash.is_some_and(|c| c.node == exec_node && i >= c.trigger.0);
+    if failed_input || down {
+        if crash.is_some_and(|c| c.trigger.0 == i) {
+            let c = crash.expect("checked above");
+            let now = t0.elapsed().as_secs_f64();
+            if let Op::Send { from, to, .. } = op {
+                let xfer = transfer_descr(plan, ctx, cfg.tag, i, from, to, env.waves);
+                rec.record(Event::TransferQueued {
+                    xfer: xfer.clone(),
+                    t: now,
+                });
+                rec.record(Event::TransferFailed {
+                    xfer,
+                    attempt: 0,
+                    reason: reason::NODE_DOWN.to_string(),
+                    t: now,
+                });
+            }
+            rec.record(Event::HelperCrashed {
+                node: c.node.0,
+                rack: ctx.topo.rack_of(c.node).0,
+                t: now,
+            });
+            *crash_t.lock() = Some(now);
+        }
+        fail_downstream();
+        return;
+    }
+    let started = t0.elapsed().as_secs_f64();
+
+    match op {
+        Op::Send { what, from, to } => {
+            let mut src = SendSource {
+                whole: match what {
+                    Payload::Block(b) => Some(env.stripe[b.0].as_slice()),
+                    Payload::Intermediate(o) => cfg.prefilled[o.0].as_deref().map(|v| v.as_slice()),
+                },
+                edge: match what {
+                    Payload::Intermediate(o) if cfg.prefilled[o.0].is_none() => edges.remove(&o.0),
+                    _ => None,
+                },
+                have: 0,
+            };
+            let mut buf = vec![0u8; total];
+            let mut sums: Vec<u64> = Vec::with_capacity(m);
+            let xfer = transfer_descr(plan, ctx, cfg.tag, i, from, to, env.waves);
+            let no_faults: &[rpr_core::AttemptFault] = &[];
+            let injected = cfg.faults.map_or(no_faults, |f| f.op_faults[i].as_slice());
+            // Chunks verified and forwarded downstream so far; a failed
+            // attempt never rewinds this — the retry re-streams from the
+            // first unverified chunk, not from the start of the block.
+            let mut delivered = 0usize;
+            let mut first_delivered_t: Option<f64> = None;
+
+            for (a, fault) in injected.iter().enumerate() {
+                let queued = t0.elapsed().as_secs_f64();
+                rec.record(Event::TransferQueued {
+                    xfer: xfer.clone(),
+                    t: queued,
+                });
+                let mut admitted = 0.0f64;
+                if fault.reason == reason::CORRUPT {
+                    // The next chunk arrives with a flipped byte; its
+                    // checksum rejects it, so it is neither forwarded nor
+                    // counted as verified.
+                    if !src.ensure(delivered, env, &mut buf, &mut sums) {
+                        fail_downstream();
+                        return;
+                    }
+                    let mut bad = buf[env.range(delivered)].to_vec();
+                    bad[0] ^= 0x01;
+                    admitted =
+                        shaped_transfer(ctx, env.links, env.agg, *from, *to, bad.len(), env.chunk);
+                    assert_ne!(
+                        checksum64(&bad),
+                        sums[delivered],
+                        "checksum must detect injected corruption"
+                    );
+                } else {
+                    // The attempt stalls after a prefix of the stream;
+                    // chunks that got through intact stay verified and
+                    // forwarded.
+                    let goal = (((m as f64) * fault.fraction).floor() as usize).min(m - 1);
+                    let mut first = true;
+                    for j in delivered..goal {
+                        if !src.ensure(j, env, &mut buf, &mut sums) {
+                            fail_downstream();
+                            return;
+                        }
+                        let r = env.range(j);
+                        let wait = shaped_transfer(
+                            ctx,
+                            env.links,
+                            env.agg,
+                            *from,
+                            *to,
+                            r.len(),
+                            env.chunk,
+                        );
+                        if first {
+                            admitted = wait;
+                            first = false;
+                        }
+                        assert_eq!(
+                            checksum64(&buf[r.clone()]),
+                            sums[j],
+                            "delivered chunk failed verification"
+                        );
+                        forward(Arc::new(buf[r].to_vec()));
+                        if first_delivered_t.is_none() {
+                            first_delivered_t = Some(t0.elapsed().as_secs_f64());
+                        }
+                    }
+                    delivered = delivered.max(goal);
+                }
+                rec.record(Event::TransferStarted {
+                    xfer: xfer.clone(),
+                    queue_wait: admitted,
+                    t: queued + admitted,
+                });
+                let now = t0.elapsed().as_secs_f64();
+                rec.record(Event::TransferFailed {
+                    xfer: xfer.clone(),
+                    attempt: a,
+                    reason: fault.reason.to_string(),
+                    t: now,
+                });
+                let delay = cfg.policy.delay(a);
+                rec.record(Event::RetryScheduled {
+                    label: xfer.label.clone(),
+                    rack: xfer.src_rack,
+                    attempt: a,
+                    delay,
+                    t: now,
+                });
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_secs_f64(delay));
+            }
+
+            // The (final) successful attempt streams the rest.
+            let queued = t0.elapsed().as_secs_f64();
+            rec.record(Event::TransferQueued {
+                xfer: xfer.clone(),
+                t: queued,
+            });
+            let mut admitted = 0.0f64;
+            for j in delivered..m {
+                if !src.ensure(j, env, &mut buf, &mut sums) {
+                    fail_downstream();
+                    return;
+                }
+                let r = env.range(j);
+                let wait =
+                    shaped_transfer(ctx, env.links, env.agg, *from, *to, r.len(), env.chunk);
+                if j == delivered {
+                    admitted = wait;
+                    rec.record(Event::TransferStarted {
+                        xfer: xfer.clone(),
+                        queue_wait: admitted,
+                        t: queued + admitted,
+                    });
+                }
+                assert_eq!(
+                    checksum64(&buf[r.clone()]),
+                    sums[j],
+                    "delivered chunk failed verification"
+                );
+                forward(Arc::new(buf[r].to_vec()));
+                if first_delivered_t.is_none() {
+                    first_delivered_t = Some(t0.elapsed().as_secs_f64());
+                }
+            }
+            let end = t0.elapsed().as_secs_f64();
+            rec.record(Event::TransferDone {
+                xfer: xfer.clone(),
+                start: queued + admitted,
+                end,
+            });
+            rec.record(Event::StreamSummary {
+                xfer,
+                chunks: m,
+                chunk_bytes: env.sizes[0],
+                first_chunk_latency: first_delivered_t.expect("streamed >= 1 chunk") - started,
+                throughput: if end > started {
+                    total as f64 / (end - started)
+                } else {
+                    f64::INFINITY
+                },
+                t: end,
+            });
+            {
+                let mut t = timings[i].lock();
+                t.start = started;
+                t.end = end;
+            }
+            *values[i].lock() = Some(Arc::new(buf));
+        }
+        Op::Combine { node, inputs, .. } => {
+            let work_start = Instant::now();
+            let mut modeled = 0.0f64;
+            let uses_matrix = plan.force_matrix
+                || inputs
+                    .iter()
+                    .any(|i| matches!(i, Input::Block { coeff, .. } if *coeff != 1));
+            if env.needs_matrix && uses_matrix {
+                let _cpu = env.links[node.0].cpu.lock();
+                let mut done = env.matrix_done[node.0].lock();
+                if !*done {
+                    *done = true;
+                    build_decoding_matrix(ctx);
+                    modeled += ctx.cost.matrix_build_seconds;
+                }
+            }
+            let mut feeds: Vec<(ChunkFeed<'_>, FoldKind)> = inputs
+                .iter()
+                .map(|inp| match inp {
+                    Input::Block {
+                        block,
+                        coeff,
+                        via: None,
+                    } => (
+                        ChunkFeed::Whole(env.stripe[block.0].as_slice()),
+                        FoldKind::Coeff(*coeff),
+                    ),
+                    Input::Block {
+                        block: _,
+                        coeff,
+                        via: Some(s),
+                    } => (feed_for(cfg, &mut edges, s.0), FoldKind::Coeff(*coeff)),
+                    Input::Intermediate(o) => (feed_for(cfg, &mut edges, o.0), FoldKind::Merge),
+                })
+                .collect();
+            let mut out = vec![0u8; total];
+            let mut arrived: Vec<Option<Arc<Vec<u8>>>> = vec![None; feeds.len()];
+            for j in 0..m {
+                let r = env.range(j);
+                let clen = r.len() as u64;
+                // Gather this chunk's upstream deliveries BEFORE taking
+                // the node's CPU lock: another combine on the same node
+                // may be the producer of one of these edges, and holding
+                // the lock across recv would deadlock the pair.
+                for (f, (feed, _)) in feeds.iter_mut().enumerate() {
+                    if let ChunkFeed::Edge(rx) = feed {
+                        match rx.recv().expect("producer thread panicked") {
+                            Delivery::Data(c) => arrived[f] = Some(c),
+                            Delivery::Failed => {
+                                fail_downstream();
+                                return;
+                            }
+                        }
+                    }
+                }
+                let _cpu = env.links[node.0].cpu.lock();
+                let mut pd = rpr_codec::PartialDecoder::new(r.len());
+                for (f, (feed, kind)) in feeds.iter().enumerate() {
+                    let chunk: &[u8] = match feed {
+                        ChunkFeed::Whole(w) => &w[r.clone()],
+                        ChunkFeed::Edge(_) => arrived[f].as_ref().expect("gathered above"),
+                    };
+                    match kind {
+                        FoldKind::Coeff(coeff) => pd.fold(*coeff, chunk),
+                        FoldKind::Merge => pd.merge_bytes(chunk),
+                    }
+                    modeled += chunk_fold_cost(plan, ctx, kind, clen);
+                }
+                arrived.iter_mut().for_each(|a| *a = None);
+                out[r.clone()].copy_from_slice(&pd.finish());
+                // Pace the stream to the modeled decode rate before
+                // forwarding, so downstream sees chunks at the pace the
+                // target machine would produce them.
+                let spent = work_start.elapsed().as_secs_f64();
+                if modeled.is_finite() && modeled > spent {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(modeled - spent));
+                }
+                forward(Arc::new(out[r].to_vec()));
+            }
+            let ended = t0.elapsed().as_secs_f64();
+            rec.record(Event::CombineDone {
+                label: format!("p{}op{i}:combine", cfg.tag),
+                node: node.0,
+                rack: ctx.topo.rack_of(*node).0,
+                kernel: combine_kernel(plan, i).expect("op is a combine"),
+                inputs: inputs.len(),
+                bytes: plan.block_bytes,
+                start: started,
+                end: ended,
+            });
+            {
+                let mut t = timings[i].lock();
+                t.start = started;
+                t.end = ended;
+            }
+            *values[i].lock() = Some(Arc::new(out));
+        }
+    }
+}
+
+/// The chunk feed of a combine input produced by op `dep`: the prefilled
+/// value after a replan, the live channel edge otherwise.
+fn feed_for<'f>(
+    cfg: &AttemptCfg<'f>,
+    edges: &mut HashMap<usize, Receiver<Delivery>>,
+    dep: usize,
+) -> ChunkFeed<'f> {
+    match cfg.prefilled[dep].as_deref() {
+        Some(v) => ChunkFeed::Whole(v.as_slice()),
+        None => ChunkFeed::Edge(edges.remove(&dep).expect("lowered dependency has an edge")),
+    }
+}
+
+/// The modeled CPU seconds of folding one `bytes`-sized chunk.
+fn chunk_fold_cost(plan: &RepairPlan, ctx: &RepairContext<'_>, kind: &FoldKind, bytes: u64) -> f64 {
+    match kind {
+        FoldKind::Coeff(coeff) => {
+            if plan.force_matrix {
+                ctx.cost.forced_fold_seconds(bytes)
+            } else {
+                ctx.cost.fold_seconds(*coeff, bytes)
+            }
+        }
+        FoldKind::Merge => {
+            if plan.force_matrix {
+                ctx.cost.forced_fold_seconds(bytes)
+            } else {
+                ctx.cost.merge_seconds(bytes)
+            }
+        }
+    }
+}
+
 /// The shared transfer descriptor of op `i`.
 fn transfer_descr(
     plan: &RepairPlan,
@@ -847,6 +1360,7 @@ fn shaped_transfer(
     from: NodeId,
     to: NodeId,
     len: usize,
+    granularity: usize,
 ) -> f64 {
     let pair_rate = ctx
         .profile
@@ -857,7 +1371,7 @@ fn shaped_transfer(
     let mut first_admit = 0.0f64;
     let mut left = len;
     while left > 0 {
-        let take = left.min(CHUNK) as f64;
+        let take = left.min(granularity) as f64;
         flow.take(take);
         links[from.0].up.take(take);
         links[to.0].down.take(take);
@@ -1271,5 +1785,268 @@ mod tests {
         let plain = execute(&plan, &ctx, &stripe);
         assert_eq!(out.report.cross_bytes, plain.cross_bytes);
         assert_eq!(out.report.inner_bytes, plain.inner_bytes);
+    }
+
+    impl Fx {
+        fn ctx_chunked(&self, failed: Vec<BlockId>, chunk: u64) -> RepairContext<'_> {
+            self.ctx(failed).with_chunk_size(chunk)
+        }
+    }
+
+    #[test]
+    fn streamed_execution_verifies_with_a_ragged_tail_chunk() {
+        // Block size deliberately NOT a multiple of the chunk: the last
+        // chunk is a 7-byte tail, exercising the ragged-range plumbing
+        // end to end (checksums, GF folds, and forwarding).
+        let fx = Fx::new(6, 2, 96 * 1024 + 7);
+        let ctx = fx.ctx_chunked(vec![BlockId(1)], 10_000);
+        let plan = RprPlanner::new().plan(&ctx);
+        plan.validate(&fx.codec, &fx.topo, &fx.placement)
+            .expect("valid");
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 101);
+        let report = execute(&plan, &ctx, &stripe);
+        assert!(report.verified, "mismatches: {:?}", report.mismatches);
+        assert_eq!(
+            report.cross_bytes,
+            plan.stats(&fx.topo).cross_bytes,
+            "chunked streaming must move exactly the planned traffic"
+        );
+    }
+
+    #[test]
+    fn streamed_execution_of_a_block_level_plan_verifies() {
+        // A plan built WITHOUT streaming (star-shaped cross pipeline)
+        // must still reconstruct correctly when executed chunked.
+        let fx = Fx::new(6, 3, 64 * 1024);
+        let block_ctx = fx.ctx(vec![BlockId(1)]);
+        let plan = RprPlanner::new().plan(&block_ctx);
+        let ctx = fx.ctx_chunked(vec![BlockId(1)], 4 * 1024);
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 13);
+        let report = execute(&plan, &ctx, &stripe);
+        assert!(report.verified, "mismatches: {:?}", report.mismatches);
+    }
+
+    #[test]
+    fn chunk_at_or_above_block_size_takes_the_block_path() {
+        let fx = Fx::new(4, 2, 32 * 1024);
+        let plain_ctx = fx.ctx(vec![BlockId(1)]);
+        let plan = RprPlanner::new().plan(&plain_ctx);
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 19);
+        let plain = execute(&plan, &plain_ctx, &stripe);
+        for chunk in [fx.block, fx.block + 1, fx.block * 8] {
+            let ctx = fx.ctx_chunked(vec![BlockId(1)], chunk);
+            let report = execute(&plan, &ctx, &stripe);
+            assert!(report.verified);
+            assert_eq!(report.cross_bytes, plain.cross_bytes);
+            assert_eq!(report.inner_bytes, plain.inner_bytes);
+        }
+    }
+
+    #[test]
+    fn streamed_trace_has_consistent_event_counts_and_summaries() {
+        let fx = Fx::new(6, 2, 64 * 1024);
+        let ctx = fx.ctx_chunked(vec![BlockId(1)], 8 * 1024);
+        let plan = RprPlanner::new().plan(&ctx);
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 23);
+        let rec = rpr_obs::TraceRecorder::default();
+        let report = execute_recorded(&plan, &ctx, &stripe, &rec);
+        assert!(report.verified, "mismatches: {:?}", report.mismatches);
+
+        let stats = plan.stats(&fx.topo);
+        let events = rec.take_events();
+        // Event volume stays bounded: one TransferDone and ONE
+        // StreamSummary per send edge, never one per chunk.
+        let dones = events
+            .iter()
+            .filter(|e| matches!(e, Event::TransferDone { .. }))
+            .count();
+        assert_eq!(dones, stats.cross_transfers + stats.inner_transfers);
+        let m = ctx.chunk_count();
+        assert!(m > 1, "test must actually stream");
+        for e in &events {
+            if let Event::StreamSummary {
+                xfer,
+                chunks,
+                chunk_bytes,
+                first_chunk_latency,
+                throughput,
+                ..
+            } = e
+            {
+                assert_eq!(*chunks, m);
+                assert_eq!(*chunk_bytes, 8 * 1024);
+                assert_eq!(xfer.bytes, fx.block);
+                assert!(*first_chunk_latency >= 0.0);
+                assert!(throughput.is_finite() && *throughput > 0.0);
+            }
+        }
+        let summaries = events
+            .iter()
+            .filter(|e| matches!(e, Event::StreamSummary { .. }))
+            .count();
+        assert_eq!(summaries, stats.cross_transfers + stats.inner_transfers);
+        let combines = events
+            .iter()
+            .filter(|e| matches!(e, Event::CombineDone { .. }))
+            .count();
+        assert_eq!(combines, stats.combines);
+    }
+
+    #[test]
+    fn streamed_timeout_retry_resumes_and_verifies() {
+        let fx = Fx::new(6, 2, 32 * 1024);
+        let ctx = fx.ctx_chunked(vec![BlockId(1)], 4 * 1024);
+        let plan = RprPlanner::new().plan(&ctx);
+        let send = plan
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::Send { .. }))
+            .unwrap();
+        let fp = FaultPlan::new(3).with(FaultKind::TransferTimeout { op: send });
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 29);
+        let rec = rpr_obs::TraceRecorder::default();
+        let out = execute_resilient(&plan, &ctx, &stripe, &rec, &fp, &fast_policy())
+            .expect("recovers");
+        assert!(out.report.verified, "mismatches: {:?}", out.report.mismatches);
+        assert_eq!(out.retries, 1);
+        let names: Vec<&str> = rec.take_events().iter().map(|e| e.name()).collect();
+        assert!(names.contains(&"transfer_failed"));
+        assert!(names.contains(&"retry_scheduled"));
+        assert!(names.contains(&"stream_summary"));
+        assert_eq!(*names.last().unwrap(), "repair_done");
+    }
+
+    #[test]
+    fn streamed_corruption_is_caught_per_chunk_and_retried() {
+        let fx = Fx::new(6, 2, 32 * 1024);
+        let ctx = fx.ctx_chunked(vec![BlockId(1)], 4 * 1024);
+        let plan = RprPlanner::new().plan(&ctx);
+        let interm = plan
+            .ops
+            .iter()
+            .position(|op| {
+                matches!(
+                    op,
+                    Op::Send {
+                        what: Payload::Intermediate(_),
+                        ..
+                    }
+                )
+            })
+            .expect("rpr ships intermediates");
+        let fp = FaultPlan::new(8).with(FaultKind::CorruptIntermediate { op: interm });
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 31);
+        let rec = rpr_obs::TraceRecorder::default();
+        let out = execute_resilient(&plan, &ctx, &stripe, &rec, &fp, &fast_policy())
+            .expect("recovers");
+        assert!(out.report.verified, "mismatches: {:?}", out.report.mismatches);
+        assert_eq!(out.retries, 1);
+        let corrupt_failures = rec
+            .take_events()
+            .iter()
+            .filter(|e| {
+                matches!(e, Event::TransferFailed { reason, .. } if reason == reason::CORRUPT)
+            })
+            .count();
+        assert_eq!(corrupt_failures, 1);
+    }
+
+    #[test]
+    fn streamed_helper_crash_still_replans_and_verifies() {
+        let fx = Fx::new(6, 3, 16 * 1024);
+        let ctx = fx.ctx_chunked(vec![BlockId(1)], 2 * 1024);
+        let plan = RprPlanner::new().plan(&ctx);
+        let (node, step) = crash_candidates(&plan, &ctx)[0];
+        let fp = FaultPlan::new(17).with(FaultKind::HelperCrash {
+            node,
+            timestep: step,
+        });
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 37);
+        let rec = rpr_obs::TraceRecorder::default();
+        let out = execute_resilient(&plan, &ctx, &stripe, &rec, &fp, &fast_policy())
+            .expect("recovers");
+        assert!(out.report.verified, "mismatches: {:?}", out.report.mismatches);
+        assert_eq!(out.replans, 1);
+        let names: Vec<&str> = rec.take_events().iter().map(|e| e.name()).collect();
+        assert!(names.contains(&"helper_crashed"));
+        assert!(names.contains(&"replanned"));
+    }
+
+    #[test]
+    fn streamed_reconstruction_is_byte_identical_across_geometries_and_chunks() {
+        // Property-style sweep: for each paper code geometry and a spread
+        // of chunk sizes (including non-divisors of the block), chunked
+        // cut-through must reconstruct the same bytes the codec predicts
+        // (the executor's verification recomputes ground truth).
+        for (n, k) in [(4usize, 2usize), (6, 2), (6, 3)] {
+            let fx = Fx::new(n, k, 24 * 1024 + 11);
+            for &chunk in &[1_024u64, 7_777, 24 * 1024 + 11] {
+                let ctx = fx.ctx_chunked(vec![BlockId(1)], chunk);
+                let plan = RprPlanner::new().plan(&ctx);
+                let stripe =
+                    stripe_for(&fx.codec, fx.block as usize, (n * 31 + k) as u64 ^ chunk);
+                let report = execute(&plan, &ctx, &stripe);
+                assert!(
+                    report.verified,
+                    "({n},{k}) chunk {chunk}: {:?}",
+                    report.mismatches
+                );
+                assert_eq!(report.cross_bytes, plan.stats(&fx.topo).cross_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_collapses_the_executor_critical_path() {
+        // The paper-scale acceptance check at (6, 3): under cut-through
+        // streaming the measured wall clock must approach the analytical
+        // `t_block + (waves - 1) * t_chunk` instead of store-and-forward's
+        // `waves * t_block`. 4 MiB blocks over the fixture's 8 MB/s cross
+        // links give t_block ~ 0.52 s, so the two regimes are far apart
+        // relative to shaper noise (20 ms token-bucket bursts).
+        let fx = Fx::new(6, 3, 4 * 1024 * 1024);
+        let block_ctx = fx.ctx(vec![BlockId(1)]);
+        let block_plan = RprPlanner::new().plan(&block_ctx);
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 4242);
+
+        // 512 KiB chunks (8 per block): every TokenBucket::take that must
+        // wait sleeps, and sleeps quantize at the kernel tick (~5-10 ms),
+        // so each chunk carries ~20 ms of scheduler tax across the bucket
+        // chain. Fewer, larger chunks keep that tax small next to the
+        // 65 ms per-chunk transfer time.
+        let ctx = fx.ctx_chunked(vec![BlockId(1)], 512 * 1024);
+        let plan = RprPlanner::new().plan(&ctx);
+        let analytical = rpr_core::simulate(&plan, &ctx).repair_time;
+
+        // The load-bearing assertion is the RATIO: both walls inflate
+        // together under a loaded test machine, while absolute bounds
+        // against the analytical number would flake. The analytical
+        // brackets are deliberately loose sanity rails — the tight
+        // model-vs-closed-form check lives in rpr-core's sim tests.
+        // A single measurement of each wall can still flake when the
+        // parallel test harness steals the CPU mid-run, so take the
+        // best of up to three paired measurements before failing.
+        let mut last = (f64::INFINITY, f64::INFINITY);
+        for attempt in 0..3 {
+            let block_wall = execute(&block_plan, &block_ctx, &stripe).wall_seconds;
+            let report = execute(&plan, &ctx, &stripe);
+            assert!(report.verified, "mismatches: {:?}", report.mismatches);
+            last = (
+                last.0.min(report.wall_seconds / block_wall),
+                last.1.min(report.wall_seconds),
+            );
+            let collapsed = last.0 < 0.85;
+            let on_rails = (0.7 * analytical..2.0 * analytical).contains(&last.1);
+            if collapsed && on_rails {
+                return;
+            }
+            assert!(
+                attempt < 2,
+                "best streamed/block ratio {} (want < 0.85), best streamed wall {} \
+                 vs analytical {analytical} (want 0.7x..2.0x)",
+                last.0,
+                last.1
+            );
+        }
     }
 }

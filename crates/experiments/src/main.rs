@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of the RPR paper (ICPP '20).
 //!
 //! ```text
-//! rpr-experiments <fig6..fig14|table1|fleet|ablation|traces|all> [--fast] [--out DIR]
+//! rpr-experiments <fig6..fig14|table1|fleet|ablation|traces|pipeline|all> [--fast] [--out DIR]
 //! ```
 //!
 //! Figures 6–11 run on the `rpr-netsim` flow simulator (the paper's Simics
@@ -14,6 +14,7 @@ mod ablation;
 mod exec_figs;
 mod faults;
 mod fleet;
+mod pipeline;
 mod sim_figs;
 mod table1;
 mod theory;
@@ -68,6 +69,7 @@ fn main() {
             "ablation" => ablation::ablation(),
             "traces" => traces::traces(fast),
             "faults" => faults::faults(),
+            "pipeline" => pipeline::pipeline(fast),
             "all" => {
                 theory::fig6();
                 sim_figs::fig7();
@@ -83,12 +85,14 @@ fn main() {
                 ablation::ablation();
                 traces::traces(fast);
                 faults::faults();
+                pipeline::pipeline(fast);
             }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
                     "usage: rpr-experiments \
-                     <fig6..fig14|table1|fleet|ablation|traces|faults|all> [--fast] [--out DIR]"
+                     <fig6..fig14|table1|fleet|ablation|traces|faults|pipeline|all> \
+                     [--fast] [--out DIR]"
                 );
                 std::process::exit(2);
             }

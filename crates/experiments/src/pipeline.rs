@@ -1,0 +1,81 @@
+//! Pipeline table — chunked cut-through streaming vs store-and-forward.
+//!
+//! Store-and-forward moves whole blocks hop to hop, so RPR's §3.2
+//! pipeline pays `waves × t_block`. With cut-through streaming
+//! (ECPipe-style sub-block slices over RPR's rack-aware DAG) the
+//! planner lays the cross-rack ops out as a chain and the makespan
+//! collapses toward `t_block + (waves − 1) × t_chunk`.
+
+use crate::util::{fmt_pct, fmt_s, print_table, stats, Fixture, PAPER_CODES};
+use rpr_codec::BlockId;
+use rpr_core::{ChainPlanner, RepairPlanner, RprPlanner};
+
+const BLOCK: u64 = 256 << 20; // 256 MiB, §5.1.1
+const CHUNK: u64 = 8 << 20; // 8 MiB slices, 32 chunks per block
+
+impl Fixture {
+    /// Simulated repair time for one scheme and failure set with
+    /// cut-through streaming at `chunk` bytes.
+    fn run_sim_chunked(
+        &self,
+        planner: &dyn RepairPlanner,
+        failed: Vec<BlockId>,
+        chunk: u64,
+    ) -> f64 {
+        let ctx = self.ctx(failed).with_chunk_size(chunk);
+        let plan = planner.plan(&ctx);
+        plan.validate(&self.codec, &self.topo, &self.placement)
+            .expect("generated plans must validate");
+        rpr_core::simulate(&plan, &ctx).repair_time
+    }
+}
+
+/// The `pipeline` table: block-level RPR vs chunked RPR vs an
+/// ECPipe-style sliced chain, averaged over all data positions.
+pub fn pipeline(fast: bool) {
+    let block = if fast { BLOCK >> 4 } else { BLOCK };
+    let chunk = if fast { 1 << 20 } else { CHUNK };
+    let mut rows = Vec::new();
+    let mut collapses = Vec::new();
+    for (n, k) in PAPER_CODES {
+        let f = Fixture::simics(n, k, block);
+        let (mut store, mut cut, mut chain) = (Vec::new(), Vec::new(), Vec::new());
+        for fail in 0..n {
+            store.push(f.run_sim(&RprPlanner::new(), vec![BlockId(fail)]).0);
+            cut.push(f.run_sim_chunked(&RprPlanner::new(), vec![BlockId(fail)], chunk));
+            chain.push(f.run_sim_chunked(&ChainPlanner::new(), vec![BlockId(fail)], chunk));
+        }
+        let (sa, _, _) = stats(&store);
+        let (ca, _, _) = stats(&cut);
+        let (ha, _, _) = stats(&chain);
+        collapses.push(1.0 - ca / sa);
+        rows.push(vec![
+            format!("({n},{k})"),
+            fmt_s(sa),
+            fmt_s(ca),
+            fmt_s(ha),
+            fmt_pct(1.0 - ca / sa),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Pipeline — store-and-forward RPR vs cut-through RPR vs sliced \
+             chain (ECPipe-style), {} MiB blocks, {} MiB chunks, averaged \
+             over all data positions (Simics simulator)",
+            block >> 20,
+            chunk >> 20
+        ),
+        &["code", "RPR s&f", "RPR cut", "chain cut", "collapse"],
+        &rows,
+    );
+    let (avg, min, max) = stats(&collapses);
+    println!(
+        "\n> Cut-through collapses RPR's `waves × t_block` critical path toward \
+         `t_block + (waves − 1) × t_chunk`: avg {} (min {}, max {}). Codes \
+         with one cross wave have nothing to collapse; multi-wave codes \
+         approach the single-block-transfer floor.",
+        fmt_pct(avg),
+        fmt_pct(min),
+        fmt_pct(max)
+    );
+}

@@ -181,6 +181,26 @@ pub enum Event {
         /// Seconds from repair start when the new plan was adopted.
         t: f64,
     },
+    /// Summary of one chunked cut-through stream along a plan edge:
+    /// emitted once per streamed send (bounded — never per chunk), after
+    /// its last chunk arrived. Absent from block-level (unchunked) runs.
+    StreamSummary {
+        /// Endpoints and classification of the streamed send.
+        xfer: Transfer,
+        /// Number of sub-block chunks the payload moved in.
+        chunks: usize,
+        /// Configured chunk size in bytes (the tail chunk may be
+        /// shorter).
+        chunk_bytes: u64,
+        /// Seconds from the stream's first activation until its first
+        /// chunk had fully arrived downstream — the cut-through latency
+        /// that lets the next hop start early.
+        first_chunk_latency: f64,
+        /// Mean delivered bytes/sec over the whole stream.
+        throughput: f64,
+        /// Seconds from repair start when the last chunk arrived.
+        t: f64,
+    },
     /// The whole repair finished.
     RepairDone {
         /// Seconds from repair start (the repair makespan).
@@ -207,6 +227,7 @@ impl Event {
             Event::RetryScheduled { .. } => "retry_scheduled",
             Event::HelperCrashed { .. } => "helper_crashed",
             Event::Replanned { .. } => "replanned",
+            Event::StreamSummary { .. } => "stream_summary",
             Event::RepairDone { .. } => "repair_done",
         }
     }
@@ -224,6 +245,7 @@ impl Event {
             | Event::RetryScheduled { t, .. }
             | Event::HelperCrashed { t, .. }
             | Event::Replanned { t, .. }
+            | Event::StreamSummary { t, .. }
             | Event::RepairDone { t, .. } => *t,
             Event::TransferDone { end, .. } | Event::CombineDone { end, .. } => *end,
         }

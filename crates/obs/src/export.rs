@@ -216,6 +216,21 @@ pub fn event_to_json(event: &Event) -> String {
                 .usize("reused_ops", *reused_ops)
                 .f64("t", *t);
         }
+        Event::StreamSummary {
+            xfer,
+            chunks,
+            chunk_bytes,
+            first_chunk_latency,
+            throughput,
+            t,
+        } => {
+            transfer_fields(&mut o, xfer);
+            o.usize("chunks", *chunks)
+                .u64("chunk_bytes", *chunk_bytes)
+                .f64("first_chunk_latency", *first_chunk_latency)
+                .f64("throughput", *throughput)
+                .f64("t", *t);
+        }
         Event::RepairDone {
             t,
             cross_bytes,
@@ -256,7 +271,8 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
             Event::TransferQueued { xfer, .. }
             | Event::TransferStarted { xfer, .. }
             | Event::TransferDone { xfer, .. }
-            | Event::TransferFailed { xfer, .. } => {
+            | Event::TransferFailed { xfer, .. }
+            | Event::StreamSummary { xfer, .. } => {
                 max_rack = max_rack.max(xfer.src_rack).max(xfer.dst_rack);
             }
             Event::CombineDone { rack, .. }
@@ -470,6 +486,32 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                         "args",
                         &format!("{{\"failed\":{failed},\"reused_ops\":{reused_ops}}}"),
                     );
+                entries.push(o.finish());
+            }
+            Event::StreamSummary {
+                xfer,
+                chunks,
+                chunk_bytes,
+                first_chunk_latency,
+                throughput,
+                t,
+            } => {
+                let mut args = String::from("{");
+                let _ = write!(args, "\"chunks\":{chunks},\"chunk_bytes\":{chunk_bytes}");
+                args.push_str(",\"first_chunk_latency\":");
+                push_f64(&mut args, *first_chunk_latency);
+                args.push_str(",\"throughput\":");
+                push_f64(&mut args, *throughput);
+                args.push('}');
+                let mut o = Obj::new();
+                o.str("name", &format!("stream: {}", xfer.label))
+                    .str("cat", "stream")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", xfer.src_rack)
+                    .usize("tid", xfer.src_node)
+                    .str("s", "t")
+                    .raw("args", &args);
                 entries.push(o.finish());
             }
             Event::RepairDone {
@@ -690,6 +732,40 @@ mod tests {
         assert!(chrome.contains("\"cat\":\"fault\""));
         assert!(chrome.contains("failed: p0op1:send (timeout)"));
         assert!(chrome.contains("replanned: rpr"));
+    }
+
+    #[test]
+    fn stream_summary_serializes_in_both_formats() {
+        let events = vec![Event::StreamSummary {
+            xfer: Transfer {
+                label: "p0op1:send".into(),
+                src_node: 3,
+                src_rack: 1,
+                dst_node: 0,
+                dst_rack: 0,
+                bytes: 4096,
+                cross: true,
+                timestep: Some(0),
+            },
+            chunks: 4,
+            chunk_bytes: 1024,
+            first_chunk_latency: 0.125,
+            throughput: 8192.0,
+            t: 0.5,
+        }];
+        let jsonl = to_json_lines(&events);
+        for line in jsonl.lines() {
+            assert_structurally_valid_json(line);
+        }
+        assert!(jsonl.contains("\"type\":\"stream_summary\""));
+        assert!(jsonl.contains("\"chunks\":4"));
+        assert!(jsonl.contains("\"chunk_bytes\":1024"));
+        assert!(jsonl.contains("\"first_chunk_latency\":0.125"));
+        assert!(jsonl.contains("\"throughput\":8192"));
+        let chrome = to_chrome_trace(&events);
+        assert_structurally_valid_json(&chrome);
+        assert!(chrome.contains("\"cat\":\"stream\""));
+        assert!(chrome.contains("stream: p0op1:send"));
     }
 
     #[test]

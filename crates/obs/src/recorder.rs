@@ -56,10 +56,13 @@ pub struct TraceRecorder {
     retries: AtomicU64,
     crashes: AtomicU64,
     replans: AtomicU64,
+    streams: AtomicU64,
+    chunks_streamed: AtomicU64,
     racks: RwLock<Vec<RackCounters>>,
     queue_wait: Histogram,
     transfer_time: Histogram,
     combine_time: Histogram,
+    first_chunk_latency: Histogram,
 }
 
 impl Default for TraceRecorder {
@@ -84,10 +87,13 @@ impl TraceRecorder {
             retries: AtomicU64::new(0),
             crashes: AtomicU64::new(0),
             replans: AtomicU64::new(0),
+            streams: AtomicU64::new(0),
+            chunks_streamed: AtomicU64::new(0),
             racks: RwLock::new(Vec::new()),
             queue_wait: Histogram::default(),
             transfer_time: Histogram::default(),
             combine_time: Histogram::default(),
+            first_chunk_latency: Histogram::default(),
         }
     }
 
@@ -168,6 +174,16 @@ impl TraceRecorder {
             Event::Replanned { .. } => {
                 self.replans.fetch_add(1, Ordering::Relaxed);
             }
+            Event::StreamSummary {
+                chunks,
+                first_chunk_latency,
+                ..
+            } => {
+                self.streams.fetch_add(1, Ordering::Relaxed);
+                self.chunks_streamed
+                    .fetch_add(*chunks as u64, Ordering::Relaxed);
+                self.first_chunk_latency.record(*first_chunk_latency);
+            }
             _ => {}
         }
     }
@@ -189,6 +205,8 @@ impl TraceRecorder {
             retries: self.retries.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
             replans: self.replans.load(Ordering::Relaxed),
+            streams: self.streams.load(Ordering::Relaxed),
+            chunks_streamed: self.chunks_streamed.load(Ordering::Relaxed),
             cross_bytes: self.cross_bytes.load(Ordering::Relaxed),
             inner_bytes: self.inner_bytes.load(Ordering::Relaxed),
             racks: racks
@@ -199,6 +217,7 @@ impl TraceRecorder {
             queue_wait: self.queue_wait.snapshot(),
             transfer_time: self.transfer_time.snapshot(),
             combine_time: self.combine_time.snapshot(),
+            first_chunk_latency: self.first_chunk_latency.snapshot(),
         }
     }
 }
@@ -236,6 +255,10 @@ pub struct MetricsSnapshot {
     pub crashes: u64,
     /// Replacement plans adopted after a crash.
     pub replans: u64,
+    /// Chunked cut-through streams completed (one per streamed send).
+    pub streams: u64,
+    /// Total sub-block chunks moved by those streams.
+    pub chunks_streamed: u64,
     /// Total bytes moved across racks.
     pub cross_bytes: u64,
     /// Total bytes moved within racks.
@@ -248,6 +271,8 @@ pub struct MetricsSnapshot {
     pub transfer_time: HistogramSnapshot,
     /// Distribution of combine durations.
     pub combine_time: HistogramSnapshot,
+    /// Distribution of first-chunk (cut-through) latencies per stream.
+    pub first_chunk_latency: HistogramSnapshot,
 }
 
 #[cfg(test)]
@@ -377,6 +402,33 @@ mod tests {
         assert_eq!(snap.racks[2].transfer_failures, 1);
         assert_eq!(snap.racks[2].retries, 1);
         // Failed attempts never count as completed transfers.
+        assert_eq!(snap.transfers, 0);
+    }
+
+    #[test]
+    fn stream_summaries_feed_stream_counters() {
+        let rec = TraceRecorder::default();
+        rec.record(Event::StreamSummary {
+            xfer: xfer(0, 1, 4096),
+            chunks: 4,
+            chunk_bytes: 1024,
+            first_chunk_latency: 0.125,
+            throughput: 8192.0,
+            t: 0.5,
+        });
+        rec.record(Event::StreamSummary {
+            xfer: xfer(1, 0, 4096),
+            chunks: 8,
+            chunk_bytes: 512,
+            first_chunk_latency: 0.0625,
+            throughput: 8192.0,
+            t: 0.6,
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.streams, 2);
+        assert_eq!(snap.chunks_streamed, 12);
+        assert_eq!(snap.first_chunk_latency.count(), 2);
+        // Stream summaries are bookkeeping, not transfers.
         assert_eq!(snap.transfers, 0);
     }
 

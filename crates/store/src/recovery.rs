@@ -73,6 +73,26 @@ pub struct RecoveryOutcome {
     pub upload_imbalance: f64,
     /// Cross-rack upload bytes per rack (the quantity CAR balances).
     pub rack_upload_bytes: Vec<u64>,
+    /// Which racks host at least one block of the affected stripes — the
+    /// set [`RecoveryOutcome::rack_upload_imbalance`] averages over. A
+    /// participating rack that uploads nothing (an idle helper) drags the
+    /// mean down instead of vanishing from the metric.
+    pub rack_participants: Vec<bool>,
+}
+
+/// Max-over-mean of a byte distribution, **including zero entries**.
+/// Callers pass exactly the participating units (racks or nodes hosting
+/// the affected stripes' blocks); an idle participant must lower the
+/// mean, not disappear from it. Returns 0.0 for an empty or all-zero
+/// slice (no traffic — imbalance is undefined, reported as 0).
+pub fn max_over_mean(bytes: &[u64]) -> f64 {
+    let sum: u64 = bytes.iter().sum();
+    if sum == 0 {
+        return 0.0;
+    }
+    let max = *bytes.iter().max().expect("non-empty: sum > 0") as f64;
+    let mean = sum as f64 / bytes.len() as f64;
+    max / mean
 }
 
 impl RecoveryOutcome {
@@ -84,20 +104,20 @@ impl RecoveryOutcome {
         self.stripe_finish.iter().sum::<f64>() / self.stripe_finish.len() as f64
     }
 
-    /// Max-over-mean imbalance of per-rack cross-rack uploads.
+    /// Max-over-mean imbalance of per-rack cross-rack uploads, taken over
+    /// every rack hosting the affected stripes' blocks — including racks
+    /// that uploaded nothing. (Filtering idle racks out, as an earlier
+    /// version did, understates imbalance exactly when a scheme leaves
+    /// helper racks idle.)
     pub fn rack_upload_imbalance(&self) -> f64 {
-        let active: Vec<u64> = self
+        let participating: Vec<u64> = self
             .rack_upload_bytes
             .iter()
-            .copied()
-            .filter(|&b| b > 0)
+            .zip(&self.rack_participants)
+            .filter(|&(&b, &p)| p || b > 0)
+            .map(|(&b, _)| b)
             .collect();
-        if active.is_empty() {
-            return 0.0;
-        }
-        let max = *active.iter().max().unwrap() as f64;
-        let mean = active.iter().sum::<u64>() as f64 / active.len() as f64;
-        max / mean
+        max_over_mean(&participating)
     }
 }
 
@@ -169,7 +189,24 @@ impl Store {
                 inner_rack_bytes: 0,
                 upload_imbalance: 0.0,
                 rack_upload_bytes: vec![0; self.topology().rack_count()],
+                rack_participants: vec![false; self.topology().rack_count()],
             };
+        }
+
+        // The units the imbalance metrics average over: every rack — and
+        // every surviving node — hosting a block of an affected stripe.
+        let mut rack_participants = vec![false; self.topology().rack_count()];
+        let mut node_participants = vec![false; self.topology().node_count()];
+        for (stripe, failed) in &affected {
+            let placement = self.placement(*stripe);
+            for r in placement.racks_used(self.topology()) {
+                rack_participants[r.0] = true;
+            }
+            for b in self.codec().params().all_blocks() {
+                if !failed.contains(&b) {
+                    node_participants[placement.node_of(b).0] = true;
+                }
+            }
         }
 
         // Plan each stripe. CAR carries accumulated per-rack cross-upload
@@ -247,16 +284,13 @@ impl Store {
             offset += batch.makespan;
         }
         let makespan = offset;
-        let upload_imbalance = {
-            let active: Vec<u64> = upload.iter().copied().filter(|&b| b > 0).collect();
-            if active.is_empty() {
-                0.0
-            } else {
-                let max = *active.iter().max().unwrap() as f64;
-                let mean = active.iter().sum::<u64>() as f64 / active.len() as f64;
-                max / mean
-            }
-        };
+        let participating_uploads: Vec<u64> = upload
+            .iter()
+            .zip(&node_participants)
+            .filter(|&(&b, &p)| p || b > 0)
+            .map(|(&b, _)| b)
+            .collect();
+        let upload_imbalance = max_over_mean(&participating_uploads);
 
         RecoveryOutcome {
             stripes_repaired: affected.len(),
@@ -266,6 +300,7 @@ impl Store {
             inner_rack_bytes,
             upload_imbalance,
             rack_upload_bytes: rack_loads,
+            rack_participants,
         }
     }
 }
@@ -370,6 +405,60 @@ mod tests {
             "CAR should keep rack uploads roughly even, got {}",
             car.rack_upload_imbalance()
         );
+    }
+
+    #[test]
+    fn idle_helper_rack_counts_toward_imbalance() {
+        // Racks 0..=3 host the affected stripe's blocks; rack 2 is a
+        // helper that happens to upload nothing; rack 4 is a spare rack
+        // with no blocks at all. The idle *helper* must drag the mean
+        // down (max/mean = 4 / 3 over racks 0..=3); the spare rack stays
+        // out of the metric entirely.
+        let out = RecoveryOutcome {
+            stripes_repaired: 1,
+            makespan: 1.0,
+            stripe_finish: vec![1.0],
+            cross_rack_bytes: 12,
+            inner_rack_bytes: 0,
+            upload_imbalance: 1.0,
+            rack_upload_bytes: vec![4, 4, 0, 4, 0],
+            rack_participants: vec![true, true, true, true, false],
+        };
+        let got = out.rack_upload_imbalance();
+        assert!(
+            (got - 4.0 / 3.0).abs() < 1e-12,
+            "idle helper rack must lower the mean: got {got}, want 4/3"
+        );
+        // The old metric filtered zero-upload racks out and reported a
+        // perfectly balanced 1.0 here.
+        assert!(got > 1.3);
+    }
+
+    #[test]
+    fn max_over_mean_includes_zero_entries() {
+        assert_eq!(max_over_mean(&[]), 0.0);
+        assert_eq!(max_over_mean(&[0, 0, 0]), 0.0);
+        assert!((max_over_mean(&[6, 6, 6]) - 1.0).abs() < 1e-12);
+        // A zero entry lowers the mean: max 8, mean 4 → 2.0.
+        assert!((max_over_mean(&[8, 4, 0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_marks_participating_racks() {
+        let s = small_store();
+        let p = profile(&s);
+        let out = s.recover(Failure::Node(NodeId(2)), Scheme::Rpr, &p, CostModel::free());
+        assert_eq!(out.rack_participants.len(), s.topology().rack_count());
+        // Every rack that uploaded is a participant.
+        for (r, (&bytes, &part)) in out
+            .rack_upload_bytes
+            .iter()
+            .zip(&out.rack_participants)
+            .enumerate()
+        {
+            assert!(part || bytes == 0, "rack {r} uploaded but not marked");
+        }
+        assert!(out.rack_participants.iter().any(|&p| p));
     }
 
     #[test]

@@ -7,11 +7,15 @@
 #
 # Steps:
 #   1. cargo build --release --workspace
-#   2. cargo test -q --workspace
-#   3. cargo clippy --workspace --all-targets -- -D warnings
-#   4. cargo doc --no-deps --workspace   (rustdoc warnings are errors)
-#   5. chaos determinism: `rpr inject` twice per fixed seed must emit
-#      byte-identical JSONL traces (docs/ROBUSTNESS.md)
+#   2. cargo build --release --examples
+#   3. cargo test -q --workspace
+#   4. cargo clippy --workspace --all-targets -- -D warnings
+#   5. cargo doc --no-deps --workspace   (rustdoc warnings are errors)
+#   6. chaos determinism: `rpr inject` twice per fixed seed must emit
+#      byte-identical JSONL traces (docs/ROBUSTNESS.md), with and
+#      without cut-through streaming (--chunk-size)
+#   7. streaming collapse: at (6,3) the chunked `rpr plan` makespan must
+#      be strictly lower than the store-and-forward one
 #
 # Note: `cargo doc` prints a filename-collision warning for the `rpr` CLI
 # binary vs the `rpr` facade lib (cargo#6313); it is cargo's, not
@@ -36,28 +40,55 @@ run() {
 }
 
 run cargo build $OFFLINE --release --workspace
+run cargo build $OFFLINE --release --examples
 run cargo test $OFFLINE -q --workspace
 run cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
 echo "==> RUSTDOCFLAGS='-D warnings' cargo doc $OFFLINE --no-deps --workspace"
 RUSTDOCFLAGS="-D warnings" cargo doc $OFFLINE --no-deps --workspace
 
-# Step 5: the degraded (fault-injected) repair trace must be
+# Step 6: the degraded (fault-injected) repair trace must be
 # bit-deterministic under a fixed seed — run the crash scenario twice per
-# seed and byte-compare the JSONL traces.
+# seed and byte-compare the JSONL traces, both store-and-forward and with
+# cut-through streaming enabled.
 CHAOS_DIR="target/chaos"
 mkdir -p "$CHAOS_DIR"
 RPR="target/release/rpr"
 for seed in 17 4242; do
-    for rep in a b; do
-        echo "==> $RPR inject --code 6,3 --fail d1 --fault crash --seed $seed (run $rep)"
-        "$RPR" inject --code 6,3 --fail d1 --fault crash --seed "$seed" \
-            --out "$CHAOS_DIR/crash_s${seed}_${rep}.jsonl" 2>/dev/null
+    for mode in block chunk; do
+        if [ "$mode" = chunk ]; then CHUNK="--chunk-size 8"; else CHUNK=""; fi
+        for rep in a b; do
+            echo "==> $RPR inject --code 6,3 --fail d1 --fault crash --seed $seed $CHUNK (run $rep)"
+            "$RPR" inject --code 6,3 --fail d1 --fault crash --seed "$seed" $CHUNK \
+                --out "$CHAOS_DIR/crash_s${seed}_${mode}_${rep}.jsonl" 2>/dev/null
+        done
+        if ! cmp -s "$CHAOS_DIR/crash_s${seed}_${mode}_a.jsonl" \
+                    "$CHAOS_DIR/crash_s${seed}_${mode}_b.jsonl"; then
+            echo "chaos determinism FAILED: seed $seed ($mode) traces differ" >&2
+            exit 1
+        fi
+        echo "==> chaos trace for seed $seed ($mode) is byte-identical across runs"
     done
-    if ! cmp -s "$CHAOS_DIR/crash_s${seed}_a.jsonl" "$CHAOS_DIR/crash_s${seed}_b.jsonl"; then
-        echo "chaos determinism FAILED: seed $seed traces differ" >&2
-        exit 1
-    fi
-    echo "==> chaos trace for seed $seed is byte-identical across runs"
 done
+
+# Step 7: cut-through streaming must strictly beat store-and-forward at
+# (6,3) — the headline claim of the chunked pipeline (ECPipe §3 applied
+# to RPR §3.2).
+extract_time() {
+    sed -n 's/^repair time \([0-9.]*\) s .*/\1/p' "$1"
+}
+echo "==> $RPR plan --code 6,3 --fail d1 (store-and-forward vs --chunk-size 8)"
+"$RPR" plan --code 6,3 --fail d1 > "$CHAOS_DIR/plan_block.txt"
+"$RPR" plan --code 6,3 --fail d1 --chunk-size 8 > "$CHAOS_DIR/plan_chunk.txt"
+T_BLOCK="$(extract_time "$CHAOS_DIR/plan_block.txt")"
+T_CHUNK="$(extract_time "$CHAOS_DIR/plan_chunk.txt")"
+if [ -z "$T_BLOCK" ] || [ -z "$T_CHUNK" ]; then
+    echo "streaming collapse check FAILED: could not parse repair times" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($T_CHUNK < $T_BLOCK) }"; then
+    echo "streaming collapse FAILED: chunked $T_CHUNK s not below block-level $T_BLOCK s" >&2
+    exit 1
+fi
+echo "==> streamed makespan $T_CHUNK s < store-and-forward $T_BLOCK s"
 
 echo "==> verify OK"
