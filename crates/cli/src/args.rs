@@ -11,7 +11,9 @@ usage:
   rpr compare --code N,K --fail BLOCKS [options]
   rpr trace   --code N,K --fail BLOCKS [options] [--format F] [--out FILE]
   rpr inject  --code N,K --fail BLOCKS [options] [--fault F] [--seed S]
-              [--backend B] [--format F] [--out FILE]
+              [--backend B] [--format F] [--out FILE] [--json]
+  rpr chaos   --code N,K --fail BLOCKS [options] [--storm LIST] [--seed S]
+              [--backend B] [--hedge M] [--deadline S] [--out FILE] [--json]
   rpr topo    --code N,K [--placement P]
   rpr analyze [--ti-ms X] [--tc-ms Y]
 
@@ -33,7 +35,15 @@ inject options (see docs/ROBUSTNESS.md):
   --fault F         crash | timeout | corrupt | slow | rack      (default crash)
   --seed S          deterministic fault seed                     (default 17)
   --backend B       sim | exec                                   (default sim)
-                    exec moves real bytes: pass a small --block-mib";
+                    exec moves real bytes: pass a small --block-mib
+  --json            machine-readable summary on stdout (the trace
+                    is then only written when --out is given)
+chaos options (supervised fault storms, see docs/ROBUSTNESS.md):
+  --storm LIST      one fault per generation, comma-separated:
+                    crash | replacement-crash | timeout | corrupt |
+                    slow | rack          (default crash,replacement-crash,timeout)
+  --hedge M         hedge a straggler at M x the peer median      (default off)
+  --deadline S      repair deadline in (virtual or wall) seconds  (default off)";
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +57,9 @@ pub enum Command {
     /// Run one scheme under a seed-picked injected fault and dump the
     /// degraded repair trace.
     Inject(InjectArgs),
+    /// Drive a repair through the supervisor under a multi-generation
+    /// fault storm (crash of a replacement helper included).
+    Chaos(ChaosArgs),
     /// Print the cluster/placement layout.
     Topo {
         /// Code geometry.
@@ -148,6 +161,65 @@ pub struct InjectArgs {
     pub format: TraceFormat,
     /// Output path; stdout when absent.
     pub out: Option<String>,
+    /// Print a machine-readable summary object on stdout; the trace is
+    /// then only written when `out` is set.
+    pub json: bool,
+}
+
+/// One storm generation of `rpr chaos`; the concrete site is picked
+/// deterministically from the seed each generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// A seed-picked cross-sending helper crashes.
+    Crash,
+    /// A helper that joined in the previous replan crashes.
+    ReplacementCrash,
+    /// One transfer times out once.
+    Timeout,
+    /// One intermediate arrives corrupted.
+    Corrupt,
+    /// One helper's links run at 25% for the rest of the repair.
+    Slow,
+    /// A rack switch drops one timestep's cross transfers once.
+    Rack,
+}
+
+impl ChaosFault {
+    pub(crate) fn from_name(s: &str) -> Result<ChaosFault, String> {
+        Ok(match s {
+            "crash" => ChaosFault::Crash,
+            "replacement-crash" => ChaosFault::ReplacementCrash,
+            "timeout" => ChaosFault::Timeout,
+            "corrupt" => ChaosFault::Corrupt,
+            "slow" => ChaosFault::Slow,
+            "rack" => ChaosFault::Rack,
+            other => return Err(format!("unknown storm fault `{other}`")),
+        })
+    }
+}
+
+/// Options for the `chaos` command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosArgs {
+    /// The scenario to batter (same knobs as `plan`).
+    pub plan: PlanArgs,
+    /// Backend that runs the supervised repair.
+    pub backend: InjectBackend,
+    /// One fault per storm generation, in order.
+    pub storm: Vec<ChaosFault>,
+    /// Seed driving every site pick across the storm.
+    pub seed: u64,
+    /// Hedge multiple (straggler detection threshold); off when absent.
+    pub hedge: Option<f64>,
+    /// Repair deadline in seconds; off when absent.
+    pub deadline: Option<f64>,
+    /// Output format of the trace.
+    pub format: TraceFormat,
+    /// Trace output path; stdout when absent.
+    pub out: Option<String>,
+    /// Print a machine-readable summary object on stdout; the trace is
+    /// then only written when `out` is set.
+    pub json: bool,
 }
 
 /// Parse a code spec like `6,2` or `12,4`.
@@ -261,7 +333,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let placement = parse_placement(flags.get("--placement").unwrap_or("preplaced"))?;
             Ok(Command::Topo { params, placement })
         }
-        "plan" | "compare" | "trace" | "inject" => {
+        "plan" | "compare" | "trace" | "inject" | "chaos" => {
             let params = parse_code(flags.get("--code").ok_or("missing --code")?)?;
             let failed = parse_failed(flags.get("--fail").ok_or("missing --fail")?, params)?;
             let block_mib: u64 = flags
@@ -316,6 +388,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 Some("jsonl") => Ok(TraceFormat::Jsonl),
                 Some(other) => Err(format!("unknown trace format `{other}`")),
             };
+            let backend = match flags.get("--backend").unwrap_or("sim") {
+                "sim" => InjectBackend::Sim,
+                "exec" => InjectBackend::Exec,
+                other => return Err(format!("unknown backend `{other}`")),
+            };
+            let seed = flags
+                .get("--seed")
+                .map(|v| v.parse().map_err(|_| "bad --seed"))
+                .transpose()?
+                .unwrap_or(17);
             Ok(match verb.as_str() {
                 "plan" => Command::Plan(args),
                 "compare" => Command::Compare(args),
@@ -324,7 +406,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     format: format(TraceFormat::Chrome)?,
                     out: flags.get("--out").map(String::from),
                 }),
-                _ => Command::Inject(InjectArgs {
+                "inject" => Command::Inject(InjectArgs {
                     plan: args,
                     fault: match flags.get("--fault").unwrap_or("crash") {
                         "crash" => FaultChoice::Crash,
@@ -334,20 +416,49 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         "rack" => FaultChoice::Rack,
                         other => return Err(format!("unknown fault `{other}`")),
                     },
-                    backend: match flags.get("--backend").unwrap_or("sim") {
-                        "sim" => InjectBackend::Sim,
-                        "exec" => InjectBackend::Exec,
-                        other => return Err(format!("unknown backend `{other}`")),
-                    },
-                    seed: flags
-                        .get("--seed")
-                        .map(|v| v.parse().map_err(|_| "bad --seed"))
-                        .transpose()?
-                        .unwrap_or(17),
+                    backend,
+                    seed,
                     // JSONL by default: injected traces exist to be diffed.
                     format: format(TraceFormat::Jsonl)?,
                     out: flags.get("--out").map(String::from),
+                    json: flags.has("--json"),
                 }),
+                _ => {
+                    let storm = flags
+                        .get("--storm")
+                        .unwrap_or("crash,replacement-crash,timeout")
+                        .split(',')
+                        .map(|s| ChaosFault::from_name(s.trim()))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if storm.is_empty() {
+                        return Err("--storm needs at least one fault".into());
+                    }
+                    let hedge: Option<f64> = flags
+                        .get("--hedge")
+                        .map(|v| v.parse().map_err(|_| "bad --hedge"))
+                        .transpose()?;
+                    if hedge.is_some_and(|m| !(m > 1.0 && m.is_finite())) {
+                        return Err("--hedge must be > 1".into());
+                    }
+                    let deadline: Option<f64> = flags
+                        .get("--deadline")
+                        .map(|v| v.parse().map_err(|_| "bad --deadline"))
+                        .transpose()?;
+                    if deadline.is_some_and(|d| !(d > 0.0 && d.is_finite())) {
+                        return Err("--deadline must be positive".into());
+                    }
+                    Command::Chaos(ChaosArgs {
+                        plan: args,
+                        backend,
+                        storm,
+                        seed,
+                        hedge,
+                        deadline,
+                        format: format(TraceFormat::Jsonl)?,
+                        out: flags.get("--out").map(String::from),
+                        json: flags.has("--json"),
+                    })
+                }
             })
         }
         other => Err(format!("unknown command `{other}`")),
@@ -478,6 +589,69 @@ mod tests {
         assert!(parse(&argv("inject --code 6,3 --fail d1 --fault meteor")).is_err());
         assert!(parse(&argv("inject --code 6,3 --fail d1 --backend fpga")).is_err());
         assert!(parse(&argv("inject --code 6,3 --fail d1 --seed -1")).is_err());
+    }
+
+    #[test]
+    fn parse_inject_json_flag() {
+        match parse(&argv("inject --code 6,3 --fail d1 --json")).unwrap() {
+            Command::Inject(i) => assert!(i.json),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("inject --code 6,3 --fail d1")).unwrap() {
+            Command::Inject(i) => assert!(!i.json, "json is opt-in"),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_chaos_command() {
+        let cmd = parse(&argv(
+            "chaos --code 6,3 --fail d1 --storm crash,replacement-crash,timeout \
+             --seed 99 --backend exec --block-mib 1 --hedge 2.5 --deadline 30 \
+             --json --out storm.jsonl",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Chaos(c) => {
+                assert_eq!(c.plan.params, CodeParams::new(6, 3));
+                assert_eq!(
+                    c.storm,
+                    vec![
+                        ChaosFault::Crash,
+                        ChaosFault::ReplacementCrash,
+                        ChaosFault::Timeout
+                    ]
+                );
+                assert_eq!(c.seed, 99);
+                assert_eq!(c.backend, InjectBackend::Exec);
+                assert_eq!(c.hedge, Some(2.5));
+                assert_eq!(c.deadline, Some(30.0));
+                assert!(c.json);
+                assert_eq!(c.out.as_deref(), Some("storm.jsonl"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("chaos --code 6,3 --fail d1")).unwrap() {
+            Command::Chaos(c) => {
+                assert_eq!(
+                    c.storm,
+                    vec![
+                        ChaosFault::Crash,
+                        ChaosFault::ReplacementCrash,
+                        ChaosFault::Timeout
+                    ],
+                    "the acceptance storm is the default"
+                );
+                assert_eq!(c.backend, InjectBackend::Sim);
+                assert_eq!(c.hedge, None);
+                assert_eq!(c.deadline, None);
+                assert!(!c.json);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("chaos --code 6,3 --fail d1 --storm meteor")).is_err());
+        assert!(parse(&argv("chaos --code 6,3 --fail d1 --hedge 0.5")).is_err());
+        assert!(parse(&argv("chaos --code 6,3 --fail d1 --deadline -4")).is_err());
     }
 
     #[test]

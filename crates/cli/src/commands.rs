@@ -1,15 +1,18 @@
 //! Command implementations.
 
 use crate::args::{
-    Command, FaultChoice, InjectArgs, InjectBackend, PlanArgs, TraceArgs, TraceFormat,
+    ChaosArgs, ChaosFault, Command, FaultChoice, InjectArgs, InjectBackend, PlanArgs, TraceArgs,
+    TraceFormat,
 };
 use rpr_codec::{CodeParams, StripeCodec};
 use rpr_core::analysis::{rpr_repair_time, traditional_repair_time, AnalysisParams};
 use rpr_core::{
-    crash_candidates, simulate, simulate_injected, viz, CarPlanner, CostModel, Op, Payload,
-    RepairContext, RepairPlanner, RprPlanner, TraditionalPlanner,
+    crash_candidates, simulate, simulate_injected, supervise_injected, viz, CarPlanner, CostModel,
+    Op, Payload, RepairContext, RepairPlanner, RprPlanner, SuperviseConfig, TraditionalPlanner,
 };
-use rpr_faults::{FaultKind, FaultPlan, RetryPolicy, SplitMix64};
+use rpr_faults::{
+    CrashSite, FaultKind, FaultPlan, FaultStorm, HealthTracker, RetryPolicy, SplitMix64, StormFault,
+};
 use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy, GBIT};
 
 /// Execute a parsed command.
@@ -19,6 +22,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Compare(a) => compare(&a),
         Command::Trace(t) => trace(&t),
         Command::Inject(i) => inject(&i),
+        Command::Chaos(c) => chaos(&c),
         Command::Topo { params, placement } => topo(params, placement),
         Command::Analyze { ti_ms, tc_ms } => analyze(ti_ms, tc_ms),
     }
@@ -337,9 +341,14 @@ fn inject(t: &InjectArgs) -> Result<(), String> {
 
     let policy = RetryPolicy::default();
     let rec = rpr_obs::TraceRecorder::default();
+    // (makespan, clean, verified, retries, replans, reused, final scheme)
+    let (makespan, clean, verified, retries, replans, reused, final_scheme);
     let summary = match t.backend {
         InjectBackend::Sim => {
             let out = simulate_injected(&plan, &ctx, &fp, &policy, &rec)?;
+            (makespan, clean, verified) = (out.repair_time, Some(out.clean_time), None);
+            (retries, replans, reused) = (out.retries, out.replans, out.reused_ops);
+            final_scheme = out.final_scheme.to_string();
             format!(
                 "degraded {:.2} s vs clean {:.2} s (+{:.1}%) | retries {} | \
                  replans {} | reused ops {} | finished as {}",
@@ -349,13 +358,17 @@ fn inject(t: &InjectArgs) -> Result<(), String> {
                 out.retries,
                 out.replans,
                 out.reused_ops,
-                out.final_scheme
+                final_scheme
             )
         }
         InjectBackend::Exec => {
             let stripe = deterministic_stripe(&w.codec, a.block_bytes as usize, t.seed);
             let out = rpr_exec::execute_resilient(&plan, &ctx, &stripe, &rec, &fp, &policy)
                 .map_err(|e| e.to_string())?;
+            (makespan, clean, verified) =
+                (out.report.wall_seconds, None, Some(out.report.verified));
+            (retries, replans, reused) = (out.retries, out.replans, out.reused_ops);
+            final_scheme = out.final_scheme.to_string();
             format!(
                 "wall {:.2} s | verified: {} | retries {} | replans {} | \
                  reused ops {} | finished as {}",
@@ -364,28 +377,245 @@ fn inject(t: &InjectArgs) -> Result<(), String> {
                 out.retries,
                 out.replans,
                 out.reused_ops,
-                out.final_scheme
+                final_scheme
             )
         }
     };
 
     let snap = rec.snapshot();
     let events = rec.take_events();
-    let output = match t.format {
-        TraceFormat::Chrome => rpr_obs::export::to_chrome_trace(&events),
-        TraceFormat::Jsonl => rpr_obs::export::to_json_lines(&events),
-    };
-    match &t.out {
-        Some(path) => {
-            std::fs::write(path, &output).map_err(|e| format!("writing {path}: {e}"))?;
-            eprintln!("wrote {} events to {path}", events.len());
-        }
-        None => print!("{output}"),
+    emit_trace(&events, t.format, &t.out, t.json)?;
+    if t.json {
+        println!(
+            "{{\"command\":\"inject\",\"backend\":{},\"scheme\":{},\"seed\":{},\
+             \"fault\":{},\"attempts\":{},\"retries\":{},\"replans\":{},\
+             \"reused_partials\":{},\"final_scheme\":{},\"makespan\":{},\
+             \"clean\":{},\"verified\":{}}}",
+            json_str(match t.backend {
+                InjectBackend::Sim => "sim",
+                InjectBackend::Exec => "exec",
+            }),
+            json_str(&a.scheme),
+            t.seed,
+            json_str(&format!("{:?}", fp.faults[0])),
+            retries + replans + 1,
+            retries,
+            replans,
+            reused,
+            json_str(&final_scheme),
+            makespan,
+            clean.map_or("null".to_string(), |v| v.to_string()),
+            verified.map_or("null".to_string(), |v| v.to_string()),
+        );
     }
     eprintln!(
         "# {} repair under fault: {summary} | {} events ({} dropped)",
         a.scheme, snap.recorded_events, snap.dropped_events,
     );
+    Ok(())
+}
+
+/// Minimal JSON string escaping (the repository avoids serde): quotes,
+/// backslashes, and control characters only — every summary field is
+/// ASCII to begin with.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Write the trace to `--out`, or to stdout — unless a `--json` summary
+/// owns stdout, in which case a missing `--out` drops the trace (noted
+/// on stderr) so stdout stays one parseable object.
+fn emit_trace(
+    events: &[rpr_obs::Event],
+    format: TraceFormat,
+    out: &Option<String>,
+    json_owns_stdout: bool,
+) -> Result<(), String> {
+    let output = match format {
+        TraceFormat::Chrome => rpr_obs::export::to_chrome_trace(events),
+        TraceFormat::Jsonl => rpr_obs::export::to_json_lines(events),
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(path, &output).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} events to {path}", events.len());
+        }
+        None if json_owns_stdout => {
+            eprintln!("# --json without --out: trace discarded ({} events)", events.len());
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
+fn storm_fault(f: ChaosFault) -> StormFault {
+    match f {
+        ChaosFault::Crash => StormFault::Crash(CrashSite::SeedPick),
+        ChaosFault::ReplacementCrash => StormFault::Crash(CrashSite::NewHelper),
+        ChaosFault::Timeout => StormFault::Timeout,
+        ChaosFault::Corrupt => StormFault::Corrupt,
+        ChaosFault::Slow => StormFault::Slow { factor: 0.25 },
+        ChaosFault::Rack => StormFault::RackOutage,
+    }
+}
+
+/// Drive a repair through the supervisor under a multi-generation fault
+/// storm (`--storm crash,replacement-crash,timeout` is the acceptance
+/// storm: a helper crash, then a crash of its replacement, then one
+/// transient timeout). `--backend sim` replays bit-deterministically on
+/// the virtual clock; `--backend exec` moves real bytes, cancels real
+/// transfers when hedging fires, and byte-verifies the reconstruction.
+/// The supervisor owns scheme selection (RPR first, degrading through
+/// the tier ladder), so `--scheme` is ignored here.
+fn chaos(c: &ChaosArgs) -> Result<(), String> {
+    let a = &c.plan;
+    let w = world(a);
+    let ctx = context(a, &w);
+    let mut storm = FaultStorm::new(c.seed);
+    for f in &c.storm {
+        storm = storm.with_generation(vec![storm_fault(*f)]);
+    }
+    let cfg = SuperviseConfig {
+        hedge: c.hedge,
+        deadline: c.deadline,
+        ..SuperviseConfig::default()
+    };
+    let mut tracker = HealthTracker::with_defaults();
+    let rec = rpr_obs::TraceRecorder::default();
+    let storm_names: Vec<String> = storm.generations[..]
+        .iter()
+        .map(|g| g[0].name().to_string())
+        .collect();
+    eprintln!("# storm (seed {}): {}", c.seed, storm_names.join(" -> "));
+
+    struct Summary {
+        makespan: f64,
+        clean: Option<f64>,
+        verified: Option<bool>,
+        generations: usize,
+        retries: usize,
+        replans: usize,
+        reused: usize,
+        hedges: usize,
+        hedge_wins: usize,
+        deadline_hit: bool,
+        final_scheme: String,
+        final_tier: &'static str,
+        fault_sites: Vec<String>,
+    }
+    let s = match c.backend {
+        InjectBackend::Sim => {
+            let out = supervise_injected(&ctx, &storm, &cfg, &mut tracker, &rec)?;
+            Summary {
+                makespan: out.repair_time,
+                clean: Some(out.clean_time),
+                verified: None,
+                generations: out.generations.len(),
+                retries: out.retries,
+                replans: out.replans,
+                reused: out.reused_ops,
+                hedges: out.hedges,
+                hedge_wins: out.hedge_wins,
+                deadline_hit: out.deadline_hit,
+                final_scheme: out.final_scheme,
+                final_tier: out.final_tier.name(),
+                fault_sites: out.fault_sites,
+            }
+        }
+        InjectBackend::Exec => {
+            let stripe = deterministic_stripe(&w.codec, a.block_bytes as usize, c.seed);
+            let out =
+                rpr_exec::execute_supervised(&ctx, &stripe, &rec, &storm, &cfg, &mut tracker)
+                    .map_err(|e| e.to_string())?;
+            Summary {
+                makespan: out.report.wall_seconds,
+                clean: None,
+                verified: Some(out.report.verified),
+                generations: out.generations.len(),
+                retries: out.retries,
+                replans: out.replans,
+                reused: out.reused_ops,
+                hedges: out.hedges,
+                hedge_wins: out.hedge_wins,
+                deadline_hit: out.deadline_hit,
+                final_scheme: out.final_scheme.to_string(),
+                final_tier: out.final_tier.name(),
+                fault_sites: out.fault_sites,
+            }
+        }
+    };
+
+    let events = rec.take_events();
+    emit_trace(&events, c.format, &c.out, c.json)?;
+    if c.json {
+        println!(
+            "{{\"command\":\"chaos\",\"backend\":{},\"seed\":{},\"storm\":{},\
+             \"fault_sites\":{},\"generations\":{},\"attempts\":{},\"retries\":{},\
+             \"replans\":{},\"reused_partials\":{},\"hedges\":{},\"hedge_wins\":{},\
+             \"deadline_hit\":{},\"final_scheme\":{},\"final_tier\":{},\
+             \"makespan\":{},\"clean\":{},\"verified\":{}}}",
+            json_str(match c.backend {
+                InjectBackend::Sim => "sim",
+                InjectBackend::Exec => "exec",
+            }),
+            c.seed,
+            json_str_array(&storm_names),
+            json_str_array(&s.fault_sites),
+            s.generations,
+            s.retries + s.replans + 1,
+            s.retries,
+            s.replans,
+            s.reused,
+            s.hedges,
+            s.hedge_wins,
+            s.deadline_hit,
+            json_str(&s.final_scheme),
+            json_str(s.final_tier),
+            s.makespan,
+            s.clean.map_or("null".to_string(), |v| v.to_string()),
+            s.verified.map_or("null".to_string(), |v| v.to_string()),
+        );
+    }
+    eprintln!(
+        "# supervised repair: {:.2} s{} | {} generations | retries {} | replans {} | \
+         reused {} | hedges {}/{} | tier {} ({}){}",
+        s.makespan,
+        s.clean
+            .map(|cl| format!(" vs clean {cl:.2} s (+{:.1}%)", (s.makespan / cl - 1.0) * 100.0))
+            .unwrap_or_default(),
+        s.generations,
+        s.retries,
+        s.replans,
+        s.reused,
+        s.hedge_wins,
+        s.hedges,
+        s.final_tier,
+        s.final_scheme,
+        match s.verified {
+            Some(true) => " | verified: yes",
+            Some(false) => " | verified: NO",
+            None => "",
+        },
+    );
+    if s.deadline_hit {
+        eprintln!("# deadline exceeded — repair degraded to meet it");
+    }
     Ok(())
 }
 

@@ -30,6 +30,7 @@ pub mod robust;
 pub mod scenario;
 pub mod schemes;
 pub mod sim;
+pub mod supervise;
 pub mod timestep;
 pub mod trace;
 pub mod viz;
@@ -45,4 +46,8 @@ pub use robust::{
     Replan, ResolvedFaults, RobustOutcome,
 };
 pub use sim::{chunk_sizes, simulate, simulate_batch, BatchOutcome, SimOutcome};
+pub use supervise::{
+    degraded_client, plan_with_pool, resolve_storm_bucket, supervise_injected, GenFaults,
+    GenerationRecord, PoolReplan, SuperviseConfig, SuperviseOutcome, Tier,
+};
 pub use trace::{combine_kernel, simulate_traced};

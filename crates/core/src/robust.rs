@@ -353,7 +353,17 @@ pub fn replan_after_crash(
 }
 
 /// First validating plan along the RPR → CAR → traditional chain.
-fn fallback_plan(ctx: &RepairContext<'_>) -> Result<RepairPlan, String> {
+pub(crate) fn fallback_plan(ctx: &RepairContext<'_>) -> Result<RepairPlan, String> {
+    // An avoid list (quarantined helpers) can starve the planners below
+    // the n survivors decoding needs; that must surface as an error the
+    // supervisor can catch with an unfiltered retry, not a planner panic.
+    let usable = ctx.survivors().len();
+    if usable < ctx.params().n {
+        return Err(format!(
+            "replan: only {usable} usable survivors (need {})",
+            ctx.params().n
+        ));
+    }
     let mut errors = Vec::new();
     let rpr = RprPlanner::new().plan(ctx);
     match rpr.validate(ctx.codec, ctx.topo, ctx.placement) {
@@ -394,10 +404,10 @@ pub struct RobustOutcome {
 
 /// A recorder adapter collecting events into a buffer for replay.
 #[derive(Default)]
-struct Collect(std::sync::Mutex<Vec<Event>>);
+pub(crate) struct Collect(std::sync::Mutex<Vec<Event>>);
 
 impl Collect {
-    fn into_events(self) -> Vec<Event> {
+    pub(crate) fn into_events(self) -> Vec<Event> {
         self.0.into_inner().expect("collector poisoned")
     }
 }
@@ -411,7 +421,7 @@ impl Recorder for Collect {
 /// Shift every timestamp of an event by `dt` seconds (used to splice a
 /// post-replan simulation, which starts its own clock at zero, into the
 /// original repair timeline). Durations (`queue_wait`) are unchanged.
-fn shift_event(mut event: Event, dt: f64) -> Event {
+pub(crate) fn shift_event(mut event: Event, dt: f64) -> Event {
     match &mut event {
         Event::PlanBuilt { .. } => {}
         Event::TimestepStarted { t, .. }
@@ -423,6 +433,11 @@ fn shift_event(mut event: Event, dt: f64) -> Event {
         | Event::HelperCrashed { t, .. }
         | Event::Replanned { t, .. }
         | Event::StreamSummary { t, .. }
+        | Event::HedgeLaunched { t, .. }
+        | Event::HedgeWon { t, .. }
+        | Event::HelperQuarantined { t, .. }
+        | Event::DeadlineExceeded { t, .. }
+        | Event::DegradedFallback { t, .. }
         | Event::RepairDone { t, .. } => *t += dt,
         Event::TransferDone { start, end, .. } | Event::CombineDone { start, end, .. } => {
             *start += dt;
@@ -439,7 +454,7 @@ fn shift_event(mut event: Event, dt: f64) -> Event {
 /// stream resumes from its last verified chunk, so only that chunk's
 /// latency is re-paid. Errors when an op's injected failure count
 /// exhausts the retry budget.
-fn arm_simulator(
+pub(crate) fn arm_simulator(
     sim: &mut Simulator,
     jobs: &[Vec<JobId>],
     faults: &ResolvedFaults,
@@ -475,7 +490,7 @@ fn arm_simulator(
 }
 
 /// First activation instant of a job (the start of its first attempt).
-fn first_start(report: &SimReport, job: JobId) -> f64 {
+pub(crate) fn first_start(report: &SimReport, job: JobId) -> f64 {
     let r = report.record(job);
     r.failures.first().map(|f| f.start).unwrap_or(r.start)
 }

@@ -41,6 +41,12 @@ pub struct RepairContext<'a> {
     /// sub-block chunks, ECPipe-style, and also sets the executor's
     /// rate-limiter granularity so shaping and streaming agree.
     pub chunk_bytes: Option<u64>,
+    /// Nodes helper selection must avoid (quarantined by the repair
+    /// supervisor's health tracker). Their blocks are filtered out of
+    /// [`RepairContext::survivors`] / [`RepairContext::survivors_by_rack`],
+    /// so planners never pick them as helpers; the blocks themselves are
+    /// *not* failed — the data is intact, the node is just distrusted.
+    pub avoid: Vec<NodeId>,
 }
 
 impl<'a> RepairContext<'a> {
@@ -93,6 +99,7 @@ impl<'a> RepairContext<'a> {
             recovery_node_override: None,
             agg_capacity: None,
             chunk_bytes: None,
+            avoid: Vec::new(),
         };
         assert!(
             ctx.placement
@@ -214,16 +221,34 @@ impl<'a> RepairContext<'a> {
             .expect("checked at construction")
     }
 
-    /// All surviving blocks, in id order.
+    /// Quarantine `nodes`: their blocks disappear from helper selection
+    /// ([`RepairContext::survivors`] / [`RepairContext::survivors_by_rack`])
+    /// without being marked failed. Used by the repair supervisor to stop
+    /// replans from re-picking known-bad helpers. Avoiding too many nodes
+    /// can make planning infeasible — callers should fall back to an
+    /// unfiltered context if plan construction fails.
+    pub fn with_avoided(mut self, nodes: Vec<NodeId>) -> Self {
+        self.avoid = nodes;
+        self
+    }
+
+    /// True when the block is hosted on a quarantined node.
+    fn avoided(&self, b: BlockId) -> bool {
+        !self.avoid.is_empty() && self.avoid.contains(&self.placement.node_of(b))
+    }
+
+    /// All surviving blocks, in id order, excluding blocks hosted on
+    /// avoided (quarantined) nodes.
     pub fn survivors(&self) -> Vec<BlockId> {
         self.params()
             .all_blocks()
-            .filter(|b| !self.failed.contains(b))
+            .filter(|b| !self.failed.contains(b) && !self.avoided(*b))
             .collect()
     }
 
     /// Surviving blocks grouped by rack: `(rack, blocks)` for every rack
-    /// that holds at least one survivor, in rack order.
+    /// that holds at least one survivor, in rack order. Blocks on avoided
+    /// (quarantined) nodes are excluded, same as [`RepairContext::survivors`].
     pub fn survivors_by_rack(&self) -> Vec<(RackId, Vec<BlockId>)> {
         let mut out: Vec<(RackId, Vec<BlockId>)> = Vec::new();
         for rack in self.topo.racks() {
@@ -231,7 +256,7 @@ impl<'a> RepairContext<'a> {
                 .placement
                 .blocks_in_rack(rack, self.topo)
                 .into_iter()
-                .filter(|b| !self.failed.contains(b))
+                .filter(|b| !self.failed.contains(b) && !self.avoided(*b))
                 .collect();
             if !blocks.is_empty() {
                 out.push((rack, blocks));
@@ -346,6 +371,34 @@ mod tests {
         );
         // cluster_for(.., extra_racks = 1): the last rack holds no blocks.
         assert_eq!(ctx.spare_rack(), Some(RackId(topo.rack_count() - 1)));
+    }
+
+    #[test]
+    fn avoided_nodes_drop_out_of_helper_selection() {
+        let (codec, topo, profile) = fixture(4, 2);
+        let placement = Placement::compact(codec.params(), &topo);
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![BlockId(1)],
+            64,
+            &profile,
+            CostModel::free(),
+        );
+        let full = ctx.survivors();
+        let quarantined = placement.node_of(BlockId(3));
+        let ctx = ctx.with_avoided(vec![quarantined]);
+        let filtered = ctx.survivors();
+        assert!(full.contains(&BlockId(3)));
+        assert!(!filtered.contains(&BlockId(3)));
+        assert_eq!(filtered.len(), full.len() - 1);
+        let by_rack: Vec<BlockId> = ctx
+            .survivors_by_rack()
+            .into_iter()
+            .flat_map(|(_, b)| b)
+            .collect();
+        assert!(!by_rack.contains(&BlockId(3)));
     }
 
     #[test]

@@ -1,0 +1,1264 @@
+//! The repair supervisor: drives a repair to byte-verified completion
+//! under an arbitrary *sequence* of faults.
+//!
+//! [`robust`](crate::robust) handles exactly one helper crash per repair;
+//! this module generalizes the crash-splice machinery into a bounded
+//! **supervision loop**. Each iteration is one *generation*: a plan (the
+//! original, or a replan) runs until it either completes or a storm
+//! fault kills one of its helpers, at which point the supervisor
+//!
+//! 1. banks every completed partial result into a **pool** keyed by
+//!    `(node, symbolic coefficient vector)` — entries survive across
+//!    *every* replan generation and are evicted only when their host
+//!    node dies;
+//! 2. feeds transfer outcomes into a [`HealthTracker`] so helper
+//!    re-selection stops re-picking known-bad nodes (quarantined nodes
+//!    are [avoided](crate::scenario::RepairContext::with_avoided), with
+//!    probing re-admission);
+//! 3. replans around the dead node, reusing the pool, descending the
+//!    RPR → CAR → traditional → degraded-read **tier ladder** when the
+//!    replan budget or the repair deadline is blown;
+//! 4. splices the new generation's trace after one backoff delay.
+//!
+//! Crash-free generations additionally run **hedged transfers**: when a
+//! cross-rack stream falls past a configurable latency multiple of its
+//! wave's median, the supervisor launches a speculative alternative
+//! (a pool-reusing replan that avoids the straggling helper) and keeps
+//! whichever finishes first. Everything is bit-deterministic for a fixed
+//! seed — the same storm replays to the identical trace, which is what
+//! `scripts/verify.sh`'s chaos soak checks.
+//!
+//! The `rpr-exec` backend enacts the same storm on real bytes via the
+//! shared [`resolve_storm_bucket`] / [`plan_with_pool`] primitives, so
+//! both backends pick identical fault sites and replacement plans.
+
+use crate::plan::{Op, OpId, RepairPlan};
+use crate::robust::{
+    fallback_plan, first_start, shift_event, AttemptFault, Collect, CrashFault, ResolvedFaults,
+};
+use crate::scenario::RepairContext;
+use crate::schemes::{RepairPlanner, TraditionalPlanner};
+use crate::sim::{lower_op, lower_plan, network_for};
+use crate::trace::PlanTagger;
+use rpr_faults::{
+    reason, CrashSite, FaultStorm, HealthTracker, RetryPolicy, SplitMix64, StormFault,
+};
+use rpr_netsim::{FailSpec, JobId, SimReport, Simulator};
+use rpr_obs::{Event, Recorder, Transfer};
+use rpr_topology::NodeId;
+use std::collections::HashMap;
+
+/// Time tolerance when comparing simulation instants.
+const EPS: f64 = 1e-9;
+
+/// Service tier the supervisor is currently running at. Each step down
+/// trades repair quality for certainty of completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Full planner chain (RPR → CAR → traditional, first to validate).
+    Full,
+    /// Forced traditional repair: no pipeline schedule to re-derive, the
+    /// most predictable plan shape.
+    Traditional,
+    /// Degraded read: deliver the reconstruction straight to a live
+    /// client node instead of the (possibly contended) replacement.
+    DegradedRead,
+}
+
+impl Tier {
+    /// Stable lowercase name used in events and summaries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::Traditional => "traditional",
+            Tier::DegradedRead => "degraded-read",
+        }
+    }
+}
+
+/// Supervisor knobs. [`Default`] gives the stock retry policy, a budget
+/// of 4 replans, and no hedging or deadline.
+#[derive(Debug, Clone)]
+pub struct SuperviseConfig {
+    /// Backoff policy between retries and replan generations.
+    pub policy: RetryPolicy,
+    /// Replans allowed before the tier ladder starts descending.
+    pub max_replans: usize,
+    /// Hedging threshold: a cross transfer running past this multiple of
+    /// its wave's median duration triggers a speculative alternative.
+    /// `None` disables hedging.
+    pub hedge: Option<f64>,
+    /// Whole-repair deadline in seconds, decomposed into per-wave budgets
+    /// proportional to the clean run's wave spans. Blowing it degrades
+    /// the tier instead of aborting. `None` disables deadline tracking.
+    pub deadline: Option<f64>,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> SuperviseConfig {
+        SuperviseConfig {
+            policy: RetryPolicy::default(),
+            max_replans: 4,
+            hedge: None,
+            deadline: None,
+        }
+    }
+}
+
+/// What one supervision generation did — the raw material for the
+/// replan-invariant property tests and the `--json` summaries.
+#[derive(Debug, Clone)]
+pub struct GenerationRecord {
+    /// Scheme of the plan this generation ran.
+    pub scheme: String,
+    /// Tier the generation ran at.
+    pub tier: Tier,
+    /// Ops the generation actually executed (lowered, not reused).
+    pub executed_ops: usize,
+    /// Ops satisfied from the partial-result pool without re-execution.
+    pub reused_ops: usize,
+    /// Executed ops that finished before the generation ended (all of
+    /// them when it completed; fewer when a crash cut it short).
+    pub completed_ops: usize,
+    /// Partial-pool size when the generation started. The reuse
+    /// invariant: `reused_ops <= pool_before`.
+    pub pool_before: usize,
+    /// Node that crashed and ended this generation, if any.
+    pub crashed: Option<usize>,
+    /// Names of the storm faults injected into this generation.
+    pub faults: Vec<String>,
+}
+
+/// The outcome of one supervised repair.
+#[derive(Debug, Clone)]
+pub struct SuperviseOutcome {
+    /// Total repair time including retries, backoff, and all replans.
+    pub repair_time: f64,
+    /// The original plan's fault-free repair time (degradation baseline).
+    pub clean_time: f64,
+    /// Per-generation records, in order.
+    pub generations: Vec<GenerationRecord>,
+    /// Transient-fault retries that actually fired.
+    pub retries: usize,
+    /// Replan generations after helper crashes.
+    pub replans: usize,
+    /// Total ops satisfied from the partial pool across all generations.
+    pub reused_ops: usize,
+    /// Scheme of the plan that ultimately completed the repair.
+    pub final_scheme: String,
+    /// Tier the repair completed at.
+    pub final_tier: Tier,
+    /// Hedges launched.
+    pub hedges: usize,
+    /// Hedges that beat the original transfer.
+    pub hedge_wins: usize,
+    /// True when the repair deadline was exceeded at any point.
+    pub deadline_hit: bool,
+    /// Human-readable resolved fault sites, in injection order.
+    pub fault_sites: Vec<String>,
+    /// Cross-rack bytes actually moved (completed transfers only).
+    pub cross_bytes: u64,
+    /// Inner-rack bytes actually moved.
+    pub inner_bytes: u64,
+}
+
+/// One storm bucket resolved against a concrete generation plan.
+#[derive(Debug, Clone)]
+pub struct GenFaults {
+    /// The concrete faults: per-op attempt failures, at most one crash,
+    /// link derates.
+    pub resolved: ResolvedFaults,
+    /// Human-readable site descriptions, in injection order.
+    pub descriptions: Vec<String>,
+    /// Crash faults beyond the first: a generation ends at its first
+    /// crash, so extra crashes carry over into the next bucket.
+    pub deferred: Vec<StormFault>,
+}
+
+/// Resolve one storm bucket against the current generation's plan.
+///
+/// Both backends call this with identical inputs, so the seeded picks
+/// land on identical sites: `lowered` restricts targets to ops the
+/// generation actually executes, `prev_senders` (cross-rack senders of
+/// the *previous* generation's plan) anchors
+/// [`CrashSite::NewHelper`] — "crash the replacement" — and every free
+/// parameter draws from `rng` in declaration order.
+pub fn resolve_storm_bucket(
+    bucket: &[StormFault],
+    plan: &RepairPlan,
+    lowered: &[bool],
+    prev_senders: Option<&[usize]>,
+    ctx: &RepairContext<'_>,
+    rng: &mut SplitMix64,
+) -> GenFaults {
+    let (waves, _) = plan.cross_waves(ctx.topo);
+    let mut out = GenFaults {
+        resolved: ResolvedFaults {
+            op_faults: vec![Vec::new(); plan.ops.len()],
+            crash: None,
+            slow: Vec::new(),
+        },
+        descriptions: Vec::new(),
+        deferred: Vec::new(),
+    };
+
+    // Executed sends (timeout/corrupt targets), cross sends, and crash
+    // candidates (node, wave, op) — helpers that host a live block.
+    let mut send_ops: Vec<usize> = Vec::new();
+    let mut cross_ops: Vec<usize> = Vec::new();
+    let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+    for (i, op) in plan.ops.iter().enumerate() {
+        if !lowered[i] {
+            continue;
+        }
+        if let Op::Send { from, .. } = op {
+            send_ops.push(i);
+            if let Some(w) = waves[i] {
+                cross_ops.push(i);
+                if *from != plan.recovery {
+                    if let Some(b) = ctx.placement.block_on(*from) {
+                        if !ctx.failed.contains(&b) {
+                            candidates.push((from.0, w, i));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.sort_by_key(|&(n, w, _)| (w, n));
+    let mut nodes: Vec<usize> = candidates.iter().map(|&(n, _, _)| n).collect();
+    nodes.dedup();
+    let sender_nodes: Vec<usize> = {
+        let mut ns: Vec<usize> = send_ops
+            .iter()
+            .filter_map(|&i| match &plan.ops[i] {
+                Op::Send { from, .. } if *from != plan.recovery => Some(from.0),
+                _ => None,
+            })
+            .collect();
+        ns.sort_unstable();
+        ns.dedup();
+        ns
+    };
+
+    let trigger_for = |node: usize| -> Option<(usize, usize)> {
+        candidates
+            .iter()
+            .find(|&&(n, _, _)| n == node)
+            .map(|&(_, w, i)| (w, i))
+    };
+
+    for fault in bucket {
+        match fault {
+            StormFault::Crash(site) => {
+                if out.resolved.crash.is_some() {
+                    out.deferred.push(*fault);
+                    continue;
+                }
+                if nodes.is_empty() {
+                    out.descriptions
+                        .push("crash skipped (no live cross-rack helpers)".into());
+                    continue;
+                }
+                let node = match site {
+                    CrashSite::Node(n) if nodes.contains(n) => *n,
+                    CrashSite::Node(_) | CrashSite::SeedPick => nodes[rng.pick(nodes.len())],
+                    CrashSite::NewHelper => {
+                        let fresh: Vec<usize> = nodes
+                            .iter()
+                            .copied()
+                            .filter(|n| prev_senders.is_none_or(|p| !p.contains(n)))
+                            .collect();
+                        if fresh.is_empty() || prev_senders.is_none() {
+                            nodes[rng.pick(nodes.len())]
+                        } else {
+                            fresh[rng.pick(fresh.len())]
+                        }
+                    }
+                };
+                let (w, i) = trigger_for(node).expect("node came from candidates");
+                out.resolved.crash = Some(CrashFault {
+                    node: NodeId(node),
+                    timestep: w,
+                    trigger: OpId(i),
+                });
+                out.descriptions
+                    .push(format!("{} node {node} (wave {w}, op {i})", fault.name()));
+            }
+            StormFault::Timeout => {
+                if send_ops.is_empty() {
+                    out.descriptions.push("timeout skipped (no sends)".into());
+                    continue;
+                }
+                let i = send_ops[rng.pick(send_ops.len())];
+                let fraction = 0.25 + 0.5 * rng.next_f64();
+                out.resolved.op_faults[i].push(AttemptFault {
+                    fraction,
+                    reason: reason::TIMEOUT,
+                });
+                out.descriptions.push(format!("timeout op {i}"));
+            }
+            StormFault::Corrupt => {
+                if send_ops.is_empty() {
+                    out.descriptions.push("corrupt skipped (no sends)".into());
+                    continue;
+                }
+                let i = send_ops[rng.pick(send_ops.len())];
+                out.resolved.op_faults[i].push(AttemptFault {
+                    fraction: 1.0,
+                    reason: reason::CORRUPT,
+                });
+                out.descriptions.push(format!("corrupt op {i}"));
+            }
+            StormFault::Slow { factor } => {
+                if sender_nodes.is_empty() {
+                    out.descriptions.push("slow skipped (no helpers)".into());
+                    continue;
+                }
+                let node = sender_nodes[rng.pick(sender_nodes.len())];
+                out.resolved.slow.push((NodeId(node), *factor));
+                out.descriptions
+                    .push(format!("slow node {node} (x{factor:.2})"));
+            }
+            StormFault::RackOutage => {
+                let mut racks: Vec<usize> = cross_ops
+                    .iter()
+                    .filter_map(|&i| match &plan.ops[i] {
+                        Op::Send { from, .. } => Some(ctx.topo.rack_of(*from).0),
+                        _ => None,
+                    })
+                    .collect();
+                racks.sort_unstable();
+                racks.dedup();
+                if racks.is_empty() {
+                    out.descriptions
+                        .push("rack outage skipped (no cross sends)".into());
+                    continue;
+                }
+                let rack = racks[rng.pick(racks.len())];
+                let mut hit = 0usize;
+                for &i in &cross_ops {
+                    if let Op::Send { from, .. } = &plan.ops[i] {
+                        if ctx.topo.rack_of(*from).0 == rack {
+                            let fraction = 0.25 + 0.5 * rng.next_f64();
+                            out.resolved.op_faults[i].push(AttemptFault {
+                                fraction,
+                                reason: reason::SWITCH_OUTAGE,
+                            });
+                            hit += 1;
+                        }
+                    }
+                }
+                out.descriptions
+                    .push(format!("rack {rack} outage ({hit} transfers)"));
+            }
+        }
+    }
+    out
+}
+
+/// A pool-aware replacement plan: which ops the partial-result pool
+/// already satisfies and which must actually execute.
+#[derive(Debug, Clone)]
+pub struct PoolReplan {
+    /// The plan (built by the tier's planner chain).
+    pub plan: RepairPlan,
+    /// Per-op pool key `(node, symbolic vector)` satisfying it, if any.
+    pub reused: Vec<Option<(usize, Vec<u8>)>>,
+    /// Per-op: whether it must actually execute (reachable from an
+    /// output and not satisfied by the pool).
+    pub lowered: Vec<bool>,
+}
+
+impl PoolReplan {
+    /// Ops satisfied by the pool.
+    pub fn reused_count(&self) -> usize {
+        self.reused.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Ops that actually execute.
+    pub fn executed_count(&self) -> usize {
+        self.lowered.iter().filter(|l| **l).count()
+    }
+}
+
+/// Build a plan for `ctx` at `tier`, marking every op whose output the
+/// partial pool already holds (same node, same symbolic coefficient
+/// vector — hence byte-identical contents) as reused, and pruning the
+/// DAG walk behind reused ops exactly like
+/// [`replan_after_crash`](crate::robust::replan_after_crash).
+///
+/// Shared by both backends: the sim pool carries only keys, the exec
+/// pool maps the same keys to real byte buffers, so `V` is generic.
+pub fn plan_with_pool<V>(
+    ctx: &RepairContext<'_>,
+    pool: &HashMap<(usize, Vec<u8>), V>,
+    tier: Tier,
+) -> Result<PoolReplan, String> {
+    let usable = ctx.survivors().len();
+    if usable < ctx.params().n {
+        // Same guard as `fallback_plan`: an avoid list must never turn
+        // into a planner panic — the supervisor retries unfiltered.
+        return Err(format!(
+            "replan: only {usable} usable survivors (need {})",
+            ctx.params().n
+        ));
+    }
+    let plan = match tier {
+        Tier::Full => fallback_plan(ctx)?,
+        Tier::Traditional | Tier::DegradedRead => {
+            let p = TraditionalPlanner::new().plan(ctx);
+            p.validate(ctx.codec, ctx.topo, ctx.placement)
+                .map_err(|e| format!("traditional: {e}"))?;
+            p
+        }
+    };
+    let vecs = plan.symbolic_vectors();
+    let mut reused: Vec<Option<(usize, Vec<u8>)>> = (0..plan.ops.len())
+        .map(|i| {
+            let key = (plan.ops[i].output_location().0, vecs[i].clone());
+            pool.contains_key(&key).then_some(key)
+        })
+        .collect();
+    let mut needed = vec![false; plan.ops.len()];
+    let mut stack: Vec<usize> = plan.outputs.iter().map(|&(_, op)| op.0).collect();
+    while let Some(i) = stack.pop() {
+        if needed[i] {
+            continue;
+        }
+        needed[i] = true;
+        if reused[i].is_some() {
+            continue;
+        }
+        for d in plan.deps_of(i) {
+            stack.push(d.0);
+        }
+    }
+    let lowered: Vec<bool> = (0..plan.ops.len())
+        .map(|i| needed[i] && reused[i].is_none())
+        .collect();
+    for (i, r) in reused.iter_mut().enumerate() {
+        if !needed[i] {
+            *r = None;
+        }
+    }
+    Ok(PoolReplan {
+        plan,
+        reused,
+        lowered,
+    })
+}
+
+/// A recorder that drops every event (clean baseline runs).
+struct Null;
+
+impl Recorder for Null {
+    fn record(&self, _: Event) {}
+}
+
+/// Lower only the `lowered` ops of a plan, wiring dependencies through
+/// whatever subset exists (reused deps vanish — their payloads are
+/// already at hand).
+fn lower_partial(
+    sim: &mut Simulator,
+    plan: &RepairPlan,
+    lowered: &[bool],
+    cost: &crate::cost::CostModel,
+    node_count: usize,
+    tag: usize,
+    chunk: Option<u64>,
+) -> Vec<Option<Vec<JobId>>> {
+    let mut matrix_paid = vec![false; node_count];
+    let mut jobs: Vec<Option<Vec<JobId>>> = Vec::with_capacity(plan.ops.len());
+    for (i, op) in plan.ops.iter().enumerate() {
+        if !lowered[i] {
+            jobs.push(None);
+            continue;
+        }
+        let data = op.dependencies();
+        let data_jobs: Vec<Vec<JobId>> = data.iter().filter_map(|d| jobs[d.0].clone()).collect();
+        let ordering_jobs: Vec<Vec<JobId>> = plan
+            .deps_of(i)
+            .iter()
+            .filter(|d| !data.contains(d))
+            .filter_map(|d| jobs[d.0].clone())
+            .collect();
+        jobs.push(Some(lower_op(
+            sim,
+            plan,
+            i,
+            cost,
+            &mut matrix_paid,
+            tag,
+            &data_jobs,
+            &ordering_jobs,
+            chunk,
+        )));
+    }
+    jobs
+}
+
+/// Apply derates and attempt faults to a partially-lowered simulator.
+fn arm_partial(
+    sim: &mut Simulator,
+    jobs: &[Option<Vec<JobId>>],
+    faults: &ResolvedFaults,
+    policy: &RetryPolicy,
+) -> Result<(), String> {
+    for &(node, factor) in &faults.slow {
+        sim.derate_node(node, factor);
+    }
+    for (i, fs) in faults.op_faults.iter().enumerate() {
+        if fs.is_empty() {
+            continue;
+        }
+        let Some(js) = &jobs[i] else { continue };
+        if fs.len() >= policy.max_attempts {
+            return Err(format!(
+                "op {i}: {} injected failures exhaust the retry budget \
+                 (max_attempts = {})",
+                fs.len(),
+                policy.max_attempts
+            ));
+        }
+        let specs: Vec<FailSpec> = fs
+            .iter()
+            .enumerate()
+            .map(|(a, f)| FailSpec {
+                fraction: f.fraction,
+                delay: policy.delay(a),
+                reason: f.reason.to_string(),
+            })
+            .collect();
+        sim.fail_attempts(js[0], specs);
+    }
+    Ok(())
+}
+
+/// Which executed ops finished at or before `t`.
+fn completed_at(report: &SimReport, jobs: &[Option<Vec<JobId>>], t: f64) -> Vec<bool> {
+    jobs.iter()
+        .map(|js| match js {
+            Some(js) => {
+                let last = *js.last().expect("ops lower to >= 1 job");
+                report.record(last).finish <= t + EPS
+            }
+            None => false,
+        })
+        .collect()
+}
+
+/// Per-wave `(start, finish)` spans over the executed cross sends.
+fn wave_spans(
+    waves: &[Option<usize>],
+    wave_count: usize,
+    jobs: &[Option<Vec<JobId>>],
+    report: &SimReport,
+) -> Vec<(f64, f64)> {
+    let mut spans = vec![(f64::INFINITY, 0.0f64); wave_count];
+    for (i, wave) in waves.iter().enumerate() {
+        let (Some(w), Some(js)) = (wave, &jobs[i]) else {
+            continue;
+        };
+        let first = first_start(report, js[0]);
+        let finish = report.record(*js.last().expect("non-empty")).finish;
+        spans[*w].0 = spans[*w].0.min(first);
+        spans[*w].1 = spans[*w].1.max(finish);
+    }
+    spans
+}
+
+/// Median of a non-empty duration list.
+fn median_of(durs: &mut [f64]) -> f64 {
+    durs.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    let mid = durs.len() / 2;
+    if durs.len() % 2 == 1 {
+        durs[mid]
+    } else {
+        0.5 * (durs[mid - 1] + durs[mid])
+    }
+}
+
+/// Find the worst straggling send: one whose duration exceeds
+/// `multiple` times its peer-group median. Peers are the send's wave
+/// when the wave has at least two sends, otherwise its whole link class
+/// (all cross sends, or all inner sends — peers move the same block
+/// size over the same link class). Returns `(op, straggler start,
+/// detection instant)` where detection fires at
+/// `start + multiple * median` — the earliest moment the supervisor can
+/// *know* the transfer is late.
+fn find_straggler(
+    plan: &RepairPlan,
+    waves: &[Option<usize>],
+    jobs: &[Option<Vec<JobId>>],
+    report: &SimReport,
+    multiple: f64,
+) -> Option<(usize, f64, f64)> {
+    let mut sends: Vec<(usize, Option<usize>, f64, f64)> = Vec::new(); // (op, wave, start, dur)
+    for (i, op) in plan.ops.iter().enumerate() {
+        let Some(js) = &jobs[i] else { continue };
+        if !matches!(op, Op::Send { .. }) {
+            continue;
+        }
+        let start = first_start(report, js[0]);
+        let finish = report.record(*js.last().expect("non-empty")).finish;
+        sends.push((i, waves[i], start, finish - start));
+    }
+    let mut best: Option<(f64, usize, f64, f64)> = None;
+    for &(i, w, start, dur) in &sends {
+        // Peer group, always excluding the candidate itself (a 10x
+        // outlier must not drag its own baseline up): the send's wave
+        // when it has company there, else its whole link class —
+        // single-failure pipelines ship one cross block per wave, so
+        // waves alone are no peer group.
+        let mut peers: Vec<f64> = sends
+            .iter()
+            .filter(|&&(pi, pw, _, _)| pi != i && w.is_some() && pw == w)
+            .map(|&(.., d)| d)
+            .collect();
+        if peers.is_empty() {
+            peers = sends
+                .iter()
+                .filter(|&&(pi, pw, _, _)| pi != i && pw.is_some() == w.is_some())
+                .map(|&(.., d)| d)
+                .collect();
+        }
+        if peers.is_empty() {
+            continue;
+        }
+        let median = median_of(&mut peers);
+        if median <= 0.0 {
+            continue;
+        }
+        if dur > multiple * median {
+            let excess = dur / median;
+            if best.as_ref().is_none_or(|&(e, ..)| excess > e) {
+                best = Some((excess, i, start, start + multiple * median));
+            }
+        }
+    }
+    best.map(|(_, i, start, detect)| (i, start, detect))
+}
+
+/// The transfer descriptor of send op `i` under `tag`, for failure
+/// events emitted by the supervisor itself.
+fn send_xfer(
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    waves: &[Option<usize>],
+    tag: usize,
+    i: usize,
+) -> Transfer {
+    let Op::Send { from, to, .. } = &plan.ops[i] else {
+        unreachable!("supervisor failure events target sends");
+    };
+    Transfer {
+        label: format!("p{tag}op{i}:send"),
+        src_node: from.0,
+        src_rack: ctx.topo.rack_of(*from).0,
+        dst_node: to.0,
+        dst_rack: ctx.topo.rack_of(*to).0,
+        bytes: plan.block_bytes,
+        cross: !ctx.topo.same_rack(*from, *to),
+        timestep: waves[i],
+    }
+}
+
+/// Feed per-sender health scores from one generation's report: each
+/// executed send scores its source node against the median duration of
+/// its peer group (all cross sends form one group, all inner sends
+/// another — peers move the same block size over the same link class),
+/// so healthy-but-contended plans stay near 1.0 while a genuinely slow
+/// node decays. Returns nodes *newly* quarantined.
+fn feed_health(
+    tracker: &mut HealthTracker,
+    plan: &RepairPlan,
+    waves: &[Option<usize>],
+    jobs: &[Option<Vec<JobId>>],
+    report: &SimReport,
+    completed: &[bool],
+) -> Vec<(usize, f64)> {
+    let before = tracker.quarantined();
+    let mut groups: HashMap<bool, Vec<(usize, f64)>> = HashMap::new();
+    for (i, op) in plan.ops.iter().enumerate() {
+        if !completed[i] {
+            continue;
+        }
+        let (Op::Send { from, .. }, Some(js)) = (op, &jobs[i]) else {
+            continue;
+        };
+        if *from == plan.recovery {
+            continue;
+        }
+        let start = first_start(report, js[0]);
+        let finish = report.record(*js.last().expect("non-empty")).finish;
+        groups
+            .entry(waves[i].is_some())
+            .or_default()
+            .push((from.0, finish - start));
+    }
+    for cross in [false, true] {
+        let Some(members) = groups.get(&cross) else {
+            continue;
+        };
+        if members.len() < 2 {
+            continue;
+        }
+        let mut durs: Vec<f64> = members.iter().map(|&(_, d)| d).collect();
+        let median = median_of(&mut durs);
+        for &(node, dur) in members {
+            tracker.record_success(node, dur, median);
+        }
+    }
+    tracker
+        .quarantined()
+        .into_iter()
+        .filter(|n| !before.contains(n))
+        .map(|n| (n, tracker.score(n)))
+        .collect()
+}
+
+/// Count traffic of executed-and-completed sends into `(cross, inner)`.
+fn count_traffic(
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    flags: &[bool],
+    cross: &mut u64,
+    inner: &mut u64,
+) {
+    for (i, op) in plan.ops.iter().enumerate() {
+        if !flags[i] {
+            continue;
+        }
+        if let Op::Send { from, to, .. } = op {
+            if ctx.topo.same_rack(*from, *to) {
+                *inner += plan.block_bytes;
+            } else {
+                *cross += plan.block_bytes;
+            }
+        }
+    }
+}
+
+/// Pick the degraded-read client: the lowest-index live spare node (no
+/// block of this stripe), or failing that any live non-failed host.
+/// Shared by both backends so their [`Tier::DegradedRead`] generations
+/// deliver to the same node.
+pub fn degraded_client(ctx: &RepairContext<'_>, dead: &[NodeId], recovery: NodeId) -> Option<NodeId> {
+    let failed_hosts: Vec<NodeId> = ctx.failed.iter().map(|b| ctx.placement.node_of(*b)).collect();
+    let live = |n: NodeId| !dead.contains(&n) && !failed_hosts.contains(&n) && n != recovery;
+    let spare = (0..ctx.topo.node_count())
+        .map(NodeId)
+        .find(|&n| live(n) && ctx.placement.block_on(n).is_none());
+    spare.or_else(|| (0..ctx.topo.node_count()).map(NodeId).find(|&n| live(n)))
+}
+
+/// Run a supervised repair on the `rpr-netsim` backend: the full
+/// supervision loop — multi-crash replanning with pooled partial reuse,
+/// hedged transfers, health-aware helper re-selection, and
+/// deadline-driven tier degradation — on the virtual clock,
+/// bit-deterministically.
+///
+/// `tracker` persists across calls so a fleet recovery can share one
+/// health view; pass [`HealthTracker::with_defaults`] for a one-shot
+/// repair. Events stream into `rec` exactly as
+/// [`simulate_injected`](crate::robust::simulate_injected) emits them,
+/// plus the supervisor vocabulary (`hedge_launched`, `hedge_won`,
+/// `helper_quarantined`, `deadline_exceeded`, `degraded_fallback`).
+///
+/// Returns `Err` when the storm kills more than `k - failed` helpers
+/// (unrecoverable), a fault exhausts the retry budget, or no fallback
+/// plan validates.
+pub fn supervise_injected(
+    ctx: &RepairContext<'_>,
+    storm: &FaultStorm,
+    cfg: &SuperviseConfig,
+    tracker: &mut HealthTracker,
+    rec: &dyn Recorder,
+) -> Result<SuperviseOutcome, String> {
+    let mut rng = SplitMix64::new(storm.seed);
+    let chunk = ctx.effective_chunk();
+    let node_count = ctx.topo.node_count();
+
+    // Generation 0: health-aware plan (fall back to unfiltered helper
+    // selection if quarantine starves the planner).
+    let avoid_nodes = |t: &HealthTracker| -> Vec<NodeId> {
+        t.quarantined().into_iter().map(NodeId).collect()
+    };
+    let mut ctx_g = ctx.clone();
+    let plan0 = {
+        let avoided = ctx_g.clone().with_avoided(avoid_nodes(tracker));
+        fallback_plan(&avoided).or_else(|_| fallback_plan(&ctx_g))?
+    };
+
+    // Clean baseline: makespan and per-wave spans (deadline budgets).
+    let (clean_time, clean_spans) = {
+        let mut sim = Simulator::new(network_for(ctx));
+        let mut paid = vec![false; node_count];
+        let jobs: Vec<Option<Vec<JobId>>> =
+            lower_plan(&mut sim, &plan0, &ctx.cost, &mut paid, 0, chunk)
+                .into_iter()
+                .map(Some)
+                .collect();
+        let report = sim.run_recorded(&Null);
+        let (w0, wc0) = plan0.cross_waves(ctx.topo);
+        (report.makespan, wave_spans(&w0, wc0, &jobs, &report))
+    };
+    let clean_total: f64 = clean_time.max(EPS);
+
+    let stats = plan0.stats(ctx.topo);
+    let (_, wc) = plan0.cross_waves(ctx.topo);
+    rec.record(Event::PlanBuilt {
+        scheme: plan0.scheme.to_string(),
+        parts: plan0.outputs.len(),
+        ops: plan0.ops.len(),
+        cross_transfers: stats.cross_transfers,
+        inner_transfers: stats.inner_transfers,
+        cross_timesteps: wc,
+        block_bytes: plan0.block_bytes,
+    });
+
+    let mut pool: HashMap<(usize, Vec<u8>), ()> = HashMap::new();
+    let mut generations: Vec<GenerationRecord> = Vec::new();
+    let mut fault_sites: Vec<String> = Vec::new();
+    let mut plan = plan0;
+    let mut reused_keys: Vec<Option<(usize, Vec<u8>)>> = vec![None; plan.ops.len()];
+    let mut lowered: Vec<bool> = vec![true; plan.ops.len()];
+    let mut failed = ctx.failed.clone();
+    let mut dead: Vec<NodeId> = Vec::new();
+    let mut prev_senders: Option<Vec<usize>> = None;
+    let mut carry: Vec<StormFault> = Vec::new();
+    let mut t_base = 0.0f64;
+    let mut retries = 0usize;
+    let mut replans = 0usize;
+    let mut reused_total = 0usize;
+    let mut hedges = 0usize;
+    let mut hedge_wins = 0usize;
+    let mut deadline_hit = false;
+    let mut cross_bytes = 0u64;
+    let mut inner_bytes = 0u64;
+    let mut tier = Tier::Full;
+
+    let max_generations = storm.generations.len() + cfg.max_replans + 4;
+    let mut g = 0usize;
+    loop {
+        if g > max_generations {
+            return Err(format!(
+                "supervision loop exceeded {max_generations} generations"
+            ));
+        }
+        let pool_before = pool.len();
+        let mut bucket = std::mem::take(&mut carry);
+        if let Some(b) = storm.generations.get(g) {
+            bucket.extend(b.iter().copied());
+        }
+        let gen_faults = resolve_storm_bucket(
+            &bucket,
+            &plan,
+            &lowered,
+            prev_senders.as_deref(),
+            &ctx_g,
+            &mut rng,
+        );
+        carry = gen_faults.deferred.clone();
+        fault_sites.extend(gen_faults.descriptions.iter().cloned());
+
+        let (waves, wave_count) = plan.cross_waves(ctx.topo);
+        let mut sim = Simulator::new(network_for(&ctx_g));
+        let jobs = lower_partial(&mut sim, &plan, &lowered, &ctx.cost, node_count, g, chunk);
+        arm_partial(&mut sim, &jobs, &gen_faults.resolved, &cfg.policy)?;
+        let buffer = Collect::default();
+        let report = {
+            let tagger = PlanTagger::new(&plan, &waves, chunk, &buffer);
+            sim.run_recorded(&tagger)
+        };
+        let events = buffer.into_events();
+        let vecs = plan.symbolic_vectors();
+
+        if let Some(crash) = gen_faults.resolved.crash {
+            // ---- crash generation: bank partials, replan, splice on. ----
+            let trigger_jobs = jobs[crash.trigger.0]
+                .as_ref()
+                .expect("crash triggers target executed ops");
+            let t_star = first_start(&report, trigger_jobs[0]);
+            let completed = completed_at(&report, &jobs, t_star);
+            retries += report
+                .records
+                .iter()
+                .map(|r| r.failures.iter().filter(|f| f.at <= t_star + EPS).count())
+                .sum::<usize>();
+            for e in events {
+                if e.time() <= t_star + EPS {
+                    rec.record(shift_event(e, t_base));
+                }
+            }
+            let now = t_base + t_star;
+            rec.record(Event::TransferFailed {
+                xfer: send_xfer(&plan, ctx, &waves, g, crash.trigger.0),
+                attempt: 0,
+                reason: reason::NODE_DOWN.to_string(),
+                t: now,
+            });
+            rec.record(Event::HelperCrashed {
+                node: crash.node.0,
+                rack: ctx.topo.rack_of(crash.node).0,
+                t: now,
+            });
+
+            // Health: the dead node failed; completed peers score.
+            tracker.record_failure(crash.node.0);
+            for (n, score) in feed_health(tracker, &plan, &waves, &jobs, &report, &completed) {
+                rec.record(Event::HelperQuarantined { node: n, score, t: now });
+            }
+
+            // Bank completed partials (not the dead node's) and traffic.
+            for (i, done) in completed.iter().enumerate() {
+                let loc = plan.ops[i].output_location();
+                if *done && loc != crash.node && !dead.contains(&loc) {
+                    pool.insert((loc.0, vecs[i].clone()), ());
+                }
+            }
+            count_traffic(&plan, ctx, &completed, &mut cross_bytes, &mut inner_bytes);
+            dead.push(crash.node);
+            pool.retain(|(n, _), _| *n != crash.node.0);
+
+            generations.push(GenerationRecord {
+                scheme: plan.scheme.to_string(),
+                tier,
+                executed_ops: lowered.iter().filter(|l| **l).count(),
+                reused_ops: reused_keys.iter().filter(|r| r.is_some()).count(),
+                completed_ops: completed.iter().filter(|c| **c).count(),
+                pool_before,
+                crashed: Some(crash.node.0),
+                faults: bucket.iter().map(|f| f.name().to_string()).collect(),
+            });
+
+            // The dead helper's block joins the failure set.
+            let block = ctx
+                .placement
+                .block_on(crash.node)
+                .expect("crash candidates host blocks");
+            failed.push(block);
+            if failed.len() > ctx.params().k {
+                return Err(format!(
+                    "supervise: {} failures exceed k = {} — stripe unrecoverable",
+                    failed.len(),
+                    ctx.params().k
+                ));
+            }
+            replans += 1;
+
+            // Deadline check at the crash instant.
+            if let Some(d) = cfg.deadline {
+                if now > d && !deadline_hit {
+                    deadline_hit = true;
+                    rec.record(Event::DeadlineExceeded {
+                        scope: "repair".to_string(),
+                        budget: d,
+                        elapsed: now,
+                        t: now,
+                    });
+                }
+            }
+
+            // Tier ladder: replan budget first, deadline breach second.
+            let excess = replans.saturating_sub(cfg.max_replans);
+            let mut next_tier = match excess {
+                0 => Tier::Full,
+                1 => Tier::Traditional,
+                _ => Tier::DegradedRead,
+            };
+            if deadline_hit && next_tier < Tier::Traditional {
+                next_tier = Tier::Traditional;
+            }
+            if next_tier > tier {
+                rec.record(Event::DegradedFallback {
+                    tier: next_tier.name().to_string(),
+                    reason: if deadline_hit && excess == 0 {
+                        "deadline exceeded".to_string()
+                    } else {
+                        format!("replan budget ({}) exhausted", cfg.max_replans)
+                    },
+                    t: now,
+                });
+                tier = next_tier;
+            }
+
+            // Next generation's context: grown failure set, pinned
+            // recovery (or a degraded-read client), quarantine-aware.
+            let recovery = plan.recovery;
+            ctx_g = ctx.clone();
+            ctx_g.failed = failed.clone();
+            if tier == Tier::DegradedRead {
+                if let Some(client) = degraded_client(&ctx_g, &dead, recovery) {
+                    ctx_g = ctx_g.with_recovery_node(client);
+                } else {
+                    ctx_g.recovery_node_override = Some(recovery);
+                    ctx_g.recovery_override = Some(ctx.topo.rack_of(recovery));
+                }
+            } else {
+                ctx_g.recovery_node_override = Some(recovery);
+                ctx_g.recovery_override = Some(ctx.topo.rack_of(recovery));
+            }
+            let mut avoid = avoid_nodes(tracker);
+            avoid.retain(|n| !dead.contains(n));
+            let rep = {
+                let avoided = ctx_g.clone().with_avoided(avoid);
+                plan_with_pool(&avoided, &pool, tier).or_else(|_| {
+                    plan_with_pool(&ctx_g, &pool, tier)
+                })?
+            };
+            reused_total += rep.reused_count();
+            rec.record(Event::Replanned {
+                scheme: rep.plan.scheme.to_string(),
+                failed: failed.len(),
+                reused_ops: rep.reused_count(),
+                t: now,
+            });
+
+            prev_senders = Some({
+                let mut ns: Vec<usize> = plan
+                    .ops
+                    .iter()
+                    .filter_map(|op| match op {
+                        Op::Send { from, to, .. } if !ctx.topo.same_rack(*from, *to) => {
+                            Some(from.0)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                ns.sort_unstable();
+                ns.dedup();
+                ns
+            });
+            plan = rep.plan;
+            reused_keys = rep.reused;
+            lowered = rep.lowered;
+            t_base = now + cfg.policy.delay(replans - 1);
+            tracker.tick_generation();
+            g += 1;
+            continue;
+        }
+
+        // ---- crash-free generation: hedge, check deadlines, finish. ----
+        let mut makespan = report.makespan;
+        retries += report
+            .records
+            .iter()
+            .map(|r| r.failures.len())
+            .sum::<usize>();
+        let completed_all = lowered.clone();
+        let mut hedge_cut: Option<f64> = None; // replay original events up to here
+        let mut hedge_events: Vec<(Event, f64)> = Vec::new(); // (event, shift)
+
+        if let Some(mult) = cfg.hedge {
+            if let Some((slow_i, _, detect)) = find_straggler(&plan, &waves, &jobs, &report, mult)
+            {
+                let Op::Send { from, .. } = &plan.ops[slow_i] else {
+                    unreachable!("stragglers are sends");
+                };
+                let slow_node = *from;
+                let done_at_detect = completed_at(&report, &jobs, detect);
+                let mut hedge_pool = pool.clone();
+                for (i, done) in done_at_detect.iter().enumerate() {
+                    let loc = plan.ops[i].output_location();
+                    if *done && !dead.contains(&loc) {
+                        hedge_pool.insert((loc.0, vecs[i].clone()), ());
+                    }
+                }
+                let mut avoid = avoid_nodes(tracker);
+                if !avoid.contains(&slow_node) {
+                    avoid.push(slow_node);
+                }
+                avoid.retain(|n| !dead.contains(n));
+                // Hedge only if an alternative exists without the slow
+                // node — no unfiltered fallback here, that would just
+                // rebuild the same straggling plan.
+                if let Ok(hrep) =
+                    plan_with_pool(&ctx_g.clone().with_avoided(avoid), &hedge_pool, tier)
+                {
+                    let hedge_node = hrep
+                        .plan
+                        .ops
+                        .iter()
+                        .find_map(|op| match op {
+                            Op::Send { from, to, .. }
+                                if !ctx.topo.same_rack(*from, *to) && *from != slow_node =>
+                            {
+                                Some(from.0)
+                            }
+                            _ => None,
+                        })
+                        .unwrap_or(hrep.plan.recovery.0);
+                    let mut hsim = Simulator::new(network_for(&ctx_g));
+                    let _hjobs = lower_partial(
+                        &mut hsim,
+                        &hrep.plan,
+                        &hrep.lowered,
+                        &ctx.cost,
+                        node_count,
+                        g + 1,
+                        chunk,
+                    );
+                    for &(node, factor) in &gen_faults.resolved.slow {
+                        hsim.derate_node(node, factor);
+                    }
+                    let (hwaves, _) = hrep.plan.cross_waves(ctx.topo);
+                    let hbuffer = Collect::default();
+                    let hreport = {
+                        let htagger = PlanTagger::new(&hrep.plan, &hwaves, chunk, &hbuffer);
+                        hsim.run_recorded(&htagger)
+                    };
+                    hedges += 1;
+                    rec.record(Event::HedgeLaunched {
+                        label: format!("p{g}op{slow_i}:send"),
+                        slow_node: slow_node.0,
+                        hedge_node,
+                        multiple: mult,
+                        t: t_base + detect,
+                    });
+                    let hedged_makespan = detect + hreport.makespan;
+                    if hedged_makespan + EPS < makespan {
+                        hedge_wins += 1;
+                        // Adopt the hedged timeline: original events up
+                        // to detection, then the alternative's.
+                        hedge_cut = Some(detect);
+                        for e in hbuffer.into_events() {
+                            hedge_events.push((e, t_base + detect));
+                        }
+                        hedge_events.push((
+                            Event::HedgeWon {
+                                label: format!("p{g}op{slow_i}:send"),
+                                winner_node: hedge_node,
+                                saved: makespan - hedged_makespan,
+                                t: t_base + hedged_makespan,
+                            },
+                            0.0,
+                        ));
+                        makespan = hedged_makespan;
+                        count_traffic(
+                            &plan,
+                            ctx,
+                            &done_at_detect,
+                            &mut cross_bytes,
+                            &mut inner_bytes,
+                        );
+                        count_traffic(
+                            &hrep.plan,
+                            ctx,
+                            &hrep.lowered,
+                            &mut cross_bytes,
+                            &mut inner_bytes,
+                        );
+                        reused_total += hrep.reused_count();
+                    }
+                }
+            }
+        }
+
+        // Health scores + quarantine events at generation end.
+        let newly = feed_health(tracker, &plan, &waves, &jobs, &report, &completed_all);
+
+        // Replay the generation's events (hedged splice or straight).
+        match hedge_cut {
+            Some(cut) => {
+                for e in events {
+                    if e.time() <= cut + EPS {
+                        rec.record(shift_event(e, t_base));
+                    }
+                }
+                for (e, shift) in hedge_events {
+                    rec.record(shift_event(e, shift));
+                }
+            }
+            None => {
+                for e in events {
+                    rec.record(shift_event(e, t_base));
+                }
+                for (e, shift) in hedge_events {
+                    rec.record(shift_event(e, shift));
+                }
+                count_traffic(&plan, ctx, &lowered, &mut cross_bytes, &mut inner_bytes);
+            }
+        }
+        let total_time = t_base + makespan;
+        for (n, score) in newly {
+            rec.record(Event::HelperQuarantined {
+                node: n,
+                score,
+                t: total_time,
+            });
+        }
+
+        // Deadline hierarchy: per-wave budgets proportional to the clean
+        // run's spans, then the whole-repair budget.
+        if let Some(d) = cfg.deadline {
+            let spans = wave_spans(&waves, wave_count, &jobs, &report);
+            for (w, &(start, finish)) in spans.iter().enumerate() {
+                if !start.is_finite() {
+                    continue;
+                }
+                let Some(&(cs, cf)) = clean_spans.get(w) else {
+                    continue;
+                };
+                if !cs.is_finite() {
+                    continue;
+                }
+                let budget = d * (cf - cs) / clean_total;
+                let actual = finish - start;
+                if actual > budget + EPS {
+                    rec.record(Event::DeadlineExceeded {
+                        scope: "wave".to_string(),
+                        budget,
+                        elapsed: actual,
+                        t: t_base + finish,
+                    });
+                }
+            }
+            if total_time > d && !deadline_hit {
+                deadline_hit = true;
+                rec.record(Event::DeadlineExceeded {
+                    scope: "repair".to_string(),
+                    budget: d,
+                    elapsed: total_time,
+                    t: total_time,
+                });
+            }
+        }
+
+        generations.push(GenerationRecord {
+            scheme: plan.scheme.to_string(),
+            tier,
+            executed_ops: lowered.iter().filter(|l| **l).count(),
+            reused_ops: reused_keys.iter().filter(|r| r.is_some()).count(),
+            completed_ops: lowered.iter().filter(|l| **l).count(),
+            pool_before,
+            crashed: None,
+            faults: bucket.iter().map(|f| f.name().to_string()).collect(),
+        });
+        rec.record(Event::RepairDone {
+            t: total_time,
+            cross_bytes,
+            inner_bytes,
+        });
+        tracker.tick_generation();
+
+        return Ok(SuperviseOutcome {
+            repair_time: total_time,
+            clean_time,
+            generations,
+            retries,
+            replans,
+            reused_ops: reused_total,
+            final_scheme: plan.scheme.to_string(),
+            final_tier: tier,
+            hedges,
+            hedge_wins,
+            deadline_hit,
+            fault_sites,
+            cross_bytes,
+            inner_bytes,
+        });
+    }
+}

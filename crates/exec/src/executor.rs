@@ -9,14 +9,17 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rpr_codec::BlockId;
 use rpr_core::robust::{replan_after_crash, resolve, ResolvedFaults};
-use rpr_core::{chunk_sizes, combine_kernel, Input, Op, Payload, RepairContext, RepairPlan};
-use rpr_faults::{checksum64, reason, FaultPlan, RetryPolicy};
+use rpr_core::{
+    chunk_sizes, combine_kernel, degraded_client, plan_with_pool, resolve_storm_bucket,
+    GenerationRecord, Input, Op, Payload, RepairContext, RepairPlan, SuperviseConfig, Tier,
+};
+use rpr_faults::{checksum64, reason, FaultPlan, FaultStorm, HealthTracker, RetryPolicy, SplitMix64, StormFault};
 use rpr_obs::{Event, Recorder};
 use rpr_topology::NodeId;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Rate-limiter granularity when the context does not configure a
 /// streaming chunk size. With [`RepairContext::with_chunk_size`] the
@@ -120,6 +123,11 @@ struct AttemptCfg<'a> {
     lowered: &'a [bool],
     /// Label tag (`p{tag}op{i}`), 0 for the original plan, 1 after replan.
     tag: usize,
+    /// Cooperative cancellation: when set, in-flight transfers abandon
+    /// the stream between shaper admissions and propagate `Failed`
+    /// downstream, unwinding the whole attempt. The supervisor's hedge
+    /// watchdog uses this to cancel a straggling generation for real.
+    cancel: Option<&'a AtomicBool>,
 }
 
 /// Immutable per-run state shared by every op thread.
@@ -201,6 +209,7 @@ pub fn execute_recorded(
         prefilled: &prefilled,
         lowered: &lowered,
         tag: 0,
+        cancel: None,
     };
     let run = run_attempt(plan, ctx, stripe, rec, t0, &cfg);
     let wall_seconds = t0.elapsed().as_secs_f64();
@@ -256,6 +265,7 @@ pub fn execute_resilient(
         prefilled: &no_prefill,
         lowered: &all,
         tag: 0,
+        cancel: None,
     };
     let run1 = run_attempt(plan, ctx, stripe, rec, t0, &cfg1);
 
@@ -305,6 +315,7 @@ pub fn execute_resilient(
         prefilled: &prefilled,
         lowered: &rep.lowered,
         tag: 1,
+        cancel: None,
     };
     let run2 = run_attempt(&rep.plan, ctx, stripe, rec, t0, &cfg2);
     let wall_seconds = t0.elapsed().as_secs_f64();
@@ -362,6 +373,560 @@ pub fn execute_resilient(
         reused_ops,
         final_scheme: rep.plan.scheme,
     })
+}
+
+/// The result of a supervised execution under a fault storm.
+#[derive(Clone, Debug)]
+pub struct SupervisedReport {
+    /// The final execution report (verification runs against the plan
+    /// that actually completed the repair).
+    pub report: ExecReport,
+    /// Per-generation records, in order.
+    pub generations: Vec<GenerationRecord>,
+    /// Transfer attempts that failed and were retried.
+    pub retries: usize,
+    /// Plan replacements after helper crashes.
+    pub replans: usize,
+    /// Total ops satisfied from the partial-result pool.
+    pub reused_ops: usize,
+    /// Hedges launched (straggling generations cancelled mid-stream).
+    pub hedges: usize,
+    /// Hedges whose speculative alternative completed the repair.
+    pub hedge_wins: usize,
+    /// True when the repair deadline was exceeded at any point.
+    pub deadline_hit: bool,
+    /// Scheme of the plan that completed the repair.
+    pub final_scheme: &'static str,
+    /// Tier the repair completed at.
+    pub final_tier: Tier,
+    /// Human-readable resolved fault sites, in injection order.
+    pub fault_sites: Vec<String>,
+}
+
+/// Run one attempt under an optional hedge watchdog: a timer thread arms
+/// at `budget` seconds from now and, if the attempt is still running,
+/// flips `cancel` — every in-flight transfer aborts between shaper
+/// admissions and the attempt unwinds through its `Delivery` channels.
+/// Returns the attempt plus whether the watchdog fired.
+#[allow(clippy::too_many_arguments)]
+fn run_watched(
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    stripe: &[Vec<u8>],
+    rec: &dyn Recorder,
+    t0: Instant,
+    cfg: &AttemptCfg<'_>,
+    budget: Option<f64>,
+    cancel: &AtomicBool,
+) -> (AttemptRun, bool) {
+    let Some(budget) = budget else {
+        return (run_attempt(plan, ctx, stripe, rec, t0, cfg), false);
+    };
+    let done = std::sync::Mutex::new(false);
+    let cv = std::sync::Condvar::new();
+    let fired = AtomicBool::new(false);
+    let run = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let armed = Instant::now();
+            let mut finished = done.lock().expect("watchdog lock");
+            while !*finished {
+                let Some(left) = Duration::from_secs_f64(budget.max(1e-3))
+                    .checked_sub(armed.elapsed())
+                else {
+                    fired.store(true, Ordering::SeqCst);
+                    cancel.store(true, Ordering::SeqCst);
+                    return;
+                };
+                finished = cv
+                    .wait_timeout(finished, left)
+                    .expect("watchdog lock")
+                    .0;
+            }
+        });
+        let run = run_attempt(plan, ctx, stripe, rec, t0, cfg);
+        *done.lock().expect("watchdog lock") = true;
+        cv.notify_all();
+        run
+    });
+    (run, fired.load(Ordering::SeqCst))
+}
+
+/// Feed per-sender health scores from one generation's wall-clock
+/// timings: each completed send scores its source node against the
+/// median duration of its link class (cross vs inner — peers move the
+/// same block size over the same class). Returns nodes *newly*
+/// quarantined.
+fn feed_supervised_health(
+    tracker: &mut HealthTracker,
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    timings: &[OpTiming],
+    completed: &[bool],
+) -> Vec<(usize, f64)> {
+    let before = tracker.quarantined();
+    let mut groups: HashMap<bool, Vec<(usize, f64)>> = HashMap::new();
+    for (i, op) in plan.ops.iter().enumerate() {
+        if !completed[i] {
+            continue;
+        }
+        let Op::Send { from, to, .. } = op else {
+            continue;
+        };
+        if *from == plan.recovery {
+            continue;
+        }
+        let dur = timings[i].end - timings[i].start;
+        if dur <= 0.0 {
+            continue;
+        }
+        groups
+            .entry(!ctx.topo.same_rack(*from, *to))
+            .or_default()
+            .push((from.0, dur));
+    }
+    for cross in [false, true] {
+        let Some(members) = groups.get(&cross) else {
+            continue;
+        };
+        if members.len() < 2 {
+            continue;
+        }
+        let mut durs: Vec<f64> = members.iter().map(|&(_, d)| d).collect();
+        durs.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+        let mid = durs.len() / 2;
+        let median = if durs.len() % 2 == 1 {
+            durs[mid]
+        } else {
+            0.5 * (durs[mid - 1] + durs[mid])
+        };
+        for &(node, dur) in members {
+            tracker.record_success(node, dur, median);
+        }
+    }
+    tracker
+        .quarantined()
+        .into_iter()
+        .filter(|n| !before.contains(n))
+        .map(|n| (n, tracker.score(n)))
+        .collect()
+}
+
+/// Distinct cross-rack sender nodes of a plan, sorted — the anchor for
+/// [`rpr_faults::CrashSite::NewHelper`] resolution next generation.
+fn cross_sender_nodes(plan: &RepairPlan, ctx: &RepairContext<'_>) -> Vec<usize> {
+    let mut ns: Vec<usize> = plan
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            Op::Send { from, to, .. } if !ctx.topo.same_rack(*from, *to) => Some(from.0),
+            _ => None,
+        })
+        .collect();
+    ns.sort_unstable();
+    ns.dedup();
+    ns
+}
+
+/// Execute a supervised repair on real bytes — the wall-clock counterpart
+/// of [`rpr_core::supervise_injected`]. The same supervision loop runs
+/// here: storm buckets resolve against each generation's plan through the
+/// shared [`resolve_storm_bucket`] (identically seeded draws), completed
+/// partial results bank into a pool of real byte buffers keyed by
+/// `(node, symbolic coefficient vector)` and prefill replacement plans
+/// built by the shared [`plan_with_pool`], helper health feeds a
+/// [`HealthTracker`] consulted at re-selection, and the replan budget /
+/// deadline drive the same RPR → traditional → degraded-read tier ladder.
+///
+/// Hedging differs from the simulator by necessity: real time cannot be
+/// rewound, so instead of splicing a counterfactual the supervisor arms a
+/// watchdog at `hedge ×` the plan's analytical makespan and, when it
+/// fires, *actually cancels* the straggling generation — in-flight
+/// transfers abort between shaper admissions and unwind through their
+/// `Delivery` channels — then launches the speculative alternative: a
+/// pool-reusing replan that avoids the straggling helper. `hedge_wins`
+/// counts alternatives that completed the repair. Because the
+/// counterfactual is never run to completion, `hedge_won.saved` is
+/// reported as zero on this backend (the simulator reports the true
+/// saving for the same seed).
+///
+/// The reconstruction is verified byte-for-byte against the lost
+/// originals regardless of how many faults fired.
+///
+/// # Panics
+/// Panics if the stripe has the wrong shape (see [`execute`]).
+pub fn execute_supervised(
+    ctx: &RepairContext<'_>,
+    stripe: &[Vec<u8>],
+    rec: &dyn Recorder,
+    storm: &FaultStorm,
+    cfg: &SuperviseConfig,
+    tracker: &mut HealthTracker,
+) -> Result<SupervisedReport, ExecError> {
+    let mut rng = SplitMix64::new(storm.seed);
+    let avoid_nodes =
+        |t: &HealthTracker| -> Vec<NodeId> { t.quarantined().into_iter().map(NodeId).collect() };
+
+    let mut pool: HashMap<(usize, Vec<u8>), Arc<Vec<u8>>> = HashMap::new();
+    let mut ctx_g = ctx.clone();
+    let rep0 = {
+        let avoided = ctx_g.clone().with_avoided(avoid_nodes(tracker));
+        plan_with_pool(&avoided, &pool, Tier::Full)
+            .or_else(|_| plan_with_pool(&ctx_g, &pool, Tier::Full))
+            .map_err(ExecError::Unrecoverable)?
+    };
+    check_stripe(&rep0.plan, stripe);
+    record_plan_built(&rep0.plan, ctx, rec);
+
+    let t0 = Instant::now();
+    let mut plan = rep0.plan;
+    let mut reused_keys = rep0.reused;
+    let mut lowered = rep0.lowered;
+    let mut generations: Vec<GenerationRecord> = Vec::new();
+    let mut fault_sites: Vec<String> = Vec::new();
+    let mut failed = ctx.failed.clone();
+    let mut dead: Vec<NodeId> = Vec::new();
+    let mut prev_senders: Option<Vec<usize>> = None;
+    let mut carry: Vec<StormFault> = Vec::new();
+    let mut slow_accum: Vec<(NodeId, f64)> = Vec::new();
+    let mut retries = 0usize;
+    let mut replans = 0usize;
+    let mut reused_total = 0usize;
+    let mut hedges = 0usize;
+    let mut hedge_wins = 0usize;
+    let mut hedge_pending: Option<(String, usize)> = None; // (label, hedge node)
+    let mut hedge_armed = true;
+    let mut deadline_hit = false;
+    let mut cross_bytes = 0u64;
+    let mut inner_bytes = 0u64;
+    let mut tier = Tier::Full;
+
+    let max_generations = storm.generations.len() + cfg.max_replans + 4;
+    let mut g = 0usize;
+    loop {
+        if g > max_generations {
+            return Err(ExecError::Unrecoverable(format!(
+                "supervision loop exceeded {max_generations} generations"
+            )));
+        }
+        let pool_before = pool.len();
+        let mut bucket = std::mem::take(&mut carry);
+        if let Some(b) = storm.generations.get(g) {
+            bucket.extend(b.iter().copied());
+        }
+        let gen_faults = resolve_storm_bucket(
+            &bucket,
+            &plan,
+            &lowered,
+            prev_senders.as_deref(),
+            &ctx_g,
+            &mut rng,
+        );
+        carry = gen_faults.deferred.clone();
+        fault_sites.extend(gen_faults.descriptions.iter().cloned());
+        for (i, fs) in gen_faults.resolved.op_faults.iter().enumerate() {
+            if !fs.is_empty() && fs.len() >= cfg.policy.max_attempts {
+                return Err(ExecError::RetriesExhausted(format!(
+                    "op {i}: {} injected failures exhaust the retry budget \
+                     (max_attempts = {})",
+                    fs.len(),
+                    cfg.policy.max_attempts
+                )));
+            }
+        }
+        // Slow links persist across generations — real degraded hardware
+        // does not heal when the supervisor replans around it.
+        slow_accum.extend(gen_faults.resolved.slow.iter().copied());
+        let resolved = ResolvedFaults {
+            op_faults: gen_faults.resolved.op_faults.clone(),
+            crash: gen_faults.resolved.crash,
+            slow: slow_accum.clone(),
+        };
+
+        let prefilled: Vec<Option<Arc<Vec<u8>>>> = reused_keys
+            .iter()
+            .map(|k| k.as_ref().and_then(|key| pool.get(key).cloned()))
+            .collect();
+        for (i, key) in reused_keys.iter().enumerate() {
+            if key.is_some() && prefilled[i].is_none() {
+                return Err(ExecError::Unrecoverable(format!(
+                    "op {i}: reused partial evicted from the pool before execution"
+                )));
+            }
+        }
+        let vecs = plan.symbolic_vectors();
+
+        // Hedge watchdog: crash-free generations only, one hedge per
+        // repair (the alternative must be allowed to finish).
+        let hedge_budget = match (cfg.hedge, gen_faults.resolved.crash) {
+            (Some(m), None) if hedge_armed => {
+                Some(m * rpr_core::simulate(&plan, &ctx_g).repair_time)
+            }
+            _ => None,
+        };
+        let cancel = AtomicBool::new(false);
+        let a_cfg = AttemptCfg {
+            faults: Some(&resolved),
+            policy: cfg.policy,
+            prefilled: &prefilled,
+            lowered: &lowered,
+            tag: g,
+            cancel: Some(&cancel),
+        };
+        let (run, hedge_fired) =
+            run_watched(&plan, &ctx_g, stripe, rec, t0, &a_cfg, hedge_budget, &cancel);
+        retries += run.retries;
+        let completed: Vec<bool> = run.values.iter().map(|v| v.is_some()).collect();
+        let now = t0.elapsed().as_secs_f64();
+
+        // Bank every completed partial whose host is still alive, and
+        // count the traffic those completions actually moved.
+        let bank = |pool: &mut HashMap<(usize, Vec<u8>), Arc<Vec<u8>>>,
+                    dead: &[NodeId],
+                    skip: Option<NodeId>| {
+            for (i, v) in run.values.iter().enumerate() {
+                if let Some(v) = v {
+                    let loc = plan.ops[i].output_location();
+                    if Some(loc) != skip && !dead.contains(&loc) {
+                        pool.insert((loc.0, vecs[i].clone()), v.clone());
+                    }
+                }
+            }
+        };
+        for (i, op) in plan.ops.iter().enumerate() {
+            if completed[i] {
+                add_send_bytes(ctx, op, plan.block_bytes, &mut cross_bytes, &mut inner_bytes);
+            }
+        }
+        for (n, score) in feed_supervised_health(tracker, &plan, ctx, &run.op_timings, &completed)
+        {
+            rec.record(Event::HelperQuarantined { node: n, score, t: now });
+        }
+        generations.push(GenerationRecord {
+            scheme: plan.scheme.to_string(),
+            tier,
+            executed_ops: lowered.iter().filter(|l| **l).count(),
+            reused_ops: reused_keys.iter().filter(|r| r.is_some()).count(),
+            completed_ops: completed.iter().filter(|c| **c).count(),
+            pool_before,
+            crashed: gen_faults.resolved.crash.map(|c| c.node.0),
+            faults: bucket.iter().map(|f| f.name().to_string()).collect(),
+        });
+
+        if let Some(crash) = gen_faults.resolved.crash {
+            // ---- crash generation: bank partials, replan, go again. ----
+            // run_attempt already emitted the node_down transfer failure
+            // and helper_crashed events at the moment the node died.
+            tracker.record_failure(crash.node.0);
+            bank(&mut pool, &dead, Some(crash.node));
+            dead.push(crash.node);
+            pool.retain(|(n, _), _| *n != crash.node.0);
+
+            let block = ctx
+                .placement
+                .block_on(crash.node)
+                .expect("crash candidates host blocks");
+            failed.push(block);
+            if failed.len() > ctx.params().k {
+                return Err(ExecError::Unrecoverable(format!(
+                    "{} failures exceed k = {} — stripe unrecoverable",
+                    failed.len(),
+                    ctx.params().k
+                )));
+            }
+            replans += 1;
+
+            if let Some(d) = cfg.deadline {
+                if now > d && !deadline_hit {
+                    deadline_hit = true;
+                    rec.record(Event::DeadlineExceeded {
+                        scope: "repair".to_string(),
+                        budget: d,
+                        elapsed: now,
+                        t: now,
+                    });
+                }
+            }
+            let excess = replans.saturating_sub(cfg.max_replans);
+            let mut next_tier = match excess {
+                0 => Tier::Full,
+                1 => Tier::Traditional,
+                _ => Tier::DegradedRead,
+            };
+            if deadline_hit && next_tier < Tier::Traditional {
+                next_tier = Tier::Traditional;
+            }
+            if next_tier > tier {
+                rec.record(Event::DegradedFallback {
+                    tier: next_tier.name().to_string(),
+                    reason: if deadline_hit && excess == 0 {
+                        "deadline exceeded".to_string()
+                    } else {
+                        format!("replan budget ({}) exhausted", cfg.max_replans)
+                    },
+                    t: now,
+                });
+                tier = next_tier;
+            }
+
+            let recovery = plan.recovery;
+            ctx_g = ctx.clone();
+            ctx_g.failed = failed.clone();
+            if tier == Tier::DegradedRead {
+                if let Some(client) = degraded_client(&ctx_g, &dead, recovery) {
+                    ctx_g = ctx_g.with_recovery_node(client);
+                } else {
+                    ctx_g.recovery_node_override = Some(recovery);
+                    ctx_g.recovery_override = Some(ctx.topo.rack_of(recovery));
+                }
+            } else {
+                ctx_g.recovery_node_override = Some(recovery);
+                ctx_g.recovery_override = Some(ctx.topo.rack_of(recovery));
+            }
+            let mut avoid = avoid_nodes(tracker);
+            avoid.retain(|n| !dead.contains(n));
+            let rep = {
+                let avoided = ctx_g.clone().with_avoided(avoid);
+                plan_with_pool(&avoided, &pool, tier)
+                    .or_else(|_| plan_with_pool(&ctx_g, &pool, tier))
+                    .map_err(ExecError::Unrecoverable)?
+            };
+            reused_total += rep.reused_count();
+            rec.record(Event::Replanned {
+                scheme: rep.plan.scheme.to_string(),
+                failed: failed.len(),
+                reused_ops: rep.reused_count(),
+                t: now,
+            });
+            prev_senders = Some(cross_sender_nodes(&plan, ctx));
+            plan = rep.plan;
+            reused_keys = rep.reused;
+            lowered = rep.lowered;
+            std::thread::sleep(Duration::from_secs_f64(cfg.policy.delay(replans - 1)));
+            tracker.tick_generation();
+            g += 1;
+            continue;
+        }
+
+        let unfinished_send = (0..plan.ops.len()).find(|&i| {
+            lowered[i] && !completed[i] && matches!(&plan.ops[i], Op::Send { .. })
+        });
+        if hedge_fired {
+            if let Some(slow_i) = unfinished_send {
+                // ---- straggler cancelled: launch the speculative
+                // alternative — a pool-reusing replan avoiding the
+                // abandoned transfer's source. ----
+                let Op::Send { from, .. } = &plan.ops[slow_i] else {
+                    unreachable!("unfinished_send matched a send");
+                };
+                let slow_node = *from;
+                hedges += 1;
+                hedge_armed = false;
+                tracker.record_failure(slow_node.0);
+                bank(&mut pool, &dead, None);
+
+                let mut avoid = avoid_nodes(tracker);
+                if !avoid.contains(&slow_node) {
+                    avoid.push(slow_node);
+                }
+                avoid.retain(|n| !dead.contains(n));
+                let label = format!("p{g}op{slow_i}:send");
+                let rep = plan_with_pool(&ctx_g.clone().with_avoided(avoid), &pool, tier)
+                    .or_else(|_| plan_with_pool(&ctx_g, &pool, tier))
+                    .map_err(ExecError::Unrecoverable)?;
+                let hedge_node = rep
+                    .plan
+                    .ops
+                    .iter()
+                    .find_map(|op| match op {
+                        Op::Send { from, to, .. }
+                            if !ctx.topo.same_rack(*from, *to) && *from != slow_node =>
+                        {
+                            Some(from.0)
+                        }
+                        _ => None,
+                    })
+                    .unwrap_or(rep.plan.recovery.0);
+                rec.record(Event::HedgeLaunched {
+                    label: label.clone(),
+                    slow_node: slow_node.0,
+                    hedge_node,
+                    multiple: cfg.hedge.expect("hedge fired implies a multiple"),
+                    t: now,
+                });
+                hedge_pending = Some((label, hedge_node));
+                reused_total += rep.reused_count();
+                prev_senders = Some(cross_sender_nodes(&plan, ctx));
+                plan = rep.plan;
+                reused_keys = rep.reused;
+                lowered = rep.lowered;
+                tracker.tick_generation();
+                g += 1;
+                continue;
+            }
+            // The watchdog raced a clean finish: everything completed
+            // before any transfer aborted — fall through as a completion.
+        }
+
+        // ---- completion: verify, close out, report. ----
+        let mut mismatches = Vec::new();
+        for &(target, op) in &plan.outputs {
+            let got = run.values[op.0]
+                .clone()
+                .or_else(|| prefilled[op.0].clone())
+                .ok_or_else(|| {
+                    ExecError::Unrecoverable(format!("output {op:?} never produced"))
+                })?;
+            if got.as_slice() != stripe[target.0].as_slice() {
+                mismatches.push(target);
+            }
+        }
+        if let Some((label, winner)) = hedge_pending.take() {
+            hedge_wins += 1;
+            rec.record(Event::HedgeWon {
+                label,
+                winner_node: winner,
+                saved: 0.0,
+                t: now,
+            });
+        }
+        if let Some(d) = cfg.deadline {
+            if now > d && !deadline_hit {
+                deadline_hit = true;
+                rec.record(Event::DeadlineExceeded {
+                    scope: "repair".to_string(),
+                    budget: d,
+                    elapsed: now,
+                    t: now,
+                });
+            }
+        }
+        rec.record(Event::RepairDone {
+            t: now,
+            cross_bytes,
+            inner_bytes,
+        });
+        tracker.tick_generation();
+        return Ok(SupervisedReport {
+            report: ExecReport {
+                wall_seconds: now,
+                op_timings: run.op_timings,
+                cross_bytes,
+                inner_bytes,
+                verified: mismatches.is_empty(),
+                mismatches,
+            },
+            generations,
+            retries,
+            replans,
+            reused_ops: reused_total,
+            hedges,
+            hedge_wins,
+            deadline_hit,
+            final_scheme: plan.scheme,
+            final_tier: tier,
+            fault_sites,
+        });
+    }
 }
 
 fn check_stripe(plan: &RepairPlan, stripe: &[Vec<u8>]) {
@@ -592,7 +1157,9 @@ fn run_attempt(
                         *crash_t.lock() = Some(now);
                     }
                     for tx in my_producers {
-                        tx.send(Delivery::Failed).expect("consumer hung up");
+                        // The consumer may have unwound already under a
+                        // hedge cancellation; a dropped receiver is fine.
+                        let _ = tx.send(Delivery::Failed);
                     }
                     return;
                 }
@@ -623,7 +1190,7 @@ fn run_attempt(
                                 // byte; the checksum rejects it.
                                 let mut bad = (*data).clone();
                                 bad[0] ^= 0x01;
-                                let admitted = shaped_transfer(
+                                let Some(admitted) = shaped_transfer(
                                     ctx,
                                     links,
                                     agg.as_ref(),
@@ -631,7 +1198,13 @@ fn run_attempt(
                                     *to,
                                     bad.len(),
                                     env.chunk,
-                                );
+                                    cfg.cancel,
+                                ) else {
+                                    for tx in &my_producers {
+                                        let _ = tx.send(Delivery::Failed);
+                                    }
+                                    return;
+                                };
                                 rec.record(Event::TransferStarted {
                                     xfer: xfer.clone(),
                                     queue_wait: admitted,
@@ -646,7 +1219,7 @@ fn run_attempt(
                                 // The attempt stalls after moving a
                                 // fraction of the payload.
                                 let part = (data.len() as f64 * fault.fraction) as usize;
-                                let admitted = shaped_transfer(
+                                let Some(admitted) = shaped_transfer(
                                     ctx,
                                     links,
                                     agg.as_ref(),
@@ -654,7 +1227,13 @@ fn run_attempt(
                                     *to,
                                     part,
                                     env.chunk,
-                                );
+                                    cfg.cancel,
+                                ) else {
+                                    for tx in &my_producers {
+                                        let _ = tx.send(Delivery::Failed);
+                                    }
+                                    return;
+                                };
                                 rec.record(Event::TransferStarted {
                                     xfer: xfer.clone(),
                                     queue_wait: admitted,
@@ -685,7 +1264,7 @@ fn run_attempt(
                             xfer: xfer.clone(),
                             t: queued,
                         });
-                        let admitted = shaped_transfer(
+                        let Some(admitted) = shaped_transfer(
                             ctx,
                             links,
                             agg.as_ref(),
@@ -693,7 +1272,13 @@ fn run_attempt(
                             *to,
                             data.len(),
                             env.chunk,
-                        );
+                            cfg.cancel,
+                        ) else {
+                            for tx in &my_producers {
+                                let _ = tx.send(Delivery::Failed);
+                            }
+                            return;
+                        };
                         rec.record(Event::TransferStarted {
                             xfer: xfer.clone(),
                             queue_wait: admitted,
@@ -798,7 +1383,7 @@ fn run_attempt(
                 }
                 *values[i].lock() = Some(out.clone());
                 for tx in my_producers {
-                    tx.send(Delivery::Data(out.clone())).expect("consumer hung up");
+                    let _ = tx.send(Delivery::Data(out.clone()));
                 }
             });
         }
@@ -999,8 +1584,15 @@ fn stream_op(
                     }
                     let mut bad = buf[env.range(delivered)].to_vec();
                     bad[0] ^= 0x01;
-                    admitted =
-                        shaped_transfer(ctx, env.links, env.agg, *from, *to, bad.len(), env.chunk);
+                    admitted = match shaped_transfer(
+                        ctx, env.links, env.agg, *from, *to, bad.len(), env.chunk, cfg.cancel,
+                    ) {
+                        Some(a) => a,
+                        None => {
+                            fail_downstream();
+                            return;
+                        }
+                    };
                     assert_ne!(
                         checksum64(&bad),
                         sums[delivered],
@@ -1018,7 +1610,7 @@ fn stream_op(
                             return;
                         }
                         let r = env.range(j);
-                        let wait = shaped_transfer(
+                        let Some(wait) = shaped_transfer(
                             ctx,
                             env.links,
                             env.agg,
@@ -1026,7 +1618,11 @@ fn stream_op(
                             *to,
                             r.len(),
                             env.chunk,
-                        );
+                            cfg.cancel,
+                        ) else {
+                            fail_downstream();
+                            return;
+                        };
                         if first {
                             admitted = wait;
                             first = false;
@@ -1080,8 +1676,12 @@ fn stream_op(
                     return;
                 }
                 let r = env.range(j);
-                let wait =
-                    shaped_transfer(ctx, env.links, env.agg, *from, *to, r.len(), env.chunk);
+                let Some(wait) = shaped_transfer(
+                    ctx, env.links, env.agg, *from, *to, r.len(), env.chunk, cfg.cancel,
+                ) else {
+                    fail_downstream();
+                    return;
+                };
                 if j == delivered {
                     admitted = wait;
                     rec.record(Event::TransferStarted {
@@ -1352,7 +1952,10 @@ fn cross_class_rate(ctx: &RepairContext<'_>, node: NodeId) -> f64 {
 /// Move `len` bytes from `from` to `to` through the shapers: the private
 /// pair-rate bucket plus the shared per-node (and, cross-rack, cross-class)
 /// buckets. Returns the seconds spent waiting for the shapers to admit the
-/// *first* chunk — the transfer's queue wait under link contention.
+/// *first* chunk — the transfer's queue wait under link contention — or
+/// `None` when `cancel` fired between shaper admissions (the transfer was
+/// abandoned mid-stream by the hedge watchdog).
+#[allow(clippy::too_many_arguments)]
 fn shaped_transfer(
     ctx: &RepairContext<'_>,
     links: &[NodeLinks],
@@ -1361,7 +1964,8 @@ fn shaped_transfer(
     to: NodeId,
     len: usize,
     granularity: usize,
-) -> f64 {
+    cancel: Option<&AtomicBool>,
+) -> Option<f64> {
     let pair_rate = ctx
         .profile
         .rate(ctx.topo.rack_of(from), ctx.topo.rack_of(to));
@@ -1371,6 +1975,9 @@ fn shaped_transfer(
     let mut first_admit = 0.0f64;
     let mut left = len;
     while left > 0 {
+        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            return None;
+        }
         let take = left.min(granularity) as f64;
         flow.take(take);
         links[from.0].up.take(take);
@@ -1387,7 +1994,7 @@ fn shaped_transfer(
         }
         left -= take as usize;
     }
-    first_admit
+    Some(first_admit)
 }
 
 /// Perform a genuine decoding-matrix construction (survivor-row selection
@@ -1435,6 +2042,7 @@ mod tests {
             max_attempts: 4,
             backoff: 0.01,
             multiplier: 2.0,
+            ..RetryPolicy::default()
         }
     }
 
@@ -2048,5 +2656,119 @@ mod tests {
                 last.1
             );
         }
+    }
+
+    use rpr_faults::CrashSite;
+
+    fn supervised(
+        fx: &Fx,
+        storm: &FaultStorm,
+        cfg: &SuperviseConfig,
+        seed: u64,
+    ) -> (SupervisedReport, Vec<Event>) {
+        let ctx = fx.ctx(vec![BlockId(1)]);
+        let stripe = stripe_for(&fx.codec, fx.block as usize, seed);
+        let rec = rpr_obs::TraceRecorder::default();
+        let mut tracker = HealthTracker::with_defaults();
+        let out = execute_supervised(&ctx, &stripe, &rec, storm, cfg, &mut tracker)
+            .expect("supervised repair completes");
+        (out, rec.take_events())
+    }
+
+    #[test]
+    fn supervised_three_fault_storm_completes_and_verifies() {
+        // The acceptance storm: helper crash, crash of its replacement,
+        // then a transient timeout — all on real bytes at (6,3).
+        let fx = Fx::new(6, 3, 32 * 1024);
+        let storm = FaultStorm::new(77)
+            .with_generation(vec![StormFault::Crash(CrashSite::SeedPick)])
+            .with_generation(vec![StormFault::Crash(CrashSite::NewHelper)])
+            .with_generation(vec![StormFault::Timeout]);
+        let cfg = SuperviseConfig {
+            policy: fast_policy(),
+            ..SuperviseConfig::default()
+        };
+        let (out, events) = supervised(&fx, &storm, &cfg, 55);
+
+        assert!(out.report.verified, "mismatches: {:?}", out.report.mismatches);
+        assert_eq!(out.replans, 2, "two crashes, two replans");
+        assert_eq!(out.generations.len(), 3);
+        assert!(out.generations[0].crashed.is_some());
+        assert!(out.generations[1].crashed.is_some());
+        assert!(out.generations[2].crashed.is_none());
+        assert!(out.retries >= 1, "the timeout fired");
+        assert_eq!(out.final_tier, Tier::Full);
+        assert!(out
+            .fault_sites
+            .iter()
+            .any(|s| s.starts_with("replacement-crash")));
+        let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+        assert_eq!(names.iter().filter(|n| **n == "helper_crashed").count(), 2);
+        assert_eq!(names.iter().filter(|n| **n == "replanned").count(), 2);
+        assert_eq!(*names.last().unwrap(), "repair_done");
+        // The fault sites replay deterministically: the crash set after a
+        // cancelled generation is structural, not timing-dependent.
+        let (out2, _) = supervised(&fx, &storm, &cfg, 55);
+        assert_eq!(out.fault_sites, out2.fault_sites);
+        assert!(out2.report.verified);
+    }
+
+    #[test]
+    fn supervised_hedge_cancels_the_straggler_and_switches() {
+        let fx = Fx::new(6, 3, 256 * 1024);
+        // One helper's links run at 10%: its cross send would take 10x
+        // the clean makespan, so the watchdog fires at 2x, cancels the
+        // generation, and the pool-reusing alternative completes.
+        let storm = FaultStorm::new(3).with_generation(vec![StormFault::Slow { factor: 0.1 }]);
+        let cfg = SuperviseConfig {
+            policy: fast_policy(),
+            hedge: Some(2.0),
+            ..SuperviseConfig::default()
+        };
+        let (out, events) = supervised(&fx, &storm, &cfg, 91);
+
+        assert!(out.report.verified, "mismatches: {:?}", out.report.mismatches);
+        assert_eq!(out.hedges, 1, "the straggler must trigger exactly one hedge");
+        assert_eq!(out.hedge_wins, 1, "the alternative must finish the repair");
+        assert_eq!(out.replans, 0, "a hedge is not a crash replan");
+        assert_eq!(out.generations.len(), 2);
+        let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+        assert!(names.contains(&"hedge_launched"));
+        assert!(names.contains(&"hedge_won"));
+        // The cancelled straggler never reappears: the winning plan
+        // avoids the slow node entirely.
+        let slow = events
+            .iter()
+            .find_map(|e| match e {
+                Event::HedgeLaunched { slow_node, .. } => Some(*slow_node),
+                _ => None,
+            })
+            .expect("hedge_launched recorded");
+        let last_gen = out.generations.last().unwrap();
+        assert!(last_gen.completed_ops > 0);
+        assert!(
+            !out.fault_sites.is_empty() && out.fault_sites[0].contains("slow"),
+            "sites: {:?}",
+            out.fault_sites
+        );
+        assert_ne!(out.report.op_timings.len(), 0);
+        let _ = slow;
+    }
+
+    #[test]
+    fn supervised_replan_budget_exhaustion_degrades_the_tier() {
+        let fx = Fx::new(6, 3, 16 * 1024);
+        let storm = FaultStorm::new(17).with_generation(vec![StormFault::Crash(CrashSite::SeedPick)]);
+        let cfg = SuperviseConfig {
+            policy: fast_policy(),
+            max_replans: 0,
+            ..SuperviseConfig::default()
+        };
+        let (out, events) = supervised(&fx, &storm, &cfg, 23);
+
+        assert!(out.report.verified, "mismatches: {:?}", out.report.mismatches);
+        assert_eq!(out.replans, 1);
+        assert!(out.final_tier >= Tier::Traditional, "tier: {:?}", out.final_tier);
+        assert!(events.iter().any(|e| e.name() == "degraded_fallback"));
     }
 }

@@ -21,7 +21,8 @@ mod executor;
 mod ratelimit;
 
 pub use executor::{
-    execute, execute_recorded, execute_resilient, ExecError, ExecReport, OpTiming, ResilientReport,
+    execute, execute_recorded, execute_resilient, execute_supervised, ExecError, ExecReport,
+    OpTiming, ResilientReport, SupervisedReport,
 };
 pub use ratelimit::TokenBucket;
 

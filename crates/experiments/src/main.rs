@@ -11,6 +11,7 @@
 //! as CSV into DIR.
 
 mod ablation;
+mod chaos;
 mod exec_figs;
 mod faults;
 mod fleet;
@@ -69,6 +70,7 @@ fn main() {
             "ablation" => ablation::ablation(),
             "traces" => traces::traces(fast),
             "faults" => faults::faults(),
+            "chaos" => chaos::chaos(fast),
             "pipeline" => pipeline::pipeline(fast),
             "all" => {
                 theory::fig6();
@@ -85,13 +87,14 @@ fn main() {
                 ablation::ablation();
                 traces::traces(fast);
                 faults::faults();
+                chaos::chaos(fast);
                 pipeline::pipeline(fast);
             }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
                     "usage: rpr-experiments \
-                     <fig6..fig14|table1|fleet|ablation|traces|faults|pipeline|all> \
+                     <fig6..fig14|table1|fleet|ablation|traces|faults|chaos|pipeline|all> \
                      [--fast] [--out DIR]"
                 );
                 std::process::exit(2);

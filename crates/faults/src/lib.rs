@@ -179,6 +179,22 @@ pub struct RetryPolicy {
     pub backoff: f64,
     /// Multiplier applied to the backoff after each failed attempt.
     pub multiplier: f64,
+    /// Upper clamp on the exponential term, in seconds. The geometric
+    /// growth `backoff * multiplier^attempt` never exceeds this, so deep
+    /// retry chains don't sleep unboundedly. `f64::INFINITY` disables the
+    /// clamp.
+    pub cap: f64,
+    /// Jitter fraction in `[0, 1]`: a seeded uniform share of the clamped
+    /// delay added on top, de-synchronizing retries that would otherwise
+    /// stampede in lockstep. `0.0` (the default) keeps [`delay`] a pure
+    /// geometric series, bit-identical to the un-jittered policy.
+    ///
+    /// [`delay`]: RetryPolicy::delay
+    pub jitter: f64,
+    /// Seed for the jitter stream. Jitter is a pure function of
+    /// `(seed, attempt)`, so identically configured policies delay
+    /// identically — determinism survives jitter.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -187,15 +203,355 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             backoff: 0.05,
             multiplier: 2.0,
+            cap: f64::INFINITY,
+            jitter: 0.0,
+            jitter_seed: 0,
         }
     }
 }
 
 impl RetryPolicy {
     /// Delay in seconds before the retry following failed attempt
-    /// `attempt` (zero-based): `backoff * multiplier^attempt`.
+    /// `attempt` (zero-based):
+    /// `min(backoff * multiplier^attempt, cap) * (1 + jitter * u)` with
+    /// `u` drawn deterministically from `(jitter_seed, attempt)`.
     pub fn delay(&self, attempt: usize) -> f64 {
-        self.backoff * self.multiplier.powi(attempt as i32)
+        let base = (self.backoff * self.multiplier.powi(attempt as i32)).min(self.cap);
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        let mut rng = SplitMix64::new(
+            self.jitter_seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        base * (1.0 + self.jitter * rng.next_f64())
+    }
+
+    /// Builder-style: clamp the exponential term at `cap` seconds.
+    pub fn with_cap(mut self, cap: f64) -> RetryPolicy {
+        self.cap = cap;
+        self
+    }
+
+    /// Builder-style: add seeded jitter (fraction in `[0, 1]`).
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> RetryPolicy {
+        self.jitter = jitter;
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+/// Where a storm crash strikes. Sites are plan-independent — the
+/// supervisor resolves them against whatever plan the current replan
+/// generation is running, so a storm authored once stays meaningful as
+/// helpers are swapped out underneath it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// A specific node index (must be a live helper when the generation
+    /// starts, or the crash is skipped).
+    Node(usize),
+    /// Seed-pick among the current generation's crash candidates.
+    SeedPick,
+    /// A helper participating in the current generation's plan that was
+    /// *not* in the previous generation's — i.e. the replacement brought
+    /// in by the last replan. Falls back to [`CrashSite::SeedPick`] when
+    /// no such node exists.
+    NewHelper,
+}
+
+/// One fault scheduled by the chaos process, described independently of
+/// any concrete plan. The supervisor turns these into valid
+/// [`FaultKind`]s by inspecting the generation's plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StormFault {
+    /// A helper crash at the given site. Each crash ends the current
+    /// supervision generation and forces a replan.
+    Crash(CrashSite),
+    /// One transient transfer timeout on a seed-picked cross send.
+    Timeout,
+    /// One corrupted intermediate on a seed-picked intermediate send.
+    Corrupt,
+    /// A seed-picked helper's links run at `factor` of their rate for the
+    /// rest of the repair.
+    Slow {
+        /// Rate multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// The recovery rack's switch blips for one seeded wave.
+    RackOutage,
+}
+
+impl StormFault {
+    /// Stable lowercase name used in summaries and CLI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StormFault::Crash(CrashSite::Node(_)) => "crash",
+            StormFault::Crash(CrashSite::SeedPick) => "crash",
+            StormFault::Crash(CrashSite::NewHelper) => "replacement-crash",
+            StormFault::Timeout => "timeout",
+            StormFault::Corrupt => "corrupt",
+            StormFault::Slow { .. } => "slow",
+            StormFault::RackOutage => "rack",
+        }
+    }
+}
+
+/// A fault storm: faults bucketed by supervision generation. Generation
+/// `g`'s bucket is injected into the `g`-th repair attempt; a bucket
+/// containing a [`StormFault::Crash`] ends that generation and the
+/// supervisor replans into generation `g + 1`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultStorm {
+    /// Seed driving every free parameter during resolution.
+    pub seed: u64,
+    /// Per-generation fault buckets, in injection order.
+    pub generations: Vec<Vec<StormFault>>,
+}
+
+impl FaultStorm {
+    /// An empty storm with the given seed.
+    pub fn new(seed: u64) -> FaultStorm {
+        FaultStorm {
+            seed,
+            generations: Vec::new(),
+        }
+    }
+
+    /// Builder-style: append one generation bucket.
+    pub fn with_generation(mut self, faults: Vec<StormFault>) -> FaultStorm {
+        self.generations.push(faults);
+        self
+    }
+
+    /// Total number of scheduled faults across all generations.
+    pub fn fault_count(&self) -> usize {
+        self.generations.iter().map(|g| g.len()).sum()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.fault_count() == 0
+    }
+}
+
+/// A seeded continuous fault process: Poisson-style arrivals over a
+/// virtual horizon, occasional multi-fault *storms*, and a
+/// repeated-offender bias that makes the same node misbehave again.
+///
+/// `storm()` is a pure function of the struct's fields — the same
+/// configuration always produces the same [`FaultStorm`], which is what
+/// lets `rpr chaos` replay bit-deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosProcess {
+    /// Seed for the arrival/parameter stream.
+    pub seed: u64,
+    /// Mean number of fault arrivals over the horizon.
+    pub rate: f64,
+    /// Probability that an arrival bursts into a 2–3-fault storm.
+    pub storm_probability: f64,
+    /// Probability that a crash re-targets the previous offender's
+    /// replacement ([`CrashSite::NewHelper`]) instead of a fresh pick.
+    pub repeat_bias: f64,
+    /// Hard cap on scheduled crashes (bounds the supervision loop; a
+    /// storm can only demand as many replans as the code tolerates).
+    pub max_crashes: usize,
+}
+
+impl Default for ChaosProcess {
+    fn default() -> ChaosProcess {
+        ChaosProcess {
+            seed: 0,
+            rate: 3.0,
+            storm_probability: 0.25,
+            repeat_bias: 0.5,
+            max_crashes: 2,
+        }
+    }
+}
+
+impl ChaosProcess {
+    /// A default-shaped process with the given seed.
+    pub fn new(seed: u64) -> ChaosProcess {
+        ChaosProcess {
+            seed,
+            ..ChaosProcess::default()
+        }
+    }
+
+    /// Sample the fault storm this process produces.
+    ///
+    /// Arrivals are exponential (inter-arrival `-ln(1 - u) / rate` over a
+    /// unit horizon); each arrival draws a fault kind, storms burst into
+    /// 2–3 faults, and every crash closes the current generation bucket.
+    pub fn storm(&self) -> FaultStorm {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut storm = FaultStorm::new(self.seed);
+        let mut bucket: Vec<StormFault> = Vec::new();
+        let mut crashes = 0usize;
+        let mut t = 0.0f64;
+        if self.rate > 0.0 {
+            loop {
+                let u = rng.next_f64();
+                t += -(1.0 - u).ln() / self.rate;
+                if t >= 1.0 {
+                    break;
+                }
+                let burst = if rng.next_f64() < self.storm_probability {
+                    2 + rng.pick(2)
+                } else {
+                    1
+                };
+                for _ in 0..burst {
+                    let fault = self.draw_fault(&mut rng, crashes);
+                    let is_crash = matches!(fault, StormFault::Crash(_));
+                    bucket.push(fault);
+                    if is_crash {
+                        crashes += 1;
+                        storm.generations.push(std::mem::take(&mut bucket));
+                    }
+                }
+            }
+        }
+        if !bucket.is_empty() {
+            storm.generations.push(bucket);
+        }
+        storm
+    }
+
+    fn draw_fault(&self, rng: &mut SplitMix64, crashes_so_far: usize) -> StormFault {
+        // Transient faults are more common than crashes; crashes beyond
+        // the budget degrade into transients so the storm stays bounded.
+        let roll = rng.next_f64();
+        if roll < 0.35 && crashes_so_far < self.max_crashes {
+            let site = if crashes_so_far > 0 && rng.next_f64() < self.repeat_bias {
+                CrashSite::NewHelper
+            } else {
+                CrashSite::SeedPick
+            };
+            StormFault::Crash(site)
+        } else if roll < 0.6 {
+            StormFault::Timeout
+        } else if roll < 0.75 {
+            StormFault::Corrupt
+        } else if roll < 0.9 {
+            StormFault::Slow {
+                factor: 0.2 + 0.6 * rng.next_f64(),
+            }
+        } else {
+            StormFault::RackOutage
+        }
+    }
+}
+
+/// Per-node health scores fed by transfer outcomes, with quarantine and
+/// probing re-admission.
+///
+/// Scores are EWMAs in `[0, 1]` (1 = healthy). A node whose score sinks
+/// below the quarantine threshold is avoided by helper re-selection
+/// until it has sat out `probe_after` supervision generations; it is
+/// then re-admitted *on probation* — its score is reset to exactly the
+/// threshold, so a single further failure re-quarantines it while
+/// successes rebuild trust.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    alpha: f64,
+    threshold: f64,
+    probe_after: usize,
+    generation: usize,
+    scores: Vec<f64>,
+    // generation at which the node was quarantined, if currently out.
+    quarantined_at: Vec<Option<usize>>,
+}
+
+impl HealthTracker {
+    /// A tracker with EWMA weight `alpha`, quarantine `threshold`, and
+    /// probing re-admission after `probe_after` generations.
+    pub fn new(alpha: f64, threshold: f64, probe_after: usize) -> HealthTracker {
+        HealthTracker {
+            alpha: alpha.clamp(0.0, 1.0),
+            threshold: threshold.clamp(0.0, 1.0),
+            probe_after: probe_after.max(1),
+            generation: 0,
+            scores: Vec::new(),
+            quarantined_at: Vec::new(),
+        }
+    }
+
+    /// Conservative defaults: fast EWMA (α = 0.5), quarantine below 0.4,
+    /// probe after 2 generations.
+    pub fn with_defaults() -> HealthTracker {
+        HealthTracker::new(0.5, 0.4, 2)
+    }
+
+    fn ensure(&mut self, node: usize) {
+        if node >= self.scores.len() {
+            self.scores.resize(node + 1, 1.0);
+            self.quarantined_at.resize(node + 1, None);
+        }
+    }
+
+    /// Feed one observation for `node`: `score` in `[0, 1]` (1 = the
+    /// transfer completed at or above the expected rate, 0 = it failed).
+    /// May quarantine the node.
+    pub fn observe(&mut self, node: usize, score: f64) {
+        self.ensure(node);
+        let s = score.clamp(0.0, 1.0);
+        self.scores[node] = self.alpha * s + (1.0 - self.alpha) * self.scores[node];
+        if self.scores[node] < self.threshold && self.quarantined_at[node].is_none() {
+            self.quarantined_at[node] = Some(self.generation);
+        }
+    }
+
+    /// Record a successful transfer whose duration was `actual` against
+    /// an expected `baseline` (same units). On-time or faster scores 1;
+    /// slower decays toward 0.
+    pub fn record_success(&mut self, node: usize, actual: f64, baseline: f64) {
+        let score = if actual <= 0.0 || baseline <= 0.0 {
+            1.0
+        } else {
+            (baseline / actual).clamp(0.0, 1.0)
+        };
+        self.observe(node, score);
+    }
+
+    /// Record a failed transfer from `node` (scores 0).
+    pub fn record_failure(&mut self, node: usize) {
+        self.observe(node, 0.0);
+    }
+
+    /// Advance the supervision generation counter. Quarantined nodes
+    /// that have sat out `probe_after` generations are re-admitted on
+    /// probation (score reset to the threshold).
+    pub fn tick_generation(&mut self) {
+        self.generation += 1;
+        for node in 0..self.scores.len() {
+            if let Some(at) = self.quarantined_at[node] {
+                if self.generation - at >= self.probe_after {
+                    self.quarantined_at[node] = None;
+                    self.scores[node] = self.threshold;
+                }
+            }
+        }
+    }
+
+    /// Current EWMA score of `node` (1.0 for never-observed nodes).
+    pub fn score(&self, node: usize) -> f64 {
+        self.scores.get(node).copied().unwrap_or(1.0)
+    }
+
+    /// True while `node` is quarantined (helper re-selection avoids it).
+    pub fn is_quarantined(&self, node: usize) -> bool {
+        self.quarantined_at
+            .get(node)
+            .copied()
+            .flatten()
+            .is_some()
+    }
+
+    /// Sorted list of currently quarantined nodes.
+    pub fn quarantined(&self) -> Vec<usize> {
+        (0..self.quarantined_at.len())
+            .filter(|&n| self.quarantined_at[n].is_some())
+            .collect()
     }
 }
 
@@ -260,10 +616,131 @@ mod tests {
             max_attempts: 4,
             backoff: 0.1,
             multiplier: 2.0,
+            ..RetryPolicy::default()
         };
         assert!((p.delay(0) - 0.1).abs() < 1e-12);
         assert!((p.delay(1) - 0.2).abs() < 1e-12);
         assert!((p.delay(3) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_policy_cap_clamps_deep_attempts() {
+        let p = RetryPolicy {
+            backoff: 0.1,
+            multiplier: 2.0,
+            ..RetryPolicy::default()
+        }
+        .with_cap(0.25);
+        assert!((p.delay(0) - 0.1).abs() < 1e-12);
+        assert!((p.delay(1) - 0.2).abs() < 1e-12);
+        // 0.4 and 0.8 clamp to the cap.
+        assert!((p.delay(2) - 0.25).abs() < 1e-12);
+        assert!((p.delay(3) - 0.25).abs() < 1e-12);
+        assert!((p.delay(30) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_policy_jitter_is_seeded_bounded_and_deterministic() {
+        let base = RetryPolicy {
+            backoff: 0.1,
+            multiplier: 2.0,
+            ..RetryPolicy::default()
+        };
+        let a = base.with_jitter(0.5, 99);
+        let b = base.with_jitter(0.5, 99);
+        let c = base.with_jitter(0.5, 100);
+        let mut some_differ = false;
+        for attempt in 0..6 {
+            let clean = base.delay(attempt);
+            let d = a.delay(attempt);
+            // Same (seed, attempt) => identical jittered delay.
+            assert_eq!(d.to_bits(), b.delay(attempt).to_bits());
+            // Jitter only ever adds, within the configured fraction.
+            assert!(d >= clean && d <= clean * 1.5 + 1e-12, "attempt {attempt}");
+            if (d - c.delay(attempt)).abs() > 1e-15 {
+                some_differ = true;
+            }
+        }
+        assert!(some_differ, "different seeds should jitter differently");
+        // Zero jitter stays bit-identical to the plain geometric series.
+        assert_eq!(
+            base.delay(3).to_bits(),
+            base.with_jitter(0.0, 7).delay(3).to_bits()
+        );
+    }
+
+    #[test]
+    fn chaos_process_is_deterministic_and_bounded() {
+        let p = ChaosProcess::new(17);
+        let a = p.storm();
+        let b = p.storm();
+        assert_eq!(a, b, "same process must sample the same storm");
+        let crashes = a
+            .generations
+            .iter()
+            .flatten()
+            .filter(|f| matches!(f, StormFault::Crash(_)))
+            .count();
+        assert!(crashes <= p.max_crashes);
+        // Every generation except possibly the last ends with a crash.
+        for (i, g) in a.generations.iter().enumerate() {
+            if i + 1 < a.generations.len() {
+                assert!(matches!(g.last(), Some(StormFault::Crash(_))));
+            }
+        }
+        // Different seeds explore different storms (with rate 3 the
+        // chance of 64 identical storms is negligible).
+        let distinct = (0..64)
+            .map(|s| ChaosProcess::new(s).storm())
+            .collect::<Vec<_>>();
+        assert!(distinct.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn fault_storm_builder_counts_faults() {
+        let storm = FaultStorm::new(3)
+            .with_generation(vec![StormFault::Timeout, StormFault::Crash(CrashSite::SeedPick)])
+            .with_generation(vec![StormFault::Crash(CrashSite::NewHelper)]);
+        assert_eq!(storm.fault_count(), 3);
+        assert!(!storm.is_empty());
+        assert!(FaultStorm::new(0).is_empty());
+        assert_eq!(StormFault::Crash(CrashSite::NewHelper).name(), "replacement-crash");
+        assert_eq!(StormFault::Timeout.name(), "timeout");
+    }
+
+    #[test]
+    fn health_tracker_quarantines_and_probes() {
+        let mut h = HealthTracker::new(0.5, 0.4, 2);
+        assert!(!h.is_quarantined(3));
+        assert!((h.score(3) - 1.0).abs() < 1e-12);
+        // Two straight failures: 1.0 -> 0.5 -> 0.25 < 0.4 => quarantined.
+        h.record_failure(3);
+        assert!(!h.is_quarantined(3));
+        h.record_failure(3);
+        assert!(h.is_quarantined(3));
+        assert_eq!(h.quarantined(), vec![3]);
+        // One generation is not enough to probe...
+        h.tick_generation();
+        assert!(h.is_quarantined(3));
+        // ...two are: re-admitted on probation at exactly the threshold.
+        h.tick_generation();
+        assert!(!h.is_quarantined(3));
+        assert!((h.score(3) - 0.4).abs() < 1e-12);
+        // On probation, a single failure re-quarantines immediately.
+        h.record_failure(3);
+        assert!(h.is_quarantined(3));
+    }
+
+    #[test]
+    fn health_tracker_scores_latency_ratio() {
+        let mut h = HealthTracker::with_defaults();
+        // On-time transfers keep the node at full health.
+        h.record_success(1, 1.0, 1.0);
+        assert!((h.score(1) - 1.0).abs() < 1e-12);
+        // A 4x straggler pulls the EWMA down but one sample does not
+        // quarantine.
+        h.record_success(1, 4.0, 1.0);
+        assert!(h.score(1) < 1.0 && !h.is_quarantined(1));
     }
 
     #[test]

@@ -201,6 +201,67 @@ pub enum Event {
         /// Seconds from repair start when the last chunk arrived.
         t: f64,
     },
+    /// A transfer fell past the hedge latency multiple of its wave's
+    /// median; a speculative duplicate was launched from an alternate
+    /// helper. Followed by [`Event::HedgeWon`] if the duplicate finishes
+    /// first.
+    HedgeLaunched {
+        /// Plan-derived label of the straggling transfer.
+        label: String,
+        /// The straggling (original) helper node.
+        slow_node: usize,
+        /// The alternate helper the duplicate runs from.
+        hedge_node: usize,
+        /// Configured latency multiple that triggered the hedge.
+        multiple: f64,
+        /// Seconds from repair start when the hedge launched.
+        t: f64,
+    },
+    /// A hedged duplicate beat the original transfer; the loser was
+    /// cancelled.
+    HedgeWon {
+        /// Plan-derived label of the hedged transfer.
+        label: String,
+        /// The helper whose copy won the race.
+        winner_node: usize,
+        /// Seconds the hedge saved versus the projected original finish.
+        saved: f64,
+        /// Seconds from repair start when the winning copy arrived.
+        t: f64,
+    },
+    /// A helper's health score sank below the quarantine threshold; the
+    /// supervisor will avoid it during helper re-selection until it is
+    /// probed back in.
+    HelperQuarantined {
+        /// The quarantined node.
+        node: usize,
+        /// EWMA health score at quarantine time (below the threshold).
+        score: f64,
+        /// Seconds from repair start when the quarantine was imposed.
+        t: f64,
+    },
+    /// A repair/wave deadline budget was blown; the supervisor degrades
+    /// (fallback scheme or degraded read) instead of waiting forever.
+    DeadlineExceeded {
+        /// What ran out: `"repair"` or `"wave"`.
+        scope: String,
+        /// The budget that was exceeded, in seconds.
+        budget: f64,
+        /// Observed elapsed seconds when the breach was detected.
+        elapsed: f64,
+        /// Seconds from repair start when the breach was detected.
+        t: f64,
+    },
+    /// The supervisor exhausted its replan/fallback options and switched
+    /// to a degraded service tier (e.g. degraded read to a client node).
+    DegradedFallback {
+        /// The tier entered (`"car"`, `"traditional"`, `"degraded-read"`).
+        tier: String,
+        /// Why the previous tier was abandoned.
+        reason: String,
+        /// Seconds from repair start when the fallback was taken.
+        t: f64,
+    },
     /// The whole repair finished.
     RepairDone {
         /// Seconds from repair start (the repair makespan).
@@ -228,6 +289,11 @@ impl Event {
             Event::HelperCrashed { .. } => "helper_crashed",
             Event::Replanned { .. } => "replanned",
             Event::StreamSummary { .. } => "stream_summary",
+            Event::HedgeLaunched { .. } => "hedge_launched",
+            Event::HedgeWon { .. } => "hedge_won",
+            Event::HelperQuarantined { .. } => "helper_quarantined",
+            Event::DeadlineExceeded { .. } => "deadline_exceeded",
+            Event::DegradedFallback { .. } => "degraded_fallback",
             Event::RepairDone { .. } => "repair_done",
         }
     }
@@ -246,6 +312,11 @@ impl Event {
             | Event::HelperCrashed { t, .. }
             | Event::Replanned { t, .. }
             | Event::StreamSummary { t, .. }
+            | Event::HedgeLaunched { t, .. }
+            | Event::HedgeWon { t, .. }
+            | Event::HelperQuarantined { t, .. }
+            | Event::DeadlineExceeded { t, .. }
+            | Event::DegradedFallback { t, .. }
             | Event::RepairDone { t, .. } => *t,
             Event::TransferDone { end, .. } | Event::CombineDone { end, .. } => *end,
         }

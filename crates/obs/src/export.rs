@@ -231,6 +231,47 @@ pub fn event_to_json(event: &Event) -> String {
                 .f64("throughput", *throughput)
                 .f64("t", *t);
         }
+        Event::HedgeLaunched {
+            label,
+            slow_node,
+            hedge_node,
+            multiple,
+            t,
+        } => {
+            o.str("label", label)
+                .usize("slow_node", *slow_node)
+                .usize("hedge_node", *hedge_node)
+                .f64("multiple", *multiple)
+                .f64("t", *t);
+        }
+        Event::HedgeWon {
+            label,
+            winner_node,
+            saved,
+            t,
+        } => {
+            o.str("label", label)
+                .usize("winner_node", *winner_node)
+                .f64("saved", *saved)
+                .f64("t", *t);
+        }
+        Event::HelperQuarantined { node, score, t } => {
+            o.usize("node", *node).f64("score", *score).f64("t", *t);
+        }
+        Event::DeadlineExceeded {
+            scope,
+            budget,
+            elapsed,
+            t,
+        } => {
+            o.str("scope", scope)
+                .f64("budget", *budget)
+                .f64("elapsed", *elapsed)
+                .f64("t", *t);
+        }
+        Event::DegradedFallback { tier, reason, t } => {
+            o.str("tier", tier).str("reason", reason).f64("t", *t);
+        }
         Event::RepairDone {
             t,
             cross_bytes,
@@ -514,6 +555,101 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                     .raw("args", &args);
                 entries.push(o.finish());
             }
+            Event::HedgeLaunched {
+                label,
+                slow_node,
+                hedge_node,
+                multiple,
+                t,
+            } => {
+                let mut args = String::from("{");
+                let _ = write!(args, "\"slow_node\":{slow_node},\"hedge_node\":{hedge_node}");
+                args.push_str(",\"multiple\":");
+                push_f64(&mut args, *multiple);
+                args.push('}');
+                let mut o = Obj::new();
+                o.str("name", &format!("hedge: {label}"))
+                    .str("cat", "hedge")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &args);
+                entries.push(o.finish());
+            }
+            Event::HedgeWon {
+                label,
+                winner_node,
+                saved,
+                t,
+            } => {
+                let mut args = String::from("{");
+                let _ = write!(args, "\"winner_node\":{winner_node},\"saved\":");
+                push_f64(&mut args, *saved);
+                args.push('}');
+                let mut o = Obj::new();
+                o.str("name", &format!("hedge won: {label}"))
+                    .str("cat", "hedge")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &args);
+                entries.push(o.finish());
+            }
+            Event::HelperQuarantined { node, score, t } => {
+                let mut args = String::from("{");
+                let _ = write!(args, "\"node\":{node},\"score\":");
+                push_f64(&mut args, *score);
+                args.push('}');
+                let mut o = Obj::new();
+                o.str("name", &format!("quarantined: node {node}"))
+                    .str("cat", "health")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &args);
+                entries.push(o.finish());
+            }
+            Event::DeadlineExceeded {
+                scope,
+                budget,
+                elapsed,
+                t,
+            } => {
+                let mut args = String::from("{");
+                args.push_str("\"budget\":");
+                push_f64(&mut args, *budget);
+                args.push_str(",\"elapsed\":");
+                push_f64(&mut args, *elapsed);
+                args.push('}');
+                let mut o = Obj::new();
+                o.str("name", &format!("deadline exceeded ({scope})"))
+                    .str("cat", "deadline")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &args);
+                entries.push(o.finish());
+            }
+            Event::DegradedFallback { tier, reason, t } => {
+                let mut o = Obj::new();
+                o.str("name", &format!("degraded fallback: {tier}"))
+                    .str("cat", "deadline")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &format!("{{\"reason\":\"{reason}\"}}"));
+                entries.push(o.finish());
+            }
             Event::RepairDone {
                 t,
                 cross_bytes,
@@ -732,6 +868,62 @@ mod tests {
         assert!(chrome.contains("\"cat\":\"fault\""));
         assert!(chrome.contains("failed: p0op1:send (timeout)"));
         assert!(chrome.contains("replanned: rpr"));
+    }
+
+    #[test]
+    fn supervisor_events_serialize_in_both_formats() {
+        let events = vec![
+            Event::HedgeLaunched {
+                label: "p1op4:send".into(),
+                slow_node: 3,
+                hedge_node: 7,
+                multiple: 2.5,
+                t: 0.4,
+            },
+            Event::HedgeWon {
+                label: "p1op4:send".into(),
+                winner_node: 7,
+                saved: 0.125,
+                t: 0.55,
+            },
+            Event::HelperQuarantined {
+                node: 3,
+                score: 0.25,
+                t: 0.55,
+            },
+            Event::DeadlineExceeded {
+                scope: "wave".into(),
+                budget: 0.5,
+                elapsed: 0.8,
+                t: 0.8,
+            },
+            Event::DegradedFallback {
+                tier: "degraded-read".into(),
+                reason: "replan budget exhausted".into(),
+                t: 0.9,
+            },
+        ];
+        let jsonl = to_json_lines(&events);
+        for line in jsonl.lines() {
+            assert_structurally_valid_json(line);
+        }
+        assert!(jsonl.contains("\"type\":\"hedge_launched\""));
+        assert!(jsonl.contains("\"hedge_node\":7"));
+        assert!(jsonl.contains("\"type\":\"hedge_won\""));
+        assert!(jsonl.contains("\"saved\":0.125"));
+        assert!(jsonl.contains("\"type\":\"helper_quarantined\""));
+        assert!(jsonl.contains("\"score\":0.25"));
+        assert!(jsonl.contains("\"type\":\"deadline_exceeded\""));
+        assert!(jsonl.contains("\"scope\":\"wave\""));
+        assert!(jsonl.contains("\"type\":\"degraded_fallback\""));
+        assert!(jsonl.contains("\"tier\":\"degraded-read\""));
+        let chrome = to_chrome_trace(&events);
+        assert_structurally_valid_json(&chrome);
+        assert!(chrome.contains("\"cat\":\"hedge\""));
+        assert!(chrome.contains("hedge won: p1op4:send"));
+        assert!(chrome.contains("quarantined: node 3"));
+        assert!(chrome.contains("deadline exceeded (wave)"));
+        assert!(chrome.contains("degraded fallback: degraded-read"));
     }
 
     #[test]

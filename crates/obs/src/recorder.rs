@@ -58,6 +58,11 @@ pub struct TraceRecorder {
     replans: AtomicU64,
     streams: AtomicU64,
     chunks_streamed: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    quarantines: AtomicU64,
+    deadlines_exceeded: AtomicU64,
+    degraded_fallbacks: AtomicU64,
     racks: RwLock<Vec<RackCounters>>,
     queue_wait: Histogram,
     transfer_time: Histogram,
@@ -89,6 +94,11 @@ impl TraceRecorder {
             replans: AtomicU64::new(0),
             streams: AtomicU64::new(0),
             chunks_streamed: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            deadlines_exceeded: AtomicU64::new(0),
+            degraded_fallbacks: AtomicU64::new(0),
             racks: RwLock::new(Vec::new()),
             queue_wait: Histogram::default(),
             transfer_time: Histogram::default(),
@@ -184,6 +194,21 @@ impl TraceRecorder {
                     .fetch_add(*chunks as u64, Ordering::Relaxed);
                 self.first_chunk_latency.record(*first_chunk_latency);
             }
+            Event::HedgeLaunched { .. } => {
+                self.hedges.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::HedgeWon { .. } => {
+                self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::HelperQuarantined { .. } => {
+                self.quarantines.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::DeadlineExceeded { .. } => {
+                self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::DegradedFallback { .. } => {
+                self.degraded_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
             _ => {}
         }
     }
@@ -207,6 +232,11 @@ impl TraceRecorder {
             replans: self.replans.load(Ordering::Relaxed),
             streams: self.streams.load(Ordering::Relaxed),
             chunks_streamed: self.chunks_streamed.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            degraded_fallbacks: self.degraded_fallbacks.load(Ordering::Relaxed),
             cross_bytes: self.cross_bytes.load(Ordering::Relaxed),
             inner_bytes: self.inner_bytes.load(Ordering::Relaxed),
             racks: racks
@@ -259,6 +289,16 @@ pub struct MetricsSnapshot {
     pub streams: u64,
     /// Total sub-block chunks moved by those streams.
     pub chunks_streamed: u64,
+    /// Speculative duplicate transfers launched against stragglers.
+    pub hedges: u64,
+    /// Hedged duplicates that beat the original transfer.
+    pub hedge_wins: u64,
+    /// Helpers quarantined by the health tracker.
+    pub quarantines: u64,
+    /// Repair/wave deadline budgets blown.
+    pub deadlines_exceeded: u64,
+    /// Degraded service tiers entered by the supervisor.
+    pub degraded_fallbacks: u64,
     /// Total bytes moved across racks.
     pub cross_bytes: u64,
     /// Total bytes moved within racks.
@@ -430,6 +470,47 @@ mod tests {
         assert_eq!(snap.first_chunk_latency.count(), 2);
         // Stream summaries are bookkeeping, not transfers.
         assert_eq!(snap.transfers, 0);
+    }
+
+    #[test]
+    fn supervisor_events_feed_counters() {
+        let rec = TraceRecorder::default();
+        rec.record(Event::HedgeLaunched {
+            label: "p0op0:send".into(),
+            slow_node: 3,
+            hedge_node: 5,
+            multiple: 2.0,
+            t: 0.4,
+        });
+        rec.record(Event::HedgeWon {
+            label: "p0op0:send".into(),
+            winner_node: 5,
+            saved: 0.2,
+            t: 0.6,
+        });
+        rec.record(Event::HelperQuarantined {
+            node: 3,
+            score: 0.25,
+            t: 0.6,
+        });
+        rec.record(Event::DeadlineExceeded {
+            scope: "repair".into(),
+            budget: 1.0,
+            elapsed: 1.4,
+            t: 1.4,
+        });
+        rec.record(Event::DegradedFallback {
+            tier: "degraded-read".into(),
+            reason: "deadline".into(),
+            t: 1.4,
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.hedges, 1);
+        assert_eq!(snap.hedge_wins, 1);
+        assert_eq!(snap.quarantines, 1);
+        assert_eq!(snap.deadlines_exceeded, 1);
+        assert_eq!(snap.degraded_fallbacks, 1);
+        assert_eq!(rec.take_events().len(), 5);
     }
 
     #[test]

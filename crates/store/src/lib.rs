@@ -17,7 +17,12 @@
 //!   links exactly as they would in production;
 //! * the CAR scheme applies its multi-stripe balancing here: helper racks
 //!   are chosen against the cross-rack load already assigned to them by
-//!   the other stripes' repairs.
+//!   the other stripes' repairs;
+//! * [`Store::recover_supervised`] routes the same fleet recovery through
+//!   the repair supervisor (`rpr_core::supervise_injected`): every stripe
+//!   repairs under a seeded fault storm with admission-controlled waves
+//!   and a **fleet-shared** helper-health tracker, reporting MTTR and the
+//!   p99 stripe-repair time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,5 +30,8 @@
 mod recovery;
 mod store;
 
-pub use recovery::{Failure, RecoveryOptions, RecoveryOutcome, Scheme};
+pub use recovery::{
+    quantile, Failure, RecoveryOptions, RecoveryOutcome, Scheme, SupervisedRecoveryOptions,
+    SupervisedRecoveryOutcome,
+};
 pub use store::{Store, StoreConfig};

@@ -4,9 +4,10 @@
 use crate::store::Store;
 use rpr_codec::BlockId;
 use rpr_core::{
-    simulate_batch, CarPlanner, CostModel, RepairContext, RepairPlan, RepairPlanner, RprPlanner,
-    TraditionalPlanner,
+    simulate_batch, supervise_injected, CarPlanner, CostModel, RepairContext, RepairPlan,
+    RepairPlanner, RprPlanner, SuperviseConfig, Tier, TraditionalPlanner,
 };
+use rpr_faults::{FaultStorm, HealthTracker, SplitMix64, StormFault};
 use rpr_topology::{BandwidthProfile, NodeId, RackId};
 
 /// A fleet-level failure event.
@@ -119,6 +120,77 @@ impl RecoveryOutcome {
             .collect();
         max_over_mean(&participating)
     }
+}
+
+/// Knobs for supervised fleet recovery ([`Store::recover_supervised`]).
+#[derive(Clone, Debug)]
+pub struct SupervisedRecoveryOptions {
+    /// Maximum stripes repairing concurrently per admission wave
+    /// (`None` = all at once). Same meaning as
+    /// [`RecoveryOptions::max_concurrent`].
+    pub max_concurrent: Option<usize>,
+    /// Storm template applied to **every** stripe's repair; each stripe
+    /// draws its own fault sites from a per-stripe seed, so the same
+    /// fault *pattern* hits different helpers per stripe.
+    pub storm: Vec<Vec<StormFault>>,
+    /// Base seed; stripe `i` repairs under seed `mix(seed, i)`.
+    pub seed: u64,
+    /// Supervisor configuration (replan budget, hedging, deadline)
+    /// shared by every stripe.
+    pub cfg: SuperviseConfig,
+}
+
+impl Default for SupervisedRecoveryOptions {
+    fn default() -> SupervisedRecoveryOptions {
+        SupervisedRecoveryOptions {
+            max_concurrent: None,
+            storm: Vec::new(),
+            seed: 17,
+            cfg: SuperviseConfig::default(),
+        }
+    }
+}
+
+/// The result of a supervised fleet recovery.
+#[derive(Clone, Debug)]
+pub struct SupervisedRecoveryOutcome {
+    /// Stripes the failure affected.
+    pub stripes_affected: usize,
+    /// Stripes whose supervised repair completed.
+    pub completed: usize,
+    /// Time until the last admitted wave finished.
+    pub makespan: f64,
+    /// Per-stripe repair durations (completed stripes only, in stripe
+    /// order) — the distribution MTTR and the p99 summarize.
+    pub stripe_seconds: Vec<f64>,
+    /// Mean time to repair one stripe.
+    pub mttr: f64,
+    /// 99th-percentile stripe repair time.
+    pub p99_stripe_seconds: f64,
+    /// Total replans across the fleet.
+    pub replans: usize,
+    /// Total transfer retries across the fleet.
+    pub retries: usize,
+    /// Total hedges launched / won across the fleet.
+    pub hedges: usize,
+    /// Hedges whose speculative alternative won.
+    pub hedge_wins: usize,
+    /// Stripes that finished below [`Tier::Full`].
+    pub degraded: usize,
+    /// Nodes the fleet-shared health tracker had quarantined by the end.
+    pub quarantined_nodes: Vec<usize>,
+}
+
+/// Quantile of a sample by the nearest-rank method (`q` in `0..=1`).
+/// Returns 0.0 for an empty sample.
+pub fn quantile(sample: &[f64], q: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 impl Store {
@@ -301,6 +373,103 @@ impl Store {
             upload_imbalance,
             rack_upload_bytes: rack_loads,
             rack_participants,
+        }
+    }
+
+    /// Fleet recovery routed through the repair supervisor: every
+    /// affected stripe repairs under the same fault-storm template while
+    /// one [`HealthTracker`] is shared across the whole fleet — a helper
+    /// that straggled or died in one stripe's repair is avoided by every
+    /// later stripe's planning.
+    ///
+    /// Admission control mirrors [`Store::recover_with_options`]: at most
+    /// `max_concurrent` stripes repair per wave and waves serialize. A
+    /// wave lasts as long as its slowest supervised repair; unlike the
+    /// fault-free path this does **not** model link contention inside a
+    /// wave (the supervisor replans per stripe, which the shared batch
+    /// simulator cannot follow), so makespans are comparable between
+    /// supervised runs, not against [`Store::recover`].
+    ///
+    /// Stripes whose storm exceeds the retry budget or `k` total failures
+    /// are reported in `stripes_affected - completed`, never panicked on.
+    pub fn recover_supervised(
+        &self,
+        failure: Failure,
+        profile: &BandwidthProfile,
+        cost: CostModel,
+        options: &SupervisedRecoveryOptions,
+    ) -> SupervisedRecoveryOutcome {
+        if let Some(limit) = options.max_concurrent {
+            assert!(limit > 0, "recover_supervised: max_concurrent must be positive");
+        }
+        let affected = self.affected_stripes(failure);
+        let mut tracker = HealthTracker::with_defaults();
+        let mut stripe_seconds = Vec::with_capacity(affected.len());
+        let mut completed = 0usize;
+        let (mut replans, mut retries, mut hedges, mut hedge_wins, mut degraded) =
+            (0usize, 0usize, 0usize, 0usize, 0usize);
+
+        let wave_size = options.max_concurrent.unwrap_or(affected.len().max(1)).max(1);
+        let mut makespan = 0.0f64;
+        for wave in affected.chunks(wave_size) {
+            let mut wave_wall = 0.0f64;
+            for (stripe, failed) in wave {
+                let ctx = RepairContext::new(
+                    self.codec(),
+                    self.topology(),
+                    self.placement(*stripe),
+                    failed.clone(),
+                    self.config().block_bytes,
+                    profile,
+                    cost,
+                );
+                // Per-stripe seed: same storm shape, independent sites.
+                let mut mix = SplitMix64::new(options.seed ^ (*stripe as u64));
+                let mut storm = FaultStorm::new(mix.next_u64());
+                for bucket in &options.storm {
+                    storm = storm.with_generation(bucket.clone());
+                }
+                let Ok(out) = supervise_injected(
+                    &ctx,
+                    &storm,
+                    &options.cfg,
+                    &mut tracker,
+                    rpr_obs::noop(),
+                ) else {
+                    continue;
+                };
+                completed += 1;
+                stripe_seconds.push(out.repair_time);
+                wave_wall = wave_wall.max(out.repair_time);
+                replans += out.replans;
+                retries += out.retries;
+                hedges += out.hedges;
+                hedge_wins += out.hedge_wins;
+                if out.final_tier > Tier::Full {
+                    degraded += 1;
+                }
+            }
+            makespan += wave_wall;
+        }
+
+        let mttr = if stripe_seconds.is_empty() {
+            0.0
+        } else {
+            stripe_seconds.iter().sum::<f64>() / stripe_seconds.len() as f64
+        };
+        SupervisedRecoveryOutcome {
+            stripes_affected: affected.len(),
+            completed,
+            makespan,
+            p99_stripe_seconds: quantile(&stripe_seconds, 0.99),
+            stripe_seconds,
+            mttr,
+            replans,
+            retries,
+            hedges,
+            hedge_wins,
+            degraded,
+            quarantined_nodes: tracker.quarantined(),
         }
     }
 }
@@ -523,6 +692,71 @@ mod tests {
                 ..Default::default()
             },
         );
+    }
+
+    #[test]
+    fn supervised_recovery_completes_a_fleet_under_crash_storms() {
+        use rpr_faults::CrashSite;
+        let s = small_store();
+        let p = profile(&s);
+        let opts = SupervisedRecoveryOptions {
+            storm: vec![vec![StormFault::Crash(CrashSite::SeedPick)]],
+            seed: 7,
+            ..SupervisedRecoveryOptions::default()
+        };
+        let out = s.recover_supervised(Failure::Node(NodeId(2)), &p, CostModel::free(), &opts);
+        assert!(out.stripes_affected > 0);
+        assert_eq!(out.completed, out.stripes_affected, "crash storms are survivable");
+        assert_eq!(out.stripe_seconds.len(), out.completed);
+        assert!(out.replans >= out.completed, "every stripe crashed at least once");
+        assert!(out.mttr > 0.0 && out.mttr.is_finite());
+        assert!(out.p99_stripe_seconds >= out.mttr);
+        assert!(out.makespan >= out.p99_stripe_seconds - 1e-9);
+        // Determinism: the same seed replays to the same distribution.
+        let out2 = s.recover_supervised(Failure::Node(NodeId(2)), &p, CostModel::free(), &opts);
+        assert_eq!(out.stripe_seconds, out2.stripe_seconds);
+    }
+
+    #[test]
+    fn supervised_admission_waves_serialize() {
+        let s = small_store();
+        let p = profile(&s);
+        let wide = SupervisedRecoveryOptions {
+            seed: 7,
+            ..SupervisedRecoveryOptions::default()
+        };
+        let narrow = SupervisedRecoveryOptions {
+            max_concurrent: Some(1),
+            ..wide.clone()
+        };
+        let node = s
+            .topology()
+            .nodes()
+            .max_by_key(|&n| s.blocks_on_node(n).len())
+            .unwrap();
+        let all = s.recover_supervised(Failure::Node(node), &p, CostModel::free(), &wide);
+        let one = s.recover_supervised(Failure::Node(node), &p, CostModel::free(), &narrow);
+        assert!(all.stripes_affected >= 2, "need >=2 stripes to see waves");
+        // One-at-a-time admission sums stripe times; full admission takes
+        // the max (contention inside a wave is not modeled here).
+        assert!(
+            one.makespan > all.makespan,
+            "serial {} vs concurrent {}",
+            one.makespan,
+            all.makespan
+        );
+        assert_eq!(one.completed, all.completed);
+        assert!((one.makespan - one.stripe_seconds.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        assert_eq!(quantile(&[], 0.99), 0.0);
+        assert_eq!(quantile(&[5.0], 0.99), 5.0);
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&s, 0.99), 99.0);
+        assert_eq!(quantile(&s, 0.5), 50.0);
+        assert_eq!(quantile(&s, 1.0), 100.0);
     }
 
     #[test]

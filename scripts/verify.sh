@@ -16,6 +16,9 @@
 #      without cut-through streaming (--chunk-size)
 #   7. streaming collapse: at (6,3) the chunked `rpr plan` makespan must
 #      be strictly lower than the store-and-forward one
+#   8. chaos soak: the supervised 3-fault storm (`rpr chaos`, crash →
+#      replacement crash → timeout) must complete at (6,3) and emit a
+#      byte-identical trace across runs, block and chunk mode
 #
 # Note: `cargo doc` prints a filename-collision warning for the `rpr` CLI
 # binary vs the `rpr` facade lib (cargo#6313); it is cargo's, not
@@ -90,5 +93,39 @@ if ! awk "BEGIN { exit !($T_CHUNK < $T_BLOCK) }"; then
     exit 1
 fi
 echo "==> streamed makespan $T_CHUNK s < store-and-forward $T_BLOCK s"
+
+# Step 8: the repair supervisor must drive the acceptance storm — a helper
+# crash, a crash of its replacement, then a timeout — to completion on the
+# simulator, deterministically: two runs per seed must produce the same
+# one-line JSON summary and a byte-identical trace, with and without
+# cut-through streaming.
+for seed in 17 4242; do
+    for mode in block chunk; do
+        if [ "$mode" = chunk ]; then CHUNK="--chunk-size 8"; else CHUNK=""; fi
+        for rep in a b; do
+            echo "==> $RPR chaos --code 6,3 --fail d1 --seed $seed $CHUNK (run $rep)"
+            "$RPR" chaos --code 6,3 --fail d1 --seed "$seed" $CHUNK --json \
+                --out "$CHAOS_DIR/storm_s${seed}_${mode}_${rep}.jsonl" \
+                > "$CHAOS_DIR/storm_s${seed}_${mode}_${rep}.json" 2>/dev/null
+        done
+        for rep in a b; do
+            if ! grep -q '"replans":2' "$CHAOS_DIR/storm_s${seed}_${mode}_${rep}.json"; then
+                echo "chaos soak FAILED: seed $seed ($mode) storm did not replan twice" >&2
+                exit 1
+            fi
+        done
+        if ! cmp -s "$CHAOS_DIR/storm_s${seed}_${mode}_a.jsonl" \
+                    "$CHAOS_DIR/storm_s${seed}_${mode}_b.jsonl"; then
+            echo "chaos soak FAILED: seed $seed ($mode) storm traces differ" >&2
+            exit 1
+        fi
+        if ! cmp -s "$CHAOS_DIR/storm_s${seed}_${mode}_a.json" \
+                    "$CHAOS_DIR/storm_s${seed}_${mode}_b.json"; then
+            echo "chaos soak FAILED: seed $seed ($mode) storm summaries differ" >&2
+            exit 1
+        fi
+        echo "==> supervised storm for seed $seed ($mode) completed deterministically"
+    done
+done
 
 echo "==> verify OK"

@@ -77,6 +77,7 @@ fn fast_policy() -> RetryPolicy {
         max_attempts: 4,
         backoff: 0.01,
         multiplier: 2.0,
+        ..RetryPolicy::default()
     }
 }
 

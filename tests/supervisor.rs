@@ -1,0 +1,270 @@
+//! Repair-supervisor acceptance suite (sim side).
+//!
+//! The headline guarantees (see `docs/ROBUSTNESS.md`):
+//! * a seeded 3-fault storm — helper crash, crash of its replacement,
+//!   then a transient timeout — completes at (6,3) via multi-crash
+//!   replanning with pooled partial reuse;
+//! * the identical seed replays bit-deterministically (traces diff
+//!   byte-for-byte clean);
+//! * a hedged repair with one seeded straggler beats the unhedged
+//!   makespan of the same seed (regression pin);
+//! * the replan invariants hold across seeded chaos storms: reused
+//!   partials never exceed the pool banked by prior generations, and
+//!   replacement plans still satisfy the decode equation.
+
+use rpr::codec::{BlockId, CodeParams, StripeCodec};
+use rpr::core::{
+    plan_with_pool, supervise_injected, CostModel, RepairContext, RepairPlanner, RprPlanner,
+    SuperviseConfig, Tier,
+};
+use rpr::faults::{ChaosProcess, CrashSite, FaultStorm, HealthTracker, RetryPolicy, StormFault};
+use rpr::obs::{export, TraceRecorder};
+use rpr::topology::{cluster_for, BandwidthProfile, Placement};
+use std::collections::HashMap;
+
+struct World {
+    codec: StripeCodec,
+    topo: rpr::topology::Topology,
+    placement: Placement,
+    profile: BandwidthProfile,
+    block: u64,
+}
+
+impl World {
+    fn new(n: usize, k: usize, block: u64) -> World {
+        let params = CodeParams::new(n, k);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::rpr_preplaced(params, &topo);
+        let profile = BandwidthProfile::uniform(topo.rack_count(), 80.0e6, 8.0e6);
+        World {
+            codec: StripeCodec::new(params),
+            topo,
+            placement,
+            profile,
+            block,
+        }
+    }
+
+    fn ctx(&self, failed: Vec<BlockId>) -> RepairContext<'_> {
+        RepairContext::new(
+            &self.codec,
+            &self.topo,
+            &self.placement,
+            failed,
+            self.block,
+            &self.profile,
+            CostModel::free(),
+        )
+    }
+}
+
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        backoff: 0.01,
+        multiplier: 2.0,
+        ..RetryPolicy::default()
+    }
+}
+
+fn three_fault_storm(seed: u64) -> FaultStorm {
+    FaultStorm::new(seed)
+        .with_generation(vec![StormFault::Crash(CrashSite::SeedPick)])
+        .with_generation(vec![StormFault::Crash(CrashSite::NewHelper)])
+        .with_generation(vec![StormFault::Timeout])
+}
+
+fn run_storm(
+    world: &World,
+    storm: &FaultStorm,
+    cfg: &SuperviseConfig,
+) -> (rpr::core::SuperviseOutcome, String) {
+    let ctx = world.ctx(vec![BlockId(1)]);
+    let rec = TraceRecorder::with_capacity(16384);
+    let mut tracker = HealthTracker::with_defaults();
+    let outcome = supervise_injected(&ctx, storm, cfg, &mut tracker, &rec)
+        .expect("supervised repair completes");
+    let trace = export::to_json_lines(&rec.take_events());
+    (outcome, trace)
+}
+
+#[test]
+fn three_fault_storm_completes_at_6_3() {
+    let world = World::new(6, 3, 1 << 20);
+    let storm = three_fault_storm(77);
+    let cfg = SuperviseConfig {
+        policy: fast_policy(),
+        ..SuperviseConfig::default()
+    };
+    let (outcome, _) = run_storm(&world, &storm, &cfg);
+
+    assert_eq!(outcome.replans, 2, "two crashes, two replans");
+    assert_eq!(outcome.generations.len(), 3);
+    assert!(outcome.generations[0].crashed.is_some());
+    assert!(outcome.generations[1].crashed.is_some());
+    assert!(outcome.generations[2].crashed.is_none());
+    assert!(outcome.retries >= 1, "the timeout fired");
+    assert!(
+        outcome.repair_time > outcome.clean_time,
+        "faults cost time: {} vs {}",
+        outcome.repair_time,
+        outcome.clean_time
+    );
+    assert_eq!(outcome.final_tier, Tier::Full);
+    // The second crash hit the replacement helper: the fault resolved
+    // to a node that was not a cross sender of generation 0's plan.
+    assert!(outcome
+        .fault_sites
+        .iter()
+        .any(|s| s.starts_with("replacement-crash")));
+}
+
+#[test]
+fn identical_seed_replays_bit_deterministically() {
+    let world = World::new(6, 3, 1 << 20);
+    let cfg = SuperviseConfig {
+        policy: fast_policy(),
+        hedge: Some(2.0),
+        deadline: Some(500.0),
+        ..SuperviseConfig::default()
+    };
+    for chunked in [false, true] {
+        let storm = three_fault_storm(4242);
+        let run = |storm: &FaultStorm| {
+            let mut ctx = world.ctx(vec![BlockId(1)]);
+            if chunked {
+                ctx = ctx.with_chunk_size(1 << 18);
+            }
+            let rec = TraceRecorder::with_capacity(16384);
+            let mut tracker = HealthTracker::with_defaults();
+            let outcome =
+                supervise_injected(&ctx, storm, &cfg, &mut tracker, &rec).expect("completes");
+            (outcome.repair_time, export::to_json_lines(&rec.take_events()))
+        };
+        let (t1, trace1) = run(&storm);
+        let (t2, trace2) = run(&storm);
+        assert_eq!(t1.to_bits(), t2.to_bits(), "chunked={chunked}");
+        assert_eq!(trace1, trace2, "trace replay must be byte-identical");
+    }
+}
+
+#[test]
+fn hedged_repair_beats_unhedged_with_seeded_straggler() {
+    let world = World::new(6, 3, 8 << 20);
+    // One seeded straggler: a helper's links run at 10% for the whole
+    // repair. No crashes — hedging only arms in crash-free generations.
+    let storm = FaultStorm::new(3).with_generation(vec![StormFault::Slow { factor: 0.1 }]);
+    let base = SuperviseConfig {
+        policy: fast_policy(),
+        ..SuperviseConfig::default()
+    };
+    let hedged_cfg = SuperviseConfig {
+        hedge: Some(2.0),
+        ..base.clone()
+    };
+    let (unhedged, _) = run_storm(&world, &storm, &base);
+    let (hedged, _) = run_storm(&world, &storm, &hedged_cfg);
+
+    assert_eq!(unhedged.hedges, 0);
+    assert!(hedged.hedges >= 1, "straggler must trigger a hedge");
+    assert!(hedged.hedge_wins >= 1, "the alternate helper must win");
+    assert!(
+        hedged.repair_time < unhedged.repair_time,
+        "hedged {} must beat unhedged {}",
+        hedged.repair_time,
+        unhedged.repair_time
+    );
+    // Regression pin: both makespans are deterministic for this seed.
+    let (hedged2, _) = run_storm(&world, &storm, &hedged_cfg);
+    assert_eq!(hedged.repair_time.to_bits(), hedged2.repair_time.to_bits());
+}
+
+#[test]
+fn replan_invariants_hold_across_seeded_chaos_storms() {
+    let world = World::new(6, 3, 1 << 20);
+    let cfg = SuperviseConfig {
+        policy: fast_policy(),
+        ..SuperviseConfig::default()
+    };
+    let mut completed_runs = 0usize;
+    for seed in 0..24u64 {
+        let storm = ChaosProcess::new(seed).storm();
+        let ctx = world.ctx(vec![BlockId(1)]);
+        let rec = TraceRecorder::with_capacity(16384);
+        let mut tracker = HealthTracker::with_defaults();
+        let Ok(outcome) = supervise_injected(&ctx, &storm, &cfg, &mut tracker, &rec) else {
+            // Some storms legitimately exceed the retry budget or k.
+            continue;
+        };
+        completed_runs += 1;
+        for (g, gen) in outcome.generations.iter().enumerate() {
+            assert!(
+                gen.reused_ops <= gen.pool_before,
+                "seed {seed} gen {g}: reused {} partials but only {} were banked",
+                gen.reused_ops,
+                gen.pool_before
+            );
+            assert!(
+                gen.completed_ops <= gen.executed_ops,
+                "seed {seed} gen {g}: completed more ops than it executed"
+            );
+        }
+        assert_eq!(outcome.generations[0].pool_before, 0);
+        assert_eq!(
+            outcome.replans,
+            outcome.generations.len() - 1,
+            "seed {seed}: every generation after the first is a replan"
+        );
+    }
+    assert!(
+        completed_runs >= 16,
+        "most chaos storms must complete ({completed_runs}/24 did)"
+    );
+}
+
+#[test]
+fn pool_reuse_preserves_the_decode_equation() {
+    let world = World::new(6, 3, 1 << 20);
+    let ctx = world.ctx(vec![BlockId(1)]);
+    let plan = RprPlanner::new().plan(&ctx);
+    plan.validate(&world.codec, &world.topo, &world.placement)
+        .expect("base plan valid");
+
+    // Bank every op of the original plan, then replan around a crashed
+    // helper with the pool available.
+    let vecs = plan.symbolic_vectors();
+    let crashed = world.placement.node_of(BlockId(3));
+    let mut pool: HashMap<(usize, Vec<u8>), ()> = HashMap::new();
+    for (i, op) in plan.ops.iter().enumerate() {
+        let loc = op.output_location();
+        if loc != crashed {
+            pool.insert((loc.0, vecs[i].clone()), ());
+        }
+    }
+    let mut ctx2 = world.ctx(vec![BlockId(1), BlockId(3)]);
+    ctx2.recovery_node_override = Some(plan.recovery);
+    ctx2.recovery_override = Some(world.topo.rack_of(plan.recovery));
+    let rep = plan_with_pool(&ctx2, &pool, Tier::Full).expect("replan builds");
+
+    // The replacement plan still solves the decode equation…
+    rep.plan
+        .validate(&world.codec, &world.topo, &world.placement)
+        .expect("replacement plan valid");
+    // …and every reused partial is byte-identical by construction: same
+    // node, same symbolic coefficient vector as the new plan demands.
+    let vecs2 = rep.plan.symbolic_vectors();
+    let mut reused = 0usize;
+    for (i, key) in rep.reused.iter().enumerate() {
+        let Some((node, vec)) = key else { continue };
+        reused += 1;
+        assert_eq!(*node, rep.plan.ops[i].output_location().0);
+        assert_eq!(*vec, vecs2[i]);
+        assert!(
+            pool.contains_key(&(*node, vec.clone())),
+            "reused key must come from the pool"
+        );
+        assert!(!rep.lowered[i], "reused ops never re-execute");
+    }
+    assert!(reused > 0, "a fully-banked pool must be reused");
+    assert!(reused <= pool.len());
+}
