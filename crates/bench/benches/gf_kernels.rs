@@ -52,6 +52,36 @@ fn bench_lin_comb(c: &mut Criterion) {
     g.finish();
 }
 
+/// One `gf/mul_acc_tier/<tier>/<len>` entry per kernel tier this host can
+/// run, pinned with `mul_acc_slice_on` rather than the dispatcher. The
+/// snapshot gate reads these to assert the SIMD-over-scalar speedup, and the
+/// spread between tiers is the perf trajectory PERFORMANCE.md narrates.
+fn bench_mul_acc_per_tier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf/mul_acc_tier");
+    for tier in rpr_gf::available_tiers() {
+        for &len in &SIZES {
+            let src = data(len, 5);
+            let mut dst = data(len, 6);
+            g.throughput(Throughput::Bytes(len as u64));
+            g.bench_with_input(
+                BenchmarkId::new(tier.name(), len),
+                &len,
+                |b, _| {
+                    b.iter(|| {
+                        rpr_gf::kernels::mul_acc_slice_on(
+                            tier,
+                            black_box(0x53),
+                            black_box(&src),
+                            black_box(&mut dst),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_scalar_mul(c: &mut Criterion) {
     c.bench_function("gf/scalar_mul_table", |b| {
         b.iter(|| {
@@ -68,6 +98,7 @@ criterion_group!(
     benches,
     bench_xor_slice,
     bench_mul_acc_slice,
+    bench_mul_acc_per_tier,
     bench_lin_comb,
     bench_scalar_mul
 );

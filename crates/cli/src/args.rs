@@ -16,6 +16,7 @@ usage:
               [--backend B] [--hedge M] [--deadline S] [--out FILE] [--json]
   rpr topo    --code N,K [--placement P]
   rpr analyze [--ti-ms X] [--tc-ms Y]
+  rpr kernels [--json]
 
 BLOCKS   comma-separated block names or indices: d1, p0, 3, d0,d2
 options:
@@ -26,7 +27,9 @@ options:
                     hop-to-hop in M-MiB chunks                   (default off:
                                                                   store-and-forward)
   --ratio R         inner:cross bandwidth ratio                  (default 10)
-  --cost C          simics | ec2 | free                          (default simics)
+  --cost C          simics | ec2 | free | measured               (default simics)
+                    measured calibrates against this machine's real
+                    GF kernels (see docs/PERFORMANCE.md)
 trace options (see docs/TRACING.md):
   --format F        chrome | jsonl                               (default chrome;
                                                                   inject: jsonl)
@@ -43,7 +46,9 @@ chaos options (supervised fault storms, see docs/ROBUSTNESS.md):
                     crash | replacement-crash | timeout | corrupt |
                     slow | rack          (default crash,replacement-crash,timeout)
   --hedge M         hedge a straggler at M x the peer median      (default off)
-  --deadline S      repair deadline in (virtual or wall) seconds  (default off)";
+  --deadline S      repair deadline in (virtual or wall) seconds  (default off)
+kernels (SIMD dispatch report, see docs/PERFORMANCE.md):
+  --json            machine-readable tier + throughput report";
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -73,6 +78,12 @@ pub enum Command {
         ti_ms: f64,
         /// Cross-rack transfer time (ms).
         tc_ms: f64,
+    },
+    /// Report the GF(2^8) kernel tiers this host dispatches to, with
+    /// measured throughput.
+    Kernels {
+        /// Machine-readable JSON instead of the human table.
+        json: bool,
     },
 }
 
@@ -328,6 +339,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .transpose()?
                 .unwrap_or(10.0),
         }),
+        "kernels" => Ok(Command::Kernels {
+            json: flags.has("--json"),
+        }),
         "topo" => {
             let params = parse_code(flags.get("--code").ok_or("missing --code")?)?;
             let placement = parse_placement(flags.get("--placement").unwrap_or("preplaced"))?;
@@ -367,7 +381,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err(format!("unknown scheme `{scheme}`"));
             }
             let cost = flags.get("--cost").unwrap_or("simics").to_string();
-            if !matches!(cost.as_str(), "simics" | "ec2" | "free") {
+            if !matches!(cost.as_str(), "simics" | "ec2" | "free" | "measured") {
                 return Err(format!("unknown cost model `{cost}`"));
             }
             let args = PlanArgs {
@@ -666,6 +680,27 @@ mod tests {
         }
         assert!(parse(&argv("plan --code 6,3 --fail d1 --chunk-size 0")).is_err());
         assert!(parse(&argv("plan --code 6,3 --fail d1 --chunk-size lots")).is_err());
+    }
+
+    #[test]
+    fn parse_kernels_command() {
+        assert_eq!(
+            parse(&argv("kernels")).unwrap(),
+            Command::Kernels { json: false }
+        );
+        assert_eq!(
+            parse(&argv("kernels --json")).unwrap(),
+            Command::Kernels { json: true }
+        );
+    }
+
+    #[test]
+    fn parse_measured_cost_model() {
+        match parse(&argv("plan --code 6,3 --fail d1 --cost measured")).unwrap() {
+            Command::Plan(a) => assert_eq!(a.cost, "measured"),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("plan --code 6,3 --fail d1 --cost guess")).is_err());
     }
 
     #[test]

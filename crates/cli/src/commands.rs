@@ -25,6 +25,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Chaos(c) => chaos(&c),
         Command::Topo { params, placement } => topo(params, placement),
         Command::Analyze { ti_ms, tc_ms } => analyze(ti_ms, tc_ms),
+        Command::Kernels { json } => kernels(json),
     }
 }
 
@@ -32,8 +33,53 @@ fn cost_model(name: &str) -> CostModel {
     match name {
         "ec2" => CostModel::ec2_t2micro(),
         "free" => CostModel::free(),
+        "measured" => CostModel::measured(),
         _ => CostModel::simics(),
     }
+}
+
+/// Report which GF(2^8) kernel tier this host dispatches to, every tier
+/// the hardware offers, and the measured fold throughput the `measured`
+/// cost model would use (see docs/PERFORMANCE.md).
+fn kernels(json: bool) -> Result<(), String> {
+    let active = rpr_gf::active_tier();
+    let available: Vec<String> = rpr_gf::available_tiers()
+        .iter()
+        .map(|t| t.name().to_string())
+        .collect();
+    let forced = std::env::var_os("RPR_FORCE_SCALAR")
+        .is_some_and(|v| !v.is_empty() && v != "0");
+    let m = CostModel::measured();
+    if json {
+        println!(
+            "{{\"command\":\"kernels\",\"active\":{},\"available\":{},\
+             \"forced_scalar\":{},\"gf_bytes_per_sec\":{:.0},\
+             \"xor_bytes_per_sec\":{:.0},\"matrix_build_seconds\":{:.9}}}",
+            json_str(active.name()),
+            json_str_array(&available),
+            forced,
+            m.gf_rate,
+            m.xor_rate,
+            m.matrix_build_seconds,
+        );
+        return Ok(());
+    }
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    println!("GF(2^8) kernel dispatch");
+    println!(
+        "  active tier : {}{}",
+        active.name(),
+        if forced { "  (RPR_FORCE_SCALAR)" } else { "" }
+    );
+    println!("  available   : {}", available.join(", "));
+    println!(
+        "  measured    : gf fold {:.2} GiB/s, xor fold {:.2} GiB/s, \
+         matrix build {:.1} us",
+        m.gf_rate / GIB,
+        m.xor_rate / GIB,
+        m.matrix_build_seconds * 1e6,
+    );
+    Ok(())
 }
 
 fn planner_by_name(name: &str) -> Box<dyn RepairPlanner> {

@@ -89,6 +89,11 @@ impl StripeCodec {
 
     /// Encode: produce the `k` parity blocks from the `n` data blocks.
     ///
+    /// All `k` parity rows are computed in one cache-blocked multi-row
+    /// pass ([`gf::lin_comb_multi`]): each data span is loaded once and
+    /// folded into every parity row while resident, instead of streaming
+    /// the whole stripe through cache once per parity.
+    ///
     /// # Panics
     /// Panics if `data.len() != n` or block lengths differ.
     pub fn encode(&self, data: &[&[u8]]) -> Vec<Vec<u8>> {
@@ -99,15 +104,11 @@ impl StripeCodec {
             data.iter().all(|b| b.len() == len),
             "encode: unequal block lengths"
         );
-        (0..p.k)
-            .map(|i| {
-                let mut parity = vec![0u8; len];
-                for (j, block) in data.iter().enumerate() {
-                    gf::mul_acc_slice(self.coding[(i, j)], block, &mut parity);
-                }
-                parity
-            })
-            .collect()
+        let rows: Vec<&[u8]> = (0..p.k).map(|i| self.coding.row(i)).collect();
+        let mut parities: Vec<Vec<u8>> = (0..p.k).map(|_| vec![0u8; len]).collect();
+        let mut outs: Vec<&mut [u8]> = parities.iter_mut().map(|b| b.as_mut_slice()).collect();
+        gf::lin_comb_multi(&rows, data, &mut outs);
+        parities
     }
 
     /// Encode a full stripe: returns `n + k` blocks (data copied first).
@@ -152,16 +153,17 @@ impl StripeCodec {
             .inverse()
             .expect("any n rows of an MDS generator are invertible");
 
-        // data_j = Σ_i inv[j][i] * chosen_i
-        let mut data: Vec<Vec<u8>> = Vec::with_capacity(p.n);
-        for j in 0..p.n {
-            let mut out = vec![0u8; len];
-            for (i, (_, block)) in chosen.iter().enumerate() {
-                gf::mul_acc_slice(inv[(j, i)], block, &mut out);
-            }
-            data.push(out);
+        // data_j = Σ_i inv[j][i] * chosen_i — all n recovered rows in one
+        // cache-blocked multi-row pass over the survivors.
+        let blocks: Vec<&[u8]> = chosen.iter().map(|(_, b)| *b).collect();
+        let inv_rows: Vec<&[u8]> = (0..p.n).map(|j| inv.row(j)).collect();
+        let mut data: Vec<Vec<u8>> = (0..p.n).map(|_| vec![0u8; len]).collect();
+        {
+            let mut outs: Vec<&mut [u8]> = data.iter_mut().map(|b| b.as_mut_slice()).collect();
+            gf::lin_comb_multi(&inv_rows, &blocks, &mut outs);
         }
 
+        let data_refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
         lost.iter()
             .map(|id| {
                 assert!(id.0 < p.total(), "decode: lost id out of range");
@@ -170,9 +172,7 @@ impl StripeCodec {
                 } else {
                     let i = id.0 - p.n;
                     let mut parity = vec![0u8; len];
-                    for (j, d) in data.iter().enumerate() {
-                        gf::mul_acc_slice(self.coding[(i, j)], d, &mut parity);
-                    }
+                    gf::lin_comb(self.coding.row(i), &data_refs, &mut parity);
                     parity
                 }
             })

@@ -4,6 +4,7 @@
 //! operation DAG, and supervised replanning that reuses completed partial
 //! results (see `docs/ROBUSTNESS.md`).
 
+use crate::arena::{ArenaStats, BufferPool, Chunk};
 use crate::ratelimit::TokenBucket;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -55,6 +56,11 @@ pub struct ExecReport {
     pub verified: bool,
     /// Targets whose reconstruction mismatched (empty when `verified`).
     pub mismatches: Vec<BlockId>,
+    /// Chunk-buffer arena counters: how many delivery buffers were
+    /// allocated fresh vs recycled from the pool. Streaming runs settle
+    /// into recycling; block-mode runs use neither (whole-block values
+    /// are shared, not pooled).
+    pub arena: ArenaStats,
 }
 
 /// Why a fault-injected execution could not complete.
@@ -103,10 +109,12 @@ struct NodeLinks {
 }
 
 /// What flows through a dependency channel: the producer's output, or
-/// notice that it will never arrive (dead helper upstream).
+/// notice that it will never arrive (dead helper upstream). Streamed
+/// edges carry pooled chunk buffers; block-mode edges carry shared
+/// whole-block values.
 #[derive(Debug)]
 enum Delivery {
-    Data(Arc<Vec<u8>>),
+    Data(Chunk),
     Failed,
 }
 
@@ -147,6 +155,9 @@ struct RunEnv<'r, 'c> {
     chunk: usize,
     /// Chunk split of one block (a singleton without streaming).
     sizes: &'r [u64],
+    /// Shared chunk-buffer arena: streamed deliveries check buffers out
+    /// of this pool instead of allocating per chunk.
+    pool: &'r Arc<BufferPool>,
 }
 
 impl RunEnv<'_, '_> {
@@ -167,6 +178,8 @@ struct AttemptRun {
     crash_t: Option<f64>,
     /// Failed-and-retried transfer attempts.
     retries: usize,
+    /// Chunk-buffer pool counters for this attempt.
+    arena: ArenaStats,
 }
 
 /// Execute a plan on real stripe contents.
@@ -362,6 +375,7 @@ pub fn execute_resilient(
     Ok(ResilientReport {
         report: ExecReport {
             wall_seconds,
+            arena: run1.arena.plus(run2.arena),
             op_timings: run2.op_timings,
             cross_bytes,
             inner_bytes,
@@ -591,6 +605,7 @@ pub fn execute_supervised(
     let mut retries = 0usize;
     let mut replans = 0usize;
     let mut reused_total = 0usize;
+    let mut arena = ArenaStats::default();
     let mut hedges = 0usize;
     let mut hedge_wins = 0usize;
     let mut hedge_pending: Option<(String, usize)> = None; // (label, hedge node)
@@ -675,6 +690,7 @@ pub fn execute_supervised(
         let (run, hedge_fired) =
             run_watched(&plan, &ctx_g, stripe, rec, t0, &a_cfg, hedge_budget, &cancel);
         retries += run.retries;
+        arena = arena.plus(run.arena);
         let completed: Vec<bool> = run.values.iter().map(|v| v.is_some()).collect();
         let now = t0.elapsed().as_secs_f64();
 
@@ -909,6 +925,7 @@ pub fn execute_supervised(
         return Ok(SupervisedReport {
             report: ExecReport {
                 wall_seconds: now,
+                arena,
                 op_timings: run.op_timings,
                 cross_bytes,
                 inner_bytes,
@@ -1069,6 +1086,7 @@ fn run_attempt(
     let crash_t: Mutex<Option<f64>> = Mutex::new(None);
     let retries = AtomicUsize::new(0);
 
+    let pool = BufferPool::new();
     let env = RunEnv {
         plan,
         ctx,
@@ -1084,6 +1102,7 @@ fn run_attempt(
             .effective_chunk()
             .map_or(DEFAULT_SHAPER_CHUNK, |c| c as usize),
         sizes: &sizes,
+        pool: &pool,
     };
 
     std::thread::scope(|scope| {
@@ -1119,7 +1138,9 @@ fn run_attempt(
                 for (dep, rx) in my_consumers {
                     match rx.recv().expect("producer thread panicked") {
                         Delivery::Data(v) => {
-                            vals.insert(dep, v);
+                            // Block-mode edges only ever carry `Shared`
+                            // values, so this is an Arc bump, not a copy.
+                            vals.insert(dep, v.to_block());
                         }
                         Delivery::Failed => failed_input = true,
                     }
@@ -1383,7 +1404,7 @@ fn run_attempt(
                 }
                 *values[i].lock() = Some(out.clone());
                 for tx in my_producers {
-                    let _ = tx.send(Delivery::Data(out.clone()));
+                    let _ = tx.send(Delivery::Data(Chunk::shared(out.clone())));
                 }
             });
         }
@@ -1394,6 +1415,7 @@ fn run_attempt(
         op_timings: timings.into_iter().map(|m| m.into_inner()).collect(),
         crash_t: crash_t.into_inner(),
         retries: retries.into_inner(),
+        arena: pool.stats(),
     }
 }
 
@@ -1475,10 +1497,18 @@ fn stream_op(
     // A downstream consumer may have aborted (failed input on another
     // edge) and dropped its receiver while this stream is mid-flight;
     // chunk sends into a closed channel are simply dropped.
-    let forward = |chunk: Arc<Vec<u8>>| {
+    let forward = |chunk: Chunk| {
         for tx in producers {
             let _ = tx.send(Delivery::Data(chunk.clone()));
         }
+    };
+    // Forward one chunk through a pooled buffer: the buffer returns to
+    // the pool when the last downstream consumer finishes with it, so
+    // the steady state allocates nothing per chunk.
+    let forward_pooled = |bytes: &[u8]| {
+        let mut c = env.pool.get(bytes.len());
+        c.copy_from_slice(bytes);
+        forward(Chunk::pooled(c));
     };
     let fail_downstream = || {
         for tx in producers {
@@ -1632,7 +1662,7 @@ fn stream_op(
                             sums[j],
                             "delivered chunk failed verification"
                         );
-                        forward(Arc::new(buf[r].to_vec()));
+                        forward_pooled(&buf[r]);
                         if first_delivered_t.is_none() {
                             first_delivered_t = Some(t0.elapsed().as_secs_f64());
                         }
@@ -1695,7 +1725,7 @@ fn stream_op(
                     sums[j],
                     "delivered chunk failed verification"
                 );
-                forward(Arc::new(buf[r].to_vec()));
+                forward_pooled(&buf[r]);
                 if first_delivered_t.is_none() {
                     first_delivered_t = Some(t0.elapsed().as_secs_f64());
                 }
@@ -1761,7 +1791,7 @@ fn stream_op(
                 })
                 .collect();
             let mut out = vec![0u8; total];
-            let mut arrived: Vec<Option<Arc<Vec<u8>>>> = vec![None; feeds.len()];
+            let mut arrived: Vec<Option<Chunk>> = vec![None; feeds.len()];
             for j in 0..m {
                 let r = env.range(j);
                 let clen = r.len() as u64;
@@ -1781,20 +1811,29 @@ fn stream_op(
                     }
                 }
                 let _cpu = env.links[node.0].cpu.lock();
-                let mut pd = rpr_codec::PartialDecoder::new(r.len());
+                // Fold every input directly into this chunk's slice of
+                // the output block — the per-chunk accumulator the
+                // PartialDecoder used to allocate (plus its copy-out) is
+                // gone; `out[r]` starts zeroed and serves as the
+                // accumulator itself.
+                let dst = &mut out[r.clone()];
                 for (f, (feed, kind)) in feeds.iter().enumerate() {
                     let chunk: &[u8] = match feed {
                         ChunkFeed::Whole(w) => &w[r.clone()],
                         ChunkFeed::Edge(_) => arrived[f].as_ref().expect("gathered above"),
                     };
                     match kind {
-                        FoldKind::Coeff(coeff) => pd.fold(*coeff, chunk),
-                        FoldKind::Merge => pd.merge_bytes(chunk),
+                        FoldKind::Coeff(coeff) => {
+                            // Zero terms are filtered at equation build;
+                            // folding one here would hide a plan bug.
+                            assert_ne!(*coeff, 0, "combine: zero coefficient");
+                            rpr_gf::mul_acc_slice(*coeff, chunk, dst);
+                        }
+                        FoldKind::Merge => rpr_gf::xor_slice(dst, chunk),
                     }
                     modeled += chunk_fold_cost(plan, ctx, kind, clen);
                 }
                 arrived.iter_mut().for_each(|a| *a = None);
-                out[r.clone()].copy_from_slice(&pd.finish());
                 // Pace the stream to the modeled decode rate before
                 // forwarding, so downstream sees chunks at the pace the
                 // target machine would produce them.
@@ -1802,7 +1841,7 @@ fn stream_op(
                 if modeled.is_finite() && modeled > spent {
                     std::thread::sleep(std::time::Duration::from_secs_f64(modeled - spent));
                 }
-                forward(Arc::new(out[r].to_vec()));
+                forward_pooled(&out[r]);
             }
             let ended = t0.elapsed().as_secs_f64();
             rec.record(Event::CombineDone {
@@ -1928,6 +1967,7 @@ fn close_run(
 
     ExecReport {
         wall_seconds,
+        arena: run.arena,
         op_timings: run.op_timings,
         cross_bytes,
         inner_bytes,

@@ -17,9 +17,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod executor;
 mod ratelimit;
 
+pub use arena::ArenaStats;
 pub use executor::{
     execute, execute_recorded, execute_resilient, execute_supervised, ExecError, ExecReport,
     OpTiming, ResilientReport, SupervisedReport,

@@ -6,7 +6,13 @@
 //!   and must never be read — the public API guards all accesses);
 //! * [`MUL`]: the full 256×256 multiplication table, laid out row-major so a
 //!   single row serves as the per-coefficient lookup used by the slice
-//!   kernels.
+//!   kernels;
+//! * [`NIB_LO`] / [`NIB_HI`]: the split-nibble tables behind the SIMD
+//!   kernels. Any byte `x = (hi << 4) | lo` factors the product as
+//!   `c·x = c·lo ⊕ c·(hi << 4)` because multiplication distributes over
+//!   XOR, so two 16-entry lookups (`NIB_LO[c][lo]` and `NIB_HI[c][hi]`)
+//!   replace one 256-entry lookup — and a 16-entry table fits exactly into
+//!   one `pshufb` / `vtbl` shuffle register.
 //!
 //! Everything is produced by `const fn` evaluation from the bit-level
 //! reference multiplier [`mul_slow`], so the tables cannot drift from the
@@ -86,6 +92,29 @@ pub static LOG: [u8; 256] = {
 /// Full multiplication table, row-major: `MUL[a][b] = a * b`.
 pub static MUL: [[u8; 256]; 256] = build_mul();
 
+const fn build_nib(shift: u8) -> [[u8; 16]; 256] {
+    let mut t = [[0u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            t[c][x] = mul_slow(c as u8, (x as u8) << shift);
+            x += 1;
+        }
+        c += 1;
+    }
+    t
+}
+
+/// Low-nibble product table: `NIB_LO[c][x] = c * x` for `x in 0..16`.
+///
+/// Together with [`NIB_HI`] this is the shuffle payload of the SIMD
+/// kernels: `c·b = NIB_LO[c][b & 0xF] ⊕ NIB_HI[c][b >> 4]`.
+pub static NIB_LO: [[u8; 16]; 256] = build_nib(0);
+
+/// High-nibble product table: `NIB_HI[c][x] = c * (x << 4)` for `x in 0..16`.
+pub static NIB_HI: [[u8; 16]; 256] = build_nib(4);
+
 /// The 256-entry multiplication row for coefficient `c`:
 /// `mul_row(c)[x] == c * x`.
 #[inline]
@@ -129,6 +158,16 @@ mod tests {
     #[test]
     fn mul_row_is_table_row() {
         assert_eq!(mul_row(7)[13], MUL[7][13]);
+    }
+
+    #[test]
+    fn nibble_tables_recompose_full_products() {
+        for c in 0..256usize {
+            for b in 0..256usize {
+                let split = NIB_LO[c][b & 0x0F] ^ NIB_HI[c][b >> 4];
+                assert_eq!(split, MUL[c][b], "c={c} b={b}");
+            }
+        }
     }
 
     #[test]

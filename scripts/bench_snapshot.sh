@@ -1,0 +1,100 @@
+#!/usr/bin/env sh
+# Record a performance snapshot: run the Criterion suites with JSONL
+# emission enabled and wrap the results into one schema-stable
+# `BENCH_<date>.json` document (schema id `rpr-bench-snapshot/1`).
+#
+# Usage: scripts/bench_snapshot.sh [--quick] [--out FILE] [--offline]
+#   --quick      60 ms measurement windows (RPR_BENCH_MS=60) instead of the
+#                default 300 ms — noisier but fast enough for verify.sh.
+#   --out FILE   write the snapshot there (default: BENCH_<utc-date>.json
+#                in the repo root — the name the verify gate looks for).
+#   --offline    forward --offline to cargo (implied by CARGO_NET_OFFLINE).
+#
+# The snapshot layout (documented in docs/PERFORMANCE.md):
+#
+#   {
+#     "schema": "rpr-bench-snapshot/1",
+#     "created": "YYYY-MM-DD",            // UTC date of the run
+#     "quick": false,                     // true when --quick was used
+#     "measure_ms": 300,                  // Criterion window per benchmark
+#     "host": { "arch", "os", "cpus", "kernel_tier" },
+#     "results": [ { "name", "mean_ns", "iters", "bytes",
+#                    "bytes_per_sec", "elems", "elems_per_sec" }, ... ]
+#   }
+#
+# Each `results` entry is one Criterion benchmark, verbatim from the
+# RPR_BENCH_JSON line the vendored harness emits; throughput fields are
+# null for benchmarks with no declared throughput. `host.kernel_tier` is
+# the dispatched GF(2^8) tier (`rpr kernels --json`), so snapshots taken
+# on different machines — or with RPR_FORCE_SCALAR set — are never
+# compared against each other by the verify gate.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+OUT=""
+OFFLINE=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --quick) QUICK=1 ;;
+        --out) shift; OUT="$1" ;;
+        --offline) OFFLINE="--offline" ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+if [ "${CARGO_NET_OFFLINE:-}" = "true" ]; then
+    OFFLINE="--offline"
+fi
+
+command -v jq >/dev/null 2>&1 || { echo "bench_snapshot.sh needs jq" >&2; exit 2; }
+
+DATE="$(date -u +%F)"
+[ -n "$OUT" ] || OUT="BENCH_${DATE}.json"
+if [ "$QUICK" = 1 ]; then MS=60; else MS=300; fi
+
+# Absolute: cargo runs bench binaries from the package directory, not here.
+RAW="$(pwd)/target/bench/raw.jsonl"
+mkdir -p target/bench
+rm -f "$RAW"
+
+# The CLI provides the host's kernel-tier fingerprint.
+echo "==> cargo build $OFFLINE --release -p rpr-cli -p rpr-bench --benches"
+cargo build $OFFLINE --release -p rpr-cli -p rpr-bench --benches
+TIER="$(target/release/rpr kernels --json | jq -r .active)"
+
+# Suites: the kernel microbenchmarks the gate reads, plus the codec,
+# planner, and streaming-executor suites that track end-to-end cost.
+# (`figures` reproduces the paper's plots and is left to manual runs.)
+for suite in gf_kernels codec planner streaming; do
+    echo "==> cargo bench -p rpr-bench --bench $suite (window ${MS} ms)"
+    RPR_BENCH_MS="$MS" RPR_BENCH_JSON="$RAW" \
+        cargo bench $OFFLINE -p rpr-bench --bench "$suite" >/dev/null
+done
+
+jq -s \
+    --arg created "$DATE" \
+    --arg quick "$QUICK" \
+    --arg ms "$MS" \
+    --arg arch "$(uname -m)" \
+    --arg os "$(uname -s | tr '[:upper:]' '[:lower:]')" \
+    --arg cpus "$(nproc)" \
+    --arg tier "$TIER" \
+    '{
+        schema: "rpr-bench-snapshot/1",
+        created: $created,
+        quick: ($quick == "1"),
+        measure_ms: ($ms | tonumber),
+        host: {
+            arch: $arch,
+            os: $os,
+            cpus: ($cpus | tonumber),
+            kernel_tier: $tier
+        },
+        results: .
+    }' "$RAW" > "$OUT"
+
+N="$(jq '.results | length' "$OUT")"
+echo "==> wrote $OUT ($N results, tier $TIER, ${MS} ms windows)"

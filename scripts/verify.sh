@@ -19,6 +19,12 @@
 #   8. chaos soak: the supervised 3-fault storm (`rpr chaos`, crash →
 #      replacement crash → timeout) must complete at (6,3) and emit a
 #      byte-identical trace across runs, block and chunk mode
+#   9. bench gate: a quick bench snapshot (scripts/bench_snapshot.sh
+#      --quick) must not regress the GF kernel throughput by more than
+#      15% against the newest committed BENCH_*.json, and the dispatched
+#      SIMD multiply must stay >= 4x the scalar tier (scripts/
+#      bench_gate.sh). Set RPR_BENCH_GATE=off to skip, e.g. on loaded
+#      machines. See docs/PERFORMANCE.md.
 #
 # Note: `cargo doc` prints a filename-collision warning for the `rpr` CLI
 # binary vs the `rpr` facade lib (cargo#6313); it is cargo's, not
@@ -127,5 +133,32 @@ for seed in 17 4242; do
         echo "==> supervised storm for seed $seed ($mode) completed deterministically"
     done
 done
+
+# Step 9: performance must not silently rot. Take a quick snapshot and
+# gate it against the newest committed baseline; a transient miss (quick
+# windows on a shared box are noisy) gets two retries before it counts.
+if [ "${RPR_BENCH_GATE:-on}" = "off" ]; then
+    echo "==> bench gate skipped (RPR_BENCH_GATE=off)"
+else
+    BASELINE="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)"
+    if [ -z "$BASELINE" ]; then
+        echo "==> bench gate skipped (no committed BENCH_*.json baseline)"
+    else
+        GATE_OK=0
+        for attempt in 1 2 3; do
+            echo "==> scripts/bench_snapshot.sh --quick (gate attempt $attempt)"
+            scripts/bench_snapshot.sh --quick $OFFLINE \
+                --out target/bench/BENCH_current.json >/dev/null
+            if scripts/bench_gate.sh "$BASELINE" target/bench/BENCH_current.json; then
+                GATE_OK=1
+                break
+            fi
+        done
+        if [ "$GATE_OK" != 1 ]; then
+            echo "bench gate FAILED on all attempts (baseline $BASELINE)" >&2
+            exit 1
+        fi
+    fi
+fi
 
 echo "==> verify OK"

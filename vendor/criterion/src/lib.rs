@@ -9,6 +9,17 @@
 //! measurement window, and the mean per-iteration time (plus throughput
 //! when configured) is printed. No plots, no statistics, no baselines —
 //! but `cargo bench` runs end-to-end and reports comparable numbers.
+//!
+//! Two environment knobs drive the repository's benchmark snapshots
+//! (`scripts/bench_snapshot.sh`, docs/PERFORMANCE.md):
+//!
+//! * `RPR_BENCH_MS` — measurement window per benchmark in milliseconds
+//!   (default 300; the snapshot's `--quick` mode shrinks it);
+//! * `RPR_BENCH_JSON` — when set to a path, every result is also
+//!   appended there as one JSON object per line:
+//!   `{"name":…,"mean_ns":…,"iters":…,"bytes":…,"bytes_per_sec":…,
+//!   "elems":…,"elems_per_sec":…}` (throughput fields are `null` when
+//!   the group configured none).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -121,11 +132,67 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
+/// The measurement window: `RPR_BENCH_MS` milliseconds, default 300.
+fn measure_window() -> Duration {
+    use std::sync::OnceLock;
+    static MS: OnceLock<u64> = OnceLock::new();
+    Duration::from_millis(*MS.get_or_init(|| {
+        std::env::var("RPR_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&ms| ms > 0)
+            .unwrap_or(300)
+    }))
+}
+
+/// Append one result line to the `RPR_BENCH_JSON` file, if configured.
+/// Benchmark names are plain `[a-z0-9_/ ]` identifiers, so no string
+/// escaping is needed.
+fn emit_json(full_name: &str, mean: Duration, iters: u64, throughput: Option<Throughput>) {
+    let Some(path) = std::env::var_os("RPR_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let secs = mean.as_secs_f64();
+    let (bytes, bps, elems, eps) = match throughput {
+        Some(Throughput::Bytes(n)) => (
+            n.to_string(),
+            format!("{:.0}", n as f64 / secs),
+            "null".to_string(),
+            "null".to_string(),
+        ),
+        Some(Throughput::Elements(n)) => (
+            "null".to_string(),
+            "null".to_string(),
+            n.to_string(),
+            format!("{:.2}", n as f64 / secs),
+        ),
+        None => ("null".to_string(), "null".to_string(), "null".to_string(), "null".to_string()),
+    };
+    let line = format!(
+        "{{\"name\":\"{full_name}\",\"mean_ns\":{:.1},\"iters\":{iters},\
+         \"bytes\":{bytes},\"bytes_per_sec\":{bps},\
+         \"elems\":{elems},\"elems_per_sec\":{eps}}}",
+        mean.as_nanos() as f64,
+    );
+    use std::io::Write;
+    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(f, "{line}") {
+                eprintln!("criterion: RPR_BENCH_JSON write failed: {e}");
+            }
+        }
+        Err(e) => eprintln!("criterion: RPR_BENCH_JSON open failed: {e}"),
+    }
+}
+
 fn run_one(full_name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
         iters_done: 0,
         elapsed: Duration::ZERO,
-        measure_window: Duration::from_millis(300),
+        measure_window: measure_window(),
     };
     f(&mut b);
     if b.iters_done == 0 {
@@ -133,6 +200,7 @@ fn run_one(full_name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&m
         return;
     }
     let mean = b.elapsed.div_f64(b.iters_done as f64);
+    emit_json(full_name, mean, b.iters_done, throughput);
     let rate = throughput.map(|t| {
         let per_sec = match t {
             Throughput::Bytes(n) => n as f64 / mean.as_secs_f64(),
@@ -274,6 +342,38 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("enc", 42).name, "enc/42");
         assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+
+    #[test]
+    fn json_line_shape_is_schema_stable() {
+        // The snapshot tooling greps these exact keys; emit through the
+        // same formatter the file path uses.
+        let dir = std::env::temp_dir().join(format!("criterion_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        std::env::set_var("RPR_BENCH_JSON", &path);
+        emit_json("g/case/1024", Duration::from_micros(10), 100, Some(Throughput::Bytes(1024)));
+        emit_json("g/items", Duration::from_micros(10), 100, Some(Throughput::Elements(4)));
+        emit_json("g/bare", Duration::from_micros(10), 100, None);
+        std::env::remove_var("RPR_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        // Another test's benchmark may race a line in while the env var
+        // is set; only judge the three lines this test emitted.
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"name\":\"g/case/1024\"") || l.contains("\"name\":\"g/items\"") || l.contains("\"name\":\"g/bare\""))
+            .collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"name\":\"g/case/1024\""));
+        assert!(lines[0].contains("\"bytes\":1024"));
+        assert!(lines[0].contains("\"bytes_per_sec\":102400000"));
+        assert!(lines[1].contains("\"elems_per_sec\":400000.00"));
+        assert!(lines[1].contains("\"bytes\":null"));
+        assert!(lines[2].contains("\"bytes_per_sec\":null"));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
     }
 
     #[test]
