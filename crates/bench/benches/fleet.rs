@@ -1,0 +1,72 @@
+//! Fleet-scheduler benchmarks: raw admission throughput of
+//! `schedule_fleet` over a pre-built 10k-stripe backlog — the index
+//! pop/requeue path plus arbiter admit/release, with the per-stripe
+//! simulation cost factored out.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rpr_netsim::Network;
+use rpr_obs::NoopRecorder;
+use rpr_sched::{schedule_fleet, BandwidthArbiter, Demand, FleetJob};
+use rpr_topology::{BandwidthProfile, NodeId, Topology};
+use std::hint::black_box;
+
+const STRIPES: u32 = 10_000;
+
+/// A seeded 10k-job backlog with random levels, durations, and one
+/// cross-uplink demand each, on a 16-rack cell.
+fn backlog() -> (Network, Vec<FleetJob>, Vec<Demand>) {
+    let net = Network::new(
+        Topology::uniform(16, 8),
+        BandwidthProfile::simics_default(16),
+    );
+    let cross = net.cross_class_rate(NodeId(0));
+    let nodes = 16 * 8;
+    let mut s = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let jobs: Vec<FleetJob> = (0..STRIPES)
+        .map(|i| FleetJob {
+            stripe: i,
+            level: (next() % 3 + 1) as usize,
+            duration: (next() % 900 + 100) as f64 / 100.0,
+            cross_bytes: 256 << 20,
+            inner_bytes: 512 << 20,
+        })
+        .collect();
+    let demands: Vec<Demand> = (0..STRIPES)
+        .map(|_| Demand {
+            entries: vec![(
+                BandwidthArbiter::uplink((next() % nodes) as usize),
+                (next() % 100 + 1) as f64 / 100.0 * cross,
+            )],
+        })
+        .collect();
+    (net, jobs, demands)
+}
+
+/// Drain the whole backlog through the scheduler; one element = one
+/// admitted-and-completed stripe.
+fn bench_admission_throughput(c: &mut Criterion) {
+    let (net, jobs, demands) = backlog();
+    let mut g = c.benchmark_group("fleet");
+    g.throughput(Throughput::Elements(STRIPES as u64));
+    g.bench_function("admission_throughput", |b| {
+        b.iter(|| {
+            let mut arb = BandwidthArbiter::new(&net);
+            black_box(schedule_fleet(
+                &jobs,
+                &mut |i| demands[i].clone(),
+                &mut arb,
+                &NoopRecorder,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_admission_throughput);
+criterion_main!(benches);

@@ -14,6 +14,10 @@ usage:
               [--backend B] [--format F] [--out FILE] [--json]
   rpr chaos   --code N,K --fail BLOCKS [options] [--storm LIST] [--seed S]
               [--backend B] [--hedge M] [--deadline S] [--out FILE] [--json]
+  rpr fleet   [--code N,K] [--stripes N] [--racks R] [--nodes-per-rack N]
+              [--block-mib M] [--ratio R] [--seed S] [--storm LIST]
+              [--agg-gbit G] [--no-arbiter] [--threads T] [--json]
+              [--format F] [--out FILE]
   rpr topo    --code N,K [--placement P]
   rpr analyze [--ti-ms X] [--tc-ms Y]
   rpr kernels [--json]
@@ -47,6 +51,18 @@ chaos options (supervised fault storms, see docs/ROBUSTNESS.md):
                     slow | rack          (default crash,replacement-crash,timeout)
   --hedge M         hedge a straggler at M x the peer median      (default off)
   --deadline S      repair deadline in (virtual or wall) seconds  (default off)
+fleet options (at-risk backlog drain, see docs/FLEET.md):
+  --stripes N       at-risk stripes in the backlog                (default 10000)
+  --racks R         physical racks in the cluster                 (default 25)
+  --nodes-per-rack N  nodes per rack, 2..=64                      (default 16)
+  --storm LIST      per-stripe fault storm, same names as chaos   (default none:
+                                                                   clean repairs)
+  --agg-gbit G      finite aggregation-switch capacity in Gbit/s  (default off)
+  --no-arbiter      disable bandwidth arbitration (stripes never wait)
+  --threads T       worker threads for repair costing             (default auto)
+  --json            machine-readable summary on stdout
+  --out FILE        write the stripe_enqueued/admitted/bandwidth_waited
+                    event stream to FILE (--format chrome | jsonl)
 kernels (SIMD dispatch report, see docs/PERFORMANCE.md):
   --json            machine-readable tier + throughput report";
 
@@ -65,6 +81,9 @@ pub enum Command {
     /// Drive a repair through the supervisor under a multi-generation
     /// fault storm (crash of a replacement helper included).
     Chaos(ChaosArgs),
+    /// Drain a fleet-scale backlog of at-risk stripes through the
+    /// prioritized, bandwidth-arbitrated repair scheduler.
+    Fleet(FleetArgs),
     /// Print the cluster/placement layout.
     Topo {
         /// Code geometry.
@@ -233,6 +252,39 @@ pub struct ChaosArgs {
     pub json: bool,
 }
 
+/// Options for the `fleet` command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetArgs {
+    /// Code geometry of every stripe.
+    pub params: CodeParams,
+    /// At-risk stripes in the backlog.
+    pub stripes: usize,
+    /// Physical racks in the cluster.
+    pub racks: usize,
+    /// Nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// inner:cross bandwidth ratio.
+    pub ratio: f64,
+    /// Master seed (placement, at-risk levels, fault sites).
+    pub seed: u64,
+    /// Per-stripe fault storm, one fault per generation; empty = clean.
+    pub storm: Vec<ChaosFault>,
+    /// Finite aggregation-switch capacity in Gbit/s; off when absent.
+    pub agg_gbit: Option<f64>,
+    /// False disables bandwidth arbitration (`--no-arbiter`).
+    pub arbitrate: bool,
+    /// Worker threads for repair costing (0 = automatic).
+    pub threads: usize,
+    /// Print a machine-readable summary object on stdout.
+    pub json: bool,
+    /// Output format of the scheduler event stream.
+    pub format: TraceFormat,
+    /// Event-stream output path; no events are recorded when absent.
+    pub out: Option<String>,
+}
+
 /// Parse a code spec like `6,2` or `12,4`.
 pub fn parse_code(s: &str) -> Result<CodeParams, String> {
     let (n, k) = s
@@ -346,6 +398,103 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let params = parse_code(flags.get("--code").ok_or("missing --code")?)?;
             let placement = parse_placement(flags.get("--placement").unwrap_or("preplaced"))?;
             Ok(Command::Topo { params, placement })
+        }
+        "fleet" => {
+            let params = parse_code(flags.get("--code").unwrap_or("6,3"))?;
+            let stripes: usize = flags
+                .get("--stripes")
+                .map(|v| v.parse().map_err(|_| "bad --stripes"))
+                .transpose()?
+                .unwrap_or(10_000);
+            if stripes == 0 {
+                return Err("--stripes must be positive".into());
+            }
+            let racks: usize = flags
+                .get("--racks")
+                .map(|v| v.parse().map_err(|_| "bad --racks"))
+                .transpose()?
+                .unwrap_or(25);
+            if racks < params.rack_count() {
+                return Err(format!(
+                    "--racks {racks} too small: RS({},{}) stripes span {} racks",
+                    params.n,
+                    params.k,
+                    params.rack_count()
+                ));
+            }
+            let nodes_per_rack: usize = flags
+                .get("--nodes-per-rack")
+                .map(|v| v.parse().map_err(|_| "bad --nodes-per-rack"))
+                .transpose()?
+                .unwrap_or(16);
+            if nodes_per_rack <= params.k || nodes_per_rack > 64 {
+                return Err(format!(
+                    "--nodes-per-rack must be in {}..=64 (each rack hosts up to k = {} \
+                     blocks plus a spare)",
+                    params.k + 1,
+                    params.k
+                ));
+            }
+            let block_mib: u64 = flags
+                .get("--block-mib")
+                .map(|v| v.parse().map_err(|_| "bad --block-mib"))
+                .transpose()?
+                .unwrap_or(256);
+            if block_mib == 0 {
+                return Err("--block-mib must be positive".into());
+            }
+            let ratio: f64 = flags
+                .get("--ratio")
+                .map(|v| v.parse().map_err(|_| "bad --ratio"))
+                .transpose()?
+                .unwrap_or(10.0);
+            if !(ratio >= 1.0 && ratio.is_finite()) {
+                return Err("--ratio must be >= 1".into());
+            }
+            let storm = match flags.get("--storm") {
+                None => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .map(|s| ChaosFault::from_name(s.trim()))
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            let agg_gbit: Option<f64> = flags
+                .get("--agg-gbit")
+                .map(|v| v.parse().map_err(|_| "bad --agg-gbit"))
+                .transpose()?;
+            if agg_gbit.is_some_and(|g| !(g > 0.0 && g.is_finite())) {
+                return Err("--agg-gbit must be positive".into());
+            }
+            let threads: usize = flags
+                .get("--threads")
+                .map(|v| v.parse().map_err(|_| "bad --threads"))
+                .transpose()?
+                .unwrap_or(0);
+            let format = match flags.get("--format") {
+                None | Some("jsonl") => TraceFormat::Jsonl,
+                Some("chrome") => TraceFormat::Chrome,
+                Some(other) => return Err(format!("unknown trace format `{other}`")),
+            };
+            Ok(Command::Fleet(FleetArgs {
+                params,
+                stripes,
+                racks,
+                nodes_per_rack,
+                block_bytes: block_mib << 20,
+                ratio,
+                seed: flags
+                    .get("--seed")
+                    .map(|v| v.parse().map_err(|_| "bad --seed"))
+                    .transpose()?
+                    .unwrap_or(17),
+                storm,
+                agg_gbit,
+                arbitrate: !flags.has("--no-arbiter"),
+                threads,
+                json: flags.has("--json"),
+                format,
+                out: flags.get("--out").map(String::from),
+            }))
         }
         "plan" | "compare" | "trace" | "inject" | "chaos" => {
             let params = parse_code(flags.get("--code").ok_or("missing --code")?)?;
@@ -666,6 +815,70 @@ mod tests {
         assert!(parse(&argv("chaos --code 6,3 --fail d1 --storm meteor")).is_err());
         assert!(parse(&argv("chaos --code 6,3 --fail d1 --hedge 0.5")).is_err());
         assert!(parse(&argv("chaos --code 6,3 --fail d1 --deadline -4")).is_err());
+    }
+
+    #[test]
+    fn parse_fleet_command() {
+        let cmd = parse(&argv(
+            "fleet --code 4,2 --stripes 5000 --racks 12 --nodes-per-rack 8 \
+             --block-mib 64 --ratio 5 --seed 99 --storm crash,timeout \
+             --agg-gbit 4 --no-arbiter --threads 2 --json --out fleet.jsonl",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Fleet(f) => {
+                assert_eq!(f.params, CodeParams::new(4, 2));
+                assert_eq!(f.stripes, 5000);
+                assert_eq!(f.racks, 12);
+                assert_eq!(f.nodes_per_rack, 8);
+                assert_eq!(f.block_bytes, 64 << 20);
+                assert_eq!(f.ratio, 5.0);
+                assert_eq!(f.seed, 99);
+                assert_eq!(f.storm, vec![ChaosFault::Crash, ChaosFault::Timeout]);
+                assert_eq!(f.agg_gbit, Some(4.0));
+                assert!(!f.arbitrate);
+                assert_eq!(f.threads, 2);
+                assert!(f.json);
+                assert_eq!(f.out.as_deref(), Some("fleet.jsonl"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_fleet_defaults() {
+        match parse(&argv("fleet")).unwrap() {
+            Command::Fleet(f) => {
+                assert_eq!(f.params, CodeParams::new(6, 3), "paper code by default");
+                assert_eq!(f.stripes, 10_000);
+                assert_eq!(f.racks, 25);
+                assert_eq!(f.nodes_per_rack, 16);
+                assert_eq!(f.block_bytes, 256 << 20);
+                assert_eq!(f.seed, 17);
+                assert!(f.storm.is_empty(), "clean repairs by default");
+                assert_eq!(f.agg_gbit, None);
+                assert!(f.arbitrate, "arbitration is on by default");
+                assert_eq!(f.threads, 0);
+                assert!(!f.json);
+                assert_eq!(f.format, TraceFormat::Jsonl);
+                assert_eq!(f.out, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_fleet_rejects_bad_input() {
+        assert!(parse(&argv("fleet --stripes 0")).is_err());
+        assert!(parse(&argv("fleet --racks 2")).is_err(), "fewer than q racks");
+        assert!(
+            parse(&argv("fleet --code 4,2 --nodes-per-rack 2")).is_err(),
+            "no spare node beyond k blocks"
+        );
+        assert!(parse(&argv("fleet --nodes-per-rack 65")).is_err());
+        assert!(parse(&argv("fleet --storm meteor")).is_err());
+        assert!(parse(&argv("fleet --agg-gbit 0")).is_err());
+        assert!(parse(&argv("fleet --format xml")).is_err());
     }
 
     #[test]

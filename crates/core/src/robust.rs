@@ -438,6 +438,9 @@ pub(crate) fn shift_event(mut event: Event, dt: f64) -> Event {
         | Event::HelperQuarantined { t, .. }
         | Event::DeadlineExceeded { t, .. }
         | Event::DegradedFallback { t, .. }
+        | Event::StripeEnqueued { t, .. }
+        | Event::StripeAdmitted { t, .. }
+        | Event::BandwidthWaited { t, .. }
         | Event::RepairDone { t, .. } => *t += dt,
         Event::TransferDone { start, end, .. } | Event::CombineDone { start, end, .. } => {
             *start += dt;

@@ -262,6 +262,40 @@ pub enum Event {
         /// Seconds from repair start when the fallback was taken.
         t: f64,
     },
+    /// A stripe entered the fleet scheduler's at-risk index (emitted by
+    /// `rpr-sched`, not by single-stripe repairs).
+    StripeEnqueued {
+        /// Fleet-wide stripe id.
+        stripe: u64,
+        /// At-risk level: number of blocks the stripe has lost. Higher
+        /// levels are scheduled strictly first.
+        level: usize,
+        /// Fleet-clock seconds when the stripe was queued.
+        t: f64,
+    },
+    /// The bandwidth arbiter admitted a stripe's repair: its plan's
+    /// demand was reserved on the shared links and the repair started.
+    StripeAdmitted {
+        /// Fleet-wide stripe id.
+        stripe: u64,
+        /// At-risk level at admission time.
+        level: usize,
+        /// Fleet-clock seconds when the repair was admitted.
+        t: f64,
+    },
+    /// A stripe's admission was delayed by bandwidth contention: the
+    /// arbiter could not fit its demand when it reached the head of the
+    /// queue. Emitted once per delayed stripe, at admission.
+    BandwidthWaited {
+        /// Fleet-wide stripe id.
+        stripe: u64,
+        /// At-risk level at admission time.
+        level: usize,
+        /// Seconds spent waiting at the queue head for link capacity.
+        waited: f64,
+        /// Fleet-clock seconds when the repair was finally admitted.
+        t: f64,
+    },
     /// The whole repair finished.
     RepairDone {
         /// Seconds from repair start (the repair makespan).
@@ -294,6 +328,9 @@ impl Event {
             Event::HelperQuarantined { .. } => "helper_quarantined",
             Event::DeadlineExceeded { .. } => "deadline_exceeded",
             Event::DegradedFallback { .. } => "degraded_fallback",
+            Event::StripeEnqueued { .. } => "stripe_enqueued",
+            Event::StripeAdmitted { .. } => "stripe_admitted",
+            Event::BandwidthWaited { .. } => "bandwidth_waited",
             Event::RepairDone { .. } => "repair_done",
         }
     }
@@ -317,6 +354,9 @@ impl Event {
             | Event::HelperQuarantined { t, .. }
             | Event::DeadlineExceeded { t, .. }
             | Event::DegradedFallback { t, .. }
+            | Event::StripeEnqueued { t, .. }
+            | Event::StripeAdmitted { t, .. }
+            | Event::BandwidthWaited { t, .. }
             | Event::RepairDone { t, .. } => *t,
             Event::TransferDone { end, .. } | Event::CombineDone { end, .. } => *end,
         }

@@ -272,6 +272,20 @@ pub fn event_to_json(event: &Event) -> String {
         Event::DegradedFallback { tier, reason, t } => {
             o.str("tier", tier).str("reason", reason).f64("t", *t);
         }
+        Event::StripeEnqueued { stripe, level, t } | Event::StripeAdmitted { stripe, level, t } => {
+            o.u64("stripe", *stripe).usize("level", *level).f64("t", *t);
+        }
+        Event::BandwidthWaited {
+            stripe,
+            level,
+            waited,
+            t,
+        } => {
+            o.u64("stripe", *stripe)
+                .usize("level", *level)
+                .f64("waited", *waited)
+                .f64("t", *t);
+        }
         Event::RepairDone {
             t,
             cross_bytes,
@@ -650,6 +664,45 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                     .raw("args", &format!("{{\"reason\":\"{reason}\"}}"));
                 entries.push(o.finish());
             }
+            Event::StripeEnqueued { stripe, level, t }
+            | Event::StripeAdmitted { stripe, level, t } => {
+                let verb = if matches!(e, Event::StripeEnqueued { .. }) {
+                    "enqueued"
+                } else {
+                    "admitted"
+                };
+                let mut o = Obj::new();
+                o.str("name", &format!("stripe {stripe} {verb}"))
+                    .str("cat", "fleet")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &format!("{{\"stripe\":{stripe},\"level\":{level}}}"));
+                entries.push(o.finish());
+            }
+            Event::BandwidthWaited {
+                stripe,
+                level,
+                waited,
+                t,
+            } => {
+                let mut args = String::from("{");
+                let _ = write!(args, "\"stripe\":{stripe},\"level\":{level},\"waited\":");
+                push_f64(&mut args, *waited);
+                args.push('}');
+                let mut o = Obj::new();
+                o.str("name", &format!("stripe {stripe} waited for bandwidth"))
+                    .str("cat", "fleet")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &args);
+                entries.push(o.finish());
+            }
             Event::RepairDone {
                 t,
                 cross_bytes,
@@ -958,6 +1011,44 @@ mod tests {
         assert_structurally_valid_json(&chrome);
         assert!(chrome.contains("\"cat\":\"stream\""));
         assert!(chrome.contains("stream: p0op1:send"));
+    }
+
+    #[test]
+    fn fleet_events_serialize_in_both_formats() {
+        let events = vec![
+            Event::StripeEnqueued {
+                stripe: 123456,
+                level: 2,
+                t: 0.0,
+            },
+            Event::StripeAdmitted {
+                stripe: 123456,
+                level: 2,
+                t: 1.5,
+            },
+            Event::BandwidthWaited {
+                stripe: 123456,
+                level: 2,
+                waited: 1.5,
+                t: 1.5,
+            },
+        ];
+        let jsonl = to_json_lines(&events);
+        for line in jsonl.lines() {
+            assert_structurally_valid_json(line);
+        }
+        assert!(jsonl.contains("\"type\":\"stripe_enqueued\""));
+        assert!(jsonl.contains("\"type\":\"stripe_admitted\""));
+        assert!(jsonl.contains("\"type\":\"bandwidth_waited\""));
+        assert!(jsonl.contains("\"stripe\":123456"));
+        assert!(jsonl.contains("\"level\":2"));
+        assert!(jsonl.contains("\"waited\":1.5"));
+        let chrome = to_chrome_trace(&events);
+        assert_structurally_valid_json(&chrome);
+        assert!(chrome.contains("\"cat\":\"fleet\""));
+        assert!(chrome.contains("stripe 123456 enqueued"));
+        assert!(chrome.contains("stripe 123456 admitted"));
+        assert!(chrome.contains("stripe 123456 waited for bandwidth"));
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! Cross-stripe bandwidth arbitration.
+//!
+//! Every repair plan the fleet admits reserves capacity on the shared
+//! cluster links for its whole duration, so concurrent repairs stop
+//! assuming an idle cluster. The arbitrated resources are the ones that
+//! bottleneck rack-aware repair:
+//!
+//! * each node's shaped **cross-traffic class**, uplink and downlink
+//!   separately (wondershaper throttles cross-rack traffic per node, so
+//!   two stripes pulling through the same helper NIC contend there);
+//! * the **aggregation switch**, when the cluster models a finite
+//!   backplane (`Network::with_agg_capacity`).
+//!
+//! Inner-rack links are deliberately *not* arbitrated: they run at the
+//! full NIC rate (10× the shaped cross rate in the paper's profile) and
+//! the whole point of rack-aware repair is that inner-rack traffic is
+//! cheap; cross-rack bandwidth is the contended resource.
+//!
+//! **Admission rule.** A stripe's [`Demand`] is its stand-alone peak
+//! rate on every resource it touches (see [`plan_demand`]). The arbiter
+//! admits the stripe iff *every* entry fits under the remaining capacity
+//! of its resource, then commits all reservations atomically; on
+//! completion the same demand is released. Demands are clamped to
+//! resource capacity first ([`BandwidthArbiter::clamp`]), so a stripe
+//! alone on an idle arbiter always admits — admission can stall a queue
+//! head only while other repairs are in flight, never forever.
+
+use std::collections::BTreeMap;
+
+use rpr_core::plan::{Op, RepairPlan};
+use rpr_netsim::Network;
+use rpr_topology::Topology;
+
+/// Relative + absolute float tolerance for capacity checks, so releasing
+/// and re-reserving the same rates never spuriously rejects.
+const EPS: f64 = 1e-9;
+
+/// The bandwidth a single repair wants to reserve: `(resource, rate)`
+/// pairs, sorted by resource id, at most one entry per resource.
+///
+/// Resource ids are assigned by [`BandwidthArbiter`]: `2*node` is node
+/// `node`'s cross-class uplink, `2*node + 1` its cross-class downlink,
+/// and `2*node_count` the aggregation switch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Demand {
+    /// `(resource id, bytes/sec)` reservations, ascending by resource.
+    pub entries: Vec<(u32, f64)>,
+}
+
+impl Demand {
+    /// True when the repair reserves nothing (e.g. a repair whose plan
+    /// never crosses racks).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Reservation ledger over a cluster's contended links.
+///
+/// See the [module docs](self) for the admission rule and which links
+/// are arbitrated.
+pub struct BandwidthArbiter {
+    capacity: Vec<f64>,
+    reserved: Vec<f64>,
+    peak: Vec<f64>,
+    enabled: bool,
+    in_flight: usize,
+}
+
+impl BandwidthArbiter {
+    /// An arbiter over a cluster: per-node cross-class up/down links at
+    /// the shaped cross rate, plus the aggregation switch (infinite
+    /// unless the network constrains it).
+    pub fn new(net: &Network) -> BandwidthArbiter {
+        let nodes = net.topology().node_count();
+        let mut capacity = Vec::with_capacity(2 * nodes + 1);
+        for node in 0..nodes {
+            let rate = net.cross_class_rate(rpr_topology::NodeId(node));
+            capacity.push(rate); // uplink
+            capacity.push(rate); // downlink
+        }
+        capacity.push(net.agg_capacity());
+        BandwidthArbiter {
+            reserved: vec![0.0; capacity.len()],
+            peak: vec![0.0; capacity.len()],
+            capacity,
+            enabled: true,
+            in_flight: 0,
+        }
+    }
+
+    /// Resource id of a node's cross-class uplink.
+    #[inline]
+    pub fn uplink(node: usize) -> u32 {
+        (2 * node) as u32
+    }
+
+    /// Resource id of a node's cross-class downlink.
+    #[inline]
+    pub fn downlink(node: usize) -> u32 {
+        (2 * node + 1) as u32
+    }
+
+    /// Resource id of the aggregation switch for a cluster of
+    /// `node_count` nodes.
+    #[inline]
+    pub fn agg(node_count: usize) -> u32 {
+        (2 * node_count) as u32
+    }
+
+    /// Disable admission control: [`BandwidthArbiter::try_admit`] always
+    /// succeeds without reserving anything. Used to prove the arbiter
+    /// only adds waiting — with contention off, the fleet schedule must
+    /// match per-stripe supervised repair exactly.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether admission control is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Repairs currently holding reservations.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Cap each demand entry at its resource's total capacity, so a
+    /// repair whose stand-alone peak exceeds what the link can ever give
+    /// (it would then simply run slower) is still admissible on an idle
+    /// arbiter. Drops entries on unconstrained (infinite) resources.
+    pub fn clamp(&self, demand: &mut Demand) {
+        demand.entries.retain_mut(|(r, rate)| {
+            let cap = self.capacity[*r as usize];
+            if cap.is_infinite() {
+                return false;
+            }
+            if *rate > cap {
+                *rate = cap;
+            }
+            *rate > 0.0
+        });
+    }
+
+    /// Admit a repair if every entry fits under the remaining capacity
+    /// of its resource; on success all reservations are committed
+    /// atomically and `true` is returned. A disabled arbiter admits
+    /// everything and reserves nothing.
+    pub fn try_admit(&mut self, demand: &Demand) -> bool {
+        if !self.enabled {
+            self.in_flight += 1;
+            return true;
+        }
+        for &(r, rate) in &demand.entries {
+            let r = r as usize;
+            if self.reserved[r] + rate > self.capacity[r] * (1.0 + EPS) + EPS {
+                return false;
+            }
+        }
+        for &(r, rate) in &demand.entries {
+            let r = r as usize;
+            self.reserved[r] += rate;
+            if self.reserved[r] > self.peak[r] {
+                self.peak[r] = self.reserved[r];
+            }
+        }
+        self.in_flight += 1;
+        true
+    }
+
+    /// Release a previously admitted demand.
+    pub fn release(&mut self, demand: &Demand) {
+        debug_assert!(self.in_flight > 0, "release without admit");
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if !self.enabled {
+            return;
+        }
+        for &(r, rate) in &demand.entries {
+            let r = r as usize;
+            self.reserved[r] = (self.reserved[r] - rate).max(0.0);
+        }
+    }
+
+    /// Current reservation on a resource (bytes/sec).
+    pub fn reserved(&self, resource: u32) -> f64 {
+        self.reserved[resource as usize]
+    }
+
+    /// Capacity of a resource (bytes/sec).
+    pub fn capacity(&self, resource: u32) -> f64 {
+        self.capacity[resource as usize]
+    }
+
+    /// Largest reservation ever committed on any resource, as a fraction
+    /// of that resource's capacity — the oversubscription witness the
+    /// property tests check stays ≤ 1 (within float tolerance).
+    pub fn max_utilization(&self) -> f64 {
+        self.capacity
+            .iter()
+            .zip(&self.peak)
+            .filter(|(cap, _)| cap.is_finite() && **cap > 0.0)
+            .map(|(cap, peak)| peak / cap)
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of all current reservations (bytes/sec) — ≈ 0 once every
+    /// admitted repair has been released.
+    pub fn total_reserved(&self) -> f64 {
+        self.reserved.iter().sum()
+    }
+}
+
+/// A repair plan's stand-alone peak bandwidth demand.
+///
+/// The plan's cross-rack sends are laid out on the timestep schedule
+/// from [`RepairPlan::cross_waves`]; within a wave each flow runs at its
+/// pair's nominal rate. The demand on a node's cross up/downlink is the
+/// *peak over waves* of the sum of that node's concurrent flow rates
+/// (capped at the shaped class rate — the NIC can't exceed it), and the
+/// aggregation-switch demand is the peak over waves of the total
+/// cross-rack rate. A plan with no cross-rack sends (or one timed on a
+/// single-rack topology) demands nothing.
+pub fn plan_demand(plan: &RepairPlan, topo: &Topology, net: &Network) -> Demand {
+    let (waves, count) = plan.cross_waves(topo);
+    if count == 0 {
+        return Demand::default();
+    }
+    // (wave, resource) -> summed rate. BTreeMap keeps the iteration (and
+    // therefore the float accumulation) order deterministic.
+    let mut load: BTreeMap<(usize, u32), f64> = BTreeMap::new();
+    let mut agg: Vec<f64> = vec![0.0; count];
+    for (i, op) in plan.ops.iter().enumerate() {
+        let Some(w) = waves[i] else { continue };
+        let Op::Send { from, to, .. } = op else {
+            continue;
+        };
+        let rate = net.pair_rate(*from, *to);
+        *load.entry((w, BandwidthArbiter::uplink(from.0))).or_insert(0.0) += rate;
+        *load.entry((w, BandwidthArbiter::downlink(to.0))).or_insert(0.0) += rate;
+        agg[w] += rate;
+    }
+    let mut peak: BTreeMap<u32, f64> = BTreeMap::new();
+    for (&(_, resource), &rate) in &load {
+        let node = rpr_topology::NodeId(resource as usize / 2);
+        let capped = rate.min(net.cross_class_rate(node));
+        let entry = peak.entry(resource).or_insert(0.0);
+        if capped > *entry {
+            *entry = capped;
+        }
+    }
+    let mut entries: Vec<(u32, f64)> = peak.into_iter().collect();
+    let agg_peak = agg.iter().fold(0.0, |a: f64, &b| a.max(b));
+    if agg_peak > 0.0 {
+        entries.push((
+            BandwidthArbiter::agg(topo.node_count()),
+            agg_peak.min(net.agg_capacity()),
+        ));
+    }
+    Demand { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_topology::{BandwidthProfile, NodeId, Topology, GBIT};
+
+    fn net() -> Network {
+        Network::new(Topology::uniform(3, 2), BandwidthProfile::simics_default(3))
+    }
+
+    #[test]
+    fn admit_reserve_release_roundtrip() {
+        let mut arb = BandwidthArbiter::new(&net());
+        let cross = 0.1 * GBIT;
+        let d = Demand {
+            entries: vec![(BandwidthArbiter::uplink(0), cross)],
+        };
+        assert!(arb.try_admit(&d));
+        // The uplink is saturated: a second identical demand must wait.
+        assert!(!arb.try_admit(&d));
+        assert_eq!(arb.in_flight(), 1);
+        arb.release(&d);
+        assert_eq!(arb.total_reserved(), 0.0);
+        assert!(arb.try_admit(&d), "released capacity is reusable");
+        assert!(arb.max_utilization() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn admission_is_atomic() {
+        let mut arb = BandwidthArbiter::new(&net());
+        let cross = 0.1 * GBIT;
+        let half = Demand {
+            entries: vec![(BandwidthArbiter::downlink(1), 0.6 * cross)],
+        };
+        assert!(arb.try_admit(&half));
+        // Fits on uplink 0 but not downlink 1: nothing may be reserved.
+        let both = Demand {
+            entries: vec![
+                (BandwidthArbiter::uplink(0), 0.5 * cross),
+                (BandwidthArbiter::downlink(1), 0.5 * cross),
+            ],
+        };
+        assert!(!arb.try_admit(&both));
+        assert_eq!(arb.reserved(BandwidthArbiter::uplink(0)), 0.0);
+    }
+
+    #[test]
+    fn clamp_makes_any_demand_admissible_when_idle() {
+        let arb = BandwidthArbiter::new(&net());
+        let mut d = Demand {
+            entries: vec![
+                (BandwidthArbiter::uplink(0), 10.0 * GBIT),
+                (BandwidthArbiter::agg(6), GBIT),
+            ],
+        };
+        arb.clamp(&mut d);
+        // The uplink entry is capped to the class rate; the infinite agg
+        // resource is dropped entirely.
+        assert_eq!(d.entries, vec![(BandwidthArbiter::uplink(0), 0.1 * GBIT)]);
+        let mut arb = arb;
+        assert!(arb.try_admit(&d), "clamped demand admits on idle arbiter");
+    }
+
+    #[test]
+    fn disabled_arbiter_admits_everything() {
+        let mut arb = BandwidthArbiter::new(&net());
+        arb.set_enabled(false);
+        let d = Demand {
+            entries: vec![(BandwidthArbiter::uplink(0), 100.0 * GBIT)],
+        };
+        for _ in 0..10 {
+            assert!(arb.try_admit(&d));
+        }
+        assert_eq!(arb.total_reserved(), 0.0);
+        assert_eq!(arb.in_flight(), 10);
+    }
+
+    #[test]
+    fn agg_capacity_is_arbitrated_when_finite() {
+        let network = Network::new(
+            Topology::uniform(3, 2),
+            BandwidthProfile::simics_default(3),
+        )
+        .with_agg_capacity(0.15 * GBIT);
+        let mut arb = BandwidthArbiter::new(&network);
+        let d = Demand {
+            entries: vec![(BandwidthArbiter::agg(6), 0.1 * GBIT)],
+        };
+        assert!(arb.try_admit(&d));
+        assert!(!arb.try_admit(&d), "agg switch is saturated");
+    }
+
+    #[test]
+    fn plan_demand_covers_cross_sends_only() {
+        use rpr_codec::{CodeParams, StripeCodec};
+        use rpr_core::{CostModel, RepairContext, RepairPlanner, RprPlanner};
+        use rpr_topology::Placement;
+
+        let params = CodeParams::new(4, 2);
+        let codec = StripeCodec::new(params);
+        let topo = Topology::uniform(3, 3);
+        let placement = Placement::rpr_preplaced(params, &topo);
+        let profile = BandwidthProfile::simics_default(3);
+        let ctx = RepairContext::new(
+            &codec,
+            &topo,
+            &placement,
+            vec![rpr_codec::BlockId(0)],
+            8 << 20,
+            &profile,
+            CostModel::free(),
+        );
+        let plan = RprPlanner::new().plan(&ctx);
+        let network = Network::new(topo.clone(), profile.clone());
+        let demand = plan_demand(&plan, &topo, &network);
+        assert!(!demand.is_empty(), "RPR single-failure plan crosses racks");
+        let agg_id = BandwidthArbiter::agg(topo.node_count());
+        for &(r, rate) in &demand.entries {
+            assert!(rate > 0.0);
+            if r == agg_id {
+                continue;
+            }
+            let node = NodeId(r as usize / 2);
+            assert!(
+                rate <= network.cross_class_rate(node) * (1.0 + 1e-9),
+                "per-node demand never exceeds the shaped class rate"
+            );
+        }
+        let mut arb = BandwidthArbiter::new(&network);
+        let mut d = demand.clone();
+        arb.clamp(&mut d);
+        assert!(arb.try_admit(&d), "a lone stripe always admits");
+    }
+}

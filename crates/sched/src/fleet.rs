@@ -1,0 +1,642 @@
+//! Synthetic fleet construction and the end-to-end fleet run.
+//!
+//! A **fleet** is a large population of stripes spread over a rack
+//! cluster, each stripe missing 1..=k blocks (its *at-risk level*). This
+//! module generates such a population deterministically from a seed,
+//! costs every stripe's supervised repair, and drains the backlog
+//! through [`schedule_fleet`] under
+//! bandwidth arbitration.
+//!
+//! **Why a million stripes fit in one process.** Every stripe uses the
+//! paper's compact placement pattern: `q = ⌈(n+k)/k⌉` racks, at most `k`
+//! blocks per rack, same block→rack layout for all stripes — only the
+//! *which racks / which hosts* assignment differs per stripe. Repair
+//! cost and plan shape depend only on the failed-block set (the stripe's
+//! **repair class**), not on which physical racks the stripe landed on.
+//! So the fleet run simulates one supervised repair per distinct class
+//! on a canonical `q`-rack cluster — a few dozen to a few hundred sims,
+//! parallelized on the work-stealing pool — and every stripe stores just
+//! its class id and its `n+k` host nodes (~40 bytes/stripe). Per-stripe
+//! bandwidth demands are translated from canonical to physical node ids
+//! lazily, only while a stripe is at the queue head, so the scheduler
+//! never materializes a million demand vectors.
+//!
+//! Class caching is only valid when the repair outcome is
+//! seed-independent: with an empty fault storm and hedging disabled,
+//! `supervise_injected` is a pure function of the repair context. When a
+//! storm template is configured (or hedging is on), the fleet falls back
+//! to one full supervised sim per stripe — same per-stripe seed
+//! derivation as `Store::recover_supervised` — still pooled, but sized
+//! for thousands of stripes rather than millions.
+
+use rpr_codec::{BlockId, CodeParams, StripeCodec};
+use rpr_core::{
+    supervise_injected, CarPlanner, CostModel, RepairContext, RepairPlan, RepairPlanner,
+    RprPlanner, SuperviseConfig, Tier, TraditionalPlanner,
+};
+use rpr_faults::{FaultStorm, HealthTracker, SplitMix64, StormFault};
+use rpr_netsim::Network;
+use rpr_obs::Recorder;
+use rpr_topology::{BandwidthProfile, NodeId, Placement, Topology, GBIT};
+
+use crate::arbiter::{plan_demand, BandwidthArbiter, Demand};
+use crate::pool::{default_threads, run_indexed};
+use crate::sched::{schedule_fleet, FleetJob, FleetSummary, StripeRecord};
+
+/// Everything that defines a synthetic fleet run. Construct with
+/// [`FleetSpec::default`] and override fields.
+#[derive(Clone, Debug)]
+pub struct FleetSpec {
+    /// Code geometry of every stripe.
+    pub params: CodeParams,
+    /// Rack count of the physical cluster (must be ≥ the code's `q`).
+    pub racks: usize,
+    /// Nodes per rack (must be > `k` so every rack keeps a spare, and
+    /// ≤ 64).
+    pub nodes_per_rack: usize,
+    /// Number of at-risk stripes in the backlog.
+    pub stripes: usize,
+    /// Bytes per block.
+    pub block_bytes: u64,
+    /// Master seed: placement, at-risk levels, and fault sites all
+    /// derive from it. Same seed → bit-identical run.
+    pub seed: u64,
+    /// `level_weights[z-1]` is the relative frequency of stripes with
+    /// `z` failed blocks; truncated at `k` and renormalized. The default
+    /// skews heavily toward single failures, as real fleets do.
+    pub level_weights: Vec<f64>,
+    /// Fault-storm template applied to every stripe (empty = clean
+    /// repairs, enabling class caching). Same shape as
+    /// `SupervisedRecoveryOptions::storm`.
+    pub storm: Vec<Vec<StormFault>>,
+    /// Supervisor configuration shared by every stripe.
+    pub cfg: SuperviseConfig,
+    /// Finite aggregation-switch capacity in bytes/sec shared by all
+    /// concurrent cross-rack repair traffic (`None` = unconstrained).
+    pub agg_capacity: Option<f64>,
+    /// When false the arbiter admits everything immediately — used to
+    /// prove arbitration only adds waiting.
+    pub arbitrate: bool,
+    /// Inner-rack link rate in bytes/sec.
+    pub inner_bps: f64,
+    /// Cross-rack link rate in bytes/sec.
+    pub cross_bps: f64,
+    /// Decode-cost model for planning and simulation.
+    pub cost: CostModel,
+    /// Worker threads for class sims and storm-path repairs
+    /// (0 = automatic).
+    pub threads: usize,
+}
+
+impl Default for FleetSpec {
+    fn default() -> FleetSpec {
+        FleetSpec {
+            params: CodeParams::new(6, 3),
+            racks: 25,
+            nodes_per_rack: 16,
+            stripes: 10_000,
+            block_bytes: 256 << 20,
+            seed: 17,
+            level_weights: vec![0.85, 0.12, 0.03],
+            storm: Vec::new(),
+            cfg: SuperviseConfig::default(),
+            agg_capacity: None,
+            arbitrate: true,
+            inner_bps: GBIT,
+            cross_bps: GBIT / 10.0,
+            cost: CostModel::free(),
+            threads: 0,
+        }
+    }
+}
+
+impl FleetSpec {
+    /// Panics with a descriptive message if the spec is internally
+    /// inconsistent (too few racks for the code, no spare nodes, ...).
+    pub fn validate(&self) {
+        let q = self.params.rack_count();
+        assert!(self.racks >= q, "FleetSpec: need at least {q} racks");
+        assert!(
+            self.nodes_per_rack > self.params.k,
+            "FleetSpec: each rack needs a spare node beyond its {} blocks",
+            self.params.k
+        );
+        assert!(
+            self.nodes_per_rack <= 64,
+            "FleetSpec: nodes_per_rack is limited to 64"
+        );
+        assert!(self.stripes > 0, "FleetSpec: empty fleet");
+        assert!(self.block_bytes > 0, "FleetSpec: zero block size");
+        assert!(
+            !self.level_weights.is_empty() && self.level_weights.iter().any(|&w| w > 0.0),
+            "FleetSpec: level weights must have positive mass"
+        );
+    }
+
+    /// True when every stripe's repair outcome is seed-independent, so
+    /// stripes sharing a failed-block set share one canonical sim.
+    fn cacheable(&self) -> bool {
+        self.storm.is_empty() && self.cfg.hedge.is_none()
+    }
+}
+
+/// Result of a fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetOutcome {
+    /// Aggregate fleet numbers (what `rpr fleet --json` prints).
+    pub summary: FleetSummary,
+    /// Per-stripe admission/finish records, in stripe order.
+    pub records: Vec<StripeRecord>,
+    /// Distinct repair classes the fleet decomposed into (1 sim each on
+    /// the cached path).
+    pub classes: usize,
+    /// Total replan generations across the fleet.
+    pub replans: usize,
+    /// Total transfer retries across the fleet.
+    pub retries: usize,
+    /// Stripes that completed below [`Tier::Full`].
+    pub degraded: usize,
+    /// Stripes whose storm was unrecoverable (excluded from the
+    /// backlog; 0 on the cached path).
+    pub unrepairable: usize,
+    /// Peak reservation on the most loaded arbitrated link, as a
+    /// fraction of its capacity (≤ 1 unless arbitration was disabled).
+    pub max_utilization: f64,
+}
+
+/// What one repair class costs: the outcome of its canonical sim plus
+/// its bandwidth demand in canonical node ids.
+struct ClassInfo {
+    duration: f64,
+    cross_bytes: u64,
+    inner_bytes: u64,
+    demand: Demand,
+    replans: usize,
+    retries: usize,
+    degraded: bool,
+}
+
+/// Where a canonical node sits in the per-stripe translation: hosting
+/// block `b`, or the `rank`-th spare of canonical rack `rack_pos`.
+#[derive(Clone, Copy)]
+enum Role {
+    Host(usize),
+    Free { rack_pos: usize, rank: usize },
+}
+
+/// The planner fallback chain the supervisor uses for its first
+/// generation (RPR, then CAR for single failures, then traditional) —
+/// reproduced here to derive the *initial* plan's bandwidth demand.
+/// Replans stay within the same stripe's rack footprint, so the initial
+/// demand remains the right reservation.
+///
+/// # Errors
+/// Returns the last validation failure if no planner in the chain
+/// produces a valid plan (cannot happen for ≤ k failures on a
+/// single-rack-fault-tolerant placement).
+pub fn first_valid_plan(ctx: &RepairContext<'_>) -> Result<RepairPlan, String> {
+    let plan = RprPlanner::new().plan(ctx);
+    if plan.validate(ctx.codec, ctx.topo, ctx.placement).is_ok() {
+        return Ok(plan);
+    }
+    if ctx.failed.len() == 1 {
+        let plan = CarPlanner::new().plan(ctx);
+        if plan.validate(ctx.codec, ctx.topo, ctx.placement).is_ok() {
+            return Ok(plan);
+        }
+    }
+    let plan = TraditionalPlanner::new().plan(ctx);
+    plan.validate(ctx.codec, ctx.topo, ctx.placement)?;
+    Ok(plan)
+}
+
+/// Draw an at-risk level from the spec's weight table (1-based,
+/// truncated at `k`).
+fn draw_level(rng: &mut SplitMix64, weights: &[f64], k: usize) -> usize {
+    let weights = &weights[..weights.len().min(k)];
+    let total: f64 = weights.iter().filter(|w| w.is_sign_positive()).sum();
+    let mut u = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        u -= w;
+        if u <= 0.0 {
+            return i + 1;
+        }
+    }
+    1
+}
+
+/// One stripe of the synthetic fleet: its repair class and where its
+/// blocks physically live.
+struct StripeGen {
+    class: u32,
+    /// Global node id of each block, indexed by block id.
+    hosts: Box<[u32]>,
+}
+
+/// Run a synthetic fleet: generate the stripe population, cost every
+/// repair class (or every stripe, under a storm), then drain the
+/// backlog through the bandwidth arbiter. Deterministic for a fixed
+/// spec; `rec` receives the `stripe_enqueued` / `stripe_admitted` /
+/// `bandwidth_waited` event stream.
+///
+/// # Panics
+/// Panics if the spec fails [`FleetSpec::validate`].
+pub fn run_synthetic_fleet(spec: &FleetSpec, rec: &dyn Recorder) -> FleetOutcome {
+    spec.validate();
+    let params = spec.params;
+    let q = params.rack_count();
+    let npr = spec.nodes_per_rack;
+    let total = params.total();
+    let threads = if spec.threads == 0 {
+        default_threads()
+    } else {
+        spec.threads
+    };
+
+    // Canonical q-rack world every class sim runs on. Same nodes-per-rack
+    // as the physical cluster, so the canonical↔physical node translation
+    // is a bijection per stripe.
+    let codec = StripeCodec::new(params);
+    let canon_topo = Topology::uniform(q, npr);
+    let canon_placement = Placement::rpr_preplaced(params, &canon_topo);
+    let canon_profile = BandwidthProfile::uniform(q, spec.inner_bps, spec.cross_bps);
+    let canon_net = Network::new(canon_topo.clone(), canon_profile.clone());
+    let canon_nodes = canon_topo.node_count();
+
+    // Role of every canonical node, and each canonical rack's first
+    // block (used to recover the stripe's physical rack from its hosts).
+    let mut roles: Vec<Role> = Vec::with_capacity(canon_nodes);
+    let mut free_rank = vec![0usize; q];
+    for c in 0..canon_nodes {
+        let rack_pos = c / npr;
+        match canon_placement.block_on(NodeId(c)) {
+            Some(b) => roles.push(Role::Host(b.0)),
+            None => {
+                roles.push(Role::Free {
+                    rack_pos,
+                    rank: free_rank[rack_pos],
+                });
+                free_rank[rack_pos] += 1;
+            }
+        }
+    }
+    let first_block_in_rack: Vec<usize> = (0..q)
+        .map(|p| {
+            (0..total)
+                .find(|&b| canon_placement.node_of(BlockId(b)).0 / npr == p)
+                .expect("compact placement hosts a block in every rack")
+        })
+        .collect();
+
+    // ---- Stripe population -------------------------------------------
+    // Per-stripe generation is serial (it interns class keys), but cheap:
+    // a handful of rng draws and one map probe per stripe.
+    let mut class_keys: std::collections::HashMap<Vec<usize>, u32> =
+        std::collections::HashMap::new();
+    let mut class_failed: Vec<Vec<usize>> = Vec::new();
+    let mut stripes: Vec<StripeGen> = Vec::with_capacity(spec.stripes);
+    for s in 0..spec.stripes {
+        let mut rng = SplitMix64::new(
+            (spec.seed ^ (s as u64))
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0x5851_F42D_4C95_7F2D),
+        );
+        let z = draw_level(&mut rng, &spec.level_weights, params.k);
+        let mut failed: Vec<usize> = Vec::with_capacity(z);
+        while failed.len() < z {
+            let b = rng.pick(total);
+            if !failed.contains(&b) {
+                failed.push(b);
+            }
+        }
+        failed.sort_unstable();
+        let next_id = class_failed.len() as u32;
+        let class = *class_keys.entry(failed.clone()).or_insert_with(|| {
+            class_failed.push(failed.clone());
+            next_id
+        });
+
+        // Physical placement: q distinct racks, then a distinct slot per
+        // block within its rack.
+        let mut racks: Vec<usize> = Vec::with_capacity(q);
+        while racks.len() < q {
+            let r = rng.pick(spec.racks);
+            if !racks.contains(&r) {
+                racks.push(r);
+            }
+        }
+        let mut hosts = vec![0u32; total].into_boxed_slice();
+        let mut used_slots = vec![0u64; q];
+        for b in 0..total {
+            let c = canon_placement.node_of(BlockId(b)).0;
+            let rack_pos = c / npr;
+            loop {
+                let slot = rng.pick(npr);
+                if used_slots[rack_pos] & (1 << slot) == 0 {
+                    used_slots[rack_pos] |= 1 << slot;
+                    hosts[b] = (racks[rack_pos] * npr + slot) as u32;
+                    break;
+                }
+            }
+        }
+        stripes.push(StripeGen { class, hosts });
+    }
+
+    // ---- Repair costing ----------------------------------------------
+    let cost = spec.cost;
+    let make_ctx = |failed: &[usize]| {
+        RepairContext::new(
+            &codec,
+            &canon_topo,
+            &canon_placement,
+            failed.iter().map(|&b| BlockId(b)).collect(),
+            spec.block_bytes,
+            &canon_profile,
+            cost,
+        )
+    };
+
+    let mut replans = 0usize;
+    let mut retries = 0usize;
+    let mut degraded = 0usize;
+    let mut unrepairable = 0usize;
+
+    // jobs[i] schedules stripes[kept[i]]; per-job demand comes from
+    // `demands` (cached path: shared per class; storm path: per stripe).
+    let mut jobs: Vec<FleetJob> = Vec::with_capacity(spec.stripes);
+    let mut kept: Vec<u32> = Vec::with_capacity(spec.stripes);
+    let job_demands: Vec<Demand>;
+
+    if spec.cacheable() {
+        // One canonical sim per distinct failed-block set.
+        let infos: Vec<ClassInfo> = run_indexed(threads, class_failed.len(), |ci| {
+            let ctx = make_ctx(&class_failed[ci]);
+            let storm = FaultStorm::new(0);
+            let mut tracker = HealthTracker::with_defaults();
+            let out = supervise_injected(&ctx, &storm, &spec.cfg, &mut tracker, rpr_obs::noop())
+                .expect("clean supervised repair cannot fail");
+            let plan = first_valid_plan(&ctx).expect("a valid plan exists for <=k failures");
+            ClassInfo {
+                duration: out.repair_time,
+                cross_bytes: out.cross_bytes,
+                inner_bytes: out.inner_bytes,
+                demand: plan_demand(&plan, &canon_topo, &canon_net),
+                replans: out.replans,
+                retries: out.retries,
+                degraded: out.final_tier > Tier::Full,
+            }
+        });
+        for (s, gen) in stripes.iter().enumerate() {
+            let info = &infos[gen.class as usize];
+            replans += info.replans;
+            retries += info.retries;
+            degraded += usize::from(info.degraded);
+            jobs.push(FleetJob {
+                stripe: s as u32,
+                level: class_failed[gen.class as usize].len(),
+                duration: info.duration,
+                cross_bytes: info.cross_bytes,
+                inner_bytes: info.inner_bytes,
+            });
+            kept.push(s as u32);
+        }
+        job_demands = infos.into_iter().map(|i| i.demand).collect();
+    } else {
+        // Storm path: every stripe runs its own supervised sim with the
+        // same per-stripe seed derivation as `Store::recover_supervised`.
+        let outcomes: Vec<Option<ClassInfo>> = run_indexed(threads, spec.stripes, |s| {
+            let gen = &stripes[s];
+            let ctx = make_ctx(&class_failed[gen.class as usize]);
+            let mut mix = SplitMix64::new(spec.seed ^ (s as u64));
+            let mut storm = FaultStorm::new(mix.next_u64());
+            for bucket in &spec.storm {
+                storm = storm.with_generation(bucket.clone());
+            }
+            let mut tracker = HealthTracker::with_defaults();
+            let out =
+                supervise_injected(&ctx, &storm, &spec.cfg, &mut tracker, rpr_obs::noop()).ok()?;
+            let plan = first_valid_plan(&ctx).expect("a valid plan exists for <=k failures");
+            Some(ClassInfo {
+                duration: out.repair_time,
+                cross_bytes: out.cross_bytes,
+                inner_bytes: out.inner_bytes,
+                demand: plan_demand(&plan, &canon_topo, &canon_net),
+                replans: out.replans,
+                retries: out.retries,
+                degraded: out.final_tier > Tier::Full,
+            })
+        });
+        let mut demands = Vec::new();
+        for (s, info) in outcomes.into_iter().enumerate() {
+            let Some(info) = info else {
+                unrepairable += 1;
+                continue;
+            };
+            replans += info.replans;
+            retries += info.retries;
+            degraded += usize::from(info.degraded);
+            jobs.push(FleetJob {
+                stripe: s as u32,
+                level: class_failed[stripes[s].class as usize].len(),
+                duration: info.duration,
+                cross_bytes: info.cross_bytes,
+                inner_bytes: info.inner_bytes,
+            });
+            kept.push(s as u32);
+            demands.push(info.demand);
+        }
+        job_demands = demands;
+    }
+
+    // ---- Admission ----------------------------------------------------
+    let phys_topo = Topology::uniform(spec.racks, npr);
+    let phys_profile = BandwidthProfile::uniform(spec.racks, spec.inner_bps, spec.cross_bps);
+    let mut phys_net = Network::new(phys_topo, phys_profile);
+    if let Some(cap) = spec.agg_capacity {
+        phys_net = phys_net.with_agg_capacity(cap);
+    }
+    let phys_nodes = phys_net.topology().node_count();
+    let mut arbiter = BandwidthArbiter::new(&phys_net);
+    arbiter.set_enabled(spec.arbitrate);
+
+    let cacheable = spec.cacheable();
+    let mut demand_of = |job: usize| -> Demand {
+        if !spec.arbitrate {
+            return Demand::default();
+        }
+        let stripe = &stripes[kept[job] as usize];
+        let canon = if cacheable {
+            &job_demands[stripe.class as usize]
+        } else {
+            &job_demands[job]
+        };
+        translate_demand(
+            canon,
+            canon_nodes,
+            phys_nodes,
+            npr,
+            &roles,
+            &first_block_in_rack,
+            &stripe.hosts,
+        )
+    };
+    let outcome = schedule_fleet(&jobs, &mut demand_of, &mut arbiter, rec);
+
+    FleetOutcome {
+        summary: outcome.summary,
+        records: outcome.records,
+        classes: class_failed.len(),
+        replans,
+        retries,
+        degraded,
+        unrepairable,
+        max_utilization: arbiter.max_utilization(),
+    }
+}
+
+/// Rewrite a canonical-node demand into physical-cluster resources for
+/// one stripe: hosts map to the stripe's physical block locations,
+/// canonical spares map to the same-ranked spare of the stripe's
+/// physical rack, and the canonical aggregation switch maps to the
+/// physical one.
+#[allow(clippy::too_many_arguments)]
+fn translate_demand(
+    canon: &Demand,
+    canon_nodes: usize,
+    phys_nodes: usize,
+    npr: usize,
+    roles: &[Role],
+    first_block_in_rack: &[usize],
+    hosts: &[u32],
+) -> Demand {
+    let canon_agg = BandwidthArbiter::agg(canon_nodes);
+    let entries = canon
+        .entries
+        .iter()
+        .map(|&(r, rate)| {
+            if r == canon_agg {
+                return (BandwidthArbiter::agg(phys_nodes), rate);
+            }
+            let c = r as usize / 2;
+            let g = match roles[c] {
+                Role::Host(b) => hosts[b] as usize,
+                Role::Free { rack_pos, rank } => {
+                    let rack = hosts[first_block_in_rack[rack_pos]] as usize / npr;
+                    (rack * npr..(rack + 1) * npr)
+                        .filter(|n| !hosts.contains(&(*n as u32)))
+                        .nth(rank)
+                        .expect("physical rack has as many spares as the canonical one")
+                }
+            };
+            ((2 * g + (r as usize % 2)) as u32, rate)
+        })
+        .collect();
+    Demand { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_obs::NoopRecorder;
+
+    fn tiny_spec() -> FleetSpec {
+        FleetSpec {
+            params: CodeParams::new(4, 2),
+            racks: 6,
+            nodes_per_rack: 4,
+            stripes: 200,
+            block_bytes: 8 << 20,
+            seed: 17,
+            ..FleetSpec::default()
+        }
+    }
+
+    #[test]
+    fn fleet_repairs_every_stripe() {
+        let out = run_synthetic_fleet(&tiny_spec(), &NoopRecorder);
+        assert_eq!(out.summary.stripes, 200);
+        assert_eq!(out.summary.repaired, 200);
+        assert_eq!(out.records.len(), 200);
+        assert_eq!(out.unrepairable, 0);
+        assert!(out.classes >= 1);
+        assert!(out.summary.makespan > 0.0);
+        assert!(out.summary.mttr_p99 >= out.summary.mttr_p50);
+        assert!(out.max_utilization <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn same_seed_runs_are_identical() {
+        let a = run_synthetic_fleet(&tiny_spec(), &NoopRecorder);
+        let b = run_synthetic_fleet(&tiny_spec(), &NoopRecorder);
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_synthetic_fleet(&tiny_spec(), &NoopRecorder);
+        let b = run_synthetic_fleet(
+            &FleetSpec {
+                seed: 4242,
+                ..tiny_spec()
+            },
+            &NoopRecorder,
+        );
+        assert_ne!(
+            a.records, b.records,
+            "placement and levels must depend on the seed"
+        );
+    }
+
+    #[test]
+    fn disabling_arbitration_only_removes_waiting() {
+        let contended = FleetSpec {
+            racks: 4,
+            stripes: 300,
+            ..tiny_spec()
+        };
+        let free = FleetSpec {
+            arbitrate: false,
+            ..contended.clone()
+        };
+        let with = run_synthetic_fleet(&contended, &NoopRecorder);
+        let without = run_synthetic_fleet(&free, &NoopRecorder);
+        // Same per-stripe durations, only admission times differ.
+        for (a, b) in with.records.iter().zip(&without.records) {
+            assert_eq!(a.stripe, b.stripe);
+            let da = a.finish - a.admitted;
+            let db = b.finish - b.admitted;
+            assert!((da - db).abs() < 1e-12, "stripe {}: {da} vs {db}", a.stripe);
+            assert_eq!(b.waited, 0.0, "no waiting without arbitration");
+        }
+        assert!(with.summary.makespan >= without.summary.makespan);
+    }
+
+    #[test]
+    fn storm_path_matches_store_seed_derivation() {
+        use rpr_faults::CrashSite;
+        let spec = FleetSpec {
+            stripes: 24,
+            storm: vec![vec![StormFault::Crash(CrashSite::SeedPick)]],
+            ..tiny_spec()
+        };
+        let out = run_synthetic_fleet(&spec, &NoopRecorder);
+        assert_eq!(out.summary.repaired + out.unrepairable, 24);
+        assert!(out.replans > 0, "every stripe crashed at least once");
+        let again = run_synthetic_fleet(&spec, &NoopRecorder);
+        assert_eq!(out.records, again.records, "storm path is deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_few_racks_rejected() {
+        let spec = FleetSpec {
+            racks: 1,
+            ..tiny_spec()
+        };
+        run_synthetic_fleet(&spec, &NoopRecorder);
+    }
+}

@@ -1,0 +1,133 @@
+//! A small work-stealing thread pool for batched plan construction and
+//! sim-backed repairs.
+//!
+//! [`run_indexed`] fans N independent tasks over a fixed set of scoped
+//! worker threads. Each worker owns a deque seeded with a contiguous
+//! slice of the task indices; it pops work from its own front and, when
+//! empty, steals from the *back* of a sibling's deque (classic
+//! work-stealing: owners and thieves touch opposite ends, so contention
+//! on any one lock is brief). Results are collected per worker and
+//! merged back into task-index order, so the output is deterministic no
+//! matter how the steals interleave.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default worker count: the machine's available parallelism, capped at
+/// 8 (the per-task sims are short; more threads than that just shuffle
+/// cache lines), and at least 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
+
+/// Run `tasks` independent jobs on `threads` workers and return their
+/// results in task-index order (`out[i] = f(i)`).
+///
+/// `f` is called exactly once per index, from an arbitrary worker
+/// thread. Panics in `f` propagate.
+pub fn run_indexed<T, F>(threads: usize, tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if tasks == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, tasks);
+    if threads == 1 {
+        return (0..tasks).map(f).collect();
+    }
+
+    // Seed each worker's deque with a contiguous chunk of indices so
+    // neighboring tasks (often touching the same cached state) start on
+    // the same worker.
+    let chunk = tasks.div_ceil(threads);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| Mutex::new((w * chunk..((w + 1) * chunk).min(tasks)).collect()))
+        .collect();
+
+    let mut buckets: Vec<Vec<(usize, T)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|me| {
+                let queues = &queues;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        // Own work first (front), then steal (back).
+                        let task = queues[me].lock().unwrap().pop_front().or_else(|| {
+                            (1..queues.len()).find_map(|step| {
+                                queues[(me + step) % queues.len()]
+                                    .lock()
+                                    .unwrap()
+                                    .pop_back()
+                            })
+                        });
+                        match task {
+                            Some(i) => out.push((i, f(i))),
+                            None => return out,
+                        }
+                    }
+                })
+            })
+            .collect();
+        buckets = handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect();
+    });
+
+    let mut tagged: Vec<(usize, T)> = buckets.into_iter().flatten().collect();
+    debug_assert_eq!(tagged.len(), tasks);
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = run_indexed(4, 257, |i| i * 3);
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = run_indexed(8, 1000, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // Worker 0's chunk is heavy; the run still completes and stays
+        // ordered. (Timing-free: we only check correctness, the stealing
+        // path is exercised because thread 1 drains long before 0.)
+        let out = run_indexed(2, 64, |i| {
+            if i < 32 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            i + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_indexed(16, 2, |i| i), vec![0, 1]);
+    }
+}

@@ -22,7 +22,11 @@
 //!   the repair supervisor (`rpr_core::supervise_injected`): every stripe
 //!   repairs under a seeded fault storm with admission-controlled waves
 //!   and a **fleet-shared** helper-health tracker, reporting MTTR and the
-//!   p99 stripe-repair time.
+//!   p99 stripe-repair time;
+//! * [`Store::recover_fleet`] hands the same backlog to the `rpr-sched`
+//!   fleet scheduler: stripes are served in at-risk-level priority order
+//!   under link-level bandwidth arbitration instead of fixed waves, with
+//!   per-stripe trackers so the schedule never changes repair outcomes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +35,7 @@ mod recovery;
 mod store;
 
 pub use recovery::{
-    quantile, Failure, RecoveryOptions, RecoveryOutcome, Scheme, SupervisedRecoveryOptions,
-    SupervisedRecoveryOutcome,
+    quantile, Failure, FleetRecoveryOptions, FleetRecoveryOutcome, RecoveryOptions,
+    RecoveryOutcome, Scheme, SupervisedRecoveryOptions, SupervisedRecoveryOutcome,
 };
 pub use store::{Store, StoreConfig};

@@ -8,6 +8,12 @@ use rpr_core::{
     RepairPlanner, RprPlanner, SuperviseConfig, Tier, TraditionalPlanner,
 };
 use rpr_faults::{FaultStorm, HealthTracker, SplitMix64, StormFault};
+use rpr_netsim::Network;
+use rpr_obs::Recorder;
+use rpr_sched::{
+    first_valid_plan, plan_demand, schedule_fleet, BandwidthArbiter, Demand, FleetJob,
+    FleetSummary, StripeRecord,
+};
 use rpr_topology::{BandwidthProfile, NodeId, RackId};
 
 /// A fleet-level failure event.
@@ -181,16 +187,77 @@ pub struct SupervisedRecoveryOutcome {
     pub quarantined_nodes: Vec<usize>,
 }
 
+/// Knobs for scheduler-routed fleet recovery ([`Store::recover_fleet`]).
+#[derive(Clone, Debug)]
+pub struct FleetRecoveryOptions {
+    /// Storm template applied to every stripe's repair; same shape and
+    /// per-stripe seed derivation as [`SupervisedRecoveryOptions::storm`].
+    pub storm: Vec<Vec<StormFault>>,
+    /// Base seed; stripe `i` repairs under seed `mix(seed, i)`.
+    pub seed: u64,
+    /// Supervisor configuration shared by every stripe.
+    pub cfg: SuperviseConfig,
+    /// When false the bandwidth arbiter admits every stripe at time 0,
+    /// so the schedule must match per-stripe supervised repair exactly —
+    /// the cross-backend pin the integration tests rely on.
+    pub arbitrate: bool,
+    /// Finite aggregation-switch capacity for the **arbiter** (`None` =
+    /// unconstrained fabric). Each stripe's stand-alone sim still
+    /// assumes an otherwise idle cluster; the arbiter is what makes
+    /// stripes wait for each other.
+    pub agg_capacity: Option<f64>,
+}
+
+impl Default for FleetRecoveryOptions {
+    fn default() -> FleetRecoveryOptions {
+        FleetRecoveryOptions {
+            storm: Vec::new(),
+            seed: 17,
+            cfg: SuperviseConfig::default(),
+            arbitrate: true,
+            agg_capacity: None,
+        }
+    }
+}
+
+/// The result of a scheduler-routed fleet recovery
+/// ([`Store::recover_fleet`]).
+#[derive(Clone, Debug)]
+pub struct FleetRecoveryOutcome {
+    /// Stripes the failure affected.
+    pub stripes_affected: usize,
+    /// Stripes whose storm was unrecoverable (excluded from the backlog).
+    pub unrepairable: usize,
+    /// Aggregate schedule numbers for the repaired stripes.
+    pub summary: FleetSummary,
+    /// Per-stripe admission records in ascending stripe order;
+    /// [`StripeRecord::stripe`] is the store stripe id.
+    pub records: Vec<StripeRecord>,
+    /// Total replan generations across the fleet.
+    pub replans: usize,
+    /// Total transfer retries across the fleet.
+    pub retries: usize,
+    /// Stripes that finished below [`Tier::Full`].
+    pub degraded: usize,
+    /// Peak reservation on the most loaded arbitrated link as a fraction
+    /// of its capacity (≤ 1 unless arbitration was disabled).
+    pub max_utilization: f64,
+}
+
 /// Quantile of a sample by the nearest-rank method (`q` in `0..=1`).
 /// Returns 0.0 for an empty sample.
+///
+/// Delegates to [`rpr_sched::quantile`] after sorting, which snaps
+/// `q·len` to an integer rank when float rounding leaves it within
+/// tolerance of one. The previous unguarded `ceil` could spill one rank
+/// too high whenever `q·len` computed a hair above an exact integer
+/// (e.g. `(0.1 + 0.2) · 10 = 3.0000000000000004` ceiled to rank 4), and
+/// on a single-element sample any such spill is clamped back silently —
+/// masking the bug instead of exercising it.
 pub fn quantile(sample: &[f64], q: f64) -> f64 {
-    if sample.is_empty() {
-        return 0.0;
-    }
     let mut sorted = sample.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    rpr_sched::quantile(&sorted, q)
 }
 
 impl Store {
@@ -470,6 +537,103 @@ impl Store {
             hedge_wins,
             degraded,
             quarantined_nodes: tracker.quarantined(),
+        }
+    }
+
+    /// Fleet recovery routed through the `rpr-sched` scheduler: every
+    /// affected stripe's supervised repair is costed stand-alone, then
+    /// the backlog drains through the at-risk-prioritized stripe index
+    /// under cross-stripe bandwidth arbitration on this store's own
+    /// topology and profile. `rec` receives the `stripe_enqueued` /
+    /// `stripe_admitted` / `bandwidth_waited` event stream.
+    ///
+    /// Two deliberate differences from [`Store::recover_supervised`]:
+    /// admission is link-level (a stripe waits only while the cross-rack
+    /// links its plan needs are reserved by in-flight repairs) instead
+    /// of fixed-size waves, and each stripe repairs under a **fresh**
+    /// health tracker rather than a fleet-shared one — so admission
+    /// order cannot change any repair's outcome, which is what makes
+    /// the run order-independent and, with `arbitrate: false`, the
+    /// schedule bit-identical to per-stripe
+    /// [`supervise_injected`] runs.
+    ///
+    /// Stripes whose storm is unrecoverable are counted in
+    /// [`FleetRecoveryOutcome::unrepairable`] and excluded from the
+    /// backlog, never panicked on.
+    pub fn recover_fleet(
+        &self,
+        failure: Failure,
+        profile: &BandwidthProfile,
+        cost: CostModel,
+        options: &FleetRecoveryOptions,
+        rec: &dyn Recorder,
+    ) -> FleetRecoveryOutcome {
+        let affected = self.affected_stripes(failure);
+        let mut net = Network::new(self.topology().clone(), profile.clone());
+        if let Some(cap) = options.agg_capacity {
+            net = net.with_agg_capacity(cap);
+        }
+
+        let mut jobs: Vec<FleetJob> = Vec::with_capacity(affected.len());
+        let mut demands: Vec<Demand> = Vec::with_capacity(affected.len());
+        let mut unrepairable = 0usize;
+        let (mut replans, mut retries, mut degraded) = (0usize, 0usize, 0usize);
+        for (stripe, failed) in &affected {
+            let ctx = RepairContext::new(
+                self.codec(),
+                self.topology(),
+                self.placement(*stripe),
+                failed.clone(),
+                self.config().block_bytes,
+                profile,
+                cost,
+            );
+            // Same per-stripe seed derivation as recover_supervised, so
+            // the two backends see identical fault storms per stripe.
+            let mut mix = SplitMix64::new(options.seed ^ (*stripe as u64));
+            let mut storm = FaultStorm::new(mix.next_u64());
+            for bucket in &options.storm {
+                storm = storm.with_generation(bucket.clone());
+            }
+            let mut tracker = HealthTracker::with_defaults();
+            let Ok(out) =
+                supervise_injected(&ctx, &storm, &options.cfg, &mut tracker, rpr_obs::noop())
+            else {
+                unrepairable += 1;
+                continue;
+            };
+            replans += out.replans;
+            retries += out.retries;
+            if out.final_tier > Tier::Full {
+                degraded += 1;
+            }
+            demands.push(if options.arbitrate {
+                let plan = first_valid_plan(&ctx).expect("a valid plan exists for <=k failures");
+                plan_demand(&plan, self.topology(), &net)
+            } else {
+                Demand::default()
+            });
+            jobs.push(FleetJob {
+                stripe: *stripe as u32,
+                level: failed.len(),
+                duration: out.repair_time,
+                cross_bytes: out.cross_bytes,
+                inner_bytes: out.inner_bytes,
+            });
+        }
+
+        let mut arbiter = BandwidthArbiter::new(&net);
+        arbiter.set_enabled(options.arbitrate);
+        let outcome = schedule_fleet(&jobs, &mut |j| demands[j].clone(), &mut arbiter, rec);
+        FleetRecoveryOutcome {
+            stripes_affected: affected.len(),
+            unrepairable,
+            summary: outcome.summary,
+            records: outcome.records,
+            replans,
+            retries,
+            degraded,
+            max_utilization: arbiter.max_utilization(),
         }
     }
 }
@@ -757,6 +921,113 @@ mod tests {
         assert_eq!(quantile(&s, 0.99), 99.0);
         assert_eq!(quantile(&s, 0.5), 50.0);
         assert_eq!(quantile(&s, 1.0), 100.0);
+    }
+
+    #[test]
+    fn quantile_degenerate_samples() {
+        // Empty: defined as 0.
+        assert_eq!(quantile(&[], 0.0), 0.0);
+        assert_eq!(quantile(&[], 1.0), 0.0);
+        // One element: every quantile is that element.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile(&[5.0], q), 5.0, "single element at q={q}");
+        }
+        // Two elements (input unsorted): p50 is rank 1, anything above
+        // spills to rank 2, and the rank-0 corner clamps to rank 1.
+        assert_eq!(quantile(&[2.0, 1.0], 0.0), 1.0);
+        assert_eq!(quantile(&[2.0, 1.0], 0.5), 1.0, "p50 of 2 is rank 1");
+        assert_eq!(quantile(&[2.0, 1.0], 0.51), 2.0);
+        assert_eq!(quantile(&[2.0, 1.0], 1.0), 2.0);
+    }
+
+    #[test]
+    fn quantile_snaps_float_noise_to_the_exact_rank() {
+        // (0.1 + 0.2) * 10 = 3.0000000000000004: an unguarded ceil turns
+        // that into rank 4. Nearest-rank must stay at rank 3.
+        let s: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let q = 0.1 + 0.2;
+        assert!(q > 0.3, "this q must carry the classic fp excess");
+        assert_eq!(quantile(&s, q), 3.0);
+    }
+
+    #[test]
+    fn fleet_recovery_repairs_every_affected_stripe() {
+        let s = small_store();
+        let p = profile(&s);
+        let opts = FleetRecoveryOptions::default();
+        let out = s.recover_fleet(Failure::Node(NodeId(2)), &p, CostModel::free(), &opts, rpr_obs::noop());
+        let affected = s.affected_stripes(Failure::Node(NodeId(2)));
+        assert_eq!(out.stripes_affected, affected.len());
+        assert_eq!(out.unrepairable, 0);
+        assert_eq!(out.summary.repaired, affected.len());
+        assert_eq!(out.records.len(), affected.len());
+        for (rec, (stripe, failed)) in out.records.iter().zip(&affected) {
+            assert_eq!(rec.stripe as usize, *stripe, "records use store stripe ids");
+            assert_eq!(rec.level, failed.len());
+            assert!(rec.finish > rec.admitted);
+        }
+        assert!(out.max_utilization <= 1.0 + 1e-6, "arbiter never oversubscribes");
+        // Determinism: a replay is bit-identical.
+        let again =
+            s.recover_fleet(Failure::Node(NodeId(2)), &p, CostModel::free(), &opts, rpr_obs::noop());
+        assert_eq!(out.records, again.records);
+        assert_eq!(out.summary.to_json(), again.summary.to_json());
+    }
+
+    #[test]
+    fn fleet_recovery_without_arbitration_matches_durations_and_never_waits() {
+        let s = small_store();
+        let p = profile(&s);
+        let node = s
+            .topology()
+            .nodes()
+            .max_by_key(|&n| s.blocks_on_node(n).len())
+            .unwrap();
+        let arbitrated = s.recover_fleet(
+            Failure::Node(node),
+            &p,
+            CostModel::free(),
+            &FleetRecoveryOptions::default(),
+            rpr_obs::noop(),
+        );
+        let free = s.recover_fleet(
+            Failure::Node(node),
+            &p,
+            CostModel::free(),
+            &FleetRecoveryOptions {
+                arbitrate: false,
+                ..FleetRecoveryOptions::default()
+            },
+            rpr_obs::noop(),
+        );
+        assert!(arbitrated.summary.repaired >= 2, "need >=2 stripes");
+        for (a, b) in arbitrated.records.iter().zip(&free.records) {
+            assert_eq!(a.stripe, b.stripe);
+            assert_eq!(b.admitted, 0.0, "no arbitration: everything starts at 0");
+            assert_eq!(b.waited, 0.0);
+            // Contention only delays starts; stand-alone durations match.
+            let da = a.finish - a.admitted;
+            assert!((da - b.finish).abs() < 1e-12, "stripe {}: {da} vs {}", a.stripe, b.finish);
+        }
+        assert!(arbitrated.summary.makespan >= free.summary.makespan - 1e-12);
+    }
+
+    #[test]
+    fn fleet_recovery_survives_crash_storms() {
+        use rpr_faults::CrashSite;
+        let s = small_store();
+        let p = profile(&s);
+        let opts = FleetRecoveryOptions {
+            storm: vec![vec![StormFault::Crash(CrashSite::SeedPick)]],
+            seed: 7,
+            ..FleetRecoveryOptions::default()
+        };
+        let out =
+            s.recover_fleet(Failure::Node(NodeId(2)), &p, CostModel::free(), &opts, rpr_obs::noop());
+        assert!(out.stripes_affected > 0);
+        assert_eq!(out.unrepairable, 0, "crash storms are survivable");
+        assert_eq!(out.summary.repaired, out.stripes_affected);
+        assert!(out.replans >= out.summary.repaired, "every stripe crashed at least once");
     }
 
     #[test]

@@ -19,7 +19,10 @@
 #   8. chaos soak: the supervised 3-fault storm (`rpr chaos`, crash →
 #      replacement crash → timeout) must complete at (6,3) and emit a
 #      byte-identical trace across runs, block and chunk mode
-#   9. bench gate: a quick bench snapshot (scripts/bench_snapshot.sh
+#   9. fleet soak: the fleet scheduler (`rpr fleet`, 10k stripes) must
+#      drain a 10k-stripe backlog per seed and emit byte-identical JSON
+#      summaries across two same-seed runs (docs/FLEET.md)
+#  10. bench gate: a quick bench snapshot (scripts/bench_snapshot.sh
 #      --quick) must not regress the GF kernel throughput by more than
 #      15% against the newest committed BENCH_*.json, and the dispatched
 #      SIMD multiply must stay >= 4x the scalar tier (scripts/
@@ -134,7 +137,30 @@ for seed in 17 4242; do
     done
 done
 
-# Step 9: performance must not silently rot. Take a quick snapshot and
+# Step 9: the fleet scheduler must drain a bounded 10k-stripe backlog to
+# completion and do so bit-deterministically — two same-seed runs of
+# `rpr fleet` must print byte-identical JSON summaries.
+for seed in 17 4242; do
+    for rep in a b; do
+        echo "==> $RPR fleet --code 6,3 --stripes 10000 --seed $seed --json (run $rep)"
+        "$RPR" fleet --code 6,3 --stripes 10000 --seed "$seed" --json \
+            > "$CHAOS_DIR/fleet_s${seed}_${rep}.json" 2>/dev/null
+    done
+    for rep in a b; do
+        if ! grep -q '"repaired":10000' "$CHAOS_DIR/fleet_s${seed}_${rep}.json"; then
+            echo "fleet soak FAILED: seed $seed did not repair all 10000 stripes" >&2
+            exit 1
+        fi
+    done
+    if ! cmp -s "$CHAOS_DIR/fleet_s${seed}_a.json" \
+                "$CHAOS_DIR/fleet_s${seed}_b.json"; then
+        echo "fleet soak FAILED: seed $seed summaries differ" >&2
+        exit 1
+    fi
+    echo "==> fleet drain for seed $seed completed deterministically"
+done
+
+# Step 10: performance must not silently rot. Take a quick snapshot and
 # gate it against the newest committed baseline; a transient miss (quick
 # windows on a shared box are noisy) gets two retries before it counts.
 if [ "${RPR_BENCH_GATE:-on}" = "off" ]; then

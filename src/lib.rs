@@ -48,6 +48,7 @@
 //! | [`core`] | planners (Traditional/CAR/RPR), plans, analysis, viz |
 //! | [`exec`] | the real-data executor |
 //! | [`store`] | multi-stripe store and fleet-failure recovery |
+//! | [`sched`] | fleet-scale repair scheduler: stripe index, bandwidth arbiter |
 //! | [`obs`] | structured repair traces and per-rack metrics |
 //! | [`faults`] | deterministic fault injection: fault plans, retry policies |
 //!
@@ -63,5 +64,6 @@ pub use rpr_gf as gf;
 pub use rpr_linalg as linalg;
 pub use rpr_netsim as netsim;
 pub use rpr_obs as obs;
+pub use rpr_sched as sched;
 pub use rpr_store as store;
 pub use rpr_topology as topology;
