@@ -33,6 +33,7 @@ fn backlog() -> (Network, Vec<FleetJob>, Vec<Demand>) {
             stripe: i,
             level: (next() % 3 + 1) as usize,
             duration: (next() % 900 + 100) as f64 / 100.0,
+            arrival: 0.0,
             cross_bytes: 256 << 20,
             inner_bytes: 512 << 20,
         })

@@ -1,0 +1,27 @@
+//! Foreground co-simulation benchmarks: one full `run_load` of the
+//! (6,3) paper config — request generation, repair lowering, the shared
+//! flow simulation, and quantile extraction — per mode, so the cost of
+//! simulating client traffic under repair is tracked end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rpr_load::{run_load, LoadSpec, RepairMode};
+use std::hint::black_box;
+
+fn bench_load_cosim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("load");
+    for (name, mode) in [
+        ("off", RepairMode::Off),
+        ("unthrottled", RepairMode::Unthrottled),
+        ("qos", LoadSpec::paper_qos()),
+    ] {
+        let spec = LoadSpec::paper_config(17, mode);
+        g.throughput(Throughput::Elements(spec.requests as u64));
+        g.bench_function(format!("cosim_{name}"), |b| {
+            b.iter(|| black_box(run_load(black_box(&spec))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_load_cosim);
+criterion_main!(benches);

@@ -18,6 +18,11 @@ usage:
               [--block-mib M] [--ratio R] [--seed S] [--storm LIST]
               [--agg-gbit G] [--no-arbiter] [--threads T] [--json]
               [--format F] [--out FILE]
+  rpr load    [--mode M] [--code N,K] [--seed S] [--requests N] [--rate R]
+              [--read-fraction F] [--zipf T] [--objects N] [--request-mib M]
+              [--block-mib M] [--chunk-size M] [--ratio R] [--stripes N]
+              [--stagger S] [--share F] [--floor F] [--json]
+              [--format F] [--out FILE]
   rpr topo    --code N,K [--placement P]
   rpr analyze [--ti-ms X] [--tc-ms Y]
   rpr kernels [--json]
@@ -63,6 +68,21 @@ fleet options (at-risk backlog drain, see docs/FLEET.md):
   --json            machine-readable summary on stdout
   --out FILE        write the stripe_enqueued/admitted/bandwidth_waited
                     event stream to FILE (--format chrome | jsonl)
+load options (foreground traffic under repair, see docs/FOREGROUND.md):
+  --mode M          off | unthrottled | qos: repair tenancy       (default qos)
+  --requests N      foreground requests to issue                  (default 240)
+  --rate R          open-loop Poisson arrival rate, req/s         (default 40)
+  --read-fraction F fraction of requests that are reads           (default 0.9)
+  --zipf T          zipfian popularity skew; 0 = uniform          (default 0.9)
+  --objects N       distinct objects (object 0 is the lost block) (default 64)
+  --request-mib M   bytes moved per request, in MiB               (default 4)
+  --stripes N       stripes under repair during the run           (default 4)
+  --stagger S       seconds between stripe repair starts          (default 0.25)
+  --share F         qos: link fraction reserved for foreground    (default 0.85)
+  --floor F         qos: guaranteed repair fraction floor         (default 0.1)
+  --json            machine-readable summary on stdout
+  --out FILE        write the request/QoS/transfer event stream
+                    to FILE (--format chrome | jsonl)
 kernels (SIMD dispatch report, see docs/PERFORMANCE.md):
   --json            machine-readable tier + throughput report";
 
@@ -84,6 +104,9 @@ pub enum Command {
     /// Drain a fleet-scale backlog of at-risk stripes through the
     /// prioritized, bandwidth-arbitrated repair scheduler.
     Fleet(FleetArgs),
+    /// Co-simulate an open-loop foreground workload against a stream of
+    /// repairs and report per-request latency quantiles.
+    Load(LoadArgs),
     /// Print the cluster/placement layout.
     Topo {
         /// Code geometry.
@@ -280,6 +303,60 @@ pub struct FleetArgs {
     /// Print a machine-readable summary object on stdout.
     pub json: bool,
     /// Output format of the scheduler event stream.
+    pub format: TraceFormat,
+    /// Event-stream output path; no events are recorded when absent.
+    pub out: Option<String>,
+}
+
+/// Repair tenancy of `rpr load` (mirrors `rpr_load::RepairMode`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadModeChoice {
+    /// No repair traffic: the pre-failure latency baseline.
+    Off,
+    /// Repair competes with client traffic at full link rate.
+    Unthrottled,
+    /// Foreground-priority QoS (`--share` / `--floor`).
+    Qos,
+}
+
+/// Options for the `load` command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadArgs {
+    /// Code geometry.
+    pub params: CodeParams,
+    /// Repair tenancy mode.
+    pub mode: LoadModeChoice,
+    /// Workload seed.
+    pub seed: u64,
+    /// Foreground requests to issue.
+    pub requests: usize,
+    /// Open-loop arrival rate, requests/second.
+    pub rate: f64,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Zipfian popularity skew.
+    pub zipf: f64,
+    /// Distinct objects.
+    pub objects: usize,
+    /// Bytes per request.
+    pub request_bytes: u64,
+    /// Stripe block size in bytes.
+    pub block_bytes: u64,
+    /// Streaming chunk size in bytes.
+    pub chunk_bytes: Option<u64>,
+    /// inner:cross bandwidth ratio.
+    pub ratio: f64,
+    /// Stripes under repair during the run.
+    pub stripes: usize,
+    /// Seconds between stripe repair starts.
+    pub stagger: f64,
+    /// QoS: link fraction reserved for foreground traffic.
+    pub share: f64,
+    /// QoS: guaranteed repair fraction floor.
+    pub floor: f64,
+    /// Print a machine-readable summary object on stdout.
+    pub json: bool,
+    /// Output format of the event stream.
     pub format: TraceFormat,
     /// Event-stream output path; no events are recorded when absent.
     pub out: Option<String>,
@@ -491,6 +568,146 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 agg_gbit,
                 arbitrate: !flags.has("--no-arbiter"),
                 threads,
+                json: flags.has("--json"),
+                format,
+                out: flags.get("--out").map(String::from),
+            }))
+        }
+        "load" => {
+            let params = parse_code(flags.get("--code").unwrap_or("6,3"))?;
+            let mode = match flags.get("--mode").unwrap_or("qos") {
+                "off" => LoadModeChoice::Off,
+                "unthrottled" => LoadModeChoice::Unthrottled,
+                "qos" => LoadModeChoice::Qos,
+                other => return Err(format!("unknown load mode `{other}`")),
+            };
+            let requests: usize = flags
+                .get("--requests")
+                .map(|v| v.parse().map_err(|_| "bad --requests"))
+                .transpose()?
+                .unwrap_or(240);
+            if requests == 0 {
+                return Err("--requests must be positive".into());
+            }
+            let rate: f64 = flags
+                .get("--rate")
+                .map(|v| v.parse().map_err(|_| "bad --rate"))
+                .transpose()?
+                .unwrap_or(40.0);
+            if !(rate > 0.0 && rate.is_finite()) {
+                return Err("--rate must be positive".into());
+            }
+            let read_fraction: f64 = flags
+                .get("--read-fraction")
+                .map(|v| v.parse().map_err(|_| "bad --read-fraction"))
+                .transpose()?
+                .unwrap_or(0.9);
+            if !(0.0..=1.0).contains(&read_fraction) {
+                return Err("--read-fraction must be in [0, 1]".into());
+            }
+            let zipf: f64 = flags
+                .get("--zipf")
+                .map(|v| v.parse().map_err(|_| "bad --zipf"))
+                .transpose()?
+                .unwrap_or(0.9);
+            if !(zipf >= 0.0 && zipf.is_finite()) {
+                return Err("--zipf must be non-negative".into());
+            }
+            let objects: usize = flags
+                .get("--objects")
+                .map(|v| v.parse().map_err(|_| "bad --objects"))
+                .transpose()?
+                .unwrap_or(64);
+            if objects == 0 {
+                return Err("--objects must be positive".into());
+            }
+            let request_mib: u64 = flags
+                .get("--request-mib")
+                .map(|v| v.parse().map_err(|_| "bad --request-mib"))
+                .transpose()?
+                .unwrap_or(4);
+            if request_mib == 0 {
+                return Err("--request-mib must be positive".into());
+            }
+            let block_mib: u64 = flags
+                .get("--block-mib")
+                .map(|v| v.parse().map_err(|_| "bad --block-mib"))
+                .transpose()?
+                .unwrap_or(64);
+            if block_mib == 0 {
+                return Err("--block-mib must be positive".into());
+            }
+            let chunk_mib: u64 = flags
+                .get("--chunk-size")
+                .map(|v| v.parse().map_err(|_| "bad --chunk-size"))
+                .transpose()?
+                .unwrap_or(8);
+            if chunk_mib == 0 {
+                return Err("--chunk-size must be positive".into());
+            }
+            let ratio: f64 = flags
+                .get("--ratio")
+                .map(|v| v.parse().map_err(|_| "bad --ratio"))
+                .transpose()?
+                .unwrap_or(10.0);
+            if !(ratio >= 1.0 && ratio.is_finite()) {
+                return Err("--ratio must be >= 1".into());
+            }
+            let stripes: usize = flags
+                .get("--stripes")
+                .map(|v| v.parse().map_err(|_| "bad --stripes"))
+                .transpose()?
+                .unwrap_or(4);
+            let stagger: f64 = flags
+                .get("--stagger")
+                .map(|v| v.parse().map_err(|_| "bad --stagger"))
+                .transpose()?
+                .unwrap_or(0.25);
+            if !(stagger >= 0.0 && stagger.is_finite()) {
+                return Err("--stagger must be non-negative".into());
+            }
+            let share: f64 = flags
+                .get("--share")
+                .map(|v| v.parse().map_err(|_| "bad --share"))
+                .transpose()?
+                .unwrap_or(0.85);
+            if !(0.0..1.0).contains(&share) {
+                return Err("--share must be in [0, 1)".into());
+            }
+            let floor: f64 = flags
+                .get("--floor")
+                .map(|v| v.parse().map_err(|_| "bad --floor"))
+                .transpose()?
+                .unwrap_or(0.1);
+            if !(floor > 0.0 && floor <= 1.0) {
+                return Err("--floor must be in (0, 1]".into());
+            }
+            let format = match flags.get("--format") {
+                None | Some("jsonl") => TraceFormat::Jsonl,
+                Some("chrome") => TraceFormat::Chrome,
+                Some(other) => return Err(format!("unknown trace format `{other}`")),
+            };
+            Ok(Command::Load(LoadArgs {
+                params,
+                mode,
+                seed: flags
+                    .get("--seed")
+                    .map(|v| v.parse().map_err(|_| "bad --seed"))
+                    .transpose()?
+                    .unwrap_or(17),
+                requests,
+                rate,
+                read_fraction,
+                zipf,
+                objects,
+                request_bytes: request_mib << 20,
+                block_bytes: block_mib << 20,
+                chunk_bytes: Some(chunk_mib << 20),
+                ratio,
+                stripes,
+                stagger,
+                share,
+                floor,
                 json: flags.has("--json"),
                 format,
                 out: flags.get("--out").map(String::from),
@@ -879,6 +1096,82 @@ mod tests {
         assert!(parse(&argv("fleet --storm meteor")).is_err());
         assert!(parse(&argv("fleet --agg-gbit 0")).is_err());
         assert!(parse(&argv("fleet --format xml")).is_err());
+    }
+
+    #[test]
+    fn parse_load_command() {
+        let cmd = parse(&argv(
+            "load --mode unthrottled --code 4,2 --seed 99 --requests 100 \
+             --rate 25 --read-fraction 0.8 --zipf 1.1 --objects 32 \
+             --request-mib 2 --block-mib 32 --chunk-size 4 --ratio 5 \
+             --stripes 2 --stagger 0.5 --share 0.7 --floor 0.2 --json \
+             --out load.jsonl",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Load(l) => {
+                assert_eq!(l.mode, LoadModeChoice::Unthrottled);
+                assert_eq!(l.params, CodeParams::new(4, 2));
+                assert_eq!(l.seed, 99);
+                assert_eq!(l.requests, 100);
+                assert_eq!(l.rate, 25.0);
+                assert_eq!(l.read_fraction, 0.8);
+                assert_eq!(l.zipf, 1.1);
+                assert_eq!(l.objects, 32);
+                assert_eq!(l.request_bytes, 2 << 20);
+                assert_eq!(l.block_bytes, 32 << 20);
+                assert_eq!(l.chunk_bytes, Some(4 << 20));
+                assert_eq!(l.ratio, 5.0);
+                assert_eq!(l.stripes, 2);
+                assert_eq!(l.stagger, 0.5);
+                assert_eq!(l.share, 0.7);
+                assert_eq!(l.floor, 0.2);
+                assert!(l.json);
+                assert_eq!(l.out.as_deref(), Some("load.jsonl"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_load_defaults() {
+        match parse(&argv("load")).unwrap() {
+            Command::Load(l) => {
+                assert_eq!(l.mode, LoadModeChoice::Qos, "qos by default");
+                assert_eq!(l.params, CodeParams::new(6, 3), "paper code");
+                assert_eq!(l.seed, 17);
+                assert_eq!(l.requests, 240);
+                assert_eq!(l.rate, 40.0);
+                assert_eq!(l.read_fraction, 0.9);
+                assert_eq!(l.zipf, 0.9);
+                assert_eq!(l.objects, 64);
+                assert_eq!(l.request_bytes, 4 << 20);
+                assert_eq!(l.block_bytes, 64 << 20);
+                assert_eq!(l.chunk_bytes, Some(8 << 20));
+                assert_eq!(l.stripes, 4);
+                assert_eq!(l.stagger, 0.25);
+                assert_eq!(l.share, 0.85);
+                assert_eq!(l.floor, 0.1);
+                assert!(!l.json);
+                assert_eq!(l.format, TraceFormat::Jsonl);
+                assert_eq!(l.out, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_load_rejects_bad_input() {
+        assert!(parse(&argv("load --mode sometimes")).is_err());
+        assert!(parse(&argv("load --requests 0")).is_err());
+        assert!(parse(&argv("load --rate 0")).is_err());
+        assert!(parse(&argv("load --read-fraction 1.5")).is_err());
+        assert!(parse(&argv("load --zipf -1")).is_err());
+        assert!(parse(&argv("load --objects 0")).is_err());
+        assert!(parse(&argv("load --share 1.0")).is_err());
+        assert!(parse(&argv("load --floor 0")).is_err());
+        assert!(parse(&argv("load --stagger -1")).is_err());
+        assert!(parse(&argv("load --format xml")).is_err());
     }
 
     #[test]

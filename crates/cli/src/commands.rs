@@ -1,8 +1,8 @@
 //! Command implementations.
 
 use crate::args::{
-    ChaosArgs, ChaosFault, Command, FaultChoice, FleetArgs, InjectArgs, InjectBackend, PlanArgs,
-    TraceArgs, TraceFormat,
+    ChaosArgs, ChaosFault, Command, FaultChoice, FleetArgs, InjectArgs, InjectBackend, LoadArgs,
+    LoadModeChoice, PlanArgs, TraceArgs, TraceFormat,
 };
 use rpr_codec::{CodeParams, StripeCodec};
 use rpr_core::analysis::{rpr_repair_time, traditional_repair_time, AnalysisParams};
@@ -24,6 +24,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Inject(i) => inject(&i),
         Command::Chaos(c) => chaos(&c),
         Command::Fleet(f) => fleet(&f),
+        Command::Load(l) => load(&l),
         Command::Topo { params, placement } => topo(params, placement),
         Command::Analyze { ti_ms, tc_ms } => analyze(ti_ms, tc_ms),
         Command::Kernels { json } => kernels(json),
@@ -766,6 +767,93 @@ fn fleet(f: &FleetArgs) -> Result<(), String> {
         "# scheduled {} stripes in {wall:.2} s wall ({:.0} stripes/s admission)",
         s.stripes,
         s.stripes as f64 / wall.max(1e-9),
+    );
+    Ok(())
+}
+
+fn load(l: &LoadArgs) -> Result<(), String> {
+    let mode = match l.mode {
+        LoadModeChoice::Off => rpr_load::RepairMode::Off,
+        LoadModeChoice::Unthrottled => rpr_load::RepairMode::Unthrottled,
+        LoadModeChoice::Qos => rpr_load::RepairMode::Qos {
+            foreground_share: l.share,
+            repair_floor: l.floor,
+        },
+    };
+    let spec = rpr_load::LoadSpec {
+        params: l.params,
+        block_bytes: l.block_bytes,
+        chunk_bytes: l.chunk_bytes,
+        inner_bps: 400.0e6,
+        cross_bps: 400.0e6 / l.ratio,
+        seed: l.seed,
+        requests: l.requests,
+        arrival_rate: l.rate,
+        read_fraction: l.read_fraction,
+        zipf_theta: l.zipf,
+        objects: l.objects,
+        request_bytes: l.request_bytes,
+        repair_stripes: l.stripes,
+        repair_stagger: l.stagger,
+        mode,
+    };
+    let start = std::time::Instant::now();
+    let summary = match &l.out {
+        Some(_) => {
+            let rec = rpr_obs::TraceRecorder::default();
+            let summary = rpr_load::run_load_recorded(&spec, &rec);
+            let events = rec.take_events();
+            emit_trace(&events, l.format, &l.out, l.json)?;
+            summary
+        }
+        None => rpr_load::run_load(&spec),
+    };
+    let wall = start.elapsed().as_secs_f64();
+
+    if l.json {
+        println!(
+            "{{\"command\":\"load\",\"code\":{},\"block_mib\":{},\"request_mib\":{},\
+             \"rate\":{},\"stripes\":{},\"stagger\":{},\"summary\":{}}}",
+            json_str(&format!("{},{}", l.params.n, l.params.k)),
+            l.block_bytes >> 20,
+            l.request_bytes >> 20,
+            l.rate,
+            l.stripes,
+            l.stagger,
+            summary.to_json(),
+        );
+    } else {
+        println!(
+            "load of {} requests at {} req/s over RS({},{}), mode {} \
+             (repair fraction {:.2}), seed {}",
+            summary.requests,
+            l.rate,
+            l.params.n,
+            l.params.k,
+            summary.mode,
+            summary.repair_fraction,
+            summary.seed,
+        );
+        println!(
+            "  reads {} | writes {} | degraded reads {} (pipeline-served)",
+            summary.reads, summary.writes, summary.degraded,
+        );
+        println!(
+            "  latency p50 {:.3} s | p99 {:.3} s | p999 {:.3} s | mean {:.3} s",
+            summary.latency_p50, summary.latency_p99, summary.latency_p999, summary.mean_latency,
+        );
+        println!(
+            "  first byte p50 {:.3} s | p99 {:.3} s | p999 {:.3} s",
+            summary.first_byte_p50, summary.first_byte_p99, summary.first_byte_p999,
+        );
+        println!(
+            "  repair makespan {:.1} s | run makespan {:.1} s",
+            summary.repair_makespan, summary.makespan,
+        );
+    }
+    eprintln!(
+        "# simulated {} requests in {wall:.2} s wall",
+        summary.requests,
     );
     Ok(())
 }

@@ -45,7 +45,10 @@ pub use robust::{
     crash_candidates, replan_after_crash, resolve, simulate_injected, AttemptFault, CrashFault,
     Replan, ResolvedFaults, RobustOutcome,
 };
-pub use sim::{chunk_sizes, simulate, simulate_batch, BatchOutcome, SimOutcome};
+pub use sim::{
+    chunk_sizes, lower_plan_into, network_for_ctx, simulate, simulate_batch, BatchOutcome,
+    SimOutcome,
+};
 pub use supervise::{
     degraded_client, plan_with_pool, resolve_storm_bucket, supervise_injected, GenFaults,
     GenerationRecord, PoolReplan, SuperviseConfig, SuperviseOutcome, Tier,

@@ -441,9 +441,20 @@ pub(crate) fn shift_event(mut event: Event, dt: f64) -> Event {
         | Event::StripeEnqueued { t, .. }
         | Event::StripeAdmitted { t, .. }
         | Event::BandwidthWaited { t, .. }
+        | Event::QosThrottled { t, .. }
+        | Event::RequestIssued { t, .. }
         | Event::RepairDone { t, .. } => *t += dt,
         Event::TransferDone { start, end, .. } | Event::CombineDone { start, end, .. } => {
             *start += dt;
+            *end += dt;
+        }
+        Event::RequestDone {
+            first_byte: _,
+            issued,
+            end,
+            ..
+        } => {
+            *issued += dt;
             *end += dt;
         }
     }

@@ -118,6 +118,47 @@ pub fn simulate_batch(plans: &[&RepairPlan], ctx: &RepairContext<'_>) -> BatchOu
     }
 }
 
+/// Lower one plan into an **existing** simulator without running it —
+/// the co-simulation entry point. A foreground workload generator (see
+/// `rpr-load`) adds its own request flows to the same [`Simulator`], so
+/// repair and client traffic contend for the same shaped links, then
+/// runs the combined DAG itself.
+///
+/// Returns the netsim jobs of each op, one per chunk (a singleton
+/// without streaming) — callers dep-chain degraded-read relays on the
+/// output ops' chunk jobs, and may [`Simulator::throttle`] the `Send`
+/// jobs to enforce a repair-bandwidth QoS cap.
+///
+/// The simulator must target the same topology as `ctx` (build it over
+/// [`network_for_ctx`]); `tag` namespaces job labels (`p{tag}op{i}`)
+/// when several plans share one simulator.
+///
+/// # Panics
+/// Panics if the plan references nodes outside the simulator's network.
+pub fn lower_plan_into(
+    sim: &mut Simulator,
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    tag: usize,
+) -> Vec<Vec<JobId>> {
+    let mut matrix_paid = vec![false; ctx.topo.node_count()];
+    lower_plan(
+        sim,
+        plan,
+        &ctx.cost,
+        &mut matrix_paid,
+        tag,
+        ctx.effective_chunk(),
+    )
+}
+
+/// The simulated network of a context — topology, bandwidth profile and
+/// the optional aggregation-switch constraint — for callers that drive
+/// a [`Simulator`] directly (co-simulation via [`lower_plan_into`]).
+pub fn network_for_ctx(ctx: &RepairContext<'_>) -> Network {
+    network_for(ctx)
+}
+
 /// Build the simulated network for a context, honoring its optional
 /// aggregation-switch constraint.
 pub(crate) fn network_for(ctx: &RepairContext<'_>) -> Network {

@@ -61,6 +61,20 @@ pub struct ExecReport {
     /// into recycling; block-mode runs use neither (whole-block values
     /// are shared, not pooled).
     pub arena: ArenaStats,
+    /// The reconstructed output blocks, in plan-output order — the exact
+    /// bytes a degraded-read client receives. Shared (`Arc`) with the
+    /// executor's value store, never copied.
+    pub recovered: Vec<(BlockId, Arc<Vec<u8>>)>,
+    /// Wall-clock seconds at which the **first decoded chunk** of any
+    /// output op was available at its executing node — the
+    /// degraded-read time-to-first-byte when the recovery node is the
+    /// client ([`RepairContext::with_recovery_node`]). Under cut-through
+    /// streaming this is far earlier than [`ExecReport::wall_seconds`];
+    /// in block mode it coincides with the output op's completion
+    /// (there is no cut-through without streaming). `None` only if no
+    /// output op executed in the reporting attempt (all outputs reused
+    /// from a previous generation's partial pool).
+    pub first_byte_seconds: Option<f64>,
 }
 
 /// Why a fault-injected execution could not complete.
@@ -158,6 +172,12 @@ struct RunEnv<'r, 'c> {
     /// Shared chunk-buffer arena: streamed deliveries check buffers out
     /// of this pool instead of allocating per chunk.
     pool: &'r Arc<BufferPool>,
+    /// `outputs[i]` — op `i` produces a plan output (a reconstructed
+    /// block delivered to the recovery node / degraded-read client).
+    outputs: &'r [bool],
+    /// Earliest wall time any output op delivered its first chunk: the
+    /// degraded-read first byte, min-merged across output ops.
+    first_out: &'r Mutex<Option<f64>>,
 }
 
 impl RunEnv<'_, '_> {
@@ -165,6 +185,18 @@ impl RunEnv<'_, '_> {
     fn range(&self, j: usize) -> std::ops::Range<usize> {
         let start: u64 = self.sizes[..j].iter().sum();
         (start as usize)..((start + self.sizes[j]) as usize)
+    }
+
+    /// Note that output op `i` just made its first chunk available at
+    /// time `t` (no-op for non-output ops; keeps the earliest time).
+    fn note_first_out(&self, i: usize, t: f64) {
+        if !self.outputs[i] {
+            return;
+        }
+        let mut g = self.first_out.lock();
+        if g.is_none_or(|cur| t < cur) {
+            *g = Some(t);
+        }
     }
 }
 
@@ -180,6 +212,9 @@ struct AttemptRun {
     retries: usize,
     /// Chunk-buffer pool counters for this attempt.
     arena: ArenaStats,
+    /// Earliest wall time any output op delivered its first chunk (the
+    /// degraded-read first byte); `None` if no output op ran.
+    first_out: Option<f64>,
 }
 
 /// Execute a plan on real stripe contents.
@@ -334,6 +369,7 @@ pub fn execute_resilient(
     let wall_seconds = t0.elapsed().as_secs_f64();
 
     let mut mismatches = Vec::new();
+    let mut recovered = Vec::with_capacity(rep.plan.outputs.len());
     for &(target, op) in &rep.plan.outputs {
         let got = run2.values[op.0]
             .clone()
@@ -344,6 +380,7 @@ pub fn execute_resilient(
         if got.as_slice() != stripe[target.0].as_slice() {
             mismatches.push(target);
         }
+        recovered.push((target, got));
     }
 
     // Traffic actually moved: completed original sends plus executed
@@ -372,6 +409,10 @@ pub fn execute_resilient(
         inner_bytes,
     });
 
+    let first_byte_seconds = match (run1.first_out, run2.first_out) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
     Ok(ResilientReport {
         report: ExecReport {
             wall_seconds,
@@ -381,6 +422,8 @@ pub fn execute_resilient(
             inner_bytes,
             verified: mismatches.is_empty(),
             mismatches,
+            recovered,
+            first_byte_seconds,
         },
         retries: run1.retries + run2.retries,
         replans: 1,
@@ -614,6 +657,7 @@ pub fn execute_supervised(
     let mut cross_bytes = 0u64;
     let mut inner_bytes = 0u64;
     let mut tier = Tier::Full;
+    let mut first_byte: Option<f64> = None;
 
     let max_generations = storm.generations.len() + cfg.max_replans + 4;
     let mut g = 0usize;
@@ -691,6 +735,10 @@ pub fn execute_supervised(
             run_watched(&plan, &ctx_g, stripe, rec, t0, &a_cfg, hedge_budget, &cancel);
         retries += run.retries;
         arena = arena.plus(run.arena);
+        first_byte = match (first_byte, run.first_out) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let completed: Vec<bool> = run.values.iter().map(|v| v.is_some()).collect();
         let now = t0.elapsed().as_secs_f64();
 
@@ -885,6 +933,7 @@ pub fn execute_supervised(
 
         // ---- completion: verify, close out, report. ----
         let mut mismatches = Vec::new();
+        let mut recovered = Vec::with_capacity(plan.outputs.len());
         for &(target, op) in &plan.outputs {
             let got = run.values[op.0]
                 .clone()
@@ -895,6 +944,7 @@ pub fn execute_supervised(
             if got.as_slice() != stripe[target.0].as_slice() {
                 mismatches.push(target);
             }
+            recovered.push((target, got));
         }
         if let Some((label, winner)) = hedge_pending.take() {
             hedge_wins += 1;
@@ -931,6 +981,8 @@ pub fn execute_supervised(
                 inner_bytes,
                 verified: mismatches.is_empty(),
                 mismatches,
+                recovered,
+                first_byte_seconds: first_byte,
             },
             generations,
             retries,
@@ -1086,6 +1138,12 @@ fn run_attempt(
     let crash_t: Mutex<Option<f64>> = Mutex::new(None);
     let retries = AtomicUsize::new(0);
 
+    let mut outputs = vec![false; plan.ops.len()];
+    for &(_, op) in &plan.outputs {
+        outputs[op.0] = true;
+    }
+    let first_out: Mutex<Option<f64>> = Mutex::new(None);
+
     let pool = BufferPool::new();
     let env = RunEnv {
         plan,
@@ -1103,6 +1161,8 @@ fn run_attempt(
             .map_or(DEFAULT_SHAPER_CHUNK, |c| c as usize),
         sizes: &sizes,
         pool: &pool,
+        outputs: &outputs,
+        first_out: &first_out,
     };
 
     std::thread::scope(|scope| {
@@ -1402,6 +1462,7 @@ fn run_attempt(
                         end: ended,
                     });
                 }
+                env.note_first_out(i, ended);
                 *values[i].lock() = Some(out.clone());
                 for tx in my_producers {
                     let _ = tx.send(Delivery::Data(Chunk::shared(out.clone())));
@@ -1416,6 +1477,7 @@ fn run_attempt(
         crash_t: crash_t.into_inner(),
         retries: retries.into_inner(),
         arena: pool.stats(),
+        first_out: first_out.into_inner(),
     }
 }
 
@@ -1664,7 +1726,9 @@ fn stream_op(
                         );
                         forward_pooled(&buf[r]);
                         if first_delivered_t.is_none() {
-                            first_delivered_t = Some(t0.elapsed().as_secs_f64());
+                            let now = t0.elapsed().as_secs_f64();
+                            first_delivered_t = Some(now);
+                            env.note_first_out(i, now);
                         }
                     }
                     delivered = delivered.max(goal);
@@ -1727,7 +1791,9 @@ fn stream_op(
                 );
                 forward_pooled(&buf[r]);
                 if first_delivered_t.is_none() {
-                    first_delivered_t = Some(t0.elapsed().as_secs_f64());
+                    let now = t0.elapsed().as_secs_f64();
+                    first_delivered_t = Some(now);
+                    env.note_first_out(i, now);
                 }
             }
             let end = t0.elapsed().as_secs_f64();
@@ -1842,6 +1908,12 @@ fn stream_op(
                     std::thread::sleep(std::time::Duration::from_secs_f64(modeled - spent));
                 }
                 forward_pooled(&out[r]);
+                if j == 0 {
+                    // The degraded-read cut-through moment: the first
+                    // decoded chunk of a reconstructed block exists at
+                    // the recovery node while the rest is in flight.
+                    env.note_first_out(i, t0.elapsed().as_secs_f64());
+                }
             }
             let ended = t0.elapsed().as_secs_f64();
             rec.record(Event::CombineDone {
@@ -1965,6 +2037,15 @@ fn close_run(
         inner_bytes,
     });
 
+    let recovered = plan
+        .outputs
+        .iter()
+        .map(|&(target, op)| {
+            let v = run.values[op.0].clone().expect("output never produced");
+            (target, v)
+        })
+        .collect();
+
     ExecReport {
         wall_seconds,
         arena: run.arena,
@@ -1973,6 +2054,8 @@ fn close_run(
         inner_bytes,
         verified: mismatches.is_empty(),
         mismatches,
+        recovered,
+        first_byte_seconds: run.first_out,
     }
 }
 

@@ -1,0 +1,74 @@
+//! Foreground latency under repair: the `rpr-load` open-loop client
+//! workload co-simulated with a staggered stream of stripe repairs, in
+//! the three tenancy modes of `docs/FOREGROUND.md` — repair off (the
+//! pre-failure baseline), unthrottled repair, and foreground-priority
+//! QoS (85% link share reserved for clients, 10% repair floor).
+//!
+//! Everything is seeded through [`LoadSpec::paper_config`], so reruns
+//! reproduce the table bit-for-bit; only the wall-clock column varies
+//! by host. The table asserts the headline claim — QoS-throttled p99
+//! strictly below unthrottled p99 at the (6,3) paper config — so a
+//! regression fails the experiment run, not just a test.
+
+use crate::util::print_table;
+use rpr_load::{run_load, LoadSpec, RepairMode};
+
+/// Print the foreground-latency table (`--fast` runs one seed instead
+/// of three).
+pub fn foreground(fast: bool) {
+    let seeds: &[u64] = if fast { &[17] } else { &[17, 4242, 99] };
+    let modes = [
+        RepairMode::Off,
+        RepairMode::Unthrottled,
+        LoadSpec::paper_qos(),
+    ];
+    println!(
+        "\nforeground: RS(6,3), 240 requests at 40 req/s (90% reads, zipf 0.9 over 64 \
+         objects), 4 MiB requests, 4 staggered stripe repairs of 64 MiB blocks"
+    );
+
+    let mut rows = Vec::new();
+    for &seed in seeds {
+        let mut p99 = [0.0f64; 3];
+        for (i, &mode) in modes.iter().enumerate() {
+            let start = std::time::Instant::now();
+            let s = run_load(&LoadSpec::paper_config(seed, mode));
+            let wall = start.elapsed().as_secs_f64();
+            p99[i] = s.latency_p99;
+            rows.push(vec![
+                format!("{seed}"),
+                s.mode.to_string(),
+                format!("{:.2}", s.repair_fraction),
+                format!("{}", s.degraded),
+                format!("{:.3}", s.latency_p50),
+                format!("{:.3}", s.latency_p99),
+                format!("{:.3}", s.latency_p999),
+                format!("{:.3}", s.first_byte_p99),
+                format!("{:.2}", s.repair_makespan),
+                format!("{:.2}", wall),
+            ]);
+        }
+        assert!(
+            p99[2] < p99[1],
+            "seed {seed}: QoS p99 ({}) must be strictly below unthrottled p99 ({})",
+            p99[2],
+            p99[1]
+        );
+    }
+    print_table(
+        "Foreground latency under repair (RS(6,3), 3 modes)",
+        &[
+            "seed",
+            "mode",
+            "repair frac",
+            "degraded",
+            "p50 (s)",
+            "p99 (s)",
+            "p999 (s)",
+            "first-byte p99 (s)",
+            "repair makespan (s)",
+            "wall (s)",
+        ],
+        &rows,
+    );
+}

@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of the RPR paper (ICPP '20).
 //!
 //! ```text
-//! rpr-experiments <fig6..fig14|table1|fleet|fleet-scale|ablation|traces|pipeline|all> [--fast] [--out DIR]
+//! rpr-experiments <fig6..fig14|table1|fleet|fleet-scale|foreground|ablation|traces|pipeline|all> [--fast] [--out DIR]
 //! ```
 //!
 //! Figures 6–11 run on the `rpr-netsim` flow simulator (the paper's Simics
@@ -16,6 +16,7 @@ mod exec_figs;
 mod faults;
 mod fleet;
 mod fleet_scale;
+mod foreground;
 mod pipeline;
 mod sim_figs;
 mod table1;
@@ -69,6 +70,7 @@ fn main() {
             "fig14" => exec_figs::fig14(fast),
             "fleet" => fleet::fleet(fast),
             "fleet-scale" => fleet_scale::fleet_scale(fast),
+            "foreground" => foreground::foreground(fast),
             "ablation" => ablation::ablation(),
             "traces" => traces::traces(fast),
             "faults" => faults::faults(),
@@ -87,6 +89,7 @@ fn main() {
                 exec_figs::fig14(fast);
                 fleet::fleet(fast);
                 fleet_scale::fleet_scale(fast);
+                foreground::foreground(fast);
                 ablation::ablation();
                 traces::traces(fast);
                 faults::faults();
@@ -97,8 +100,8 @@ fn main() {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
                     "usage: rpr-experiments \
-                     <fig6..fig14|table1|fleet|fleet-scale|ablation|traces|faults|chaos\
-                     |pipeline|all> [--fast] [--out DIR]"
+                     <fig6..fig14|table1|fleet|fleet-scale|foreground|ablation|traces|faults\
+                     |chaos|pipeline|all> [--fast] [--out DIR]"
                 );
                 std::process::exit(2);
             }

@@ -1,10 +1,10 @@
-//! Runtime-dispatched GF(2^8) bulk-multiply kernels.
+//! Runtime-dispatched GF(2^8) bulk-multiply and bulk-XOR kernels.
 //!
-//! The crate's public slice API ([`crate::mul_slice`], [`crate::mul_acc_slice`],
-//! [`crate::lin_comb`], [`crate::lin_comb_multi`]) routes every general
-//! coefficient through this module. At first use the best kernel the CPU
-//! supports is detected once and cached; every later call is a single
-//! atomic load plus an indirect-free `match`:
+//! The crate's public slice API ([`crate::xor_slice`], [`crate::mul_slice`],
+//! [`crate::mul_acc_slice`], [`crate::lin_comb`], [`crate::lin_comb_multi`])
+//! routes every general coefficient through this module. At first use the
+//! best kernel the CPU supports is detected once and cached; every later
+//! call is a single atomic load plus an indirect-free `match`:
 //!
 //! | tier | ISA | bytes/step | technique |
 //! |------|-----|-----------:|-----------|
@@ -18,6 +18,12 @@
 //! field's XOR addition), and each 16-entry table fits one shuffle
 //! register, so a single `pshufb`/`tbl` performs 16–32 table lookups in
 //! parallel.
+//!
+//! The bulk XOR (`dst[i] ^= src[i]`, the paper's eq. 6 accumulate) is
+//! dispatched on the same tiers: one `pxor`/`vpxor`/`eor` per vector on
+//! the SIMD tiers, wide `u64` lanes on the scalar tier. Optimized builds
+//! auto-vectorize the scalar lanes anyway; the explicit path keeps
+//! unoptimized and cross-compiled builds at vector width too.
 //!
 //! # Bit identity
 //!
@@ -186,12 +192,58 @@ pub fn mul_acc_slice_on(tier: KernelTier, c: u8, src: &[u8], dst: &mut [u8]) {
     dispatch::<true>(tier, c, src, dst);
 }
 
+/// `dst[i] ^= src[i]` on an explicit tier. Exposed for the equivalence
+/// tests and benchmarks; production code uses the dispatched
+/// [`crate::xor_slice`].
+///
+/// # Panics
+/// Panics if the slices have different lengths or `tier` is not in
+/// [`available_tiers`] on this CPU.
+pub fn xor_slice_on(tier: KernelTier, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_slice: length mismatch");
+    assert!(
+        available_tiers().contains(&tier),
+        "kernel tier {tier} not available on this CPU"
+    );
+    dispatch_xor(tier, dst, src);
+}
+
 /// Dispatched general-coefficient multiply: `dst = c·src` (`ACC = false`)
 /// or `dst ^= c·src` (`ACC = true`). Callers have already peeled the
 /// `c == 0` / `c == 1` special cases.
 #[inline]
 pub(crate) fn mul_dispatch<const ACC: bool>(c: u8, src: &[u8], dst: &mut [u8]) {
     dispatch::<ACC>(active_tier(), c, src, dst);
+}
+
+/// Dispatched bulk XOR behind [`crate::xor_slice`]. Lengths are already
+/// asserted equal by the caller.
+#[inline]
+pub(crate) fn xor_dispatch(dst: &mut [u8], src: &[u8]) {
+    dispatch_xor(active_tier(), dst, src);
+}
+
+#[inline]
+fn dispatch_xor(tier: KernelTier, dst: &mut [u8], src: &[u8]) {
+    match tier {
+        KernelTier::Scalar => scalar_xor(dst, src),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the tier is only selected when the matching CPU feature
+        // was runtime-detected (`available_tiers` / `detect`).
+        KernelTier::Ssse3 => unsafe { x86::xor_sse2(dst, src) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — AVX2 was runtime-detected.
+        KernelTier::Avx2 => unsafe { x86::xor_avx2(dst, src) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above — NEON was runtime-detected.
+        KernelTier::Neon => unsafe { neon::xor_neon(dst, src) },
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        _ => scalar_xor(dst, src),
+        // A SIMD tier of the *other* architecture can never be selected
+        // (available_tiers is arch-gated), but the match must be total.
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        _ => unreachable!("foreign-architecture kernel tier"),
+    }
 }
 
 #[inline]
@@ -214,6 +266,23 @@ fn dispatch<const ACC: bool>(tier: KernelTier, c: u8, src: &[u8], dst: &mut [u8]
         // (available_tiers is arch-gated), but the match must be total.
         #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
         _ => unreachable!("foreign-architecture kernel tier"),
+    }
+}
+
+/// The scalar XOR fallback and every vector XOR kernel's tail loop: wide
+/// `u64` lanes via `chunks_exact`, byte-at-a-time only for the final
+/// `len % 8` bytes. Safe code throughout.
+fn scalar_xor(dst: &mut [u8], src: &[u8]) {
+    const LANE: usize = 8;
+    let mut d = dst.chunks_exact_mut(LANE);
+    let mut s = src.chunks_exact(LANE);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        let dv = u64::from_ne_bytes(dc.try_into().unwrap());
+        let sv = u64::from_ne_bytes(sc.try_into().unwrap());
+        dc.copy_from_slice(&(dv ^ sv).to_ne_bytes());
+    }
+    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db ^= *sb;
     }
 }
 
@@ -254,6 +323,54 @@ mod x86 {
     use super::scalar;
     use crate::tables::{NIB_HI, NIB_LO};
     use core::arch::x86_64::*;
+
+    /// `dst ^= src` over 16-byte lanes (`pxor`).
+    ///
+    /// # Safety
+    /// CPU must support SSE2 (baseline on x86-64; the dispatcher only
+    /// takes this path after detecting the SSSE3 tier, which implies it).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn xor_sse2(dst: &mut [u8], src: &[u8]) {
+        const W: usize = 16;
+        let len = src.len();
+        let mut i = 0;
+        while i + W <= len {
+            // SAFETY: i + 16 <= len for both slices (equal lengths,
+            // asserted by the caller); loadu/storeu need no alignment.
+            unsafe {
+                let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+                let d = dst.as_mut_ptr().add(i) as *mut __m128i;
+                _mm_storeu_si128(d, _mm_xor_si128(_mm_loadu_si128(d as *const __m128i), s));
+            }
+            i += W;
+        }
+        super::scalar_xor(&mut dst[i..], &src[i..]);
+    }
+
+    /// `dst ^= src` over 32-byte lanes (`vpxor`).
+    ///
+    /// # Safety
+    /// CPU must support AVX2 (runtime-detected by the dispatcher).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn xor_avx2(dst: &mut [u8], src: &[u8]) {
+        const W: usize = 32;
+        let len = src.len();
+        let mut i = 0;
+        while i + W <= len {
+            // SAFETY: i + 32 <= len for both slices (equal lengths,
+            // asserted by the caller); loadu/storeu need no alignment.
+            unsafe {
+                let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+                let d = dst.as_mut_ptr().add(i) as *mut __m256i;
+                _mm256_storeu_si256(
+                    d,
+                    _mm256_xor_si256(_mm256_loadu_si256(d as *const __m256i), s),
+                );
+            }
+            i += W;
+        }
+        super::scalar_xor(&mut dst[i..], &src[i..]);
+    }
 
     /// `dst ?= c·src` over 16-byte lanes.
     ///
@@ -342,6 +459,28 @@ mod neon {
     use crate::tables::{NIB_HI, NIB_LO};
     use core::arch::aarch64::*;
 
+    /// `dst ^= src` over 16-byte lanes (`eor`).
+    ///
+    /// # Safety
+    /// CPU must support NEON (runtime-detected by the dispatcher).
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn xor_neon(dst: &mut [u8], src: &[u8]) {
+        const W: usize = 16;
+        let len = src.len();
+        let mut i = 0;
+        while i + W <= len {
+            // SAFETY: i + 16 <= len for both slices (equal lengths,
+            // asserted by the caller).
+            unsafe {
+                let s = vld1q_u8(src.as_ptr().add(i));
+                let d = vld1q_u8(dst.as_ptr().add(i));
+                vst1q_u8(dst.as_mut_ptr().add(i), veorq_u8(d, s));
+            }
+            i += W;
+        }
+        super::scalar_xor(&mut dst[i..], &src[i..]);
+    }
+
     /// `dst ?= c·src` over 16-byte lanes.
     ///
     /// # Safety
@@ -428,8 +567,30 @@ mod tests {
     }
 
     #[test]
+    fn every_available_tier_xors_identically() {
+        // Ragged lengths straddle the 16/32-byte vector widths so every
+        // tier exercises both its vector body and its scalar tail.
+        for len in [0usize, 1, 7, 8, 15, 16, 17, 31, 32, 33, 100, 257] {
+            let src: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(37)).collect();
+            let base: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_add(113)).collect();
+            let want: Vec<u8> = base.iter().zip(&src).map(|(d, s)| d ^ s).collect();
+            for tier in available_tiers() {
+                let mut dst = base.clone();
+                xor_slice_on(tier, &mut dst, &src);
+                assert_eq!(dst, want, "{tier} len={len}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "length mismatch")]
     fn explicit_tier_checks_lengths() {
         mul_slice_on(KernelTier::Scalar, 3, &[0u8; 4], &mut [0u8; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn explicit_tier_xor_checks_lengths() {
+        xor_slice_on(KernelTier::Scalar, &mut [0u8; 4], &[0u8; 5]);
     }
 }

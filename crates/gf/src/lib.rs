@@ -55,7 +55,7 @@
 pub mod kernels;
 pub mod tables;
 
-pub use kernels::{active_tier, available_tiers, KernelTier};
+pub use kernels::{active_tier, available_tiers, xor_slice_on, KernelTier};
 pub use tables::{EXP, LOG};
 
 /// The primitive polynomial for GF(2^8): `x^8 + x^4 + x^3 + x^2 + 1`.
@@ -274,28 +274,20 @@ pub fn mul_reference(a: u8, b: u8) -> u8 {
 // Bulk slice kernels
 // ---------------------------------------------------------------------------
 
-/// `dst[i] ^= src[i]` over whole slices, vectorized over `u64` lanes.
+/// `dst[i] ^= src[i]` over whole slices, runtime-dispatched to the
+/// fastest available kernel (see [`kernels`]).
 ///
 /// This is the "no decoding matrix" fast path of the paper (eq. 6): pure XOR
-/// accumulation at close to memory bandwidth.
+/// accumulation at close to memory bandwidth. SIMD tiers run one
+/// `pxor`/`vpxor`/`eor` per vector; the scalar tier XORs wide `u64`
+/// lanes, so even unoptimized builds never fall back to a
+/// byte-at-a-time loop. Output is bit-identical across kernels.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "xor_slice: length mismatch");
-    // Process 8 u64 lanes per iteration; chunks_exact keeps this free of
-    // unsafe while letting LLVM vectorize.
-    const LANE: usize = 8;
-    let mut d = dst.chunks_exact_mut(LANE);
-    let mut s = src.chunks_exact(LANE);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        let dv = u64::from_ne_bytes(dc.try_into().unwrap());
-        let sv = u64::from_ne_bytes(sc.try_into().unwrap());
-        dc.copy_from_slice(&(dv ^ sv).to_ne_bytes());
-    }
-    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *db ^= *sb;
-    }
+    kernels::xor_dispatch(dst, src);
 }
 
 /// `dst[i] = c * src[i]`, runtime-dispatched to the fastest available

@@ -7,7 +7,7 @@
 //! choice changes throughput, never output.
 
 use proptest::prelude::*;
-use rpr_gf::kernels::{available_tiers, mul_acc_slice_on, mul_slice_on, KernelTier};
+use rpr_gf::kernels::{available_tiers, mul_acc_slice_on, mul_slice_on, xor_slice_on, KernelTier};
 
 /// Deterministic pseudo-random fill so failures reproduce exactly.
 fn fill(len: usize, seed: u64) -> Vec<u8> {
@@ -51,6 +51,13 @@ fn all_tiers_match_reference_for_ragged_lengths() {
                 mul_acc_slice_on(tier, c, &src, &mut acc);
                 assert_eq!(acc, want_acc, "mul_acc_slice {tier} c={c:#04x} len={len}");
             }
+        }
+        // Bulk XOR: every tier equals the pointwise reference XOR.
+        let want_xor: Vec<u8> = init.iter().zip(&src).map(|(&d, &s)| d ^ s).collect();
+        for &tier in &tiers {
+            let mut dst = init.clone();
+            xor_slice_on(tier, &mut dst, &src);
+            assert_eq!(dst, want_xor, "xor_slice {tier} len={len}");
         }
     }
 }
@@ -119,6 +126,12 @@ proptest! {
         let mut fast_mul = vec![0xFFu8; src.len()];
         rpr_gf::mul_slice(c, src, &mut fast_mul);
         prop_assert_eq!(&scalar_mul, &fast_mul, "mul c={:#04x}", c);
+
+        let mut scalar_xor = init.to_vec();
+        xor_slice_on(KernelTier::Scalar, &mut scalar_xor, src);
+        let mut fast_xor = init.to_vec();
+        rpr_gf::xor_slice(&mut fast_xor, src);
+        prop_assert_eq!(&scalar_xor, &fast_xor, "xor");
     }
 }
 

@@ -1,0 +1,206 @@
+//! Seeded open-loop request generation.
+//!
+//! The schedule — arrival times, read/write mix, object choice, client
+//! placement — is a pure function of the spec's seed and the cluster
+//! shape. It never consults the repair mode, so the three tenancy modes
+//! of one seed replay the *identical* request stream and latency
+//! differences isolate the repair traffic.
+
+use rpr_codec::BlockId;
+use rpr_faults::SplitMix64;
+use rpr_topology::{NodeId, Placement, Topology};
+
+use crate::spec::LoadSpec;
+
+/// Zipfian popularity over `objects` ranks: object `i` is drawn with
+/// probability proportional to `1 / (i + 1)^theta`. `theta = 0` is
+/// uniform; web-style workloads sit near `0.9`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the sampling CDF.
+    ///
+    /// # Panics
+    /// Panics if `objects` is zero or `theta` is negative.
+    pub fn new(objects: usize, theta: f64) -> Zipf {
+        assert!(objects > 0, "zipf over zero objects");
+        assert!(theta >= 0.0 && theta.is_finite(), "zipf theta");
+        let mut cdf = Vec::with_capacity(objects);
+        let mut acc = 0.0;
+        for i in 0..objects {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Map a uniform draw `u ∈ [0, 1)` to an object rank.
+    pub fn sample(&self, u: f64) -> usize {
+        // First rank whose CDF exceeds u.
+        match self.cdf.binary_search_by(|w| w.total_cmp(&u)) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// What a foreground request does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Fetch `request_bytes` of one object from its host to the client.
+    Read,
+    /// Push `request_bytes` of one object from the client to its host.
+    Write,
+}
+
+/// One generated foreground request, before lowering into the simulator.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Stable id (generation order).
+    pub id: u64,
+    /// Open-loop arrival time, seconds.
+    pub arrival: f64,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Object rank drawn from the zipfian.
+    pub object: usize,
+    /// The stripe block the object lives on (`object mod (n + k)`).
+    pub block: BlockId,
+    /// Front-end node issuing the request. Never the block's host nor
+    /// the recovery node, so every request is a real network flow.
+    pub client: NodeId,
+}
+
+/// Generate the request schedule for a spec over a concrete cluster.
+/// Pure in `(spec.seed, cluster shape)` — the repair mode is not read.
+pub fn generate(
+    spec: &LoadSpec,
+    topo: &Topology,
+    placement: &Placement,
+    recovery: NodeId,
+) -> Vec<Request> {
+    let mut rng = SplitMix64::new(spec.seed);
+    let zipf = Zipf::new(spec.objects, spec.zipf_theta);
+    let total_blocks = spec.params.total();
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(spec.requests);
+    for id in 0..spec.requests as u64 {
+        // Poisson process: exponential inter-arrival times.
+        let u = rng.next_f64();
+        t += -(1.0 - u).ln() / spec.arrival_rate;
+        let kind = if rng.next_f64() < spec.read_fraction {
+            RequestKind::Read
+        } else {
+            RequestKind::Write
+        };
+        let object = zipf.sample(rng.next_f64());
+        let block = BlockId(object % total_blocks);
+        let host = placement.node_of(block);
+        let candidates: Vec<NodeId> = (0..topo.node_count())
+            .map(NodeId)
+            .filter(|&n| n != host && n != recovery)
+            .collect();
+        assert!(!candidates.is_empty(), "cluster too small for clients");
+        let client = candidates[rng.pick(candidates.len())];
+        out.push(Request {
+            id,
+            arrival: t,
+            kind,
+            object,
+            block,
+            client,
+        });
+    }
+    out
+}
+
+/// Split `bytes` into `m` near-equal pieces (largest remainder in the
+/// tail pieces); pieces can be zero when `bytes < m`. Used to map a
+/// request's bytes onto the repair pipeline's chunk jobs.
+pub(crate) fn split_even(bytes: u64, m: usize) -> Vec<u64> {
+    assert!(m > 0, "split into zero pieces");
+    let m64 = m as u64;
+    (0..m64)
+        .map(|j| bytes * (j + 1) / m64 - bytes * j / m64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RepairMode;
+    use rpr_topology::{cluster_for, PlacementPolicy};
+
+    fn setup(seed: u64) -> Vec<Request> {
+        let spec = LoadSpec::paper_config(seed, RepairMode::Off);
+        let topo = cluster_for(spec.params, 1, 1);
+        let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, spec.params, &topo);
+        let recovery = NodeId(topo.node_count() - 1);
+        generate(&spec, &topo, &placement, recovery)
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = setup(17);
+        let b = setup(17);
+        let c = setup(18);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival.to_bits(), y.arrival.to_bits());
+            assert_eq!(x.object, y.object);
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.kind, y.kind);
+        }
+        assert!(a.iter().zip(&c).any(|(x, y)| x.arrival != y.arrival));
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let reqs = setup(42);
+        for w in reqs.windows(2) {
+            assert!(w[1].arrival > w[0].arrival);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_uniform_at_zero_theta() {
+        let z = Zipf::new(4, 1.0);
+        // Rank 0 owns 1/(1 + 1/2 + 1/3 + 1/4) ≈ 0.48 of the mass.
+        assert_eq!(z.sample(0.0), 0);
+        assert_eq!(z.sample(0.47), 0);
+        assert_eq!(z.sample(0.9999), 3);
+        let u = Zipf::new(4, 0.0);
+        assert_eq!(u.sample(0.1), 0);
+        assert_eq!(u.sample(0.3), 1);
+        assert_eq!(u.sample(0.6), 2);
+        assert_eq!(u.sample(0.9), 3);
+    }
+
+    #[test]
+    fn clients_avoid_host_and_recovery() {
+        let spec = LoadSpec::paper_config(7, RepairMode::Off);
+        let topo = cluster_for(spec.params, 1, 1);
+        let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, spec.params, &topo);
+        let recovery = NodeId(0);
+        for r in generate(&spec, &topo, &placement, recovery) {
+            assert_ne!(r.client, placement.node_of(r.block));
+            assert_ne!(r.client, recovery);
+        }
+    }
+
+    #[test]
+    fn split_even_conserves_bytes() {
+        for (bytes, m) in [(100u64, 3usize), (7, 8), (0, 2), (4096, 4)] {
+            let pieces = split_even(bytes, m);
+            assert_eq!(pieces.len(), m);
+            assert_eq!(pieces.iter().sum::<u64>(), bytes);
+        }
+        assert_eq!(split_even(100, 3), vec![33, 33, 34]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Workload and co-simulation parameters.
+
+use rpr_codec::CodeParams;
+use rpr_sched::QosClass;
+
+/// How repair traffic shares the cluster with foreground requests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RepairMode {
+    /// No repair traffic at all: the pre-failure latency baseline.
+    Off,
+    /// Repair flows compete with client traffic at full link rate —
+    /// max-min fairness is the only arbiter.
+    Unthrottled,
+    /// Foreground-priority QoS: every repair `Send` flow is rate-capped
+    /// to the repair fraction of the matching
+    /// [`QosClass::ForegroundPriority`] class, leaving the reserved
+    /// share of each link to client traffic.
+    Qos {
+        /// Fraction of each link reserved for foreground I/O, in `[0, 1)`.
+        foreground_share: f64,
+        /// Guaranteed minimum fraction repair keeps, in `(0, 1]`.
+        repair_floor: f64,
+    },
+}
+
+impl RepairMode {
+    /// Stable lowercase name used in JSON summaries and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RepairMode::Off => "off",
+            RepairMode::Unthrottled => "unthrottled",
+            RepairMode::Qos { .. } => "qos",
+        }
+    }
+
+    /// The rate-cap fraction applied to repair `Send` flows: the same
+    /// residual the fleet arbiter admits against under this class
+    /// (1.0 when repair is off or unthrottled).
+    pub fn repair_fraction(&self) -> f64 {
+        match *self {
+            RepairMode::Off | RepairMode::Unthrottled => 1.0,
+            RepairMode::Qos {
+                foreground_share,
+                repair_floor,
+            } => QosClass::ForegroundPriority {
+                foreground_share,
+                repair_floor,
+            }
+            .repair_fraction(),
+        }
+    }
+}
+
+/// Everything needed to co-simulate one foreground workload against a
+/// stream of repairs. Construct with [`LoadSpec::paper_config`] and
+/// override fields as needed.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Erasure-code geometry; the cluster is `cluster_for(params, 1, 1)`.
+    pub params: CodeParams,
+    /// Stripe block size in bytes.
+    pub block_bytes: u64,
+    /// Streaming chunk size for repair pipelining (`None` = whole-block).
+    pub chunk_bytes: Option<u64>,
+    /// Intra-rack bandwidth, bytes/second.
+    pub inner_bps: f64,
+    /// Cross-rack bandwidth, bytes/second.
+    pub cross_bps: f64,
+    /// Seed for arrivals, request mix, object popularity and client
+    /// placement. Same seed — bit-identical request schedule.
+    pub seed: u64,
+    /// Number of foreground requests to issue.
+    pub requests: usize,
+    /// Open-loop Poisson arrival rate, requests/second.
+    pub arrival_rate: f64,
+    /// Fraction of requests that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Zipfian popularity skew (`0.0` = uniform; `~0.9` = web-like).
+    pub zipf_theta: f64,
+    /// Number of distinct objects; object `o` lives on stripe block
+    /// `o mod (n + k)`, so object 0 maps to the lost block.
+    pub objects: usize,
+    /// Bytes moved per foreground request.
+    pub request_bytes: u64,
+    /// Stripes under repair during the run (0 disables repair even in
+    /// throttled modes).
+    pub repair_stripes: usize,
+    /// Seconds between successive stripe repair starts, modeling a
+    /// fleet drain trickling admissions rather than one burst.
+    pub repair_stagger: f64,
+    /// Repair tenancy mode.
+    pub mode: RepairMode,
+}
+
+impl LoadSpec {
+    /// The paper's RS(6,3) cluster with a web-like read-mostly workload:
+    /// 64 MiB blocks streamed in 8 MiB chunks, 4 MiB requests at
+    /// 40 req/s, zipfian(0.9) popularity over 64 objects, and four
+    /// closely staggered stripe repairs that keep rebuild pressure on
+    /// the links for the whole request window.
+    pub fn paper_config(seed: u64, mode: RepairMode) -> LoadSpec {
+        LoadSpec {
+            params: CodeParams::new(6, 3),
+            block_bytes: 64 * 1024 * 1024,
+            chunk_bytes: Some(8 * 1024 * 1024),
+            inner_bps: 400.0e6,
+            cross_bps: 40.0e6,
+            seed,
+            requests: 240,
+            arrival_rate: 40.0,
+            read_fraction: 0.9,
+            zipf_theta: 0.9,
+            objects: 64,
+            request_bytes: 4 * 1024 * 1024,
+            repair_stripes: 4,
+            repair_stagger: 0.25,
+            mode,
+        }
+    }
+
+    /// The QoS class the foreground table and soak scripts use with
+    /// [`LoadSpec::paper_config`]: 85% of each link reserved for client
+    /// I/O with a 10% repair floor. The resulting 0.15 per-flow cap
+    /// binds even when several rebuild stripes share one link (a cap
+    /// only bites below the max-min fair share, `1/flows`).
+    pub fn paper_qos() -> RepairMode {
+        RepairMode::Qos {
+            foreground_share: 0.85,
+            repair_floor: 0.1,
+        }
+    }
+
+    /// Validate ranges that would otherwise fail deep inside the
+    /// simulator with an unhelpful message.
+    ///
+    /// # Panics
+    /// Panics on out-of-range fields.
+    pub fn validate(&self) {
+        assert!(self.block_bytes > 0, "block_bytes must be positive");
+        assert!(self.request_bytes > 0, "request_bytes must be positive");
+        assert!(
+            self.arrival_rate > 0.0 && self.arrival_rate.is_finite(),
+            "arrival_rate must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.read_fraction),
+            "read_fraction must be in [0, 1]"
+        );
+        assert!(self.zipf_theta >= 0.0, "zipf_theta must be non-negative");
+        assert!(self.objects > 0, "objects must be positive");
+        assert!(self.requests > 0, "requests must be positive");
+        assert!(
+            self.repair_stagger >= 0.0,
+            "repair_stagger must be non-negative"
+        );
+        // Qos fractions are validated by QosClass::repair_fraction.
+        let f = self.mode.repair_fraction();
+        assert!(f > 0.0 && f <= 1.0, "repair fraction out of range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_are_stable() {
+        assert_eq!(RepairMode::Off.name(), "off");
+        assert_eq!(RepairMode::Unthrottled.name(), "unthrottled");
+        assert_eq!(
+            RepairMode::Qos {
+                foreground_share: 0.6,
+                repair_floor: 0.2
+            }
+            .name(),
+            "qos"
+        );
+    }
+
+    #[test]
+    fn repair_fraction_matches_arbiter_class() {
+        assert_eq!(RepairMode::Off.repair_fraction(), 1.0);
+        assert_eq!(RepairMode::Unthrottled.repair_fraction(), 1.0);
+        let m = RepairMode::Qos {
+            foreground_share: 0.6,
+            repair_floor: 0.2,
+        };
+        // Residual 0.4 beats the 0.2 floor.
+        assert!((m.repair_fraction() - 0.4).abs() < 1e-12);
+        let floored = RepairMode::Qos {
+            foreground_share: 0.95,
+            repair_floor: 0.25,
+        };
+        assert!((floored.repair_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_config_validates() {
+        LoadSpec::paper_config(17, RepairMode::Unthrottled).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "read_fraction")]
+    fn bad_read_fraction_is_rejected() {
+        let mut spec = LoadSpec::paper_config(17, RepairMode::Off);
+        spec.read_fraction = 1.5;
+        spec.validate();
+    }
+}

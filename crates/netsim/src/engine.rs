@@ -239,6 +239,50 @@ impl Simulator {
         }
     }
 
+    /// Hold a job back until simulated time `t` even once its
+    /// dependencies are done — an *arrival* time. Open-loop workload
+    /// generators use this to inject requests on a fixed schedule, and
+    /// co-simulations use it to stagger repair waves against foreground
+    /// traffic. The engine already advances the idle clock to the next
+    /// `resume_at`, so a released job on an otherwise quiet network
+    /// starts exactly at `t`. Call before `run`.
+    ///
+    /// # Panics
+    /// Panics if the job id is unknown or `t` is negative/non-finite.
+    pub fn release_at(&mut self, job: JobId, t: f64) {
+        assert!(job.0 < self.jobs.len(), "release_at: unknown job");
+        assert!(t >= 0.0 && t.is_finite(), "release_at: bad time");
+        let j = &mut self.jobs[job.0];
+        j.resume_at = j.resume_at.max(t);
+    }
+
+    /// Cap a job's standalone rate at `factor` of its current cap — the
+    /// QoS throttle: a repair flow admitted under a foreground-priority
+    /// class keeps only its repair share of the path rate, leaving the
+    /// rest to client traffic even when the link is otherwise idle.
+    /// Max-min fairness still applies on top: the job may get *less*
+    /// under contention, never more. Compute jobs cannot be throttled
+    /// (their cap is the definition of one core-second). Call before
+    /// `run`.
+    ///
+    /// # Panics
+    /// Panics if the job id is unknown, the job is a compute job, or
+    /// `factor` is not in `(0, 1]` — a zero cap would starve the job
+    /// forever, which the engine (rightly) rejects.
+    pub fn throttle(&mut self, job: JobId, factor: f64) {
+        assert!(job.0 < self.jobs.len(), "throttle: unknown job");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "throttle: factor must be in (0, 1]"
+        );
+        let j = &mut self.jobs[job.0];
+        assert!(
+            matches!(j.kind, JobKind::Transfer { .. }),
+            "throttle: only transfer jobs can be throttled"
+        );
+        j.rate_cap *= factor;
+    }
+
     fn push(&mut self, job: Job) -> JobId {
         for d in &job.deps {
             assert!(d.0 < self.jobs.len(), "unknown dependency {:?}", d);
@@ -725,6 +769,71 @@ mod tests {
         assert!((r.makespan - 1.0).abs() < 1e-6);
         assert_eq!(r.records[a.0].finish, 0.0);
         assert_eq!(r.records[c.0].start, 0.0);
+    }
+
+    #[test]
+    fn release_at_delays_start_on_an_idle_network() {
+        let mut sim = Simulator::new(net());
+        let a = sim.transfer("a", NodeId(0), NodeId(1), 100, &[]);
+        sim.release_at(a, 7.0);
+        let r = sim.run();
+        assert!((r.records[a.0].start - 7.0).abs() < 1e-9, "{}", r.records[a.0].start);
+        assert!((r.makespan - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn release_at_composes_with_dependencies() {
+        // Dep finishes at 5 s, release is 2 s: the later bound (the dep)
+        // governs. Then the other way around: release at 9 s wins.
+        let mut sim = Simulator::new(net());
+        let a = sim.transfer("a", NodeId(0), NodeId(1), 500, &[]); // 5 s
+        let b = sim.transfer("b", NodeId(1), NodeId(0), 100, &[a]);
+        sim.release_at(b, 2.0);
+        let c = sim.transfer("c", NodeId(2), NodeId(3), 100, &[a]);
+        sim.release_at(c, 9.0);
+        let r = sim.run();
+        assert!((r.records[b.0].start - 5.0).abs() < 1e-6);
+        assert!((r.records[c.0].start - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throttle_caps_a_transfer_below_its_path_rate() {
+        let mut sim = Simulator::new(net());
+        let a = sim.transfer("a", NodeId(0), NodeId(1), 1000, &[]);
+        sim.throttle(a, 0.5); // 50 B/s on a 100 B/s path
+        let r = sim.run();
+        assert!((r.makespan - 20.0).abs() < 1e-6, "{}", r.makespan);
+    }
+
+    #[test]
+    fn throttled_flow_leaves_headroom_for_a_competitor() {
+        // Both flows leave node 0's uplink. Unthrottled they split 50/50
+        // and finish together at 20 s; with "a" throttled to 30%, "b"
+        // takes the residual 70 B/s and finishes at ~14.3 s.
+        let mut sim = Simulator::new(net());
+        let a = sim.transfer("a", NodeId(0), NodeId(1), 1000, &[]);
+        sim.transfer("b", NodeId(0), NodeId(1), 1000, &[]);
+        sim.throttle(a, 0.3);
+        let r = sim.run();
+        let b_rec = &r.records[1];
+        assert!(b_rec.finish < 15.0, "residual goes to b: {}", b_rec.finish);
+        assert!((r.records[a.0].finish - 1000.0 / 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in (0, 1]")]
+    fn throttle_rejects_zero_factor() {
+        let mut sim = Simulator::new(net());
+        let a = sim.transfer("a", NodeId(0), NodeId(1), 100, &[]);
+        sim.throttle(a, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only transfer jobs")]
+    fn throttle_rejects_compute_jobs() {
+        let mut sim = Simulator::new(net());
+        let c = sim.compute("c", NodeId(0), 1.0, &[]);
+        sim.throttle(c, 0.5);
     }
 
     #[test]

@@ -296,6 +296,50 @@ pub enum Event {
         /// Fleet-clock seconds when the repair was finally admitted.
         t: f64,
     },
+    /// A foreground client request entered the open-loop workload (its
+    /// scheduled arrival instant, independent of service capacity).
+    RequestIssued {
+        /// Workload-wide request id, in arrival order.
+        request: u64,
+        /// True for a read, false for a write.
+        read: bool,
+        /// True if the request targets a block under repair and is
+        /// served from the repair pipeline (a degraded read).
+        degraded: bool,
+        /// Clock seconds when the request arrived.
+        t: f64,
+    },
+    /// A foreground client request finished: the last byte reached the
+    /// client (reads) or the server (writes).
+    RequestDone {
+        /// Workload-wide request id, matching [`Event::RequestIssued`].
+        request: u64,
+        /// True for a read, false for a write.
+        read: bool,
+        /// True if the request was a degraded read served from the
+        /// repair pipeline.
+        degraded: bool,
+        /// Seconds from arrival until the **first** byte reached the
+        /// client — for degraded reads under cut-through streaming this
+        /// is much earlier than `end − issued`.
+        first_byte: f64,
+        /// Clock seconds when the request arrived.
+        issued: f64,
+        /// Clock seconds when the request completed.
+        end: f64,
+    },
+    /// A QoS class throttled repair flows to a fraction of their path
+    /// rate, leaving the residual to foreground traffic. Emitted once
+    /// per repair plan lowered under a foreground-priority class.
+    QosThrottled {
+        /// Repair transfer flows the cap was applied to.
+        flows: u64,
+        /// The repair fraction: each flow's rate cap as a share of its
+        /// path rate, in `(0, 1]`.
+        fraction: f64,
+        /// Clock seconds when the throttle was applied.
+        t: f64,
+    },
     /// The whole repair finished.
     RepairDone {
         /// Seconds from repair start (the repair makespan).
@@ -331,6 +375,9 @@ impl Event {
             Event::StripeEnqueued { .. } => "stripe_enqueued",
             Event::StripeAdmitted { .. } => "stripe_admitted",
             Event::BandwidthWaited { .. } => "bandwidth_waited",
+            Event::RequestIssued { .. } => "request_issued",
+            Event::RequestDone { .. } => "request_done",
+            Event::QosThrottled { .. } => "qos_throttled",
             Event::RepairDone { .. } => "repair_done",
         }
     }
@@ -357,8 +404,12 @@ impl Event {
             | Event::StripeEnqueued { t, .. }
             | Event::StripeAdmitted { t, .. }
             | Event::BandwidthWaited { t, .. }
+            | Event::RequestIssued { t, .. }
+            | Event::QosThrottled { t, .. }
             | Event::RepairDone { t, .. } => *t,
-            Event::TransferDone { end, .. } | Event::CombineDone { end, .. } => *end,
+            Event::TransferDone { end, .. }
+            | Event::CombineDone { end, .. }
+            | Event::RequestDone { end, .. } => *end,
         }
     }
 }

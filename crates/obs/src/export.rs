@@ -286,6 +286,35 @@ pub fn event_to_json(event: &Event) -> String {
                 .f64("waited", *waited)
                 .f64("t", *t);
         }
+        Event::RequestIssued {
+            request,
+            read,
+            degraded,
+            t,
+        } => {
+            o.u64("request", *request)
+                .bool("read", *read)
+                .bool("degraded", *degraded)
+                .f64("t", *t);
+        }
+        Event::RequestDone {
+            request,
+            read,
+            degraded,
+            first_byte,
+            issued,
+            end,
+        } => {
+            o.u64("request", *request)
+                .bool("read", *read)
+                .bool("degraded", *degraded)
+                .f64("first_byte", *first_byte)
+                .f64("issued", *issued)
+                .f64("end", *end);
+        }
+        Event::QosThrottled { flows, fraction, t } => {
+            o.u64("flows", *flows).f64("fraction", *fraction).f64("t", *t);
+        }
         Event::RepairDone {
             t,
             cross_bytes,
@@ -703,6 +732,80 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                     .raw("args", &args);
                 entries.push(o.finish());
             }
+            Event::RequestIssued {
+                request,
+                read,
+                degraded,
+                t,
+            } => {
+                let kind = if *degraded {
+                    "degraded read"
+                } else if *read {
+                    "read"
+                } else {
+                    "write"
+                };
+                let mut o = Obj::new();
+                o.str("name", &format!("request {request} issued ({kind})"))
+                    .str("cat", "load")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 2)
+                    .str("s", "p")
+                    .raw(
+                        "args",
+                        &format!("{{\"request\":{request},\"read\":{read},\"degraded\":{degraded}}}"),
+                    );
+                entries.push(o.finish());
+            }
+            Event::RequestDone {
+                request,
+                read,
+                degraded,
+                first_byte,
+                issued,
+                end,
+            } => {
+                let kind = if *degraded {
+                    "degraded read"
+                } else if *read {
+                    "read"
+                } else {
+                    "write"
+                };
+                let mut args = String::from("{");
+                let _ = write!(args, "\"request\":{request},\"read\":{read},\"degraded\":{degraded}");
+                args.push_str(",\"first_byte\":");
+                push_f64(&mut args, *first_byte);
+                args.push('}');
+                let mut o = Obj::new();
+                o.str("name", &format!("request {request} ({kind})"))
+                    .str("cat", "load")
+                    .str("ph", "X")
+                    .f64("ts", issued * MICROS)
+                    .f64("dur", (end - issued).max(0.0) * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 2)
+                    .raw("args", &args);
+                entries.push(o.finish());
+            }
+            Event::QosThrottled { flows, fraction, t } => {
+                let mut args = String::from("{");
+                let _ = write!(args, "\"flows\":{flows},\"fraction\":");
+                push_f64(&mut args, *fraction);
+                args.push('}');
+                let mut o = Obj::new();
+                o.str("name", &format!("qos throttled {flows} repair flows"))
+                    .str("cat", "load")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &args);
+                entries.push(o.finish());
+            }
             Event::RepairDone {
                 t,
                 cross_bytes,
@@ -1049,6 +1152,50 @@ mod tests {
         assert!(chrome.contains("stripe 123456 enqueued"));
         assert!(chrome.contains("stripe 123456 admitted"));
         assert!(chrome.contains("stripe 123456 waited for bandwidth"));
+    }
+
+    #[test]
+    fn request_events_serialize_in_both_formats() {
+        let events = vec![
+            Event::RequestIssued {
+                request: 7,
+                read: true,
+                degraded: true,
+                t: 0.25,
+            },
+            Event::RequestDone {
+                request: 7,
+                read: true,
+                degraded: true,
+                first_byte: 0.05,
+                issued: 0.25,
+                end: 0.75,
+            },
+            Event::QosThrottled {
+                flows: 3,
+                fraction: 0.4,
+                t: 0.1,
+            },
+        ];
+        let jsonl = to_json_lines(&events);
+        for line in jsonl.lines() {
+            assert_structurally_valid_json(line);
+        }
+        assert!(jsonl.contains("\"type\":\"request_issued\""));
+        assert!(jsonl.contains("\"type\":\"request_done\""));
+        assert!(jsonl.contains("\"request\":7"));
+        assert!(jsonl.contains("\"degraded\":true"));
+        assert!(jsonl.contains("\"first_byte\":0.05"));
+        assert!(jsonl.contains("\"type\":\"qos_throttled\""));
+        assert!(jsonl.contains("\"fraction\":0.4"));
+        let chrome = to_chrome_trace(&events);
+        assert_structurally_valid_json(&chrome);
+        assert!(chrome.contains("\"cat\":\"load\""));
+        assert!(chrome.contains("request 7 issued (degraded read)"));
+        assert!(chrome.contains("request 7 (degraded read)"));
+        assert!(chrome.contains("qos throttled 3 repair flows"));
+        // The 0.5 s request span renders as 500000 µs.
+        assert!(chrome.contains("\"dur\":500000"));
     }
 
     #[test]

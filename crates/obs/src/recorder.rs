@@ -63,11 +63,16 @@ pub struct TraceRecorder {
     quarantines: AtomicU64,
     deadlines_exceeded: AtomicU64,
     degraded_fallbacks: AtomicU64,
+    requests: AtomicU64,
+    degraded_reads: AtomicU64,
+    qos_throttles: AtomicU64,
     racks: RwLock<Vec<RackCounters>>,
     queue_wait: Histogram,
     transfer_time: Histogram,
     combine_time: Histogram,
     first_chunk_latency: Histogram,
+    request_latency: Histogram,
+    request_first_byte: Histogram,
 }
 
 impl Default for TraceRecorder {
@@ -99,11 +104,16 @@ impl TraceRecorder {
             quarantines: AtomicU64::new(0),
             deadlines_exceeded: AtomicU64::new(0),
             degraded_fallbacks: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            degraded_reads: AtomicU64::new(0),
+            qos_throttles: AtomicU64::new(0),
             racks: RwLock::new(Vec::new()),
             queue_wait: Histogram::default(),
             transfer_time: Histogram::default(),
             combine_time: Histogram::default(),
             first_chunk_latency: Histogram::default(),
+            request_latency: Histogram::default(),
+            request_first_byte: Histogram::default(),
         }
     }
 
@@ -209,6 +219,23 @@ impl TraceRecorder {
             Event::DegradedFallback { .. } => {
                 self.degraded_fallbacks.fetch_add(1, Ordering::Relaxed);
             }
+            Event::RequestDone {
+                degraded,
+                first_byte,
+                issued,
+                end,
+                ..
+            } => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                if *degraded {
+                    self.degraded_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                self.request_latency.record(end - issued);
+                self.request_first_byte.record(*first_byte);
+            }
+            Event::QosThrottled { .. } => {
+                self.qos_throttles.fetch_add(1, Ordering::Relaxed);
+            }
             _ => {}
         }
     }
@@ -237,6 +264,9 @@ impl TraceRecorder {
             quarantines: self.quarantines.load(Ordering::Relaxed),
             deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
             degraded_fallbacks: self.degraded_fallbacks.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            degraded_reads: self.degraded_reads.load(Ordering::Relaxed),
+            qos_throttles: self.qos_throttles.load(Ordering::Relaxed),
             cross_bytes: self.cross_bytes.load(Ordering::Relaxed),
             inner_bytes: self.inner_bytes.load(Ordering::Relaxed),
             racks: racks
@@ -248,6 +278,8 @@ impl TraceRecorder {
             transfer_time: self.transfer_time.snapshot(),
             combine_time: self.combine_time.snapshot(),
             first_chunk_latency: self.first_chunk_latency.snapshot(),
+            request_latency: self.request_latency.snapshot(),
+            request_first_byte: self.request_first_byte.snapshot(),
         }
     }
 }
@@ -299,6 +331,12 @@ pub struct MetricsSnapshot {
     pub deadlines_exceeded: u64,
     /// Degraded service tiers entered by the supervisor.
     pub degraded_fallbacks: u64,
+    /// Completed foreground client requests.
+    pub requests: u64,
+    /// Of those, degraded reads served from the repair pipeline.
+    pub degraded_reads: u64,
+    /// QoS throttles applied to repair plans.
+    pub qos_throttles: u64,
     /// Total bytes moved across racks.
     pub cross_bytes: u64,
     /// Total bytes moved within racks.
@@ -313,6 +351,12 @@ pub struct MetricsSnapshot {
     pub combine_time: HistogramSnapshot,
     /// Distribution of first-chunk (cut-through) latencies per stream.
     pub first_chunk_latency: HistogramSnapshot,
+    /// Distribution of foreground request completion latencies
+    /// (arrival → last byte).
+    pub request_latency: HistogramSnapshot,
+    /// Distribution of foreground request first-byte latencies — for
+    /// degraded reads this is the pipeline cut-through moment.
+    pub request_first_byte: HistogramSnapshot,
 }
 
 #[cfg(test)]
@@ -511,6 +555,46 @@ mod tests {
         assert_eq!(snap.deadlines_exceeded, 1);
         assert_eq!(snap.degraded_fallbacks, 1);
         assert_eq!(rec.take_events().len(), 5);
+    }
+
+    #[test]
+    fn request_events_feed_counters_and_histograms() {
+        let rec = TraceRecorder::default();
+        rec.record(Event::RequestIssued {
+            request: 0,
+            read: true,
+            degraded: false,
+            t: 0.0,
+        });
+        rec.record(Event::RequestDone {
+            request: 0,
+            read: true,
+            degraded: false,
+            first_byte: 0.1,
+            issued: 0.0,
+            end: 0.5,
+        });
+        rec.record(Event::RequestDone {
+            request: 1,
+            read: true,
+            degraded: true,
+            first_byte: 0.05,
+            issued: 0.2,
+            end: 0.9,
+        });
+        rec.record(Event::QosThrottled {
+            flows: 4,
+            fraction: 0.4,
+            t: 0.0,
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.degraded_reads, 1);
+        assert_eq!(snap.qos_throttles, 1);
+        assert_eq!(snap.request_latency.count(), 2);
+        assert_eq!(snap.request_first_byte.count(), 2);
+        // Issuing alone completes nothing.
+        assert_eq!(rec.take_events().len(), 4);
     }
 
     #[test]

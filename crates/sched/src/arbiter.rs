@@ -24,6 +24,16 @@
 //! resource capacity first ([`BandwidthArbiter::clamp`]), so a stripe
 //! alone on an idle arbiter always admits — admission can stall a queue
 //! head only while other repairs are in flight, never forever.
+//!
+//! **QoS classes.** Under [`QosClass::ForegroundPriority`] the arbiter
+//! admits repair against the *residual* capacity
+//! `capacity × max(repair_floor, 1 − foreground_share)` of every link,
+//! keeping the set-aside share free for foreground I/O while
+//! guaranteeing repair a floor it can always make progress on.
+//! [`QosClass::Unthrottled`] is the pre-QoS behavior. Releases are
+//! checked against an outstanding-admission ledger, so a double release
+//! is a hard error in debug builds and a counted, unapplied event in
+//! release builds (see [`BandwidthArbiter::release`]).
 
 use std::collections::BTreeMap;
 
@@ -34,6 +44,49 @@ use rpr_topology::Topology;
 /// Relative + absolute float tolerance for capacity checks, so releasing
 /// and re-reserving the same rates never spuriously rejects.
 const EPS: f64 = 1e-9;
+
+/// Admission class governing how much of each arbitrated link repair
+/// traffic may reserve. See `docs/FOREGROUND.md`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QosClass {
+    /// Repair admits against full link capacity (the pre-QoS behavior):
+    /// foreground traffic gets whatever max-min fairness leaves over.
+    Unthrottled,
+    /// Foreground-priority: a `foreground_share` fraction of every
+    /// arbitrated link is set aside for user traffic, and repair admits
+    /// against the residual — but never against less than a
+    /// `repair_floor` fraction, so repair cannot be starved outright.
+    ForegroundPriority {
+        /// Fraction of each link reserved for foreground I/O, in `[0, 1)`.
+        foreground_share: f64,
+        /// Guaranteed minimum fraction repair may always use, in `(0, 1]`.
+        repair_floor: f64,
+    },
+}
+
+impl QosClass {
+    /// Fraction of each arbitrated link's capacity repair admission may
+    /// use under this class.
+    pub fn repair_fraction(&self) -> f64 {
+        match *self {
+            QosClass::Unthrottled => 1.0,
+            QosClass::ForegroundPriority {
+                foreground_share,
+                repair_floor,
+            } => {
+                assert!(
+                    (0.0..1.0).contains(&foreground_share),
+                    "foreground_share must be in [0, 1)"
+                );
+                assert!(
+                    repair_floor > 0.0 && repair_floor <= 1.0,
+                    "repair_floor must be in (0, 1]"
+                );
+                (1.0 - foreground_share).max(repair_floor)
+            }
+        }
+    }
+}
 
 /// The bandwidth a single repair wants to reserve: `(resource, rate)`
 /// pairs, sorted by resource id, at most one entry per resource.
@@ -65,6 +118,12 @@ pub struct BandwidthArbiter {
     peak: Vec<f64>,
     enabled: bool,
     in_flight: usize,
+    qos: QosClass,
+    /// Outstanding admissions keyed by demand fingerprint, so a release
+    /// that was never admitted (or already released) is caught instead of
+    /// silently saturating reservations to zero.
+    outstanding: BTreeMap<u64, u32>,
+    mismatched_releases: u64,
 }
 
 impl BandwidthArbiter {
@@ -86,7 +145,29 @@ impl BandwidthArbiter {
             capacity,
             enabled: true,
             in_flight: 0,
+            qos: QosClass::Unthrottled,
+            outstanding: BTreeMap::new(),
+            mismatched_releases: 0,
         }
+    }
+
+    /// Fingerprint of a demand's exact entries (FNV-1a over resource ids
+    /// and rate bit patterns). Two demands release-match iff their
+    /// fingerprints match, which is exactly the bit-equality the
+    /// reservation subtraction needs.
+    fn fingerprint(demand: &Demand) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for &(r, rate) in &demand.entries {
+            mix(r as u64);
+            mix(rate.to_bits());
+        }
+        h
     }
 
     /// Resource id of a node's cross-class uplink.
@@ -121,21 +202,55 @@ impl BandwidthArbiter {
         self.enabled
     }
 
+    /// Set the repair QoS class. Under
+    /// [`QosClass::ForegroundPriority`] every admission check (and
+    /// [`BandwidthArbiter::clamp`]) runs against the residual
+    /// `capacity × repair_fraction` instead of full link capacity, so
+    /// the set-aside share stays free for foreground flows.
+    ///
+    /// # Panics
+    /// Panics if the class's parameters are out of range (foreground
+    /// share must be in `[0, 1)`, the repair floor in `(0, 1]`).
+    pub fn set_qos(&mut self, qos: QosClass) {
+        let _ = qos.repair_fraction(); // validate eagerly
+        self.qos = qos;
+    }
+
+    /// The active repair QoS class.
+    pub fn qos(&self) -> QosClass {
+        self.qos
+    }
+
+    /// Capacity repair admission may use on a resource under the active
+    /// QoS class (bytes/sec).
+    fn admissible(&self, r: usize) -> f64 {
+        self.capacity[r] * self.qos.repair_fraction()
+    }
+
+    /// Releases whose demand did not match any outstanding admission
+    /// (counted instead of applied, so accounting cannot drift; a debug
+    /// build panics at the offending call site instead).
+    pub fn mismatched_releases(&self) -> u64 {
+        self.mismatched_releases
+    }
+
     /// Repairs currently holding reservations.
     pub fn in_flight(&self) -> usize {
         self.in_flight
     }
 
-    /// Cap each demand entry at its resource's total capacity, so a
-    /// repair whose stand-alone peak exceeds what the link can ever give
-    /// (it would then simply run slower) is still admissible on an idle
-    /// arbiter. Drops entries on unconstrained (infinite) resources.
+    /// Cap each demand entry at its resource's admissible capacity
+    /// (total capacity × the QoS repair fraction), so a repair whose
+    /// stand-alone peak exceeds what the link can ever give (it would
+    /// then simply run slower) is still admissible on an idle arbiter.
+    /// Drops entries on unconstrained (infinite) resources.
     pub fn clamp(&self, demand: &mut Demand) {
         demand.entries.retain_mut(|(r, rate)| {
             let cap = self.capacity[*r as usize];
             if cap.is_infinite() {
                 return false;
             }
+            let cap = self.admissible(*r as usize);
             if *rate > cap {
                 *rate = cap;
             }
@@ -154,7 +269,7 @@ impl BandwidthArbiter {
         }
         for &(r, rate) in &demand.entries {
             let r = r as usize;
-            if self.reserved[r] + rate > self.capacity[r] * (1.0 + EPS) + EPS {
+            if self.reserved[r] + rate > self.admissible(r) * (1.0 + EPS) + EPS {
                 return false;
             }
         }
@@ -166,19 +281,53 @@ impl BandwidthArbiter {
             }
         }
         self.in_flight += 1;
+        *self.outstanding.entry(Self::fingerprint(demand)).or_insert(0) += 1;
         true
     }
 
     /// Release a previously admitted demand.
+    ///
+    /// Every release must pair with one earlier successful
+    /// [`BandwidthArbiter::try_admit`] of a bit-identical demand. A
+    /// mismatched release (double release, or a demand that was never
+    /// admitted) panics in debug builds; in release builds it is counted
+    /// in [`BandwidthArbiter::mismatched_releases`] and **not** applied,
+    /// so reservations can neither drift below what is actually in
+    /// flight nor silently saturate at zero and mask oversubscription.
     pub fn release(&mut self, demand: &Demand) {
-        debug_assert!(self.in_flight > 0, "release without admit");
-        self.in_flight = self.in_flight.saturating_sub(1);
         if !self.enabled {
+            debug_assert!(self.in_flight > 0, "release without admit");
+            self.in_flight = self.in_flight.saturating_sub(1);
             return;
         }
+        let fp = Self::fingerprint(demand);
+        match self.outstanding.get_mut(&fp) {
+            Some(count) => {
+                *count -= 1;
+                if *count == 0 {
+                    self.outstanding.remove(&fp);
+                }
+            }
+            None => {
+                debug_assert!(
+                    false,
+                    "release of a demand that has no outstanding admission \
+                     (double release?): {demand:?}"
+                );
+                self.mismatched_releases += 1;
+                return;
+            }
+        }
+        self.in_flight = self.in_flight.saturating_sub(1);
         for &(r, rate) in &demand.entries {
             let r = r as usize;
-            self.reserved[r] = (self.reserved[r] - rate).max(0.0);
+            self.reserved[r] -= rate;
+            // Exact subtraction of an admitted rate can leave only float
+            // dust below zero; clamp that, not whole double-releases.
+            if self.reserved[r] < 0.0 {
+                debug_assert!(self.reserved[r] > -EPS * self.capacity[r].max(1.0));
+                self.reserved[r] = 0.0;
+            }
         }
     }
 
@@ -391,5 +540,106 @@ mod tests {
         let mut d = demand.clone();
         arb.clamp(&mut d);
         assert!(arb.try_admit(&d), "a lone stripe always admits");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "no outstanding admission")]
+    fn double_release_is_a_hard_error_in_debug() {
+        let mut arb = BandwidthArbiter::new(&net());
+        let d = Demand {
+            entries: vec![(BandwidthArbiter::uplink(0), 0.05 * GBIT)],
+        };
+        assert!(arb.try_admit(&d));
+        arb.release(&d);
+        arb.release(&d);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn double_release_is_counted_and_not_applied_in_release() {
+        let mut arb = BandwidthArbiter::new(&net());
+        let cross = 0.1 * GBIT;
+        let half = Demand {
+            entries: vec![(BandwidthArbiter::uplink(0), 0.5 * cross)],
+        };
+        assert!(arb.try_admit(&half));
+        assert!(arb.try_admit(&half));
+        arb.release(&half);
+        arb.release(&half);
+        // Third release has no outstanding admission: counted, ignored.
+        arb.release(&half);
+        assert_eq!(arb.mismatched_releases(), 1);
+        assert_eq!(arb.reserved(BandwidthArbiter::uplink(0)), 0.0);
+        // A never-admitted demand is also rejected, so reservations can't
+        // drift negative and mask oversubscription.
+        assert!(arb.try_admit(&half));
+        let other = Demand {
+            entries: vec![(BandwidthArbiter::uplink(0), 0.25 * cross)],
+        };
+        arb.release(&other);
+        assert_eq!(arb.mismatched_releases(), 2);
+        assert_eq!(arb.reserved(BandwidthArbiter::uplink(0)), 0.5 * cross);
+    }
+
+    #[test]
+    fn release_matches_by_exact_entries() {
+        let mut arb = BandwidthArbiter::new(&net());
+        let cross = 0.1 * GBIT;
+        let a = Demand {
+            entries: vec![(BandwidthArbiter::uplink(0), 0.25 * cross)],
+        };
+        let b = Demand {
+            entries: vec![(BandwidthArbiter::uplink(1), 0.25 * cross)],
+        };
+        assert!(arb.try_admit(&a));
+        assert!(arb.try_admit(&b));
+        arb.release(&b);
+        arb.release(&a);
+        assert_eq!(arb.mismatched_releases(), 0);
+        assert_eq!(arb.total_reserved(), 0.0);
+        assert_eq!(arb.in_flight(), 0);
+    }
+
+    #[test]
+    fn foreground_priority_admits_against_residual() {
+        let mut arb = BandwidthArbiter::new(&net());
+        arb.set_qos(QosClass::ForegroundPriority {
+            foreground_share: 0.5,
+            repair_floor: 0.1,
+        });
+        let cross = 0.1 * GBIT;
+        let mut d = Demand {
+            entries: vec![(BandwidthArbiter::uplink(0), cross)],
+        };
+        arb.clamp(&mut d);
+        // Clamped to the residual half of the shaped class rate.
+        assert_eq!(d.entries, vec![(BandwidthArbiter::uplink(0), 0.5 * cross)]);
+        assert!(arb.try_admit(&d), "the residual itself is admissible");
+        assert!(
+            !arb.try_admit(&d),
+            "the foreground set-aside is never given to repair"
+        );
+        assert!(arb.max_utilization() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn repair_floor_bounds_the_throttle() {
+        let qos = QosClass::ForegroundPriority {
+            foreground_share: 0.95,
+            repair_floor: 0.25,
+        };
+        assert_eq!(qos.repair_fraction(), 0.25, "floor wins over the share");
+        assert_eq!(QosClass::Unthrottled.repair_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreground_share")]
+    fn qos_rejects_out_of_range_share() {
+        let mut arb = BandwidthArbiter::new(&net());
+        arb.set_qos(QosClass::ForegroundPriority {
+            foreground_share: 1.0,
+            repair_floor: 0.1,
+        });
     }
 }

@@ -39,7 +39,7 @@ use rpr_netsim::Network;
 use rpr_obs::Recorder;
 use rpr_topology::{BandwidthProfile, NodeId, Placement, Topology, GBIT};
 
-use crate::arbiter::{plan_demand, BandwidthArbiter, Demand};
+use crate::arbiter::{plan_demand, BandwidthArbiter, Demand, QosClass};
 use crate::pool::{default_threads, run_indexed};
 use crate::sched::{schedule_fleet, FleetJob, FleetSummary, StripeRecord};
 
@@ -77,6 +77,12 @@ pub struct FleetSpec {
     /// When false the arbiter admits everything immediately — used to
     /// prove arbitration only adds waiting.
     pub arbitrate: bool,
+    /// QoS class repair admission runs under: with
+    /// [`QosClass::ForegroundPriority`] the arbiter admits each stripe
+    /// against only the residual (non-foreground) fraction of every
+    /// link, so a drain sharing the cluster with client traffic queues
+    /// earlier. See `docs/FOREGROUND.md`.
+    pub qos: QosClass,
     /// Inner-rack link rate in bytes/sec.
     pub inner_bps: f64,
     /// Cross-rack link rate in bytes/sec.
@@ -102,6 +108,7 @@ impl Default for FleetSpec {
             cfg: SuperviseConfig::default(),
             agg_capacity: None,
             arbitrate: true,
+            qos: QosClass::Unthrottled,
             inner_bps: GBIT,
             cross_bps: GBIT / 10.0,
             cost: CostModel::free(),
@@ -398,6 +405,7 @@ pub fn run_synthetic_fleet(spec: &FleetSpec, rec: &dyn Recorder) -> FleetOutcome
                 stripe: s as u32,
                 level: class_failed[gen.class as usize].len(),
                 duration: info.duration,
+                arrival: 0.0,
                 cross_bytes: info.cross_bytes,
                 inner_bytes: info.inner_bytes,
             });
@@ -442,6 +450,7 @@ pub fn run_synthetic_fleet(spec: &FleetSpec, rec: &dyn Recorder) -> FleetOutcome
                 stripe: s as u32,
                 level: class_failed[stripes[s].class as usize].len(),
                 duration: info.duration,
+                arrival: 0.0,
                 cross_bytes: info.cross_bytes,
                 inner_bytes: info.inner_bytes,
             });
@@ -461,6 +470,7 @@ pub fn run_synthetic_fleet(spec: &FleetSpec, rec: &dyn Recorder) -> FleetOutcome
     let phys_nodes = phys_net.topology().node_count();
     let mut arbiter = BandwidthArbiter::new(&phys_net);
     arbiter.set_enabled(spec.arbitrate);
+    arbiter.set_qos(spec.qos);
 
     let cacheable = spec.cacheable();
     let mut demand_of = |job: usize| -> Demand {
@@ -628,6 +638,51 @@ mod tests {
         assert!(out.replans > 0, "every stripe crashed at least once");
         let again = run_synthetic_fleet(&spec, &NoopRecorder);
         assert_eq!(out.records, again.records, "storm path is deterministic");
+    }
+
+    #[test]
+    fn foreground_qos_only_adds_waiting() {
+        // A finite aggregation switch is the shared resource: several
+        // stripes fit under it unthrottled, far fewer under a 5%
+        // residual (per-node links admit one full-rate repair each
+        // under either class, so they cannot show the difference).
+        let contended = FleetSpec {
+            racks: 4,
+            stripes: 300,
+            agg_capacity: Some(GBIT),
+            ..tiny_spec()
+        };
+        let qos = FleetSpec {
+            qos: QosClass::ForegroundPriority {
+                foreground_share: 0.95,
+                repair_floor: 0.05,
+            },
+            ..contended.clone()
+        };
+        let full = run_synthetic_fleet(&contended, &NoopRecorder);
+        let shared = run_synthetic_fleet(&qos, &NoopRecorder);
+        // Admission against the residual fraction changes *when* stripes
+        // start, never how long each repair takes once admitted.
+        for (a, b) in full.records.iter().zip(&shared.records) {
+            assert_eq!(a.stripe, b.stripe);
+            let da = a.finish - a.admitted;
+            let db = b.finish - b.admitted;
+            assert!((da - db).abs() < 1e-12, "stripe {}: {da} vs {db}", a.stripe);
+        }
+        let wait = |out: &FleetOutcome| -> f64 { out.records.iter().map(|r| r.waited).sum() };
+        assert!(
+            shared.summary.makespan >= full.summary.makespan,
+            "residual admission can only delay the drain ({} vs {})",
+            shared.summary.makespan,
+            full.summary.makespan
+        );
+        assert!(
+            wait(&shared) > wait(&full),
+            "a 5% residual must queue more stripe admissions ({} vs {})",
+            wait(&shared),
+            wait(&full)
+        );
+        assert_eq!(shared.summary.repaired, 300, "QoS never starves repair");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod index;
 pub mod pool;
 pub mod sched;
 
-pub use arbiter::{plan_demand, BandwidthArbiter, Demand};
+pub use arbiter::{plan_demand, BandwidthArbiter, Demand, QosClass};
 pub use fleet::{first_valid_plan, run_synthetic_fleet, FleetOutcome, FleetSpec};
 pub use index::StripeIndex;
 pub use pool::{default_threads, run_indexed};

@@ -1,8 +1,10 @@
 //! The fleet admission loop: a deterministic virtual-clock scheduler
 //! driving the stripe index and the bandwidth arbiter.
 //!
-//! All jobs are enqueued at fleet time 0 (the fleet run models "this
-//! backlog of at-risk stripes exists; drain it"). The loop then
+//! Jobs enter the index at their [`FleetJob::arrival`] time (0 for the
+//! pre-existing backlog; later for stripes whose failures are detected
+//! mid-drain — they are enqueued into the live index when the clock
+//! reaches them, never dropped until a next run). The loop then
 //! alternates between two moves:
 //!
 //! 1. **Admit** — while the index head's (clamped) demand fits under the
@@ -12,8 +14,8 @@
 //!    stripe can never jump a runnable level-`z` stripe (priority
 //!    inversion is impossible by construction).
 //! 2. **Advance** — when the head is blocked (or the queue is empty),
-//!    jump the clock to the earliest in-flight completion and release
-//!    its reservations.
+//!    jump the clock to the earlier of the next in-flight completion
+//!    (releasing its reservations) and the next arrival (enqueuing it).
 //!
 //! **Timing model.** An admitted repair reserves its stand-alone peak
 //! link rates for its stand-alone duration. Because the arbiter never
@@ -46,6 +48,10 @@ pub struct FleetJob {
     pub cross_bytes: u64,
     /// Inner-rack bytes the repair moves.
     pub inner_bytes: u64,
+    /// Fleet-clock seconds when the stripe's failure is detected: 0 for
+    /// the pre-existing backlog, later for failures that arrive while
+    /// the drain is already running.
+    pub arrival: f64,
 }
 
 /// Per-stripe outcome of a fleet run.
@@ -57,10 +63,10 @@ pub struct StripeRecord {
     pub level: usize,
     /// Fleet-clock seconds when the repair was admitted.
     pub admitted: f64,
-    /// Fleet-clock seconds when the repair finished (= its MTTR, since
-    /// every stripe is enqueued at time 0).
+    /// Fleet-clock seconds when the repair finished. Its MTTR is
+    /// `finish − arrival`.
     pub finish: f64,
-    /// Seconds spent queued before admission.
+    /// Seconds spent queued between arrival and admission.
     pub waited: f64,
 }
 
@@ -171,18 +177,26 @@ pub fn schedule_fleet(
 ) -> AdmissionOutcome {
     let max_level = jobs.iter().map(|j| j.level).max().unwrap_or(1).max(1);
     let mut index = StripeIndex::new(max_level, 16, jobs.len());
+    // Jobs not yet arrived, ascending by arrival time (ties in job
+    // order); `next_due` walks this list as the clock advances.
+    let mut due: Vec<u32> = (0..jobs.len() as u32).collect();
+    due.sort_by(|&a, &b| {
+        jobs[a as usize]
+            .arrival
+            .total_cmp(&jobs[b as usize].arrival)
+            .then(a.cmp(&b))
+    });
     for (i, job) in jobs.iter().enumerate() {
         assert!(
             job.duration >= 0.0,
             "schedule_fleet: job {i} has invalid duration"
         );
-        index.enqueue(i as u32, job.level);
-        rec.record(Event::StripeEnqueued {
-            stripe: job.stripe as u64,
-            level: job.level,
-            t: 0.0,
-        });
+        assert!(
+            job.arrival >= 0.0 && job.arrival.is_finite(),
+            "schedule_fleet: job {i} has invalid arrival"
+        );
     }
+    let mut next_due = 0usize;
 
     let mut now = 0.0f64;
     // Earliest-completion heap of (finish, job index); reservations of
@@ -193,6 +207,19 @@ pub fn schedule_fleet(
     let mut makespan = 0.0f64;
 
     loop {
+        // Re-scan arrivals: failures detected by now enter the live
+        // index (mid-drain arrivals are never deferred to a next run).
+        while next_due < due.len() && jobs[due[next_due] as usize].arrival <= now {
+            let i = due[next_due];
+            next_due += 1;
+            let job = &jobs[i as usize];
+            index.enqueue(i, job.level);
+            rec.record(Event::StripeEnqueued {
+                stripe: job.stripe as u64,
+                level: job.level,
+                t: job.arrival,
+            });
+        }
         // Admit as much of the queue head as fits right now.
         while let Some((head, level)) = index.peek() {
             let i = head as usize;
@@ -209,7 +236,7 @@ pub fn schedule_fleet(
             }
             index.pop();
             let job = &jobs[i];
-            let waited = now;
+            let waited = now - job.arrival;
             rec.record(Event::StripeAdmitted {
                 stripe: job.stripe as u64,
                 level,
@@ -234,15 +261,24 @@ pub fn schedule_fleet(
             holding[i] = Some(demand);
             running.push(Reverse((TimeKey(finish), head)));
         }
-        // Advance the clock to the next completion.
-        match running.pop() {
-            Some(Reverse((TimeKey(finish), idx))) => {
+        // Advance the clock to the next completion or the next arrival,
+        // whichever is earlier.
+        let next_arrival = due
+            .get(next_due)
+            .map(|&i| jobs[i as usize].arrival)
+            .unwrap_or(f64::INFINITY);
+        match running.peek() {
+            Some(&Reverse((TimeKey(finish), _))) if finish <= next_arrival => {
+                let Some(Reverse((TimeKey(finish), idx))) = running.pop() else {
+                    unreachable!()
+                };
                 now = finish;
                 makespan = makespan.max(finish);
                 let demand = holding[idx as usize].take().expect("in-flight demand");
                 arbiter.release(&demand);
             }
-            None => break,
+            _ if next_arrival.is_finite() => now = next_arrival,
+            _ => break,
         }
     }
 
@@ -257,7 +293,11 @@ pub fn schedule_fleet(
 /// Aggregate per-stripe records into a [`FleetSummary`].
 fn summarize(jobs: &[FleetJob], records: &[StripeRecord], makespan: f64) -> FleetSummary {
     let stripes = jobs.len();
-    let mut mttr: Vec<f64> = records.iter().map(|r| r.finish).collect();
+    let mut mttr: Vec<f64> = records
+        .iter()
+        .zip(jobs)
+        .map(|(r, j)| r.finish - j.arrival)
+        .collect();
     mttr.sort_by(f64::total_cmp);
     let cross_bytes: u64 = jobs.iter().map(|j| j.cross_bytes).sum();
     let inner_bytes: u64 = jobs.iter().map(|j| j.inner_bytes).sum();
@@ -334,6 +374,7 @@ mod tests {
             stripe,
             level,
             duration,
+            arrival: 0.0,
             cross_bytes: 100,
             inner_bytes: 50,
         }
@@ -375,6 +416,64 @@ mod tests {
         assert_eq!(out.summary.waited, 2);
         assert_eq!(out.summary.max_wait, 2.0);
         assert!(arb.total_reserved() < 1e-6, "all reservations released");
+    }
+
+    #[test]
+    fn mid_drain_failure_is_enqueued_not_dropped() {
+        // Regression for the enqueue-once drain: stripe 99's failure is
+        // detected at t = 0.5, after the drain has started on a
+        // saturated link. It must be enqueued into the live index and
+        // repaired in this run — and, being level 2, it must be served
+        // ahead of the level-1 stripes still queued at its arrival.
+        let cross = 0.1 * GBIT;
+        let mut jobs = vec![job(10, 1, 1.0), job(11, 1, 1.0), job(12, 1, 1.0)];
+        jobs.push(FleetJob {
+            stripe: 99,
+            level: 2,
+            duration: 1.0,
+            arrival: 0.5,
+            cross_bytes: 100,
+            inner_bytes: 50,
+        });
+        let mut arb = arb();
+        let mut demand_of = |_: usize| Demand {
+            entries: vec![(BandwidthArbiter::uplink(0), cross)],
+        };
+        let out = schedule_fleet(&jobs, &mut demand_of, &mut arb, &NoopRecorder);
+        assert_eq!(out.summary.repaired, 4, "mid-drain arrival is repaired");
+        let by_stripe = |s: u32| out.records.iter().find(|r| r.stripe == s).unwrap();
+        // Stripe 10 holds the link over [0, 1); 99 arrives at 0.5 and,
+        // at the t = 1 completion, outranks the queued level-1 stripes.
+        assert_eq!(by_stripe(10).admitted, 0.0);
+        assert_eq!(by_stripe(99).admitted, 1.0, "level 2 jumps the queue");
+        assert_eq!(by_stripe(99).waited, 0.5, "waited counts from arrival");
+        assert_eq!(by_stripe(11).admitted, 2.0);
+        assert_eq!(by_stripe(12).admitted, 3.0);
+        // MTTR is measured from arrival, not from drain start.
+        assert_eq!(by_stripe(99).finish, 2.0);
+        assert!(arb.total_reserved() < 1e-6, "all reservations released");
+    }
+
+    #[test]
+    fn idle_clock_jumps_to_next_arrival() {
+        // Nothing to do until t = 4: the scheduler must advance the
+        // clock to the arrival instead of panicking on an idle arbiter.
+        let jobs = vec![FleetJob {
+            stripe: 7,
+            level: 1,
+            duration: 2.0,
+            arrival: 4.0,
+            cross_bytes: 100,
+            inner_bytes: 50,
+        }];
+        let mut arb = arb();
+        let out = schedule_fleet(&jobs, &mut |_| Demand::default(), &mut arb, &NoopRecorder);
+        assert_eq!(out.records[0].admitted, 4.0);
+        assert_eq!(out.records[0].waited, 0.0);
+        assert_eq!(out.records[0].finish, 6.0);
+        assert_eq!(out.summary.makespan, 6.0);
+        // MTTR is finish − arrival, not absolute finish time.
+        assert_eq!(out.summary.mttr_p50, 2.0);
     }
 
     #[test]

@@ -617,6 +617,7 @@ impl Store {
                 stripe: *stripe as u32,
                 level: failed.len(),
                 duration: out.repair_time,
+                arrival: 0.0,
                 cross_bytes: out.cross_bytes,
                 inner_bytes: out.inner_bytes,
             });

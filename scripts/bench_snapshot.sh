@@ -66,10 +66,10 @@ cargo build $OFFLINE --release -p rpr-cli -p rpr-bench --benches
 TIER="$(target/release/rpr kernels --json | jq -r .active)"
 
 # Suites: the kernel microbenchmarks the gate reads, plus the codec,
-# planner, streaming-executor, and fleet-scheduler suites that track
-# end-to-end cost.
+# planner, streaming-executor, fleet-scheduler, and foreground-load
+# suites that track end-to-end cost.
 # (`figures` reproduces the paper's plots and is left to manual runs.)
-for suite in gf_kernels codec planner streaming fleet; do
+for suite in gf_kernels codec planner streaming fleet load; do
     echo "==> cargo bench -p rpr-bench --bench $suite (window ${MS} ms)"
     RPR_BENCH_MS="$MS" RPR_BENCH_JSON="$RAW" \
         cargo bench $OFFLINE -p rpr-bench --bench "$suite" >/dev/null

@@ -22,7 +22,12 @@
 #   9. fleet soak: the fleet scheduler (`rpr fleet`, 10k stripes) must
 #      drain a 10k-stripe backlog per seed and emit byte-identical JSON
 #      summaries across two same-seed runs (docs/FLEET.md)
-#  10. bench gate: a quick bench snapshot (scripts/bench_snapshot.sh
+#  10. foreground soak: the load co-simulation (`rpr load`, 240 requests
+#      against 4 staggered stripe repairs) must emit byte-identical JSON
+#      summaries across two same-seed runs per mode, and the QoS-throttled
+#      p99 latency must land strictly below the unthrottled p99
+#      (docs/FOREGROUND.md)
+#  11. bench gate: a quick bench snapshot (scripts/bench_snapshot.sh
 #      --quick) must not regress the GF kernel throughput by more than
 #      15% against the newest committed BENCH_*.json, and the dispatched
 #      SIMD multiply must stay >= 4x the scalar tier (scripts/
@@ -160,7 +165,40 @@ for seed in 17 4242; do
     echo "==> fleet drain for seed $seed completed deterministically"
 done
 
-# Step 10: performance must not silently rot. Take a quick snapshot and
+# Step 10: foreground traffic under repair must be deterministic and the
+# QoS class must actually protect the client tail — per seed, each mode's
+# two same-seed summaries must be byte-identical, and the QoS p99 must be
+# strictly below the unthrottled p99 at the (6,3) paper config.
+extract_p99() {
+    sed -n 's/.*"latency_p99":\([0-9.e+-]*\).*/\1/p' "$1"
+}
+for seed in 17 4242; do
+    for mode in unthrottled qos; do
+        for rep in a b; do
+            echo "==> $RPR load --code 6,3 --mode $mode --seed $seed --json (run $rep)"
+            "$RPR" load --code 6,3 --mode "$mode" --seed "$seed" --json \
+                > "$CHAOS_DIR/load_s${seed}_${mode}_${rep}.json" 2>/dev/null
+        done
+        if ! cmp -s "$CHAOS_DIR/load_s${seed}_${mode}_a.json" \
+                    "$CHAOS_DIR/load_s${seed}_${mode}_b.json"; then
+            echo "foreground soak FAILED: seed $seed ($mode) summaries differ" >&2
+            exit 1
+        fi
+    done
+    P99_UNTH="$(extract_p99 "$CHAOS_DIR/load_s${seed}_unthrottled_a.json")"
+    P99_QOS="$(extract_p99 "$CHAOS_DIR/load_s${seed}_qos_a.json")"
+    if [ -z "$P99_UNTH" ] || [ -z "$P99_QOS" ]; then
+        echo "foreground soak FAILED: could not parse p99 latencies" >&2
+        exit 1
+    fi
+    if ! awk "BEGIN { exit !($P99_QOS < $P99_UNTH) }"; then
+        echo "foreground soak FAILED: seed $seed QoS p99 $P99_QOS not below unthrottled $P99_UNTH" >&2
+        exit 1
+    fi
+    echo "==> foreground soak for seed $seed: QoS p99 $P99_QOS < unthrottled $P99_UNTH"
+done
+
+# Step 11: performance must not silently rot. Take a quick snapshot and
 # gate it against the newest committed baseline; a transient miss (quick
 # windows on a shared box are noisy) gets two retries before it counts.
 if [ "${RPR_BENCH_GATE:-on}" = "off" ]; then

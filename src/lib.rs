@@ -49,6 +49,7 @@
 //! | [`exec`] | the real-data executor |
 //! | [`store`] | multi-stripe store and fleet-failure recovery |
 //! | [`sched`] | fleet-scale repair scheduler: stripe index, bandwidth arbiter |
+//! | [`load`] | foreground workload generator, repair QoS co-simulation |
 //! | [`obs`] | structured repair traces and per-rack metrics |
 //! | [`faults`] | deterministic fault injection: fault plans, retry policies |
 //!
@@ -62,6 +63,7 @@ pub use rpr_exec as exec;
 pub use rpr_faults as faults;
 pub use rpr_gf as gf;
 pub use rpr_linalg as linalg;
+pub use rpr_load as load;
 pub use rpr_netsim as netsim;
 pub use rpr_obs as obs;
 pub use rpr_sched as sched;

@@ -36,3 +36,95 @@ fn degraded_read_verifies_real_bytes() {
     let report = rpr::exec::execute(&plan, &ctx, &stripe);
     assert!(report.verified, "{:?}", report.mismatches);
 }
+
+/// The bytes a pipeline-served degraded read streams to the client
+/// must be byte-identical to a full (block-mode) reconstruction — for
+/// every geometry and for ragged chunk sizes that do not divide the
+/// block evenly.
+#[test]
+fn pipeline_degraded_read_bytes_match_full_reconstruction() {
+    for &(n, k) in &[(4usize, 2usize), (6, 3), (8, 4)] {
+        let params = CodeParams::new(n, k);
+        let codec = StripeCodec::new(params);
+        let topo = cluster_for(params, 1, 1);
+        let placement = Placement::by_policy(PlacementPolicy::RprPreplaced, params, &topo);
+        let profile = BandwidthProfile::uniform(topo.rack_count(), 400.0e6, 40.0e6);
+        let lost = BlockId(1);
+        let client = placement.node_of(BlockId(0));
+        let block = 96 * 1024u64 + 17; // odd size so every chunk choice is ragged somewhere
+        let data: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                (0..block as usize)
+                    .map(|j| (i as u8).wrapping_mul(31).wrapping_add(j as u8))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        let stripe = codec.encode_stripe(&refs);
+
+        let ctx = |chunk: Option<u64>| {
+            let c = RepairContext::new(
+                &codec,
+                &topo,
+                &placement,
+                vec![lost],
+                block,
+                &profile,
+                CostModel::free(),
+            )
+            .with_recovery_node(client);
+            match chunk {
+                Some(bytes) => c.with_chunk_size(bytes),
+                None => c,
+            }
+        };
+
+        // Block-mode ground truth.
+        let whole = ctx(None);
+        let plan = RprPlanner::new().plan(&whole);
+        plan.validate(&codec, &topo, &placement).expect("valid");
+        let full = rpr::exec::execute(&plan, &whole, &stripe);
+        assert!(full.verified, "({n},{k}) block mode: {:?}", full.mismatches);
+        assert_eq!(full.recovered.len(), 1);
+        assert_eq!(full.recovered[0].0, lost);
+        assert_eq!(*full.recovered[0].1, data[1], "({n},{k}) block mode bytes");
+
+        // Ragged and even chunk sizes: 17 KiB-ish primes, exact eighth,
+        // and a chunk larger than the block.
+        for &chunk in &[7 * 1024 + 13, 12 * 1024, block / 8, block + 5] {
+            let streamed = ctx(Some(chunk));
+            let plan = RprPlanner::new().plan(&streamed);
+            plan.validate(&codec, &topo, &placement).expect("valid");
+            let report = rpr::exec::execute(&plan, &streamed, &stripe);
+            assert!(
+                report.verified,
+                "({n},{k}) chunk {chunk}: {:?}",
+                report.mismatches
+            );
+            assert_eq!(report.recovered.len(), 1);
+            assert_eq!(report.recovered[0].0, lost);
+            assert_eq!(
+                *report.recovered[0].1, *full.recovered[0].1,
+                "({n},{k}) chunk {chunk}: streamed bytes differ from block mode"
+            );
+            // Cut-through must surface a first-byte time no later than
+            // the full repair.
+            let fb = report.first_byte_seconds.expect("degraded read timing");
+            assert!(fb <= report.wall_seconds + 1e-12);
+        }
+    }
+}
+
+/// Same-seed co-simulated load+repair runs must summarize
+/// bit-identically, including the JSON rendering the soak scripts
+/// byte-compare.
+#[test]
+fn load_summaries_are_deterministic_via_facade() {
+    use rpr::load::{run_load, LoadSpec};
+    let spec = LoadSpec::paper_config(4242, LoadSpec::paper_qos());
+    let a = run_load(&spec);
+    let b = run_load(&spec);
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+    assert!(a.degraded > 0, "paper config must exercise degraded reads");
+}

@@ -124,6 +124,7 @@ fn randomized_backlog_conserves_reservations() {
             stripe: i,
             level: (next() % 3 + 1) as usize,
             duration: (next() % 50 + 1) as f64 / 10.0,
+            arrival: 0.0,
             cross_bytes: next() % 1000,
             inner_bytes: next() % 1000,
         })
