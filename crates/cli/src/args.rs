@@ -13,7 +13,9 @@ usage:
   rpr inject  --code N,K --fail BLOCKS [options] [--fault F] [--seed S]
               [--backend B] [--format F] [--out FILE] [--json]
   rpr chaos   --code N,K --fail BLOCKS [options] [--storm LIST] [--seed S]
-              [--backend B] [--hedge M] [--deadline S] [--out FILE] [--json]
+              [--backend B] [--hedge M] [--deadline S] [--proof MODE]
+              [--ledger-out FILE] [--out FILE] [--json]
+  rpr audit   --trace FILE --ledger FILE [--json]
   rpr fleet   [--code N,K] [--stripes N] [--racks R] [--nodes-per-rack N]
               [--block-mib M] [--ratio R] [--seed S] [--storm LIST]
               [--agg-gbit G] [--no-arbiter] [--threads T] [--json]
@@ -53,9 +55,16 @@ inject options (see docs/ROBUSTNESS.md):
 chaos options (supervised fault storms, see docs/ROBUSTNESS.md):
   --storm LIST      one fault per generation, comma-separated:
                     crash | replacement-crash | timeout | corrupt |
-                    slow | rack          (default crash,replacement-crash,timeout)
+                    slow | rack | lie    (default crash,replacement-crash,timeout)
   --hedge M         hedge a straggler at M x the peer median      (default off)
   --deadline S      repair deadline in (virtual or wall) seconds  (default off)
+  --proof MODE      off | advisory | mandatory: repair-proof plane (default off)
+                    mandatory convicts Byzantine helpers on evidence
+  --ledger-out FILE write the proof ledger (JSON lines) to FILE
+audit options (offline proof verification, see docs/ROBUSTNESS.md):
+  --trace FILE      the JSONL trace a chaos run recorded with --out
+  --ledger FILE     the proof ledger the same run wrote with --ledger-out
+                    exits non-zero when the evidence does not verify
 fleet options (at-risk backlog drain, see docs/FLEET.md):
   --stripes N       at-risk stripes in the backlog                (default 10000)
   --racks R         physical racks in the cluster                 (default 25)
@@ -107,6 +116,9 @@ pub enum Command {
     /// Co-simulate an open-loop foreground workload against a stream of
     /// repairs and report per-request latency quantiles.
     Load(LoadArgs),
+    /// Verify a recorded repair offline: replay the proof ledger against
+    /// the captured trace and pinpoint the first dishonest hop.
+    Audit(AuditArgs),
     /// Print the cluster/placement layout.
     Topo {
         /// Code geometry.
@@ -235,6 +247,9 @@ pub enum ChaosFault {
     Slow,
     /// A rack switch drops one timestep's cross transfers once.
     Rack,
+    /// A Byzantine helper sends wrong bytes under a valid transport
+    /// checksum; only the proof plane can convict it.
+    Lie,
 }
 
 impl ChaosFault {
@@ -246,6 +261,7 @@ impl ChaosFault {
             "corrupt" => ChaosFault::Corrupt,
             "slow" => ChaosFault::Slow,
             "rack" => ChaosFault::Rack,
+            "lie" => ChaosFault::Lie,
             other => return Err(format!("unknown storm fault `{other}`")),
         })
     }
@@ -266,12 +282,27 @@ pub struct ChaosArgs {
     pub hedge: Option<f64>,
     /// Repair deadline in seconds; off when absent.
     pub deadline: Option<f64>,
+    /// Proof-plane mode name: `off`, `advisory`, or `mandatory`.
+    pub proof: String,
+    /// Proof-ledger output path; the ledger is dropped when absent.
+    pub ledger_out: Option<String>,
     /// Output format of the trace.
     pub format: TraceFormat,
     /// Trace output path; stdout when absent.
     pub out: Option<String>,
     /// Print a machine-readable summary object on stdout; the trace is
     /// then only written when `out` is set.
+    pub json: bool,
+}
+
+/// Options for the `audit` command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditArgs {
+    /// Path of the JSONL trace the audited run recorded.
+    pub trace: String,
+    /// Path of the proof ledger the same run wrote.
+    pub ledger: String,
+    /// Print a machine-readable verdict object on stdout.
     pub json: bool,
 }
 
@@ -471,6 +502,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "kernels" => Ok(Command::Kernels {
             json: flags.has("--json"),
         }),
+        "audit" => Ok(Command::Audit(AuditArgs {
+            trace: flags.get("--trace").ok_or("missing --trace")?.to_string(),
+            ledger: flags.get("--ledger").ok_or("missing --ledger")?.to_string(),
+            json: flags.has("--json"),
+        })),
         "topo" => {
             let params = parse_code(flags.get("--code").ok_or("missing --code")?)?;
             let placement = parse_placement(flags.get("--placement").unwrap_or("preplaced"))?;
@@ -827,6 +863,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     if deadline.is_some_and(|d| !(d > 0.0 && d.is_finite())) {
                         return Err("--deadline must be positive".into());
                     }
+                    let proof = flags.get("--proof").unwrap_or("off").to_string();
+                    if !matches!(proof.as_str(), "off" | "advisory" | "mandatory") {
+                        return Err(format!("unknown proof mode `{proof}`"));
+                    }
                     Command::Chaos(ChaosArgs {
                         plan: args,
                         backend,
@@ -834,6 +874,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         seed,
                         hedge,
                         deadline,
+                        proof,
+                        ledger_out: flags.get("--ledger-out").map(String::from),
                         format: format(TraceFormat::Jsonl)?,
                         out: flags.get("--out").map(String::from),
                         json: flags.has("--json"),
@@ -1032,6 +1074,46 @@ mod tests {
         assert!(parse(&argv("chaos --code 6,3 --fail d1 --storm meteor")).is_err());
         assert!(parse(&argv("chaos --code 6,3 --fail d1 --hedge 0.5")).is_err());
         assert!(parse(&argv("chaos --code 6,3 --fail d1 --deadline -4")).is_err());
+    }
+
+    #[test]
+    fn parse_chaos_proof_flags() {
+        let cmd = parse(&argv(
+            "chaos --code 6,3 --fail d1 --storm lie --proof mandatory \
+             --ledger-out proofs.jsonl",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Chaos(c) => {
+                assert_eq!(c.storm, vec![ChaosFault::Lie]);
+                assert_eq!(c.proof, "mandatory");
+                assert_eq!(c.ledger_out.as_deref(), Some("proofs.jsonl"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("chaos --code 6,3 --fail d1")).unwrap() {
+            Command::Chaos(c) => {
+                assert_eq!(c.proof, "off", "proofs are off by default");
+                assert_eq!(c.ledger_out, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("chaos --code 6,3 --fail d1 --proof maybe")).is_err());
+    }
+
+    #[test]
+    fn parse_audit_command() {
+        let cmd = parse(&argv("audit --trace t.jsonl --ledger l.jsonl --json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Audit(AuditArgs {
+                trace: "t.jsonl".to_string(),
+                ledger: "l.jsonl".to_string(),
+                json: true,
+            })
+        );
+        assert!(parse(&argv("audit --ledger l.jsonl")).is_err(), "missing --trace");
+        assert!(parse(&argv("audit --trace t.jsonl")).is_err(), "missing --ledger");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Command implementations.
 
 use crate::args::{
-    ChaosArgs, ChaosFault, Command, FaultChoice, FleetArgs, InjectArgs, InjectBackend, LoadArgs,
-    LoadModeChoice, PlanArgs, TraceArgs, TraceFormat,
+    AuditArgs, ChaosArgs, ChaosFault, Command, FaultChoice, FleetArgs, InjectArgs, InjectBackend,
+    LoadArgs, LoadModeChoice, PlanArgs, TraceArgs, TraceFormat,
 };
 use rpr_codec::{CodeParams, StripeCodec};
 use rpr_core::analysis::{rpr_repair_time, traditional_repair_time, AnalysisParams};
@@ -13,6 +13,7 @@ use rpr_core::{
 use rpr_faults::{
     CrashSite, FaultKind, FaultPlan, FaultStorm, HealthTracker, RetryPolicy, SplitMix64, StormFault,
 };
+use rpr_proof::{ProofLedger, ProofMode};
 use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy, GBIT};
 
 /// Execute a parsed command.
@@ -25,6 +26,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Chaos(c) => chaos(&c),
         Command::Fleet(f) => fleet(&f),
         Command::Load(l) => load(&l),
+        Command::Audit(a) => audit(&a),
         Command::Topo { params, placement } => topo(params, placement),
         Command::Analyze { ti_ms, tc_ms } => analyze(ti_ms, tc_ms),
         Command::Kernels { json } => kernels(json),
@@ -460,6 +462,9 @@ fn inject(t: &InjectArgs) -> Result<(), String> {
         "# {} repair under fault: {summary} | {} events ({} dropped)",
         a.scheme, snap.recorded_events, snap.dropped_events,
     );
+    if verified == Some(false) {
+        return Err("repair completed but the reconstruction failed byte verification".into());
+    }
     Ok(())
 }
 
@@ -520,6 +525,7 @@ fn storm_fault(f: ChaosFault) -> StormFault {
         ChaosFault::Corrupt => StormFault::Corrupt,
         ChaosFault::Slow => StormFault::Slow { factor: 0.25 },
         ChaosFault::Rack => StormFault::RackOutage,
+        ChaosFault::Lie => StormFault::Lie,
     }
 }
 
@@ -542,6 +548,7 @@ fn chaos(c: &ChaosArgs) -> Result<(), String> {
     let cfg = SuperviseConfig {
         hedge: c.hedge,
         deadline: c.deadline,
+        proof: ProofMode::from_name(&c.proof)?,
         ..SuperviseConfig::default()
     };
     let mut tracker = HealthTracker::with_defaults();
@@ -566,6 +573,10 @@ fn chaos(c: &ChaosArgs) -> Result<(), String> {
         final_scheme: String,
         final_tier: &'static str,
         fault_sites: Vec<String>,
+        proofs_emitted: usize,
+        proofs_rejected: usize,
+        accusations: usize,
+        ledger: ProofLedger,
     }
     let s = match c.backend {
         InjectBackend::Sim => {
@@ -584,6 +595,10 @@ fn chaos(c: &ChaosArgs) -> Result<(), String> {
                 final_scheme: out.final_scheme,
                 final_tier: out.final_tier.name(),
                 fault_sites: out.fault_sites,
+                proofs_emitted: out.proofs_emitted,
+                proofs_rejected: out.proofs_rejected,
+                accusations: out.accusations,
+                ledger: out.ledger,
             }
         }
         InjectBackend::Exec => {
@@ -605,9 +620,18 @@ fn chaos(c: &ChaosArgs) -> Result<(), String> {
                 final_scheme: out.final_scheme.to_string(),
                 final_tier: out.final_tier.name(),
                 fault_sites: out.fault_sites,
+                proofs_emitted: out.proofs_emitted,
+                proofs_rejected: out.proofs_rejected,
+                accusations: out.accusations,
+                ledger: out.ledger,
             }
         }
     };
+    if let Some(path) = &c.ledger_out {
+        std::fs::write(path, s.ledger.to_json_lines())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} proof entries to {path}", s.ledger.entries.len());
+    }
 
     let events = rec.take_events();
     emit_trace(&events, c.format, &c.out, c.json)?;
@@ -617,7 +641,8 @@ fn chaos(c: &ChaosArgs) -> Result<(), String> {
              \"fault_sites\":{},\"generations\":{},\"attempts\":{},\"retries\":{},\
              \"replans\":{},\"reused_partials\":{},\"hedges\":{},\"hedge_wins\":{},\
              \"deadline_hit\":{},\"final_scheme\":{},\"final_tier\":{},\
-             \"makespan\":{},\"clean\":{},\"verified\":{}}}",
+             \"proof\":{},\"proofs_emitted\":{},\"proofs_rejected\":{},\
+             \"accusations\":{},\"makespan\":{},\"clean\":{},\"verified\":{}}}",
             json_str(match c.backend {
                 InjectBackend::Sim => "sim",
                 InjectBackend::Exec => "exec",
@@ -635,6 +660,10 @@ fn chaos(c: &ChaosArgs) -> Result<(), String> {
             s.deadline_hit,
             json_str(&s.final_scheme),
             json_str(s.final_tier),
+            json_str(cfg.proof.name()),
+            s.proofs_emitted,
+            s.proofs_rejected,
+            s.accusations,
             s.makespan,
             s.clean.map_or("null".to_string(), |v| v.to_string()),
             s.verified.map_or("null".to_string(), |v| v.to_string()),
@@ -663,6 +692,23 @@ fn chaos(c: &ChaosArgs) -> Result<(), String> {
     );
     if s.deadline_hit {
         eprintln!("# deadline exceeded — repair degraded to meet it");
+    }
+    if cfg.proof.active() {
+        eprintln!(
+            "# proof plane ({}): {} emitted | {} rejected | {} accusation(s)",
+            cfg.proof.name(),
+            s.proofs_emitted,
+            s.proofs_rejected,
+            s.accusations,
+        );
+    }
+    if s.verified == Some(false) {
+        return Err("repair completed but the reconstruction failed byte verification".into());
+    }
+    if cfg.proof == ProofMode::Mandatory && s.proofs_rejected > 0 && s.accusations == 0 {
+        return Err(
+            "mandatory proof failure: rejected proofs could not be localized to a helper".into(),
+        );
     }
     Ok(())
 }
@@ -856,6 +902,171 @@ fn load(l: &LoadArgs) -> Result<(), String> {
         summary.requests,
     );
     Ok(())
+}
+
+/// Pull one unsigned integer field out of a hand-rolled JSON line.
+fn json_usize_field(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Verify a recorded repair offline from its artifacts alone: parse the
+/// proof ledger, re-derive the ledger key from the header seed, re-check
+/// every binding / wire hop / output witness with [`ProofLedger::audit`],
+/// and cross-check the verdict against the captured JSONL trace — every
+/// ledger entry must have been announced (`proof_emitted`), every
+/// mismatch flagged (`proof_rejected`), and, for a mandatory-mode
+/// ledger, every localized dishonest hop must have drawn an online
+/// accusation (`helper_accused`). Exits non-zero when the evidence does
+/// not verify, so soak scripts can gate on it.
+fn audit(t: &AuditArgs) -> Result<(), String> {
+    let ledger_text =
+        std::fs::read_to_string(&t.ledger).map_err(|e| format!("reading {}: {e}", t.ledger))?;
+    let trace_text =
+        std::fs::read_to_string(&t.trace).map_err(|e| format!("reading {}: {e}", t.trace))?;
+    let ledger = ProofLedger::parse(&ledger_text)?;
+    let report = ledger.audit();
+
+    // The proof-plane event stream of the trace, keyed (gen, op) /
+    // (gen, node).
+    let mut emitted: Vec<(usize, usize)> = Vec::new();
+    let mut rejected: Vec<(usize, usize)> = Vec::new();
+    let mut accused: Vec<(usize, usize)> = Vec::new();
+    for line in trace_text.lines() {
+        let keyed = |a: &str, b: &str| -> Option<(usize, usize)> {
+            Some((json_usize_field(line, a)?, json_usize_field(line, b)?))
+        };
+        if line.contains("\"type\":\"proof_emitted\"") {
+            emitted.extend(keyed("gen", "op"));
+        } else if line.contains("\"type\":\"proof_rejected\"") {
+            rejected.extend(keyed("gen", "op"));
+        } else if line.contains("\"type\":\"helper_accused\"") {
+            accused.extend(keyed("gen", "node"));
+        }
+    }
+    emitted.sort_unstable();
+    rejected.sort_unstable();
+
+    // Cross-checks: ledger entries <-> announcements, mismatched entries
+    // <-> rejections, dishonest hops <-> accusations (mandatory only).
+    let mut ledger_keys: Vec<(usize, usize)> = ledger
+        .entries
+        .iter()
+        .map(|e| (e.gen, e.proof.op))
+        .collect();
+    ledger_keys.sort_unstable();
+    let mut mismatch_keys: Vec<(usize, usize)> = report
+        .mismatches
+        .iter()
+        .map(|&i| (ledger.entries[i].gen, ledger.entries[i].proof.op))
+        .collect();
+    mismatch_keys.sort_unstable();
+    let mut inconsistencies: Vec<String> = Vec::new();
+    if ledger_keys != emitted {
+        inconsistencies.push(format!(
+            "trace announces {} proof(s), ledger seals {}",
+            emitted.len(),
+            ledger_keys.len()
+        ));
+    }
+    if mismatch_keys != rejected {
+        inconsistencies.push(format!(
+            "trace rejects {} proof(s), ledger witnesses {} mismatch(es)",
+            rejected.len(),
+            mismatch_keys.len()
+        ));
+    }
+    let unaccused: Vec<usize> = if ledger.mode == ProofMode::Mandatory {
+        report
+            .dishonest
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let e = &ledger.entries[i];
+                !accused.contains(&(e.gen, e.proof.node))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    if !unaccused.is_empty() {
+        inconsistencies.push(format!(
+            "{} dishonest hop(s) drew no online accusation under mandatory proofs",
+            unaccused.len()
+        ));
+    }
+
+    let verdict = if !report.binding_failures.is_empty() {
+        "tampered"
+    } else if !inconsistencies.is_empty() {
+        "inconsistent"
+    } else if report.clean() {
+        "clean"
+    } else {
+        "dishonesty-localized"
+    };
+    let first = report.first_dishonest().map(|i| {
+        let e = &ledger.entries[i];
+        (e.gen, e.proof.op, e.proof.node, e.proof.algorithm.clone())
+    });
+
+    if t.json {
+        println!(
+            "{{\"command\":\"audit\",\"verdict\":{},\"mode\":{},\"seed\":{},\
+             \"entries\":{},\"binding_failures\":{},\"wire_failures\":{},\
+             \"mismatches\":{},\"dishonest\":{},\"accusations\":{},\
+             \"first_dishonest\":{}}}",
+            json_str(verdict),
+            json_str(ledger.mode.name()),
+            ledger.seed,
+            report.entries,
+            report.binding_failures.len(),
+            report.wire_failures.len(),
+            report.mismatches.len(),
+            report.dishonest.len(),
+            accused.len(),
+            first.as_ref().map_or("null".to_string(), |(g, op, node, alg)| {
+                format!(
+                    "{{\"gen\":{g},\"op\":{op},\"node\":{node},\"algorithm\":{}}}",
+                    json_str(alg)
+                )
+            }),
+        );
+    }
+    eprintln!(
+        "# audit of {} ({} mode, seed {}): {} entries | {} binding failure(s) | \
+         {} wire failure(s) | {} mismatch(es) | {} dishonest | verdict: {verdict}",
+        t.ledger,
+        ledger.mode.name(),
+        ledger.seed,
+        report.entries,
+        report.binding_failures.len(),
+        report.wire_failures.len(),
+        report.mismatches.len(),
+        report.dishonest.len(),
+    );
+    if let Some((g, op, node, alg)) = &first {
+        eprintln!(
+            "# first dishonest hop: generation {g}, op {op} ({alg}) at node {node} — \
+             wrong output from honest inputs"
+        );
+    }
+    for msg in &inconsistencies {
+        eprintln!("# inconsistency: {msg}");
+    }
+    match verdict {
+        "clean" | "dishonesty-localized" => Ok(()),
+        "tampered" => Err(format!(
+            "audit failed: {} ledger binding(s) do not recompute (tampered or forged)",
+            report.binding_failures.len()
+        )),
+        _ => Err(format!("audit failed: {}", inconsistencies.join("; "))),
+    }
 }
 
 fn topo(params: CodeParams, policy: PlacementPolicy) -> Result<(), String> {

@@ -68,6 +68,13 @@ pub struct ResolvedFaults {
     /// Per-node bandwidth derates `(node, factor)` active for the whole
     /// repair.
     pub slow: Vec<(NodeId, f64)>,
+    /// Send ops whose helper turns Byzantine: the payload carries wrong
+    /// bytes under a valid FNV checksum. Only the proof plane
+    /// (`rpr-proof`, [`SuperviseConfig::proof`]) can detect these —
+    /// transport-level retry never fires.
+    ///
+    /// [`SuperviseConfig::proof`]: crate::supervise::SuperviseConfig
+    pub lies: Vec<usize>,
 }
 
 /// Resolve a symbolic fault plan against a concrete repair plan.
@@ -88,6 +95,7 @@ pub fn resolve(
         op_faults: vec![Vec::new(); plan.ops.len()],
         crash: None,
         slow: Vec::new(),
+        lies: Vec::new(),
     };
     for fault in &fp.faults {
         match fault {
@@ -443,6 +451,9 @@ pub(crate) fn shift_event(mut event: Event, dt: f64) -> Event {
         | Event::BandwidthWaited { t, .. }
         | Event::QosThrottled { t, .. }
         | Event::RequestIssued { t, .. }
+        | Event::ProofEmitted { t, .. }
+        | Event::ProofRejected { t, .. }
+        | Event::HelperAccused { t, .. }
         | Event::RepairDone { t, .. } => *t += dt,
         Event::TransferDone { start, end, .. } | Event::CombineDone { start, end, .. } => {
             *start += dt;

@@ -32,7 +32,7 @@
 //! shared [`resolve_storm_bucket`] / [`plan_with_pool`] primitives, so
 //! both backends pick identical fault sites and replacement plans.
 
-use crate::plan::{Op, OpId, RepairPlan};
+use crate::plan::{Input, Op, OpId, Payload, RepairPlan};
 use crate::robust::{
     fallback_plan, first_start, shift_event, AttemptFault, Collect, CrashFault, ResolvedFaults,
 };
@@ -45,6 +45,10 @@ use rpr_faults::{
 };
 use rpr_netsim::{FailSpec, JobId, SimReport, Simulator};
 use rpr_obs::{Event, Recorder, Transfer};
+use rpr_proof::{
+    symbolic_block_hash, symbolic_output_hash, ProofKey, ProofLedger, ProofMode, ProofSource,
+    RepairProof,
+};
 use rpr_topology::NodeId;
 use std::collections::HashMap;
 
@@ -92,6 +96,12 @@ pub struct SuperviseConfig {
     /// proportional to the clean run's wave spans. Blowing it degrades
     /// the tier instead of aborting. `None` disables deadline tracking.
     pub deadline: Option<f64>,
+    /// Proof plane enforcement level. [`ProofMode::Off`] (the default)
+    /// is bit-identical to the pre-proof behavior; `Advisory` emits and
+    /// verifies proofs without altering control flow; `Mandatory` fails
+    /// a generation on proof rejection, accuses the dishonest helper,
+    /// and replans without it.
+    pub proof: ProofMode,
 }
 
 impl Default for SuperviseConfig {
@@ -101,6 +111,7 @@ impl Default for SuperviseConfig {
             max_replans: 4,
             hedge: None,
             deadline: None,
+            proof: ProofMode::default(),
         }
     }
 }
@@ -160,6 +171,15 @@ pub struct SuperviseOutcome {
     pub cross_bytes: u64,
     /// Inner-rack bytes actually moved.
     pub inner_bytes: u64,
+    /// Proofs emitted across all generations (0 with the proof plane off).
+    pub proofs_emitted: usize,
+    /// Proofs whose output hash disagreed with its expected witness.
+    pub proofs_rejected: usize,
+    /// Helpers accused (and quarantined) on proof evidence. Mandatory
+    /// mode only — Advisory records rejections without accusing.
+    pub accusations: usize,
+    /// The sealed proof ledger (no entries with the proof plane off).
+    pub ledger: ProofLedger,
 }
 
 /// One storm bucket resolved against a concrete generation plan.
@@ -197,6 +217,7 @@ pub fn resolve_storm_bucket(
             op_faults: vec![Vec::new(); plan.ops.len()],
             crash: None,
             slow: Vec::new(),
+            lies: Vec::new(),
         },
         descriptions: Vec::new(),
         deferred: Vec::new(),
@@ -320,6 +341,29 @@ pub fn resolve_storm_bucket(
                 out.resolved.slow.push((NodeId(node), *factor));
                 out.descriptions
                     .push(format!("slow node {node} (x{factor:.2})"));
+            }
+            StormFault::Lie => {
+                // A Byzantine helper: its send carries wrong bytes under
+                // a valid FNV checksum, so transport-level retry never
+                // fires — only the proof plane can catch it. The target
+                // must be a helper send (the recovery node folds, it does
+                // not serve blocks) so there is a node to accuse.
+                let liars: Vec<usize> = send_ops
+                    .iter()
+                    .copied()
+                    .filter(|&i| matches!(&plan.ops[i], Op::Send { from, .. } if *from != plan.recovery))
+                    .collect();
+                if liars.is_empty() {
+                    out.descriptions.push("lie skipped (no helper sends)".into());
+                    continue;
+                }
+                let i = liars[rng.pick(liars.len())];
+                let node = match &plan.ops[i] {
+                    Op::Send { from, .. } => from.0,
+                    _ => unreachable!("lie targets sends"),
+                };
+                out.resolved.lies.push(i);
+                out.descriptions.push(format!("lie op {i} (node {node})"));
             }
             StormFault::RackOutage => {
                 let mut racks: Vec<usize> = cross_ops
@@ -754,6 +798,159 @@ pub fn degraded_client(ctx: &RepairContext<'_>, dead: &[NodeId], recovery: NodeI
     spare.or_else(|| (0..ctx.topo.node_count()).map(NodeId).find(|&n| live(n)))
 }
 
+/// Pool key `(node, coefficient vector)` → the sorted `(gen, op)` lie
+/// sites tainting that banked partial (see [`gen_taints`]).
+type PoolTaintMap = HashMap<(usize, Vec<u8>), Vec<(usize, usize)>>;
+
+/// Per-op taint sets for one generation: the sorted `(gen, op)` lie
+/// sites corrupting each op's output. Taint enters at a lying send and
+/// flows through every data dependency — cut-through folding means one
+/// lied block poisons the whole downstream partial-sum chain — and
+/// through pool reuse (a banked partial carries the taint it was
+/// produced with).
+fn gen_taints(
+    plan: &RepairPlan,
+    lies: &[usize],
+    reused_keys: &[Option<(usize, Vec<u8>)>],
+    pool_taint: &PoolTaintMap,
+    g: usize,
+) -> Vec<Vec<(usize, usize)>> {
+    let mut taints: Vec<Vec<(usize, usize)>> = Vec::with_capacity(plan.ops.len());
+    for (i, op) in plan.ops.iter().enumerate() {
+        let mut t: Vec<(usize, usize)> = match &reused_keys[i] {
+            Some(key) => pool_taint.get(key).cloned().unwrap_or_default(),
+            None => {
+                let mut t = Vec::new();
+                for d in op.dependencies() {
+                    t.extend(taints[d.0].iter().copied());
+                }
+                if lies.contains(&i) {
+                    t.push((g, i));
+                }
+                t
+            }
+        };
+        t.sort_unstable();
+        t.dedup();
+        taints.push(t);
+    }
+    taints
+}
+
+/// The proof inputs of op `i`: one `(source, hash)` pair per consumed
+/// value, in consumption order. Blocks that arrive via a send reference
+/// the send op (its output is what was actually consumed); locally-read
+/// blocks reference the stripe block itself.
+fn proof_inputs(
+    key: ProofKey,
+    plan: &RepairPlan,
+    i: usize,
+    vecs: &[Vec<u8>],
+    taints: &[Vec<(usize, usize)>],
+) -> Vec<(ProofSource, u128)> {
+    let op_hash = |s: usize| symbolic_output_hash(key, &vecs[s], &taints[s]);
+    match &plan.ops[i] {
+        Op::Send { what, .. } => match what {
+            Payload::Block(b) => vec![(ProofSource::Block(b.0), symbolic_block_hash(key, b.0))],
+            Payload::Intermediate(src) => vec![(ProofSource::Op(src.0), op_hash(src.0))],
+        },
+        Op::Combine { inputs, .. } => inputs
+            .iter()
+            .map(|inp| match inp {
+                Input::Block { via: Some(v), .. } => (ProofSource::Op(v.0), op_hash(v.0)),
+                Input::Block { block, via: None, .. } => {
+                    (ProofSource::Block(block.0), symbolic_block_hash(key, block.0))
+                }
+                Input::Intermediate(src) => (ProofSource::Op(src.0), op_hash(src.0)),
+            })
+            .collect(),
+    }
+}
+
+/// Emit one generation's proofs into the ledger and the trace: one
+/// sealed entry per completed op (pool-reused ops re-serve under the
+/// `"pool"` algorithm tag), a `proof_emitted` event each, and a
+/// `proof_rejected` event for every output that disagrees with its
+/// expected witness. Returns the deduped nodes whose *completed lies*
+/// make them dishonest — accusation (Mandatory only) is the caller's
+/// call.
+#[allow(clippy::too_many_arguments)]
+fn emit_generation_proofs(
+    key: ProofKey,
+    ledger: &mut ProofLedger,
+    emitted: &mut usize,
+    rejected: &mut usize,
+    plan: &RepairPlan,
+    vecs: &[Vec<u8>],
+    taints: &[Vec<(usize, usize)>],
+    reused_keys: &[Option<(usize, Vec<u8>)>],
+    completed: &[bool],
+    lies: &[usize],
+    chunk: Option<u64>,
+    g: usize,
+    now: f64,
+    rec: &dyn Recorder,
+) -> Vec<usize> {
+    let (chunks, chunk_bytes) = match chunk {
+        Some(c) if c > 0 && c < plan.block_bytes => (plan.block_bytes.div_ceil(c) as usize, c),
+        _ => (1, plan.block_bytes),
+    };
+    let mut dishonest: Vec<usize> = Vec::new();
+    for i in 0..plan.ops.len() {
+        let reused = reused_keys[i].is_some();
+        if !reused && !completed[i] {
+            continue;
+        }
+        // The node under suspicion: the sender for transfers (it produced
+        // the bytes on the wire), the folding node for combines, the
+        // hosting node for pool re-serves.
+        let node = match (&plan.ops[i], reused) {
+            (_, true) => plan.ops[i].output_location().0,
+            (Op::Send { from, .. }, false) => from.0,
+            (Op::Combine { node, .. }, false) => node.0,
+        };
+        let proof = RepairProof {
+            op: i,
+            node,
+            coeffs: vecs[i].clone(),
+            inputs: if reused {
+                Vec::new()
+            } else {
+                proof_inputs(key, plan, i, vecs, taints)
+            },
+            output_hash: symbolic_output_hash(key, &vecs[i], &taints[i]),
+            expected_hash: symbolic_output_hash(key, &vecs[i], &[]),
+            algorithm: if reused { "pool" } else { "sim" }.to_string(),
+            chunks,
+            chunk_bytes,
+        };
+        let honest = proof.honest_output();
+        ledger.push(g, proof);
+        *emitted += 1;
+        rec.record(Event::ProofEmitted {
+            op: i,
+            node,
+            gen: g,
+            t: now,
+        });
+        if !honest {
+            *rejected += 1;
+            rec.record(Event::ProofRejected {
+                op: i,
+                node,
+                gen: g,
+                t: now,
+            });
+        }
+        if lies.contains(&i) {
+            dishonest.push(node);
+        }
+    }
+    dishonest.sort_unstable();
+    dishonest.dedup();
+    dishonest
+}
+
 /// Run a supervised repair on the `rpr-netsim` backend: the full
 /// supervision loop — multi-crash replanning with pooled partial reuse,
 /// hedged transfers, health-aware helper re-selection, and
@@ -780,6 +977,16 @@ pub fn supervise_injected(
     let mut rng = SplitMix64::new(storm.seed);
     let chunk = ctx.effective_chunk();
     let node_count = ctx.topo.node_count();
+
+    // Proof plane: the ledger key derives from the storm seed, so the
+    // offline auditor re-derives it without any side channel. All of
+    // this is RNG-free — Off mode stays bit-identical to pre-proof runs.
+    let proof_key = ProofKey::from_seed(storm.seed);
+    let mut ledger = ProofLedger::new(storm.seed, cfg.proof);
+    let mut proofs_emitted = 0usize;
+    let mut proofs_rejected = 0usize;
+    let mut accusations = 0usize;
+    let mut pool_taint: PoolTaintMap = HashMap::new();
 
     // Generation 0: health-aware plan (fall back to unfiltered helper
     // selection if quarantine starves the planner).
@@ -875,6 +1082,17 @@ pub fn supervise_injected(
         };
         let events = buffer.into_events();
         let vecs = plan.symbolic_vectors();
+        let taints = if cfg.proof.active() {
+            gen_taints(
+                &plan,
+                &gen_faults.resolved.lies,
+                &reused_keys,
+                &pool_taint,
+                g,
+            )
+        } else {
+            vec![Vec::new(); plan.ops.len()]
+        };
 
         if let Some(crash) = gen_faults.resolved.crash {
             // ---- crash generation: bank partials, replan, splice on. ----
@@ -912,16 +1130,67 @@ pub fn supervise_injected(
                 rec.record(Event::HelperQuarantined { node: n, score, t: now });
             }
 
+            // Proof plane: sealed evidence for every op that completed
+            // before the crash cut the generation short.
+            let mut accused: Vec<usize> = Vec::new();
+            if cfg.proof.active() {
+                let completed_lies: Vec<usize> = gen_faults
+                    .resolved
+                    .lies
+                    .iter()
+                    .copied()
+                    .filter(|&i| completed[i])
+                    .collect();
+                let dishonest = emit_generation_proofs(
+                    proof_key,
+                    &mut ledger,
+                    &mut proofs_emitted,
+                    &mut proofs_rejected,
+                    &plan,
+                    &vecs,
+                    &taints,
+                    &reused_keys,
+                    &completed,
+                    &completed_lies,
+                    chunk,
+                    g,
+                    now,
+                    rec,
+                );
+                if cfg.proof == ProofMode::Mandatory {
+                    accused = dishonest;
+                }
+            }
+
             // Bank completed partials (not the dead node's) and traffic.
+            // With Mandatory proofs, evidence-tainted partials never bank.
             for (i, done) in completed.iter().enumerate() {
                 let loc = plan.ops[i].output_location();
                 if *done && loc != crash.node && !dead.contains(&loc) {
+                    if cfg.proof == ProofMode::Mandatory && !taints[i].is_empty() {
+                        continue;
+                    }
                     pool.insert((loc.0, vecs[i].clone()), ());
+                    if cfg.proof.active() {
+                        pool_taint.insert((loc.0, vecs[i].clone()), taints[i].clone());
+                    }
                 }
             }
             count_traffic(&plan, ctx, &completed, &mut cross_bytes, &mut inner_bytes);
             dead.push(crash.node);
             pool.retain(|(n, _), _| *n != crash.node.0);
+            pool_taint.retain(|(n, _), _| *n != crash.node.0);
+            for n in accused {
+                rec.record(Event::HelperAccused {
+                    node: n,
+                    gen: g,
+                    t: now,
+                });
+                tracker.accuse(n);
+                accusations += 1;
+                pool.retain(|(pn, _), _| *pn != n);
+                pool_taint.retain(|(pn, _), _| *pn != n);
+            }
 
             generations.push(GenerationRecord {
                 scheme: plan.scheme.to_string(),
@@ -1049,6 +1318,160 @@ pub fn supervise_injected(
             .map(|r| r.failures.len())
             .sum::<usize>();
         let completed_all = lowered.clone();
+
+        // ---- proof-rejected generation (Mandatory): the generation ran
+        // to completion — a lie is invisible to the transport layer — but
+        // end-of-generation verification rejects the liar's proof. Fail
+        // the generation, accuse and quarantine the liar on evidence,
+        // purge its banked partials, and replan without it. ----
+        if cfg.proof == ProofMode::Mandatory && !gen_faults.resolved.lies.is_empty() {
+            let now = t_base + makespan;
+            for e in events {
+                rec.record(shift_event(e, t_base));
+            }
+            count_traffic(&plan, ctx, &lowered, &mut cross_bytes, &mut inner_bytes);
+            for (n, score) in feed_health(tracker, &plan, &waves, &jobs, &report, &completed_all) {
+                rec.record(Event::HelperQuarantined { node: n, score, t: now });
+            }
+            let dishonest = emit_generation_proofs(
+                proof_key,
+                &mut ledger,
+                &mut proofs_emitted,
+                &mut proofs_rejected,
+                &plan,
+                &vecs,
+                &taints,
+                &reused_keys,
+                &completed_all,
+                &gen_faults.resolved.lies,
+                chunk,
+                g,
+                now,
+                rec,
+            );
+            // Bank only taint-free partials: the tainted chain is
+            // worthless evidence-backed garbage, and the liar's own
+            // entries (old and new) are purged below.
+            for (i, done) in completed_all.iter().enumerate() {
+                let loc = plan.ops[i].output_location();
+                if *done && !dead.contains(&loc) && taints[i].is_empty() {
+                    pool.insert((loc.0, vecs[i].clone()), ());
+                    pool_taint.insert((loc.0, vecs[i].clone()), Vec::new());
+                }
+            }
+            for &n in &dishonest {
+                rec.record(Event::HelperAccused {
+                    node: n,
+                    gen: g,
+                    t: now,
+                });
+                tracker.accuse(n);
+                accusations += 1;
+            }
+            pool.retain(|(n, _), _| !dishonest.contains(n));
+            pool_taint.retain(|(n, _), _| !dishonest.contains(n));
+
+            generations.push(GenerationRecord {
+                scheme: plan.scheme.to_string(),
+                tier,
+                executed_ops: lowered.iter().filter(|l| **l).count(),
+                reused_ops: reused_keys.iter().filter(|r| r.is_some()).count(),
+                completed_ops: completed_all.iter().filter(|c| **c).count(),
+                pool_before,
+                crashed: None,
+                faults: bucket.iter().map(|f| f.name().to_string()).collect(),
+            });
+            replans += 1;
+
+            if let Some(d) = cfg.deadline {
+                if now > d && !deadline_hit {
+                    deadline_hit = true;
+                    rec.record(Event::DeadlineExceeded {
+                        scope: "repair".to_string(),
+                        budget: d,
+                        elapsed: now,
+                        t: now,
+                    });
+                }
+            }
+            let excess = replans.saturating_sub(cfg.max_replans);
+            let mut next_tier = match excess {
+                0 => Tier::Full,
+                1 => Tier::Traditional,
+                _ => Tier::DegradedRead,
+            };
+            if deadline_hit && next_tier < Tier::Traditional {
+                next_tier = Tier::Traditional;
+            }
+            if next_tier > tier {
+                rec.record(Event::DegradedFallback {
+                    tier: next_tier.name().to_string(),
+                    reason: if deadline_hit && excess == 0 {
+                        "deadline exceeded".to_string()
+                    } else {
+                        format!("replan budget ({}) exhausted", cfg.max_replans)
+                    },
+                    t: now,
+                });
+                tier = next_tier;
+            }
+
+            // Next generation: same failure set (the liar's block is
+            // intact — it lied about bytes, it did not die), recovery
+            // pinned, and the accusation-quarantine steers helper
+            // selection away from the liar.
+            let recovery = plan.recovery;
+            ctx_g = ctx.clone();
+            ctx_g.failed = failed.clone();
+            if tier == Tier::DegradedRead {
+                if let Some(client) = degraded_client(&ctx_g, &dead, recovery) {
+                    ctx_g = ctx_g.with_recovery_node(client);
+                } else {
+                    ctx_g.recovery_node_override = Some(recovery);
+                    ctx_g.recovery_override = Some(ctx.topo.rack_of(recovery));
+                }
+            } else {
+                ctx_g.recovery_node_override = Some(recovery);
+                ctx_g.recovery_override = Some(ctx.topo.rack_of(recovery));
+            }
+            let mut avoid = avoid_nodes(tracker);
+            avoid.retain(|n| !dead.contains(n));
+            let rep = {
+                let avoided = ctx_g.clone().with_avoided(avoid);
+                plan_with_pool(&avoided, &pool, tier)
+                    .or_else(|_| plan_with_pool(&ctx_g, &pool, tier))?
+            };
+            reused_total += rep.reused_count();
+            rec.record(Event::Replanned {
+                scheme: rep.plan.scheme.to_string(),
+                failed: failed.len(),
+                reused_ops: rep.reused_count(),
+                t: now,
+            });
+            prev_senders = Some({
+                let mut ns: Vec<usize> = plan
+                    .ops
+                    .iter()
+                    .filter_map(|op| match op {
+                        Op::Send { from, to, .. } if !ctx.topo.same_rack(*from, *to) => {
+                            Some(from.0)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                ns.sort_unstable();
+                ns.dedup();
+                ns
+            });
+            plan = rep.plan;
+            reused_keys = rep.reused;
+            lowered = rep.lowered;
+            t_base = now + cfg.policy.delay(replans - 1);
+            tracker.tick_generation();
+            g += 1;
+            continue;
+        }
+
         let mut hedge_cut: Option<f64> = None; // replay original events up to here
         let mut hedge_events: Vec<(Event, f64)> = Vec::new(); // (event, shift)
 
@@ -1237,6 +1660,34 @@ pub fn supervise_injected(
             crashed: None,
             faults: bucket.iter().map(|f| f.name().to_string()).collect(),
         });
+        // The final generation's proofs. Advisory records any lie as a
+        // rejection without acting on it; Mandatory can only reach here
+        // lie-free (a rejected proof fails the generation above).
+        if cfg.proof.active() {
+            let completed_lies: Vec<usize> = gen_faults
+                .resolved
+                .lies
+                .iter()
+                .copied()
+                .filter(|&i| completed_all[i])
+                .collect();
+            emit_generation_proofs(
+                proof_key,
+                &mut ledger,
+                &mut proofs_emitted,
+                &mut proofs_rejected,
+                &plan,
+                &vecs,
+                &taints,
+                &reused_keys,
+                &completed_all,
+                &completed_lies,
+                chunk,
+                g,
+                total_time,
+                rec,
+            );
+        }
         rec.record(Event::RepairDone {
             t: total_time,
             cross_bytes,
@@ -1259,6 +1710,10 @@ pub fn supervise_injected(
             fault_sites,
             cross_bytes,
             inner_bytes,
+            proofs_emitted,
+            proofs_rejected,
+            accusations,
+            ledger,
         });
     }
 }

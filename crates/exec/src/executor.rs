@@ -16,6 +16,7 @@ use rpr_core::{
 };
 use rpr_faults::{checksum64, reason, FaultPlan, FaultStorm, HealthTracker, RetryPolicy, SplitMix64, StormFault};
 use rpr_obs::{Event, Recorder};
+use rpr_proof::{hash_bytes, ProofKey, ProofLedger, ProofMode, ProofSource, RepairProof};
 use rpr_topology::NodeId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -356,6 +357,7 @@ pub fn execute_resilient(
         op_faults: vec![Vec::new(); rep.plan.ops.len()],
         crash: None,
         slow: resolved.slow.clone(),
+        lies: Vec::new(),
     };
     let cfg2 = AttemptCfg {
         faults: Some(&faults2),
@@ -458,6 +460,15 @@ pub struct SupervisedReport {
     pub final_tier: Tier,
     /// Human-readable resolved fault sites, in injection order.
     pub fault_sites: Vec<String>,
+    /// Repair proofs recorded to the ledger (zero when proofs are Off).
+    pub proofs_emitted: usize,
+    /// Proofs whose output hash disagreed with the expectation.
+    pub proofs_rejected: usize,
+    /// Helpers quarantined on proof evidence (Mandatory mode only).
+    pub accusations: usize,
+    /// The proof ledger for the whole repair, verifiable offline with
+    /// `rpr audit` against the recorded trace.
+    pub ledger: ProofLedger,
 }
 
 /// Run one attempt under an optional hedge watchdog: a timer thread arms
@@ -584,6 +595,127 @@ fn cross_sender_nodes(plan: &RepairPlan, ctx: &RepairContext<'_>) -> Vec<usize> 
     ns
 }
 
+/// Emit one generation's [`RepairProof`]s from the real bytes the attempt
+/// produced. Every op with an available value (executed this generation
+/// or re-served from the partial pool) gets an entry: the output hash is
+/// taken over the actual bytes, the expected hash over the ground-truth
+/// GF linear combination of the op's symbolic coefficient vector applied
+/// to the original stripe, and the inputs bind each consumed edge to its
+/// producer's recorded output. Returns which ops are tainted (output ≠
+/// expected) and which nodes the evidence convicts: a node is accused
+/// only when its op's output is wrong *and* every recorded input matches
+/// the producer's expected value — exactly the localization rule the
+/// offline auditor applies, so online accusations and `rpr audit` agree.
+#[allow(clippy::too_many_arguments)]
+fn exec_generation_proofs(
+    key: ProofKey,
+    ledger: &mut ProofLedger,
+    emitted: &mut usize,
+    rejected: &mut usize,
+    plan: &RepairPlan,
+    ctx: &RepairContext<'_>,
+    stripe: &[Vec<u8>],
+    vecs: &[Vec<u8>],
+    values: &[Option<Arc<Vec<u8>>>],
+    reused: &[bool],
+    g: usize,
+    now: f64,
+    rec: &dyn Recorder,
+) -> (Vec<bool>, Vec<usize>) {
+    let block_hashes: Vec<u128> = stripe.iter().map(|b| hash_bytes(key, b)).collect();
+    let sizes = chunk_sizes(plan.block_bytes, ctx.effective_chunk());
+    let (chunks, chunk_bytes) = (sizes.len(), sizes[0]);
+    let mut out_hash: Vec<Option<u128>> = vec![None; plan.ops.len()];
+    let mut exp_hash: Vec<Option<u128>> = vec![None; plan.ops.len()];
+    let mut tainted = vec![false; plan.ops.len()];
+    let mut accused: Vec<usize> = Vec::new();
+    for (i, op) in plan.ops.iter().enumerate() {
+        let Some(v) = &values[i] else { continue };
+        let mut expected = vec![0u8; plan.block_bytes as usize];
+        for (b, &c) in vecs[i].iter().enumerate() {
+            if c != 0 {
+                rpr_gf::mul_acc_slice(c, &stripe[b], &mut expected);
+            }
+        }
+        let oh = hash_bytes(key, v);
+        let eh = hash_bytes(key, &expected);
+        out_hash[i] = Some(oh);
+        exp_hash[i] = Some(eh);
+        tainted[i] = oh != eh;
+        let (node, algorithm, inputs) = if reused[i] {
+            // Re-served from the partial pool: provenance was discarded
+            // at banking time, so the entry carries no input edges.
+            (op.output_location().0, "pool".to_string(), Vec::new())
+        } else {
+            match op {
+                Op::Send { what, from, .. } => {
+                    let inputs = match what {
+                        Payload::Block(b) => {
+                            vec![(ProofSource::Block(b.0), block_hashes[b.0])]
+                        }
+                        Payload::Intermediate(src) => vec![(
+                            ProofSource::Op(src.0),
+                            out_hash[src.0].expect("send source produced before send"),
+                        )],
+                    };
+                    (from.0, "wire".to_string(), inputs)
+                }
+                Op::Combine { node, inputs, .. } => {
+                    let kernel = combine_kernel(plan, i)
+                        .expect("combine ops always have a kernel")
+                        .name();
+                    let alg = format!("{kernel}/{}", rpr_gf::active_tier().name());
+                    let ins = inputs
+                        .iter()
+                        .map(|inp| match inp {
+                            Input::Block { via: Some(v), .. } => (
+                                ProofSource::Op(v.0),
+                                out_hash[v.0].expect("via op produced before combine"),
+                            ),
+                            Input::Block { block, via: None, .. } => {
+                                (ProofSource::Block(block.0), block_hashes[block.0])
+                            }
+                            Input::Intermediate(o) => (
+                                ProofSource::Op(o.0),
+                                out_hash[o.0].expect("input op produced before combine"),
+                            ),
+                        })
+                        .collect();
+                    (node.0, alg, ins)
+                }
+            }
+        };
+        let inputs_honest = inputs.iter().all(|(src, h)| match src {
+            ProofSource::Op(s) => exp_hash[*s].is_some_and(|e| *h == e),
+            ProofSource::Block(_) => true,
+        });
+        let proof = RepairProof {
+            op: i,
+            node,
+            coeffs: vecs[i].clone(),
+            inputs,
+            output_hash: oh,
+            expected_hash: eh,
+            algorithm,
+            chunks,
+            chunk_bytes,
+        };
+        ledger.push(g, proof);
+        *emitted += 1;
+        rec.record(Event::ProofEmitted { gen: g, op: i, node, t: now });
+        if oh != eh {
+            *rejected += 1;
+            rec.record(Event::ProofRejected { gen: g, op: i, node, t: now });
+            if inputs_honest {
+                accused.push(node);
+            }
+        }
+    }
+    accused.sort_unstable();
+    accused.dedup();
+    (tainted, accused)
+}
+
 /// Execute a supervised repair on real bytes — the wall-clock counterpart
 /// of [`rpr_core::supervise_injected`]. The same supervision loop runs
 /// here: storm buckets resolve against each generation's plan through the
@@ -620,6 +752,11 @@ pub fn execute_supervised(
     tracker: &mut HealthTracker,
 ) -> Result<SupervisedReport, ExecError> {
     let mut rng = SplitMix64::new(storm.seed);
+    let proof_key = ProofKey::from_seed(storm.seed);
+    let mut ledger = ProofLedger::new(storm.seed, cfg.proof);
+    let mut proofs_emitted = 0usize;
+    let mut proofs_rejected = 0usize;
+    let mut accusations = 0usize;
     let avoid_nodes =
         |t: &HealthTracker| -> Vec<NodeId> { t.quarantined().into_iter().map(NodeId).collect() };
 
@@ -699,6 +836,7 @@ pub fn execute_supervised(
             op_faults: gen_faults.resolved.op_faults.clone(),
             crash: gen_faults.resolved.crash,
             slow: slow_accum.clone(),
+            lies: gen_faults.resolved.lies.clone(),
         };
 
         let prefilled: Vec<Option<Arc<Vec<u8>>>> = reused_keys
@@ -742,12 +880,51 @@ pub fn execute_supervised(
         let completed: Vec<bool> = run.values.iter().map(|v| v.is_some()).collect();
         let now = t0.elapsed().as_secs_f64();
 
+        // Proof plane: hash every available value (executed or re-served
+        // from the pool) against the ground-truth expectation and record
+        // the evidence. Accusations only steer control flow in Mandatory.
+        let avail: Vec<Option<Arc<Vec<u8>>>> = run
+            .values
+            .iter()
+            .zip(&prefilled)
+            .map(|(v, p)| v.clone().or_else(|| p.clone()))
+            .collect();
+        let reused_flags: Vec<bool> = reused_keys.iter().map(|k| k.is_some()).collect();
+        let (tainted, accused) = if cfg.proof.active() {
+            exec_generation_proofs(
+                proof_key,
+                &mut ledger,
+                &mut proofs_emitted,
+                &mut proofs_rejected,
+                &plan,
+                ctx,
+                stripe,
+                &vecs,
+                &avail,
+                &reused_flags,
+                g,
+                now,
+                rec,
+            )
+        } else {
+            (vec![false; plan.ops.len()], Vec::new())
+        };
+        let accused = if cfg.proof == ProofMode::Mandatory {
+            accused
+        } else {
+            Vec::new()
+        };
+
         // Bank every completed partial whose host is still alive, and
-        // count the traffic those completions actually moved.
+        // count the traffic those completions actually moved. Under
+        // Mandatory proofs, tainted partials are evidence — never cached.
         let bank = |pool: &mut HashMap<(usize, Vec<u8>), Arc<Vec<u8>>>,
                     dead: &[NodeId],
                     skip: Option<NodeId>| {
             for (i, v) in run.values.iter().enumerate() {
+                if cfg.proof == ProofMode::Mandatory && tainted[i] {
+                    continue;
+                }
                 if let Some(v) = v {
                     let loc = plan.ops[i].output_location();
                     if Some(loc) != skip && !dead.contains(&loc) {
@@ -784,6 +961,14 @@ pub fn execute_supervised(
             bank(&mut pool, &dead, Some(crash.node));
             dead.push(crash.node);
             pool.retain(|(n, _), _| *n != crash.node.0);
+            for &n in &accused {
+                rec.record(Event::HelperAccused { node: n, gen: g, t: now });
+                tracker.accuse(n);
+                accusations += 1;
+            }
+            if !accused.is_empty() {
+                pool.retain(|(pn, _), _| !accused.contains(pn));
+            }
 
             let block = ctx
                 .placement
@@ -797,6 +982,93 @@ pub fn execute_supervised(
                     ctx.params().k
                 )));
             }
+            replans += 1;
+
+            if let Some(d) = cfg.deadline {
+                if now > d && !deadline_hit {
+                    deadline_hit = true;
+                    rec.record(Event::DeadlineExceeded {
+                        scope: "repair".to_string(),
+                        budget: d,
+                        elapsed: now,
+                        t: now,
+                    });
+                }
+            }
+            let excess = replans.saturating_sub(cfg.max_replans);
+            let mut next_tier = match excess {
+                0 => Tier::Full,
+                1 => Tier::Traditional,
+                _ => Tier::DegradedRead,
+            };
+            if deadline_hit && next_tier < Tier::Traditional {
+                next_tier = Tier::Traditional;
+            }
+            if next_tier > tier {
+                rec.record(Event::DegradedFallback {
+                    tier: next_tier.name().to_string(),
+                    reason: if deadline_hit && excess == 0 {
+                        "deadline exceeded".to_string()
+                    } else {
+                        format!("replan budget ({}) exhausted", cfg.max_replans)
+                    },
+                    t: now,
+                });
+                tier = next_tier;
+            }
+
+            let recovery = plan.recovery;
+            ctx_g = ctx.clone();
+            ctx_g.failed = failed.clone();
+            if tier == Tier::DegradedRead {
+                if let Some(client) = degraded_client(&ctx_g, &dead, recovery) {
+                    ctx_g = ctx_g.with_recovery_node(client);
+                } else {
+                    ctx_g.recovery_node_override = Some(recovery);
+                    ctx_g.recovery_override = Some(ctx.topo.rack_of(recovery));
+                }
+            } else {
+                ctx_g.recovery_node_override = Some(recovery);
+                ctx_g.recovery_override = Some(ctx.topo.rack_of(recovery));
+            }
+            let mut avoid = avoid_nodes(tracker);
+            avoid.retain(|n| !dead.contains(n));
+            let rep = {
+                let avoided = ctx_g.clone().with_avoided(avoid);
+                plan_with_pool(&avoided, &pool, tier)
+                    .or_else(|_| plan_with_pool(&ctx_g, &pool, tier))
+                    .map_err(ExecError::Unrecoverable)?
+            };
+            reused_total += rep.reused_count();
+            rec.record(Event::Replanned {
+                scheme: rep.plan.scheme.to_string(),
+                failed: failed.len(),
+                reused_ops: rep.reused_count(),
+                t: now,
+            });
+            prev_senders = Some(cross_sender_nodes(&plan, ctx));
+            plan = rep.plan;
+            reused_keys = rep.reused;
+            lowered = rep.lowered;
+            std::thread::sleep(Duration::from_secs_f64(cfg.policy.delay(replans - 1)));
+            tracker.tick_generation();
+            g += 1;
+            continue;
+        }
+
+        if cfg.proof == ProofMode::Mandatory && !accused.is_empty() {
+            // ---- proof failure: the generation completed at the
+            // transport level, but the evidence convicts a helper of
+            // sending fabricated bytes. Fail the generation, quarantine
+            // the liar on proof evidence (not timeout), purge its pool
+            // entries, and replan around it. ----
+            bank(&mut pool, &dead, None);
+            for &n in &accused {
+                rec.record(Event::HelperAccused { node: n, gen: g, t: now });
+                tracker.accuse(n);
+                accusations += 1;
+            }
+            pool.retain(|(pn, _), _| !accused.contains(pn));
             replans += 1;
 
             if let Some(d) = cfg.deadline {
@@ -994,6 +1266,10 @@ pub fn execute_supervised(
             final_scheme: plan.scheme,
             final_tier: tier,
             fault_sites,
+            proofs_emitted,
+            proofs_rejected,
+            accusations,
+            ledger,
         });
     }
 }
@@ -1252,6 +1528,20 @@ fn run_attempt(
                             Payload::Block(b) => Arc::new(stripe[b.0].clone()),
                             Payload::Intermediate(o) => vals[&o.0].clone(),
                         };
+                        // A Byzantine helper flips a byte *before* taking
+                        // the sender-side digest, so the transport
+                        // checksum validates the lie end-to-end — only
+                        // the proof plane can catch it.
+                        let data: Arc<Vec<u8>> = if cfg
+                            .faults
+                            .is_some_and(|f| f.lies.contains(&i))
+                        {
+                            let mut bad = (*data).clone();
+                            bad[0] ^= 0xA5;
+                            Arc::new(bad)
+                        } else {
+                            data
+                        };
                         // Sender-side digest: every delivery is verified
                         // against it on arrival.
                         let expected = checksum64(&data);
@@ -1487,6 +1777,9 @@ struct SendSource<'f> {
     whole: Option<&'f [u8]>,
     edge: Option<Receiver<Delivery>>,
     have: usize,
+    /// Byzantine sender: perturb each chunk before digesting it, so the
+    /// per-chunk FNV checksum validates the lie (see `StormFault::Lie`).
+    lie: bool,
 }
 
 impl SendSource<'_> {
@@ -1503,6 +1796,9 @@ impl SendSource<'_> {
                     Delivery::Failed => return false,
                 },
                 (None, None) => unreachable!("send payload always has a source"),
+            }
+            if self.lie {
+                buf[r.start] ^= 0xA5;
             }
             sums.push(checksum64(&buf[r]));
             self.have += 1;
@@ -1647,6 +1943,7 @@ fn stream_op(
                     _ => None,
                 },
                 have: 0,
+                lie: cfg.faults.is_some_and(|f| f.lies.contains(&i)),
             };
             let mut buf = vec![0u8; total];
             let mut sums: Vec<u64> = Vec::with_capacity(m);
@@ -2876,6 +3173,119 @@ mod tests {
         );
         assert_ne!(out.report.op_timings.len(), 0);
         let _ = slow;
+    }
+
+    #[test]
+    fn supervised_lie_is_convicted_on_evidence_not_timeout() {
+        // The acceptance storm for the proof plane: a Byzantine helper
+        // sends wrong bytes under a valid FNV checksum at (6,3). The
+        // transport never retries; the generation completes, proofs
+        // reject, and the liar is accused and replanned around.
+        let fx = Fx::new(6, 3, 32 * 1024);
+        let storm = FaultStorm::new(9).with_generation(vec![StormFault::Lie]);
+        let cfg = SuperviseConfig {
+            policy: fast_policy(),
+            proof: ProofMode::Mandatory,
+            ..SuperviseConfig::default()
+        };
+        let ctx = fx.ctx(vec![BlockId(1)]);
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 13);
+        let rec = rpr_obs::TraceRecorder::default();
+        // Probe window far past the run so the conviction is observable
+        // in the tracker after the repair returns.
+        let mut tracker = HealthTracker::new(0.5, 0.4, 100);
+        let out = execute_supervised(&ctx, &stripe, &rec, &storm, &cfg, &mut tracker)
+            .expect("mandatory repair completes past the liar");
+
+        assert!(out.report.verified, "mismatches: {:?}", out.report.mismatches);
+        assert!(out.proofs_emitted > 0);
+        assert!(out.proofs_rejected > 0, "the lie must fail proof verification");
+        assert_eq!(out.accusations, 1, "exactly one helper convicted");
+        assert_eq!(out.retries, 0, "valid checksums: transport never retries a lie");
+        assert_eq!(out.replans, 1, "conviction forces one replan");
+        let liar: usize = out
+            .fault_sites
+            .iter()
+            .find(|s| s.starts_with("lie "))
+            .and_then(|s| s.trim_end_matches(')').rsplit("node ").next())
+            .and_then(|n| n.parse().ok())
+            .expect("site names the lying node");
+        assert!(tracker.is_quarantined(liar), "the liar sits in quarantine");
+
+        // Online conviction and offline audit agree on the culprit.
+        let audit = out.ledger.audit();
+        let idx = audit.first_dishonest().expect("dishonest hop localized");
+        assert_eq!(out.ledger.entries[idx].proof.node, liar);
+
+        // Evidence events in causal order; no transport-level failures.
+        let names: Vec<&str> = rec.take_events().iter().map(|e| e.name()).collect();
+        let rejected = names.iter().position(|n| *n == "proof_rejected");
+        let accused = names.iter().position(|n| *n == "helper_accused");
+        assert!(rejected.is_some() && accused.is_some() && rejected < accused);
+        assert!(!names.contains(&"transfer_failed"));
+        assert!(!names.contains(&"retry_scheduled"));
+
+        // Conviction is deterministic: a fresh same-seed run produces a
+        // byte-identical ledger.
+        let mut tracker2 = HealthTracker::new(0.5, 0.4, 100);
+        let out2 = execute_supervised(&ctx, &stripe, &rpr_obs::NoopRecorder, &storm, &cfg, &mut tracker2)
+            .expect("replay completes");
+        assert_eq!(out.ledger.to_json_lines(), out2.ledger.to_json_lines());
+    }
+
+    #[test]
+    fn exec_accused_helper_probe_readmission_depends_on_conduct() {
+        // One tracker across repairs, probe window 3: a lie repair ticks
+        // the generation counter twice, so the liar is still quarantined
+        // when the next repair begins. An honest follow-up closes the
+        // window and re-admits it; a persistent liar (the same seeded
+        // storm replayed) is re-accused on its very first probe.
+        let fx = Fx::new(6, 3, 16 * 1024);
+        let ctx = fx.ctx(vec![BlockId(1)]);
+        let stripe = stripe_for(&fx.codec, fx.block as usize, 29);
+        let storm = FaultStorm::new(9).with_generation(vec![StormFault::Lie]);
+        let cfg = SuperviseConfig {
+            policy: fast_policy(),
+            proof: ProofMode::Mandatory,
+            ..SuperviseConfig::default()
+        };
+
+        let mut tracker = HealthTracker::new(0.5, 0.4, 3);
+        let out = execute_supervised(&ctx, &stripe, &rpr_obs::NoopRecorder, &storm, &cfg, &mut tracker)
+            .expect("lie repair completes");
+        assert!(out.report.verified);
+        assert_eq!(out.accusations, 1);
+        let liar = tracker.quarantined();
+        assert_eq!(liar.len(), 1, "the convicted helper is quarantined");
+        let liar = liar[0];
+
+        // Turned honest: a fault-free repair on the same tracker elapses
+        // the probe window and re-admits the node.
+        let clean = execute_supervised(
+            &ctx,
+            &stripe,
+            &rpr_obs::NoopRecorder,
+            &FaultStorm::new(10),
+            &cfg,
+            &mut tracker,
+        )
+        .expect("clean repair completes");
+        assert!(clean.report.verified);
+        assert_eq!(clean.accusations, 0);
+        assert!(
+            !tracker.is_quarantined(liar),
+            "honest node re-admitted once the probe window elapses"
+        );
+
+        // Persistent liar: replaying the same seeded storm makes the
+        // re-admitted node lie again, and evidence puts it right back in
+        // quarantine — probation never becomes trust.
+        let again = execute_supervised(&ctx, &stripe, &rpr_obs::NoopRecorder, &storm, &cfg, &mut tracker)
+            .expect("repeat-offense repair completes");
+        assert!(again.report.verified);
+        assert_eq!(again.accusations, 1, "re-accused on the first probe");
+        assert_eq!(again.fault_sites, out.fault_sites, "same node, same lie");
+        assert!(tracker.score(liar) <= 0.4 + 1e-12, "score never recovers");
     }
 
     #[test]

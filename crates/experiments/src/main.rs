@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of the RPR paper (ICPP '20).
 //!
 //! ```text
-//! rpr-experiments <fig6..fig14|table1|fleet|fleet-scale|foreground|ablation|traces|pipeline|all> [--fast] [--out DIR]
+//! rpr-experiments <fig6..fig14|table1|fleet|fleet-scale|foreground|ablation|traces|byzantine|pipeline|all> [--fast] [--out DIR]
 //! ```
 //!
 //! Figures 6–11 run on the `rpr-netsim` flow simulator (the paper's Simics
@@ -11,6 +11,7 @@
 //! as CSV into DIR.
 
 mod ablation;
+mod byzantine;
 mod chaos;
 mod exec_figs;
 mod faults;
@@ -75,6 +76,7 @@ fn main() {
             "traces" => traces::traces(fast),
             "faults" => faults::faults(),
             "chaos" => chaos::chaos(fast),
+            "byzantine" => byzantine::byzantine(),
             "pipeline" => pipeline::pipeline(fast),
             "all" => {
                 theory::fig6();
@@ -94,6 +96,7 @@ fn main() {
                 traces::traces(fast);
                 faults::faults();
                 chaos::chaos(fast);
+                byzantine::byzantine();
                 pipeline::pipeline(fast);
             }
             other => {
@@ -101,7 +104,7 @@ fn main() {
                 eprintln!(
                     "usage: rpr-experiments \
                      <fig6..fig14|table1|fleet|fleet-scale|foreground|ablation|traces|faults\
-                     |chaos|pipeline|all> [--fast] [--out DIR]"
+                     |chaos|byzantine|pipeline|all> [--fast] [--out DIR]"
                 );
                 std::process::exit(2);
             }

@@ -29,6 +29,9 @@ pub mod reason {
     pub const SWITCH_OUTAGE: &str = "switch_outage";
     /// The sending helper died; no retry will succeed.
     pub const NODE_DOWN: &str = "node_down";
+    /// A helper returned checksum-consistent but wrong bytes, caught by
+    /// proof verification (see `rpr-proof` and `docs/ROBUSTNESS.md`).
+    pub const LIE: &str = "lie";
 }
 
 /// SplitMix64 — a tiny, high-quality, seedable PRNG (Steele et al.,
@@ -278,6 +281,11 @@ pub enum StormFault {
     },
     /// The recovery rack's switch blips for one seeded wave.
     RackOutage,
+    /// A seed-picked helper turns Byzantine for the generation: its send
+    /// carries wrong bytes under a *valid* FNV checksum, so only proof
+    /// verification (`rpr-proof`) can catch it. Invisible when the
+    /// repair runs with proofs off.
+    Lie,
 }
 
 impl StormFault {
@@ -291,6 +299,7 @@ impl StormFault {
             StormFault::Corrupt => "corrupt",
             StormFault::Slow { .. } => "slow",
             StormFault::RackOutage => "rack",
+            StormFault::Lie => "lie",
         }
     }
 }
@@ -518,6 +527,19 @@ impl HealthTracker {
         self.observe(node, 0.0);
     }
 
+    /// Quarantine `node` immediately on *evidence* (a rejected repair
+    /// proof), regardless of its EWMA score. The score is zeroed so the
+    /// node must rebuild trust from scratch after its probe window; the
+    /// probing re-admission path ([`HealthTracker::tick_generation`])
+    /// is the same one timeout-quarantined nodes take.
+    pub fn accuse(&mut self, node: usize) {
+        self.ensure(node);
+        self.scores[node] = 0.0;
+        if self.quarantined_at[node].is_none() {
+            self.quarantined_at[node] = Some(self.generation);
+        }
+    }
+
     /// Advance the supervision generation counter. Quarantined nodes
     /// that have sat out `probe_after` generations are re-admitted on
     /// probation (score reset to the threshold).
@@ -706,6 +728,27 @@ mod tests {
         assert!(FaultStorm::new(0).is_empty());
         assert_eq!(StormFault::Crash(CrashSite::NewHelper).name(), "replacement-crash");
         assert_eq!(StormFault::Timeout.name(), "timeout");
+        assert_eq!(StormFault::Lie.name(), "lie");
+    }
+
+    #[test]
+    fn accusation_quarantines_immediately_and_probes_like_any_other() {
+        let mut h = HealthTracker::new(0.5, 0.4, 2);
+        // A single accusation quarantines a perfectly healthy node.
+        h.record_success(4, 1.0, 1.0);
+        assert!(!h.is_quarantined(4));
+        h.accuse(4);
+        assert!(h.is_quarantined(4));
+        assert!((h.score(4) - 0.0).abs() < 1e-12, "trust is zeroed");
+        // Re-admission rides the standard probe window...
+        h.tick_generation();
+        assert!(h.is_quarantined(4));
+        h.tick_generation();
+        assert!(!h.is_quarantined(4));
+        assert!((h.score(4) - 0.4).abs() < 1e-12, "probation score");
+        // ...and a repeat offense re-quarantines on the spot.
+        h.accuse(4);
+        assert!(h.is_quarantined(4));
     }
 
     #[test]

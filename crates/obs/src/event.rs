@@ -340,6 +340,45 @@ pub enum Event {
         /// Clock seconds when the throttle was applied.
         t: f64,
     },
+    /// A repair proof was emitted for one op's output: its input hashes,
+    /// claimed coefficient vector, and output hash were sealed into the
+    /// repair's proof ledger (see `rpr-proof` and `docs/ROBUSTNESS.md`).
+    /// Absent when the repair runs with proofs off.
+    ProofEmitted {
+        /// Plan op index within the generation.
+        op: usize,
+        /// Node whose output the proof covers.
+        node: usize,
+        /// Supervision generation (replan index) the op ran in.
+        gen: usize,
+        /// Seconds from repair start when the proof was sealed.
+        t: f64,
+    },
+    /// Proof verification rejected an op's output: its output hash
+    /// disagrees with the supervisor's expected hash. In Mandatory mode
+    /// this fails the generation; in Advisory mode it is evidence only.
+    ProofRejected {
+        /// Plan op index within the generation.
+        op: usize,
+        /// Node whose output failed verification.
+        node: usize,
+        /// Supervision generation (replan index) the op ran in.
+        gen: usize,
+        /// Seconds from repair start when the rejection was detected.
+        t: f64,
+    },
+    /// The supervisor accused a helper of dishonesty on proof evidence
+    /// (wrong output from honest inputs) and quarantined it — evidence-
+    /// based, unlike the EWMA path behind
+    /// [`Event::HelperQuarantined`]. Mandatory mode only.
+    HelperAccused {
+        /// The accused node.
+        node: usize,
+        /// Supervision generation in which the dishonest op ran.
+        gen: usize,
+        /// Seconds from repair start when the accusation was made.
+        t: f64,
+    },
     /// The whole repair finished.
     RepairDone {
         /// Seconds from repair start (the repair makespan).
@@ -378,6 +417,9 @@ impl Event {
             Event::RequestIssued { .. } => "request_issued",
             Event::RequestDone { .. } => "request_done",
             Event::QosThrottled { .. } => "qos_throttled",
+            Event::ProofEmitted { .. } => "proof_emitted",
+            Event::ProofRejected { .. } => "proof_rejected",
+            Event::HelperAccused { .. } => "helper_accused",
             Event::RepairDone { .. } => "repair_done",
         }
     }
@@ -406,6 +448,9 @@ impl Event {
             | Event::BandwidthWaited { t, .. }
             | Event::RequestIssued { t, .. }
             | Event::QosThrottled { t, .. }
+            | Event::ProofEmitted { t, .. }
+            | Event::ProofRejected { t, .. }
+            | Event::HelperAccused { t, .. }
             | Event::RepairDone { t, .. } => *t,
             Event::TransferDone { end, .. }
             | Event::CombineDone { end, .. }

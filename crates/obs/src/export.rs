@@ -315,6 +315,15 @@ pub fn event_to_json(event: &Event) -> String {
         Event::QosThrottled { flows, fraction, t } => {
             o.u64("flows", *flows).f64("fraction", *fraction).f64("t", *t);
         }
+        Event::ProofEmitted { op, node, gen, t } | Event::ProofRejected { op, node, gen, t } => {
+            o.usize("op", *op)
+                .usize("node", *node)
+                .usize("gen", *gen)
+                .f64("t", *t);
+        }
+        Event::HelperAccused { node, gen, t } => {
+            o.usize("node", *node).usize("gen", *gen).f64("t", *t);
+        }
         Event::RepairDone {
             t,
             cross_bytes,
@@ -806,6 +815,48 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                     .raw("args", &args);
                 entries.push(o.finish());
             }
+            Event::ProofEmitted { op, node, gen, t } => {
+                let mut o = Obj::new();
+                o.str("name", &format!("proof emitted: op {op} (node {node})"))
+                    .str("cat", "proof")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw(
+                        "args",
+                        &format!("{{\"op\":{op},\"node\":{node},\"gen\":{gen}}}"),
+                    );
+                entries.push(o.finish());
+            }
+            Event::ProofRejected { op, node, gen, t } => {
+                let mut o = Obj::new();
+                o.str("name", &format!("proof rejected: op {op} (node {node})"))
+                    .str("cat", "proof")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw(
+                        "args",
+                        &format!("{{\"op\":{op},\"node\":{node},\"gen\":{gen}}}"),
+                    );
+                entries.push(o.finish());
+            }
+            Event::HelperAccused { node, gen, t } => {
+                let mut o = Obj::new();
+                o.str("name", &format!("accused: node {node}"))
+                    .str("cat", "proof")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &format!("{{\"node\":{node},\"gen\":{gen}}}"));
+                entries.push(o.finish());
+            }
             Event::RepairDone {
                 t,
                 cross_bytes,
@@ -1196,6 +1247,45 @@ mod tests {
         assert!(chrome.contains("qos throttled 3 repair flows"));
         // The 0.5 s request span renders as 500000 µs.
         assert!(chrome.contains("\"dur\":500000"));
+    }
+
+    #[test]
+    fn proof_events_serialize_in_both_formats() {
+        let events = vec![
+            Event::ProofEmitted {
+                op: 4,
+                node: 9,
+                gen: 0,
+                t: 0.2,
+            },
+            Event::ProofRejected {
+                op: 4,
+                node: 9,
+                gen: 0,
+                t: 0.3,
+            },
+            Event::HelperAccused {
+                node: 9,
+                gen: 0,
+                t: 0.3,
+            },
+        ];
+        let jsonl = to_json_lines(&events);
+        for line in jsonl.lines() {
+            assert_structurally_valid_json(line);
+        }
+        assert!(jsonl.contains("\"type\":\"proof_emitted\""));
+        assert!(jsonl.contains("\"type\":\"proof_rejected\""));
+        assert!(jsonl.contains("\"type\":\"helper_accused\""));
+        assert!(jsonl.contains("\"op\":4"));
+        assert!(jsonl.contains("\"node\":9"));
+        assert!(jsonl.contains("\"gen\":0"));
+        let chrome = to_chrome_trace(&events);
+        assert_structurally_valid_json(&chrome);
+        assert!(chrome.contains("\"cat\":\"proof\""));
+        assert!(chrome.contains("proof emitted: op 4 (node 9)"));
+        assert!(chrome.contains("proof rejected: op 4 (node 9)"));
+        assert!(chrome.contains("accused: node 9"));
     }
 
     #[test]

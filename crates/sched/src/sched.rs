@@ -102,6 +102,10 @@ pub struct FleetSummary {
     pub cross_bytes: u64,
     /// Total inner-rack bytes moved.
     pub inner_bytes: u64,
+    /// Releases during this drain that did not match an admitted
+    /// reservation (see [`BandwidthArbiter::mismatched_releases`]).
+    /// Always zero for a healthy scheduler; soaks assert on it.
+    pub mismatched_releases: u64,
 }
 
 impl FleetSummary {
@@ -124,6 +128,7 @@ impl FleetSummary {
         let _ = write!(s, ",\"mean_wait\":{}", self.mean_wait);
         let _ = write!(s, ",\"cross_bytes\":{}", self.cross_bytes);
         let _ = write!(s, ",\"inner_bytes\":{}", self.inner_bytes);
+        let _ = write!(s, ",\"mismatched_releases\":{}", self.mismatched_releases);
         s.push('}');
         s
     }
@@ -197,6 +202,7 @@ pub fn schedule_fleet(
         );
     }
     let mut next_due = 0usize;
+    let mismatch_base = arbiter.mismatched_releases();
 
     let mut now = 0.0f64;
     // Earliest-completion heap of (finish, job index); reservations of
@@ -286,7 +292,8 @@ pub fn schedule_fleet(
         .into_iter()
         .map(|r| r.expect("every enqueued stripe is repaired"))
         .collect();
-    let summary = summarize(jobs, &records, makespan);
+    let mut summary = summarize(jobs, &records, makespan);
+    summary.mismatched_releases = arbiter.mismatched_releases() - mismatch_base;
     AdmissionOutcome { summary, records }
 }
 
@@ -325,6 +332,7 @@ fn summarize(jobs: &[FleetJob], records: &[StripeRecord], makespan: f64) -> Flee
         mean_wait: mean(&waits),
         cross_bytes,
         inner_bytes,
+        mismatched_releases: 0,
     }
 }
 
@@ -485,6 +493,10 @@ mod tests {
         let b = schedule_fleet(&jobs, &mut |_| Demand::default(), &mut arb2, &NoopRecorder);
         assert_eq!(a.summary.to_json(), b.summary.to_json());
         assert!(a.summary.to_json().starts_with("{\"stripes\":1,\"repaired\":1,"));
+        // The arbiter's double-release counter is surfaced last so the
+        // established field order stays a stable prefix.
+        assert!(a.summary.to_json().ends_with(",\"mismatched_releases\":0}"));
+        assert_eq!(a.summary.mismatched_releases, 0);
     }
 
     #[test]

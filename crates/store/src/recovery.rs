@@ -9,6 +9,7 @@ use rpr_core::{
 };
 use rpr_faults::{FaultStorm, HealthTracker, SplitMix64, StormFault};
 use rpr_netsim::Network;
+use rpr_proof::ProofLedger;
 use rpr_obs::Recorder;
 use rpr_sched::{
     first_valid_plan, plan_demand, schedule_fleet, BandwidthArbiter, Demand, FleetJob,
@@ -185,6 +186,17 @@ pub struct SupervisedRecoveryOutcome {
     pub degraded: usize,
     /// Nodes the fleet-shared health tracker had quarantined by the end.
     pub quarantined_nodes: Vec<usize>,
+    /// Total repair proofs recorded across the fleet (zero when the
+    /// supervisor runs with proofs off).
+    pub proofs_emitted: usize,
+    /// Proofs whose output hash disagreed with the expectation.
+    pub proofs_rejected: usize,
+    /// Helpers quarantined on proof evidence (Mandatory mode only).
+    pub accusations: usize,
+    /// Per-stripe proof ledgers `(stripe id, ledger)` for completed
+    /// stripes, in admission order — each independently auditable
+    /// offline against that stripe's trace.
+    pub ledgers: Vec<(usize, ProofLedger)>,
 }
 
 /// Knobs for scheduler-routed fleet recovery ([`Store::recover_fleet`]).
@@ -242,6 +254,16 @@ pub struct FleetRecoveryOutcome {
     /// Peak reservation on the most loaded arbitrated link as a fraction
     /// of its capacity (≤ 1 unless arbitration was disabled).
     pub max_utilization: f64,
+    /// Total repair proofs recorded across the fleet (zero when the
+    /// supervisor runs with proofs off).
+    pub proofs_emitted: usize,
+    /// Proofs whose output hash disagreed with the expectation.
+    pub proofs_rejected: usize,
+    /// Helpers quarantined on proof evidence (Mandatory mode only).
+    pub accusations: usize,
+    /// Per-stripe proof ledgers `(stripe id, ledger)` for repaired
+    /// stripes, in backlog order.
+    pub ledgers: Vec<(usize, ProofLedger)>,
 }
 
 /// Quantile of a sample by the nearest-rank method (`q` in `0..=1`).
@@ -475,6 +497,8 @@ impl Store {
         let mut completed = 0usize;
         let (mut replans, mut retries, mut hedges, mut hedge_wins, mut degraded) =
             (0usize, 0usize, 0usize, 0usize, 0usize);
+        let (mut proofs_emitted, mut proofs_rejected, mut accusations) = (0usize, 0usize, 0usize);
+        let mut ledgers: Vec<(usize, ProofLedger)> = Vec::new();
 
         let wave_size = options.max_concurrent.unwrap_or(affected.len().max(1)).max(1);
         let mut makespan = 0.0f64;
@@ -515,6 +539,12 @@ impl Store {
                 if out.final_tier > Tier::Full {
                     degraded += 1;
                 }
+                proofs_emitted += out.proofs_emitted;
+                proofs_rejected += out.proofs_rejected;
+                accusations += out.accusations;
+                if options.cfg.proof.active() {
+                    ledgers.push((*stripe, out.ledger));
+                }
             }
             makespan += wave_wall;
         }
@@ -537,6 +567,10 @@ impl Store {
             hedge_wins,
             degraded,
             quarantined_nodes: tracker.quarantined(),
+            proofs_emitted,
+            proofs_rejected,
+            accusations,
+            ledgers,
         }
     }
 
@@ -578,6 +612,8 @@ impl Store {
         let mut demands: Vec<Demand> = Vec::with_capacity(affected.len());
         let mut unrepairable = 0usize;
         let (mut replans, mut retries, mut degraded) = (0usize, 0usize, 0usize);
+        let (mut proofs_emitted, mut proofs_rejected, mut accusations) = (0usize, 0usize, 0usize);
+        let mut ledgers: Vec<(usize, ProofLedger)> = Vec::new();
         for (stripe, failed) in &affected {
             let ctx = RepairContext::new(
                 self.codec(),
@@ -607,6 +643,12 @@ impl Store {
             if out.final_tier > Tier::Full {
                 degraded += 1;
             }
+            proofs_emitted += out.proofs_emitted;
+            proofs_rejected += out.proofs_rejected;
+            accusations += out.accusations;
+            if options.cfg.proof.active() {
+                ledgers.push((*stripe, out.ledger));
+            }
             demands.push(if options.arbitrate {
                 let plan = first_valid_plan(&ctx).expect("a valid plan exists for <=k failures");
                 plan_demand(&plan, self.topology(), &net)
@@ -635,6 +677,10 @@ impl Store {
             retries,
             degraded,
             max_utilization: arbiter.max_utilization(),
+            proofs_emitted,
+            proofs_rejected,
+            accusations,
+            ledgers,
         }
     }
 }
@@ -1029,6 +1075,67 @@ mod tests {
         assert_eq!(out.unrepairable, 0, "crash storms are survivable");
         assert_eq!(out.summary.repaired, out.stripes_affected);
         assert!(out.replans >= out.summary.repaired, "every stripe crashed at least once");
+    }
+
+    #[test]
+    fn supervised_recovery_convicts_liars_across_the_fleet() {
+        use rpr_proof::ProofMode;
+        let s = small_store();
+        let p = profile(&s);
+        let opts = SupervisedRecoveryOptions {
+            storm: vec![vec![StormFault::Lie]],
+            seed: 7,
+            cfg: SuperviseConfig {
+                proof: ProofMode::Mandatory,
+                ..SuperviseConfig::default()
+            },
+            ..SupervisedRecoveryOptions::default()
+        };
+        let out = s.recover_supervised(Failure::Node(NodeId(2)), &p, CostModel::free(), &opts);
+        assert!(out.stripes_affected > 0);
+        assert_eq!(out.completed, out.stripes_affected, "lie storms are survivable");
+        assert!(out.proofs_emitted > 0, "mandatory mode records proofs");
+        assert!(out.proofs_rejected > 0, "every stripe's lie is caught");
+        assert!(out.accusations > 0, "liars are convicted, not timed out");
+        assert_eq!(out.ledgers.len(), out.completed, "one ledger per stripe");
+        for (stripe, ledger) in &out.ledgers {
+            let report = ledger.audit();
+            assert!(
+                report.first_dishonest().is_some(),
+                "stripe {stripe}: the audit localizes the lie offline"
+            );
+        }
+        // Off mode: same failure, no proof artifacts.
+        let off = SupervisedRecoveryOptions {
+            cfg: SuperviseConfig::default(),
+            ..opts.clone()
+        };
+        let base = s.recover_supervised(Failure::Node(NodeId(2)), &p, CostModel::free(), &off);
+        assert_eq!(base.proofs_emitted, 0);
+        assert_eq!(base.accusations, 0);
+        assert!(base.ledgers.is_empty());
+    }
+
+    #[test]
+    fn fleet_recovery_surfaces_proof_counters() {
+        use rpr_proof::ProofMode;
+        let s = small_store();
+        let p = profile(&s);
+        let opts = FleetRecoveryOptions {
+            storm: vec![vec![StormFault::Lie]],
+            seed: 7,
+            cfg: SuperviseConfig {
+                proof: ProofMode::Mandatory,
+                ..SuperviseConfig::default()
+            },
+            ..FleetRecoveryOptions::default()
+        };
+        let out =
+            s.recover_fleet(Failure::Node(NodeId(2)), &p, CostModel::free(), &opts, rpr_obs::noop());
+        assert_eq!(out.unrepairable, 0, "lie storms are survivable");
+        assert!(out.proofs_emitted > 0);
+        assert!(out.accusations > 0, "liars are convicted across the fleet");
+        assert_eq!(out.ledgers.len(), out.summary.repaired);
     }
 
     #[test]

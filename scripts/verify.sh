@@ -19,15 +19,22 @@
 #   8. chaos soak: the supervised 3-fault storm (`rpr chaos`, crash →
 #      replacement crash → timeout) must complete at (6,3) and emit a
 #      byte-identical trace across runs, block and chunk mode
-#   9. fleet soak: the fleet scheduler (`rpr fleet`, 10k stripes) must
+#   9. Byzantine soak: a seeded `StormFault::Lie` storm under
+#      `--proof mandatory` must complete with the liar accused (not
+#      timed out), produce byte-identical traces and proof ledgers
+#      across two same-seed runs, and `rpr audit` must verify the
+#      captured ledger against the trace offline and localize the
+#      dishonest hop (docs/ROBUSTNESS.md, "The proof plane")
+#  10. fleet soak: the fleet scheduler (`rpr fleet`, 10k stripes) must
 #      drain a 10k-stripe backlog per seed and emit byte-identical JSON
-#      summaries across two same-seed runs (docs/FLEET.md)
-#  10. foreground soak: the load co-simulation (`rpr load`, 240 requests
+#      summaries across two same-seed runs with zero arbiter
+#      double-releases (docs/FLEET.md)
+#  11. foreground soak: the load co-simulation (`rpr load`, 240 requests
 #      against 4 staggered stripe repairs) must emit byte-identical JSON
 #      summaries across two same-seed runs per mode, and the QoS-throttled
 #      p99 latency must land strictly below the unthrottled p99
 #      (docs/FOREGROUND.md)
-#  11. bench gate: a quick bench snapshot (scripts/bench_snapshot.sh
+#  12. bench gate: a quick bench snapshot (scripts/bench_snapshot.sh
 #      --quick) must not regress the GF kernel throughput by more than
 #      15% against the newest committed BENCH_*.json, and the dispatched
 #      SIMD multiply must stay >= 4x the scalar tier (scripts/
@@ -142,7 +149,59 @@ for seed in 17 4242; do
     done
 done
 
-# Step 9: the fleet scheduler must drain a bounded 10k-stripe backlog to
+# Step 9: the proof plane must convict a Byzantine helper. A seeded lie
+# storm — wrong bytes under a valid FNV checksum — must complete in
+# Mandatory mode with the liar accused and quarantined on proof evidence
+# (never a transport retry), the trace and ledger must be byte-identical
+# across two same-seed runs, and the offline auditor must independently
+# verify the ledger against the trace and localize the dishonest hop.
+for seed in 21 77; do
+    for rep in a b; do
+        echo "==> $RPR chaos --code 6,3 --fail d1 --storm lie --proof mandatory --seed $seed (run $rep)"
+        "$RPR" chaos --code 6,3 --fail d1 --storm lie --proof mandatory \
+            --seed "$seed" --json \
+            --out "$CHAOS_DIR/lie_s${seed}_${rep}.jsonl" \
+            --ledger-out "$CHAOS_DIR/lie_s${seed}_${rep}.ledger.jsonl" \
+            > "$CHAOS_DIR/lie_s${seed}_${rep}.json" 2>/dev/null
+    done
+    for rep in a b; do
+        if ! grep -q '"accusations":1' "$CHAOS_DIR/lie_s${seed}_${rep}.json"; then
+            echo "byzantine soak FAILED: seed $seed did not convict the liar" >&2
+            exit 1
+        fi
+        if ! grep -q '"retries":0' "$CHAOS_DIR/lie_s${seed}_${rep}.json"; then
+            echo "byzantine soak FAILED: seed $seed lie leaked into transport retry" >&2
+            exit 1
+        fi
+        if ! grep -q '"type":"helper_accused"' "$CHAOS_DIR/lie_s${seed}_${rep}.jsonl"; then
+            echo "byzantine soak FAILED: seed $seed trace has no accusation event" >&2
+            exit 1
+        fi
+    done
+    if ! cmp -s "$CHAOS_DIR/lie_s${seed}_a.jsonl" "$CHAOS_DIR/lie_s${seed}_b.jsonl"; then
+        echo "byzantine soak FAILED: seed $seed traces differ" >&2
+        exit 1
+    fi
+    if ! cmp -s "$CHAOS_DIR/lie_s${seed}_a.ledger.jsonl" \
+                "$CHAOS_DIR/lie_s${seed}_b.ledger.jsonl"; then
+        echo "byzantine soak FAILED: seed $seed proof ledgers differ" >&2
+        exit 1
+    fi
+    echo "==> $RPR audit --trace lie_s${seed}_a.jsonl --ledger lie_s${seed}_a.ledger.jsonl"
+    if ! "$RPR" audit --trace "$CHAOS_DIR/lie_s${seed}_a.jsonl" \
+            --ledger "$CHAOS_DIR/lie_s${seed}_a.ledger.jsonl" --json \
+            > "$CHAOS_DIR/lie_s${seed}_audit.json" 2>/dev/null; then
+        echo "byzantine soak FAILED: seed $seed offline audit rejected the run" >&2
+        exit 1
+    fi
+    if ! grep -q '"verdict":"dishonesty-localized"' "$CHAOS_DIR/lie_s${seed}_audit.json"; then
+        echo "byzantine soak FAILED: seed $seed audit did not localize the liar" >&2
+        exit 1
+    fi
+    echo "==> byzantine storm for seed $seed: convicted, deterministic, audited offline"
+done
+
+# Step 10: the fleet scheduler must drain a bounded 10k-stripe backlog to
 # completion and do so bit-deterministically — two same-seed runs of
 # `rpr fleet` must print byte-identical JSON summaries.
 for seed in 17 4242; do
@@ -156,6 +215,10 @@ for seed in 17 4242; do
             echo "fleet soak FAILED: seed $seed did not repair all 10000 stripes" >&2
             exit 1
         fi
+        if ! grep -q '"mismatched_releases":0' "$CHAOS_DIR/fleet_s${seed}_${rep}.json"; then
+            echo "fleet soak FAILED: seed $seed arbiter saw mismatched releases" >&2
+            exit 1
+        fi
     done
     if ! cmp -s "$CHAOS_DIR/fleet_s${seed}_a.json" \
                 "$CHAOS_DIR/fleet_s${seed}_b.json"; then
@@ -165,7 +228,7 @@ for seed in 17 4242; do
     echo "==> fleet drain for seed $seed completed deterministically"
 done
 
-# Step 10: foreground traffic under repair must be deterministic and the
+# Step 11: foreground traffic under repair must be deterministic and the
 # QoS class must actually protect the client tail — per seed, each mode's
 # two same-seed summaries must be byte-identical, and the QoS p99 must be
 # strictly below the unthrottled p99 at the (6,3) paper config.
@@ -198,7 +261,7 @@ for seed in 17 4242; do
     echo "==> foreground soak for seed $seed: QoS p99 $P99_QOS < unthrottled $P99_UNTH"
 done
 
-# Step 11: performance must not silently rot. Take a quick snapshot and
+# Step 12: performance must not silently rot. Take a quick snapshot and
 # gate it against the newest committed baseline; a transient miss (quick
 # windows on a shared box are noisy) gets two retries before it counts.
 if [ "${RPR_BENCH_GATE:-on}" = "off" ]; then
