@@ -4,9 +4,13 @@
 //! simulation cost factored out.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rpr_faults::ChurnProcess;
 use rpr_netsim::Network;
 use rpr_obs::NoopRecorder;
-use rpr_sched::{schedule_fleet, BandwidthArbiter, Demand, FleetJob};
+use rpr_sched::{
+    drain_fleet, schedule_fleet, BandwidthArbiter, ChurnOptions, Demand, DrainOptions, FleetJob,
+    JobCost,
+};
 use rpr_topology::{BandwidthProfile, NodeId, Topology};
 use std::hint::black_box;
 
@@ -69,5 +73,41 @@ fn bench_admission_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_admission_throughput);
+/// Same backlog drained with a live churn stream: Poisson arrivals land
+/// extra failures on queued stripes, escalations requeue them, and
+/// stripes pushed past the loss level move to the loss ledger — the
+/// escalation/loss bookkeeping benchmarked on top of raw admission.
+fn bench_churn_drain(c: &mut Criterion) {
+    let (net, jobs, demands) = backlog();
+    let mut g = c.benchmark_group("fleet");
+    g.throughput(Throughput::Elements(STRIPES as u64));
+    g.bench_function("churn_drain", |b| {
+        b.iter(|| {
+            let mut arb = BandwidthArbiter::new(&net);
+            let mut cost_of = |i: usize, _level: usize| JobCost {
+                duration: jobs[i].duration,
+                cross_bytes: jobs[i].cross_bytes,
+                inner_bytes: jobs[i].inner_bytes,
+                demand: demands[i].clone(),
+            };
+            black_box(drain_fleet(
+                &jobs,
+                &mut cost_of,
+                &mut arb,
+                DrainOptions {
+                    churn: Some(ChurnOptions {
+                        process: ChurnProcess::new(0xC0FFEE, 0.5),
+                        max_level: 3,
+                        escalate: true,
+                    }),
+                    journal: None,
+                },
+                &NoopRecorder,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_admission_throughput, bench_churn_drain);
 criterion_main!(benches);

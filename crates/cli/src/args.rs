@@ -18,7 +18,8 @@ usage:
   rpr audit   --trace FILE --ledger FILE [--json]
   rpr fleet   [--code N,K] [--stripes N] [--racks R] [--nodes-per-rack N]
               [--block-mib M] [--ratio R] [--seed S] [--storm LIST]
-              [--agg-gbit G] [--no-arbiter] [--threads T] [--json]
+              [--agg-gbit G] [--no-arbiter] [--threads T] [--churn-rate R]
+              [--no-escalate] [--journal FILE] [--resume FILE] [--json]
               [--format F] [--out FILE]
   rpr load    [--mode M] [--code N,K] [--seed S] [--requests N] [--rate R]
               [--read-fraction F] [--zipf T] [--objects N] [--request-mib M]
@@ -74,6 +75,15 @@ fleet options (at-risk backlog drain, see docs/FLEET.md):
   --agg-gbit G      finite aggregation-switch capacity in Gbit/s  (default off)
   --no-arbiter      disable bandwidth arbitration (stripes never wait)
   --threads T       worker threads for repair costing             (default auto)
+  --churn-rate R    live failure arrivals per virtual second,
+                    co-simulated with the drain                   (default 0:
+                                                                   static backlog)
+  --no-escalate     serve churn-hit stripes at their original level
+                    instead of escalating their priority
+  --journal FILE    write a crash-restartable JSONL journal of the
+                    drain (enqueue/admit/complete/lost/checkpoint)
+  --resume FILE     replay a journal from an interrupted run: skips
+                    completed stripes and re-simulated repair costs
   --json            machine-readable summary on stdout
   --out FILE        write the stripe_enqueued/admitted/bandwidth_waited
                     event stream to FILE (--format chrome | jsonl)
@@ -331,6 +341,15 @@ pub struct FleetArgs {
     pub arbitrate: bool,
     /// Worker threads for repair costing (0 = automatic).
     pub threads: usize,
+    /// Live failure arrivals per virtual second; 0 = static backlog.
+    pub churn_rate: f64,
+    /// False serves churn-hit stripes at their original level
+    /// (`--no-escalate`).
+    pub escalate: bool,
+    /// Write-ahead journal path; no journal is written when absent.
+    pub journal: Option<String>,
+    /// Journal of an interrupted run to resume from.
+    pub resume: Option<String>,
     /// Print a machine-readable summary object on stdout.
     pub json: bool,
     /// Output format of the scheduler event stream.
@@ -583,6 +602,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .map(|v| v.parse().map_err(|_| "bad --threads"))
                 .transpose()?
                 .unwrap_or(0);
+            let churn_rate: f64 = flags
+                .get("--churn-rate")
+                .map(|v| v.parse().map_err(|_| "bad --churn-rate"))
+                .transpose()?
+                .unwrap_or(0.0);
+            if !(churn_rate >= 0.0 && churn_rate.is_finite()) {
+                return Err("--churn-rate must be finite and >= 0".into());
+            }
             let format = match flags.get("--format") {
                 None | Some("jsonl") => TraceFormat::Jsonl,
                 Some("chrome") => TraceFormat::Chrome,
@@ -604,6 +631,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 agg_gbit,
                 arbitrate: !flags.has("--no-arbiter"),
                 threads,
+                churn_rate,
+                escalate: !flags.has("--no-escalate"),
+                journal: flags.get("--journal").map(String::from),
+                resume: flags.get("--resume").map(String::from),
                 json: flags.has("--json"),
                 format,
                 out: flags.get("--out").map(String::from),
@@ -1121,7 +1152,9 @@ mod tests {
         let cmd = parse(&argv(
             "fleet --code 4,2 --stripes 5000 --racks 12 --nodes-per-rack 8 \
              --block-mib 64 --ratio 5 --seed 99 --storm crash,timeout \
-             --agg-gbit 4 --no-arbiter --threads 2 --json --out fleet.jsonl",
+             --agg-gbit 4 --no-arbiter --threads 2 --churn-rate 0.5 \
+             --no-escalate --journal j.jsonl --resume old.jsonl --json \
+             --out fleet.jsonl",
         ))
         .unwrap();
         match cmd {
@@ -1137,6 +1170,10 @@ mod tests {
                 assert_eq!(f.agg_gbit, Some(4.0));
                 assert!(!f.arbitrate);
                 assert_eq!(f.threads, 2);
+                assert_eq!(f.churn_rate, 0.5);
+                assert!(!f.escalate);
+                assert_eq!(f.journal.as_deref(), Some("j.jsonl"));
+                assert_eq!(f.resume.as_deref(), Some("old.jsonl"));
                 assert!(f.json);
                 assert_eq!(f.out.as_deref(), Some("fleet.jsonl"));
             }
@@ -1158,6 +1195,10 @@ mod tests {
                 assert_eq!(f.agg_gbit, None);
                 assert!(f.arbitrate, "arbitration is on by default");
                 assert_eq!(f.threads, 0);
+                assert_eq!(f.churn_rate, 0.0, "static backlog by default");
+                assert!(f.escalate, "churn hits escalate by default");
+                assert_eq!(f.journal, None);
+                assert_eq!(f.resume, None);
                 assert!(!f.json);
                 assert_eq!(f.format, TraceFormat::Jsonl);
                 assert_eq!(f.out, None);
@@ -1177,6 +1218,8 @@ mod tests {
         assert!(parse(&argv("fleet --nodes-per-rack 65")).is_err());
         assert!(parse(&argv("fleet --storm meteor")).is_err());
         assert!(parse(&argv("fleet --agg-gbit 0")).is_err());
+        assert!(parse(&argv("fleet --churn-rate -1")).is_err());
+        assert!(parse(&argv("fleet --churn-rate inf")).is_err());
         assert!(parse(&argv("fleet --format xml")).is_err());
     }
 

@@ -731,18 +731,46 @@ fn fleet(f: &FleetArgs) -> Result<(), String> {
         inner_bps: GBIT,
         cross_bps: GBIT / f.ratio,
         threads: f.threads,
+        churn_rate: f.churn_rate,
+        escalate: f.escalate,
         ..rpr_sched::FleetSpec::default()
+    };
+    // The resume journal must be read before the new journal is
+    // created: `--resume F --journal F` reuses one file, and create()
+    // truncates it (re-simulation regenerates a complete journal).
+    let resume = match &f.resume {
+        Some(p) => Some(rpr_sched::JournalReplay::load(std::path::Path::new(p))?),
+        None => None,
+    };
+    let journal = match &f.journal {
+        Some(p) => {
+            let mut j =
+                rpr_sched::FleetJournal::create(std::path::Path::new(p), f.seed, f.stripes)
+                    .map_err(|e| format!("cannot create journal {p}: {e}"))?;
+            if let Ok(us) = std::env::var("RPR_JOURNAL_STALL_US") {
+                let us: u64 = us
+                    .parse()
+                    .map_err(|_| "RPR_JOURNAL_STALL_US must be an integer (microseconds)")?;
+                j.set_stall(std::time::Duration::from_micros(us));
+            }
+            Some(std::cell::RefCell::new(j))
+        }
+        None => None,
+    };
+    let io = rpr_sched::FleetIo {
+        journal: journal.as_ref(),
+        resume: resume.as_ref(),
     };
     let start = std::time::Instant::now();
     let out = match &f.out {
         Some(_) => {
             let rec = rpr_obs::TraceRecorder::default();
-            let out = rpr_sched::run_synthetic_fleet(&spec, &rec);
+            let out = rpr_sched::run_fleet_with(&spec, io, &rec);
             let events = rec.take_events();
             emit_trace(&events, f.format, &f.out, f.json)?;
             out
         }
-        None => rpr_sched::run_synthetic_fleet(&spec, rpr_obs::noop()),
+        None => rpr_sched::run_fleet_with(&spec, io, rpr_obs::noop()),
     };
     let wall = start.elapsed().as_secs_f64();
 
@@ -752,7 +780,8 @@ fn fleet(f: &FleetArgs) -> Result<(), String> {
             "{{\"command\":\"fleet\",\"code\":{},\"racks\":{},\"nodes_per_rack\":{},\
              \"block_mib\":{},\"seed\":{},\"arbitrate\":{},\"storm\":{},\
              \"classes\":{},\"unrepairable\":{},\"replans\":{},\"retries\":{},\
-             \"degraded\":{},\"max_utilization\":{},\"summary\":{}}}",
+             \"degraded\":{},\"max_utilization\":{},\"churn_rate\":{},\
+             \"escalate\":{},\"replayed\":{},\"summary\":{}}}",
             json_str(&format!("{},{}", f.params.n, f.params.k)),
             f.racks,
             f.nodes_per_rack,
@@ -771,6 +800,9 @@ fn fleet(f: &FleetArgs) -> Result<(), String> {
             out.retries,
             out.degraded,
             out.max_utilization,
+            f.churn_rate,
+            f.escalate,
+            out.replayed,
             s.to_json(),
         );
     } else {
@@ -808,6 +840,15 @@ fn fleet(f: &FleetArgs) -> Result<(), String> {
             s.max_wait,
             s.mean_wait,
         );
+        if f.churn_rate > 0.0 {
+            println!(
+                "  churn {}/s: {} live failures | {} escalations | {} stripes LOST",
+                f.churn_rate, s.churn_failures, s.escalations, s.lost,
+            );
+        }
+        if out.replayed > 0 {
+            println!("  resumed: {} stripe costs replayed from the journal", out.replayed);
+        }
     }
     eprintln!(
         "# scheduled {} stripes in {wall:.2} s wall ({:.0} stripes/s admission)",

@@ -449,6 +449,10 @@ pub(crate) fn shift_event(mut event: Event, dt: f64) -> Event {
         | Event::StripeEnqueued { t, .. }
         | Event::StripeAdmitted { t, .. }
         | Event::BandwidthWaited { t, .. }
+        | Event::ChurnFailure { t, .. }
+        | Event::RiskEscalated { t, .. }
+        | Event::StripeLost { t, .. }
+        | Event::JournalCheckpoint { t, .. }
         | Event::QosThrottled { t, .. }
         | Event::RequestIssued { t, .. }
         | Event::ProofEmitted { t, .. }

@@ -92,6 +92,17 @@ pub struct SuperviseConfig {
     /// its wave's median duration triggers a speculative alternative.
     /// `None` disables hedging.
     pub hedge: Option<f64>,
+    /// Derive the straggler threshold adaptively from observed helper
+    /// latencies: the effective multiple becomes
+    /// [`RetryPolicy::straggler_multiple`] of the [`HealthTracker`]'s
+    /// per-helper slowdown estimates, floored at [`hedge`]. On a healthy
+    /// fleet this is exactly the fixed multiple (bit-identical runs); on
+    /// a broadly slow fleet the threshold rises with the observed
+    /// quantile, so merely-typical helpers are not hedged against.
+    /// Ignored when [`hedge`] is `None`.
+    ///
+    /// [`hedge`]: SuperviseConfig::hedge
+    pub adaptive_hedge: bool,
     /// Whole-repair deadline in seconds, decomposed into per-wave budgets
     /// proportional to the clean run's wave spans. Blowing it degrades
     /// the tier instead of aborting. `None` disables deadline tracking.
@@ -110,6 +121,7 @@ impl Default for SuperviseConfig {
             policy: RetryPolicy::default(),
             max_replans: 4,
             hedge: None,
+            adaptive_hedge: false,
             deadline: None,
             proof: ProofMode::default(),
         }
@@ -869,11 +881,12 @@ fn proof_inputs(
 
 /// Emit one generation's proofs into the ledger and the trace: one
 /// sealed entry per completed op (pool-reused ops re-serve under the
-/// `"pool"` algorithm tag), a `proof_emitted` event each, and a
-/// `proof_rejected` event for every output that disagrees with its
-/// expected witness. Returns the deduped nodes whose *completed lies*
-/// make them dishonest — accusation (Mandatory only) is the caller's
-/// call.
+/// `"pool"` algorithm tag, with a [`ProofSource::Pooled`] input naming
+/// the generation and op that originally banked the partial), a
+/// `proof_emitted` event each, and a `proof_rejected` event for every
+/// output that disagrees with its expected witness. Returns the deduped
+/// nodes whose *completed lies* make them dishonest — accusation
+/// (Mandatory only) is the caller's call.
 #[allow(clippy::too_many_arguments)]
 fn emit_generation_proofs(
     key: ProofKey,
@@ -884,6 +897,7 @@ fn emit_generation_proofs(
     vecs: &[Vec<u8>],
     taints: &[Vec<(usize, usize)>],
     reused_keys: &[Option<(usize, Vec<u8>)>],
+    pool_origin: &HashMap<(usize, Vec<u8>), (usize, usize)>,
     completed: &[bool],
     lies: &[usize],
     chunk: Option<u64>,
@@ -913,10 +927,25 @@ fn emit_generation_proofs(
             op: i,
             node,
             coeffs: vecs[i].clone(),
-            inputs: if reused {
-                Vec::new()
-            } else {
-                proof_inputs(key, plan, i, vecs, taints)
+            inputs: match &reused_keys[i] {
+                // A re-serve's single input is the banked partial: the
+                // provenance edge points at its original producer, and
+                // the hash equals this op's own output (a re-serve
+                // forwards the banked bytes, taint and all), so audits
+                // chase taint back to the liar across generations.
+                Some(k) => pool_origin
+                    .get(k)
+                    .map(|&(src_gen, src_op)| {
+                        vec![(
+                            ProofSource::Pooled {
+                                gen: src_gen,
+                                op: src_op,
+                            },
+                            symbolic_output_hash(key, &vecs[i], &taints[i]),
+                        )]
+                    })
+                    .unwrap_or_default(),
+                None => proof_inputs(key, plan, i, vecs, taints),
             },
             output_hash: symbolic_output_hash(key, &vecs[i], &taints[i]),
             expected_hash: symbolic_output_hash(key, &vecs[i], &[]),
@@ -987,6 +1016,11 @@ pub fn supervise_injected(
     let mut proofs_rejected = 0usize;
     let mut accusations = 0usize;
     let mut pool_taint: PoolTaintMap = HashMap::new();
+    // Provenance per pool key: which (generation, op) produced the
+    // banked partial, so a pool re-serve's proof can name its true
+    // origin instead of an inputless "pool" claim. Kept in lockstep
+    // with `pool` / `pool_taint` purges.
+    let mut pool_origin: HashMap<(usize, Vec<u8>), (usize, usize)> = HashMap::new();
 
     // Generation 0: health-aware plan (fall back to unfiltered helper
     // selection if quarantine starves the planner).
@@ -1150,6 +1184,7 @@ pub fn supervise_injected(
                     &vecs,
                     &taints,
                     &reused_keys,
+                    &pool_origin,
                     &completed,
                     &completed_lies,
                     chunk,
@@ -1173,6 +1208,7 @@ pub fn supervise_injected(
                     pool.insert((loc.0, vecs[i].clone()), ());
                     if cfg.proof.active() {
                         pool_taint.insert((loc.0, vecs[i].clone()), taints[i].clone());
+                        pool_origin.insert((loc.0, vecs[i].clone()), (g, i));
                     }
                 }
             }
@@ -1180,6 +1216,7 @@ pub fn supervise_injected(
             dead.push(crash.node);
             pool.retain(|(n, _), _| *n != crash.node.0);
             pool_taint.retain(|(n, _), _| *n != crash.node.0);
+            pool_origin.retain(|(n, _), _| *n != crash.node.0);
             for n in accused {
                 rec.record(Event::HelperAccused {
                     node: n,
@@ -1190,6 +1227,7 @@ pub fn supervise_injected(
                 accusations += 1;
                 pool.retain(|(pn, _), _| *pn != n);
                 pool_taint.retain(|(pn, _), _| *pn != n);
+                pool_origin.retain(|(pn, _), _| *pn != n);
             }
 
             generations.push(GenerationRecord {
@@ -1342,6 +1380,7 @@ pub fn supervise_injected(
                 &vecs,
                 &taints,
                 &reused_keys,
+                &pool_origin,
                 &completed_all,
                 &gen_faults.resolved.lies,
                 chunk,
@@ -1357,6 +1396,7 @@ pub fn supervise_injected(
                 if *done && !dead.contains(&loc) && taints[i].is_empty() {
                     pool.insert((loc.0, vecs[i].clone()), ());
                     pool_taint.insert((loc.0, vecs[i].clone()), Vec::new());
+                    pool_origin.insert((loc.0, vecs[i].clone()), (g, i));
                 }
             }
             for &n in &dishonest {
@@ -1370,6 +1410,7 @@ pub fn supervise_injected(
             }
             pool.retain(|(n, _), _| !dishonest.contains(n));
             pool_taint.retain(|(n, _), _| !dishonest.contains(n));
+            pool_origin.retain(|(n, _), _| !dishonest.contains(n));
 
             generations.push(GenerationRecord {
                 scheme: plan.scheme.to_string(),
@@ -1475,7 +1516,16 @@ pub fn supervise_injected(
         let mut hedge_cut: Option<f64> = None; // replay original events up to here
         let mut hedge_events: Vec<(Event, f64)> = Vec::new(); // (event, shift)
 
-        if let Some(mult) = cfg.hedge {
+        if let Some(fixed) = cfg.hedge {
+            // Adaptive mode widens the straggler threshold when the
+            // tracked fleet is broadly slow, so only true outliers — not
+            // helpers pacing a degraded cluster — trigger a hedge.
+            let mult = if cfg.adaptive_hedge {
+                cfg.policy
+                    .straggler_multiple(fixed, &tracker.observed_slowdowns())
+            } else {
+                fixed
+            };
             if let Some((slow_i, _, detect)) = find_straggler(&plan, &waves, &jobs, &report, mult)
             {
                 let Op::Send { from, .. } = &plan.ops[slow_i] else {
@@ -1680,6 +1730,7 @@ pub fn supervise_injected(
                 &vecs,
                 &taints,
                 &reused_keys,
+                &pool_origin,
                 &completed_all,
                 &completed_lies,
                 chunk,

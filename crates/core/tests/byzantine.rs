@@ -8,7 +8,7 @@ use rpr_core::{supervise_injected, CostModel, RepairContext, SuperviseConfig, Su
 use rpr_faults::{FaultStorm, HealthTracker, StormFault};
 use rpr_obs::export::to_json_lines;
 use rpr_obs::TraceRecorder;
-use rpr_proof::ProofMode;
+use rpr_proof::{ProofMode, ProofSource};
 use rpr_topology::{cluster_for, BandwidthProfile, Placement, PlacementPolicy};
 
 struct Fx {
@@ -231,4 +231,73 @@ fn off_mode_is_bit_identical_and_advisory_only_adds_proof_events() {
         .map(|l| format!("{l}\n"))
         .collect();
     assert_eq!(stripped, trace_a);
+}
+
+#[test]
+fn pool_reserves_carry_provenance_and_audit_clean() {
+    // A Mandatory lie conviction replans with the same failure set, so
+    // the replacement plan re-serves banked partials from the pool.
+    // Every re-serve proof must name its origin — the (generation, op)
+    // that produced the banked partial — and the cross-generation edge
+    // must resolve in the offline audit: no wire failures, and the only
+    // dishonest entries belong to the original liar. (Before pool
+    // provenance, re-serve proofs had no inputs at all, so any taint a
+    // replayed partial carried convicted the innocent re-serving node.)
+    let fx = Fx::new(6, 3);
+    let mut reserves_seen = 0usize;
+    for seed in 0..8u64 {
+        let mut tracker = HealthTracker::with_defaults();
+        let out = supervise_injected(
+            &fx.ctx(),
+            &lie_storm(seed),
+            &cfg(ProofMode::Mandatory),
+            &mut tracker,
+            rpr_obs::noop(),
+        )
+        .expect("mandatory repair completes past the liar");
+        let liar = liar_node(&out);
+        let audit = out.ledger.audit();
+        assert!(audit.binding_failures.is_empty(), "seed {seed}");
+        assert!(
+            audit.wire_failures.is_empty(),
+            "seed {seed}: provenance edges must resolve across generations"
+        );
+        for (i, e) in out.ledger.entries.iter().enumerate() {
+            if e.proof.algorithm != "pool" {
+                continue;
+            }
+            reserves_seen += 1;
+            let [(ProofSource::Pooled { gen, op }, _)] = e.proof.inputs.as_slice() else {
+                panic!("seed {seed}: re-serve proof must name exactly one pool origin");
+            };
+            assert!(
+                *gen < e.gen,
+                "seed {seed}: the origin was banked by an earlier generation"
+            );
+            // The named origin exists in the ledger and produced exactly
+            // the bytes the re-serve forwards.
+            let origin = out
+                .ledger
+                .entries
+                .iter()
+                .find(|p| p.gen == *gen && p.proof.op == *op)
+                .expect("origin entry present");
+            assert_eq!(origin.proof.output_hash, e.proof.output_hash, "seed {seed}");
+            assert!(
+                !audit.dishonest.contains(&i),
+                "seed {seed}: an honest re-serve is never blamed"
+            );
+        }
+        for &i in &audit.dishonest {
+            assert_eq!(
+                out.ledger.entries[i].proof.node, liar,
+                "seed {seed}: only the original liar is dishonest"
+            );
+        }
+        // The ledger round-trips through JSON with provenance intact.
+        let reparsed = rpr_proof::ProofLedger::parse(&out.ledger.to_json_lines())
+            .expect("ledger reparses");
+        assert_eq!(reparsed, out.ledger);
+    }
+    assert!(reserves_seen > 0, "no seed re-served a banked partial");
 }

@@ -688,6 +688,10 @@ fn exec_generation_proofs(
         let inputs_honest = inputs.iter().all(|(src, h)| match src {
             ProofSource::Op(s) => exp_hash[*s].is_some_and(|e| *h == e),
             ProofSource::Block(_) => true,
+            // The exec engine never banks partials across generations,
+            // so it never emits pooled inputs; if one ever appeared its
+            // honesty would belong to the origin generation, not here.
+            ProofSource::Pooled { .. } => false,
         });
         let proof = RepairProof {
             op: i,

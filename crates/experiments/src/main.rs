@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of the RPR paper (ICPP '20).
 //!
 //! ```text
-//! rpr-experiments <fig6..fig14|table1|fleet|fleet-scale|foreground|ablation|traces|byzantine|pipeline|all> [--fast] [--out DIR]
+//! rpr-experiments <fig6..fig14|table1|fleet|fleet-scale|churn|foreground|ablation|traces|byzantine|pipeline|all> [--fast] [--out DIR]
 //! ```
 //!
 //! Figures 6–11 run on the `rpr-netsim` flow simulator (the paper's Simics
@@ -13,6 +13,7 @@
 mod ablation;
 mod byzantine;
 mod chaos;
+mod churn;
 mod exec_figs;
 mod faults;
 mod fleet;
@@ -71,6 +72,7 @@ fn main() {
             "fig14" => exec_figs::fig14(fast),
             "fleet" => fleet::fleet(fast),
             "fleet-scale" => fleet_scale::fleet_scale(fast),
+            "churn" => churn::churn(fast),
             "foreground" => foreground::foreground(fast),
             "ablation" => ablation::ablation(),
             "traces" => traces::traces(fast),
@@ -91,6 +93,7 @@ fn main() {
                 exec_figs::fig14(fast);
                 fleet::fleet(fast);
                 fleet_scale::fleet_scale(fast);
+                churn::churn(fast);
                 foreground::foreground(fast);
                 ablation::ablation();
                 traces::traces(fast);
@@ -103,8 +106,8 @@ fn main() {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
                     "usage: rpr-experiments \
-                     <fig6..fig14|table1|fleet|fleet-scale|foreground|ablation|traces|faults\
-                     |chaos|byzantine|pipeline|all> [--fast] [--out DIR]"
+                     <fig6..fig14|table1|fleet|fleet-scale|churn|foreground|ablation|traces\
+                     |faults|chaos|byzantine|pipeline|all> [--fast] [--out DIR]"
                 );
                 std::process::exit(2);
             }

@@ -41,7 +41,7 @@ pub mod reason {
 /// fault-site selection, failure fractions, and the seeded property-test
 /// harness in `tests/`. Identical seeds yield identical streams on every
 /// platform.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }
@@ -198,6 +198,13 @@ pub struct RetryPolicy {
     /// `(seed, attempt)`, so identically configured policies delay
     /// identically — determinism survives jitter.
     pub jitter_seed: u64,
+    /// Quantile of observed per-helper slowdowns that anchors the
+    /// adaptive transfer deadline (see
+    /// [`straggler_multiple`](RetryPolicy::straggler_multiple)).
+    pub timeout_quantile: f64,
+    /// Headroom multiplier applied on top of the observed slowdown
+    /// quantile before it becomes a deadline multiple.
+    pub timeout_headroom: f64,
 }
 
 impl Default for RetryPolicy {
@@ -209,6 +216,8 @@ impl Default for RetryPolicy {
             cap: f64::INFINITY,
             jitter: 0.0,
             jitter_seed: 0,
+            timeout_quantile: 0.9,
+            timeout_headroom: 2.0,
         }
     }
 }
@@ -233,6 +242,41 @@ impl RetryPolicy {
     pub fn with_cap(mut self, cap: f64) -> RetryPolicy {
         self.cap = cap;
         self
+    }
+
+    /// Adaptive straggler/timeout multiple: the threshold (as a multiple
+    /// of the expected transfer time) past which a transfer is treated
+    /// as timed out or straggling.
+    ///
+    /// `fixed` is the static constant the caller would otherwise use;
+    /// `observed` are per-helper slowdown estimates (actual/expected
+    /// duration ratios, ≥ 1) — in practice
+    /// [`HealthTracker::observed_slowdowns`], which derives them from
+    /// the same EWMA state that drives quarantine. The adaptive multiple
+    /// is `timeout_headroom ×` the `timeout_quantile`-quantile of the
+    /// observations, floored at `fixed`: when the fleet is healthy
+    /// (slowdowns ≈ 1) the threshold stays exactly the fixed constant,
+    /// and when churn degrades links broadly the threshold rises with
+    /// them, so a merely-typical helper on a slow day is not spuriously
+    /// timed out. With no observations the fixed constant is returned
+    /// unchanged.
+    pub fn straggler_multiple(&self, fixed: f64, observed: &[f64]) -> f64 {
+        if observed.is_empty() {
+            return fixed;
+        }
+        let mut sorted: Vec<f64> = observed.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        // Nearest-rank quantile (matches `rpr_sched::quantile`).
+        let q = self.timeout_quantile.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let quant = sorted[rank - 1].max(1.0);
+        (quant * self.timeout_headroom).max(fixed)
+    }
+
+    /// Adaptive transfer deadline in seconds for a transfer expected to
+    /// take `baseline`: `baseline × straggler_multiple(fixed, observed)`.
+    pub fn transfer_deadline(&self, baseline: f64, fixed: f64, observed: &[f64]) -> f64 {
+        baseline * self.straggler_multiple(fixed, observed)
     }
 
     /// Builder-style: add seeded jitter (fraction in `[0, 1]`).
@@ -451,6 +495,144 @@ impl ChaosProcess {
     }
 }
 
+/// The blast radius of one churn arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// A single node (disk/host) fails: one live stripe loses one more
+    /// block.
+    Node,
+    /// A rack-level event (ToR switch, power domain): a correlated batch
+    /// of stripes sharing the rack each lose a block at the same instant.
+    Rack {
+        /// Number of live stripes the event hits.
+        victims: usize,
+    },
+    /// A correlated multi-stripe batch (firmware rollout, bad disk
+    /// batch) not tied to one rack.
+    Batch {
+        /// Number of live stripes the event hits.
+        victims: usize,
+    },
+}
+
+impl ChurnKind {
+    /// Number of live stripes this arrival hits.
+    pub fn victims(&self) -> usize {
+        match self {
+            ChurnKind::Node => 1,
+            ChurnKind::Rack { victims } | ChurnKind::Batch { victims } => *victims,
+        }
+    }
+
+    /// Stable lowercase name used in summaries and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChurnKind::Node => "node",
+            ChurnKind::Rack { .. } => "rack",
+            ChurnKind::Batch { .. } => "batch",
+        }
+    }
+}
+
+/// One failure arrival sampled from a [`ChurnProcess`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Virtual arrival time in seconds; strictly increasing across the
+    /// stream (zero-probability ties aside).
+    pub t: f64,
+    /// What failed.
+    pub kind: ChurnKind,
+    /// Seeded draw fixing every remaining free parameter. The process is
+    /// deliberately stripe-agnostic — the consumer (the fleet drain)
+    /// derives victim stripes and failed blocks from this value, e.g. by
+    /// seeding a [`SplitMix64`] with it.
+    pub draw: u64,
+}
+
+/// A seeded continuous failure/replacement arrival stream on the fleet's
+/// virtual clock.
+///
+/// Where [`ChaosProcess`] samples a bounded storm for *one* repair,
+/// `ChurnProcess` models the cell-level regime the drain races against:
+/// Poisson arrivals at `rate` failures per virtual second, forever — the
+/// stream is unbounded and the consumer stops pulling when its own
+/// horizon (the drain's backlog) is exhausted. Arrivals are node events,
+/// rack-correlated batches, or cross-rack correlated batches.
+///
+/// The stream is a pure function of the seed: two same-seed processes
+/// produce bit-identical event sequences, which is what lets a resumed
+/// (`--resume`) drain re-derive exactly the churn an interrupted run saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnProcess {
+    /// Mean failure arrivals per virtual second.
+    pub rate: f64,
+    /// Probability that an arrival is a rack-level correlated event.
+    pub rack_probability: f64,
+    /// Probability that an arrival is a cross-rack correlated batch.
+    pub batch_probability: f64,
+    /// Largest victim count a rack/batch event can draw (≥ 2).
+    pub max_batch: usize,
+    seed: u64,
+    rng: SplitMix64,
+    t: f64,
+}
+
+impl ChurnProcess {
+    /// A default-shaped process: 10% rack events, 15% correlated
+    /// batches, batches of 2–4 stripes.
+    pub fn new(seed: u64, rate: f64) -> ChurnProcess {
+        ChurnProcess {
+            rate,
+            rack_probability: 0.10,
+            batch_probability: 0.15,
+            max_batch: 4,
+            seed,
+            rng: SplitMix64::new(seed),
+            t: 0.0,
+        }
+    }
+
+    /// The seed this process was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Virtual time of the most recently sampled arrival (0 before the
+    /// first call).
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// Sample the next arrival. Returns `None` when the process is
+    /// disabled (`rate <= 0` or not finite); otherwise times are
+    /// strictly increasing (exponential inter-arrivals at `rate`).
+    pub fn next_event(&mut self) -> Option<ChurnEvent> {
+        if self.rate <= 0.0 || !self.rate.is_finite() {
+            return None;
+        }
+        let u = self.rng.next_f64();
+        self.t += -(1.0 - u).ln() / self.rate;
+        let roll = self.rng.next_f64();
+        let span = self.max_batch.max(2) - 1; // victims in 2..=max_batch
+        let kind = if roll < self.rack_probability {
+            ChurnKind::Rack {
+                victims: 2 + self.rng.pick(span),
+            }
+        } else if roll < self.rack_probability + self.batch_probability {
+            ChurnKind::Batch {
+                victims: 2 + self.rng.pick(span),
+            }
+        } else {
+            ChurnKind::Node
+        };
+        Some(ChurnEvent {
+            t: self.t,
+            kind,
+            draw: self.rng.next_u64(),
+        })
+    }
+}
+
 /// Per-node health scores fed by transfer outcomes, with quarantine and
 /// probing re-admission.
 ///
@@ -469,6 +651,10 @@ pub struct HealthTracker {
     scores: Vec<f64>,
     // generation at which the node was quarantined, if currently out.
     quarantined_at: Vec<Option<usize>>,
+    // nodes with at least one real observation (scores default to 1.0,
+    // so the score vector alone cannot distinguish "healthy" from
+    // "never seen" — the adaptive-deadline quantile needs to).
+    observed: Vec<bool>,
 }
 
 impl HealthTracker {
@@ -482,6 +668,7 @@ impl HealthTracker {
             generation: 0,
             scores: Vec::new(),
             quarantined_at: Vec::new(),
+            observed: Vec::new(),
         }
     }
 
@@ -495,6 +682,7 @@ impl HealthTracker {
         if node >= self.scores.len() {
             self.scores.resize(node + 1, 1.0);
             self.quarantined_at.resize(node + 1, None);
+            self.observed.resize(node + 1, false);
         }
     }
 
@@ -503,6 +691,7 @@ impl HealthTracker {
     /// May quarantine the node.
     pub fn observe(&mut self, node: usize, score: f64) {
         self.ensure(node);
+        self.observed[node] = true;
         let s = score.clamp(0.0, 1.0);
         self.scores[node] = self.alpha * s + (1.0 - self.alpha) * self.scores[node];
         if self.scores[node] < self.threshold && self.quarantined_at[node].is_none() {
@@ -573,6 +762,20 @@ impl HealthTracker {
     pub fn quarantined(&self) -> Vec<usize> {
         (0..self.quarantined_at.len())
             .filter(|&n| self.quarantined_at[n].is_some())
+            .collect()
+    }
+
+    /// Slowdown estimates (actual/expected duration ratio, ≥ 1) for
+    /// every node with at least one observation that is not currently
+    /// quarantined. The EWMA score is `expected/actual` clamped to
+    /// `[0, 1]`, so the estimate is its reciprocal, clamped to keep a
+    /// near-dead-but-unquarantined node from blowing the quantile out.
+    /// This is the `observed` input
+    /// [`RetryPolicy::straggler_multiple`] expects.
+    pub fn observed_slowdowns(&self) -> Vec<f64> {
+        (0..self.scores.len())
+            .filter(|&n| self.observed[n] && self.quarantined_at[n].is_none())
+            .map(|n| (1.0 / self.scores[n].max(0.01)).max(1.0))
             .collect()
     }
 }
@@ -716,6 +919,91 @@ mod tests {
             .map(|s| ChaosProcess::new(s).storm())
             .collect::<Vec<_>>();
         assert!(distinct.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn churn_process_is_deterministic_and_strictly_increasing() {
+        let mut a = ChurnProcess::new(99, 2.5);
+        let mut b = ChurnProcess::new(99, 2.5);
+        let mut last = 0.0f64;
+        let mut kinds = [false; 3];
+        for _ in 0..500 {
+            let ea = a.next_event().expect("rate > 0 streams forever");
+            let eb = b.next_event().expect("rate > 0 streams forever");
+            assert_eq!(ea, eb, "same seed must sample the same stream");
+            assert!(ea.t > last, "arrival times must strictly increase");
+            last = ea.t;
+            match ea.kind {
+                ChurnKind::Node => kinds[0] = true,
+                ChurnKind::Rack { victims } | ChurnKind::Batch { victims } => {
+                    assert!((2..=a.max_batch).contains(&victims));
+                    kinds[if matches!(ea.kind, ChurnKind::Rack { .. }) {
+                        1
+                    } else {
+                        2
+                    }] = true;
+                }
+            }
+            assert!(ea.kind.victims() >= 1);
+        }
+        assert!(kinds.iter().all(|&k| k), "all three kinds should appear");
+        assert!((a.now() - last).abs() < 1e-12);
+        assert_eq!(a.seed(), 99);
+    }
+
+    #[test]
+    fn churn_process_disabled_when_rate_nonpositive() {
+        assert_eq!(ChurnProcess::new(1, 0.0).next_event(), None);
+        assert_eq!(ChurnProcess::new(1, -3.0).next_event(), None);
+        assert_eq!(ChurnProcess::new(1, f64::NAN).next_event(), None);
+    }
+
+    #[test]
+    fn churn_kind_names_and_victims() {
+        assert_eq!(ChurnKind::Node.name(), "node");
+        assert_eq!(ChurnKind::Node.victims(), 1);
+        assert_eq!(ChurnKind::Rack { victims: 3 }.name(), "rack");
+        assert_eq!(ChurnKind::Rack { victims: 3 }.victims(), 3);
+        assert_eq!(ChurnKind::Batch { victims: 2 }.name(), "batch");
+        assert_eq!(ChurnKind::Batch { victims: 2 }.victims(), 2);
+    }
+
+    #[test]
+    fn adaptive_deadline_floors_at_fixed_and_tracks_slow_fleets() {
+        let p = RetryPolicy::default(); // q = 0.9, headroom = 2.0
+        // No observations: the fixed constant is used unchanged.
+        assert!((p.straggler_multiple(4.0, &[]) - 4.0).abs() < 1e-12);
+        // Healthy fleet (slowdowns ≈ 1): 2.0 × 1.0 < 4.0 → floor wins,
+        // so clean runs keep the exact fixed-constant behavior.
+        let healthy = vec![1.0; 20];
+        assert!((p.straggler_multiple(4.0, &healthy) - 4.0).abs() < 1e-12);
+        // Broadly slow fleet: the p90 slowdown is 3.0 → 2 × 3 = 6 > 4,
+        // so a typical helper is no longer flagged as a straggler.
+        let slow = vec![3.0; 20];
+        assert!((p.straggler_multiple(4.0, &slow) - 6.0).abs() < 1e-12);
+        // One outlier among healthy peers does not move the p90.
+        let mut one_bad = vec![1.0; 19];
+        one_bad.push(50.0);
+        assert!((p.straggler_multiple(4.0, &one_bad) - 4.0).abs() < 1e-12);
+        // The deadline scales the baseline by the multiple.
+        assert!((p.transfer_deadline(2.0, 4.0, &slow) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn health_tracker_exposes_observed_slowdowns() {
+        let mut h = HealthTracker::with_defaults();
+        assert!(h.observed_slowdowns().is_empty(), "no history yet");
+        h.record_success(0, 1.0, 1.0); // on time → slowdown 1
+        h.record_success(3, 2.0, 1.0); // 2× late → EWMA 0.75 → 4/3
+        let slowdowns = h.observed_slowdowns();
+        assert_eq!(slowdowns.len(), 2);
+        assert!((slowdowns[0] - 1.0).abs() < 1e-12);
+        assert!((slowdowns[1] - 1.0 / 0.75).abs() < 1e-12);
+        // Quarantined nodes drop out of the estimate entirely.
+        h.record_failure(3);
+        h.record_failure(3);
+        assert!(h.is_quarantined(3));
+        assert_eq!(h.observed_slowdowns().len(), 1);
     }
 
     #[test]

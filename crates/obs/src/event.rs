@@ -296,6 +296,60 @@ pub enum Event {
         /// Fleet-clock seconds when the repair was finally admitted.
         t: f64,
     },
+    /// A churn arrival hit a live stripe mid-drain: the stripe lost one
+    /// more block while queued or in flight (emitted by `rpr-sched`
+    /// drains co-simulated with a `ChurnProcess`).
+    ChurnFailure {
+        /// Fleet-wide stripe id.
+        stripe: u64,
+        /// At-risk level **after** the hit (blocks now lost).
+        level: usize,
+        /// Fleet-clock seconds of the churn arrival.
+        t: f64,
+    },
+    /// The drain escalated a stripe's risk level in response to a churn
+    /// hit: queued stripes are re-queued at the higher level (strict
+    /// level ordering is preserved); in-flight stripes hand the new
+    /// failure to the supervisor's storm path and their repair stretches
+    /// instead of restarting.
+    RiskEscalated {
+        /// Fleet-wide stripe id.
+        stripe: u64,
+        /// At-risk level before the hit.
+        from: usize,
+        /// At-risk level after the hit.
+        to: usize,
+        /// True when the stripe was already admitted (mid-repair) and
+        /// the escalation was absorbed by the running supervisor.
+        in_flight: bool,
+        /// Fleet-clock seconds of the escalation.
+        t: f64,
+    },
+    /// A stripe crossed the unrecoverable threshold (`z > r` failed
+    /// blocks) before its repair finished: it is moved to the
+    /// permanent-loss ledger, counted and reported instead of retried
+    /// forever.
+    StripeLost {
+        /// Fleet-wide stripe id.
+        stripe: u64,
+        /// At-risk level at the moment of loss (> parity count).
+        level: usize,
+        /// Fleet-clock seconds when the stripe became unrecoverable.
+        t: f64,
+    },
+    /// The fleet journal flushed a periodic checkpoint record; on crash,
+    /// resume replays from the log so everything acknowledged before this
+    /// point is never repaired twice.
+    JournalCheckpoint {
+        /// Monotone journal sequence number of the checkpoint record.
+        seq: u64,
+        /// Stripes recorded complete at checkpoint time.
+        completed: u64,
+        /// Stripes recorded permanently lost at checkpoint time.
+        lost: u64,
+        /// Fleet-clock seconds of the checkpoint.
+        t: f64,
+    },
     /// A foreground client request entered the open-loop workload (its
     /// scheduled arrival instant, independent of service capacity).
     RequestIssued {
@@ -414,6 +468,10 @@ impl Event {
             Event::StripeEnqueued { .. } => "stripe_enqueued",
             Event::StripeAdmitted { .. } => "stripe_admitted",
             Event::BandwidthWaited { .. } => "bandwidth_waited",
+            Event::ChurnFailure { .. } => "churn_failure",
+            Event::RiskEscalated { .. } => "risk_escalated",
+            Event::StripeLost { .. } => "stripe_lost",
+            Event::JournalCheckpoint { .. } => "journal_checkpoint",
             Event::RequestIssued { .. } => "request_issued",
             Event::RequestDone { .. } => "request_done",
             Event::QosThrottled { .. } => "qos_throttled",
@@ -446,6 +504,10 @@ impl Event {
             | Event::StripeEnqueued { t, .. }
             | Event::StripeAdmitted { t, .. }
             | Event::BandwidthWaited { t, .. }
+            | Event::ChurnFailure { t, .. }
+            | Event::RiskEscalated { t, .. }
+            | Event::StripeLost { t, .. }
+            | Event::JournalCheckpoint { t, .. }
             | Event::RequestIssued { t, .. }
             | Event::QosThrottled { t, .. }
             | Event::ProofEmitted { t, .. }

@@ -272,8 +272,35 @@ pub fn event_to_json(event: &Event) -> String {
         Event::DegradedFallback { tier, reason, t } => {
             o.str("tier", tier).str("reason", reason).f64("t", *t);
         }
-        Event::StripeEnqueued { stripe, level, t } | Event::StripeAdmitted { stripe, level, t } => {
+        Event::StripeEnqueued { stripe, level, t }
+        | Event::StripeAdmitted { stripe, level, t }
+        | Event::ChurnFailure { stripe, level, t }
+        | Event::StripeLost { stripe, level, t } => {
             o.u64("stripe", *stripe).usize("level", *level).f64("t", *t);
+        }
+        Event::RiskEscalated {
+            stripe,
+            from,
+            to,
+            in_flight,
+            t,
+        } => {
+            o.u64("stripe", *stripe)
+                .usize("from", *from)
+                .usize("to", *to)
+                .bool("in_flight", *in_flight)
+                .f64("t", *t);
+        }
+        Event::JournalCheckpoint {
+            seq,
+            completed,
+            lost,
+            t,
+        } => {
+            o.u64("seq", *seq)
+                .u64("completed", *completed)
+                .u64("lost", *lost)
+                .f64("t", *t);
         }
         Event::BandwidthWaited {
             stripe,
@@ -741,6 +768,67 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                     .raw("args", &args);
                 entries.push(o.finish());
             }
+            Event::ChurnFailure { stripe, level, t } | Event::StripeLost { stripe, level, t } => {
+                let verb = if matches!(e, Event::ChurnFailure { .. }) {
+                    "hit by churn"
+                } else {
+                    "permanently lost"
+                };
+                let mut o = Obj::new();
+                o.str("name", &format!("stripe {stripe} {verb}"))
+                    .str("cat", "fleet")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw("args", &format!("{{\"stripe\":{stripe},\"level\":{level}}}"));
+                entries.push(o.finish());
+            }
+            Event::RiskEscalated {
+                stripe,
+                from,
+                to,
+                in_flight,
+                t,
+            } => {
+                let mut o = Obj::new();
+                o.str("name", &format!("stripe {stripe} escalated {from}→{to}"))
+                    .str("cat", "fleet")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw(
+                        "args",
+                        &format!(
+                            "{{\"stripe\":{stripe},\"from\":{from},\"to\":{to},\
+                             \"in_flight\":{in_flight}}}"
+                        ),
+                    );
+                entries.push(o.finish());
+            }
+            Event::JournalCheckpoint {
+                seq,
+                completed,
+                lost,
+                t,
+            } => {
+                let mut o = Obj::new();
+                o.str("name", &format!("journal checkpoint #{seq}"))
+                    .str("cat", "fleet")
+                    .str("ph", "i")
+                    .f64("ts", t * MICROS)
+                    .usize("pid", pipeline_pid)
+                    .usize("tid", 0)
+                    .str("s", "p")
+                    .raw(
+                        "args",
+                        &format!("{{\"seq\":{seq},\"completed\":{completed},\"lost\":{lost}}}"),
+                    );
+                entries.push(o.finish());
+            }
             Event::RequestIssued {
                 request,
                 read,
@@ -1203,6 +1291,55 @@ mod tests {
         assert!(chrome.contains("stripe 123456 enqueued"));
         assert!(chrome.contains("stripe 123456 admitted"));
         assert!(chrome.contains("stripe 123456 waited for bandwidth"));
+    }
+
+    #[test]
+    fn churn_events_serialize_in_both_formats() {
+        let events = vec![
+            Event::ChurnFailure {
+                stripe: 42,
+                level: 2,
+                t: 1.0,
+            },
+            Event::RiskEscalated {
+                stripe: 42,
+                from: 1,
+                to: 2,
+                in_flight: true,
+                t: 1.0,
+            },
+            Event::StripeLost {
+                stripe: 43,
+                level: 4,
+                t: 2.5,
+            },
+            Event::JournalCheckpoint {
+                seq: 9,
+                completed: 100,
+                lost: 1,
+                t: 3.0,
+            },
+        ];
+        let jsonl = to_json_lines(&events);
+        for line in jsonl.lines() {
+            assert_structurally_valid_json(line);
+        }
+        assert!(jsonl.contains("\"type\":\"churn_failure\""));
+        assert!(jsonl.contains("\"type\":\"risk_escalated\""));
+        assert!(jsonl.contains("\"type\":\"stripe_lost\""));
+        assert!(jsonl.contains("\"type\":\"journal_checkpoint\""));
+        assert!(jsonl.contains("\"from\":1"));
+        assert!(jsonl.contains("\"to\":2"));
+        assert!(jsonl.contains("\"in_flight\":true"));
+        assert!(jsonl.contains("\"seq\":9"));
+        assert!(jsonl.contains("\"completed\":100"));
+        assert!(jsonl.contains("\"lost\":1"));
+        let chrome = to_chrome_trace(&events);
+        assert_structurally_valid_json(&chrome);
+        assert!(chrome.contains("stripe 42 hit by churn"));
+        assert!(chrome.contains("stripe 42 escalated 1→2"));
+        assert!(chrome.contains("stripe 43 permanently lost"));
+        assert!(chrome.contains("journal checkpoint #9"));
     }
 
     #[test]

@@ -256,8 +256,9 @@ impl ProofMode {
 // Proofs and ledger entries
 // ---------------------------------------------------------------------------
 
-/// Where one proof input came from: a stripe block read from disk, or
-/// the output of an earlier op in the same generation's plan.
+/// Where one proof input came from: a stripe block read from disk, the
+/// output of an earlier op in the same generation's plan, or a partial
+/// result banked into the reuse pool by an earlier generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProofSource {
     /// Stripe block index (the op read it locally; there is no upstream
@@ -267,6 +268,16 @@ pub enum ProofSource {
     /// Plan op index within the same generation whose output this op
     /// consumed.
     Op(usize),
+    /// Pool provenance: the op re-served a partial that op `op` of
+    /// generation `gen` originally produced. Audits follow this edge
+    /// across generations, so taint on a re-served partial localizes to
+    /// the original liar, not the node that banked and replayed it.
+    Pooled {
+        /// Generation whose plan produced the banked partial.
+        gen: usize,
+        /// Op index within that generation.
+        op: usize,
+    },
 }
 
 impl ProofSource {
@@ -274,11 +285,21 @@ impl ProofSource {
         match self {
             ProofSource::Block(b) => format!("b{b}"),
             ProofSource::Op(o) => format!("o{o}"),
+            ProofSource::Pooled { gen, op } => format!("p{gen}.{op}"),
         }
     }
 
     fn decode(s: &str) -> Result<ProofSource, String> {
         let (tag, idx) = s.split_at(1.min(s.len()));
+        if tag == "p" {
+            let (gen, op) = idx
+                .split_once('.')
+                .ok_or_else(|| format!("bad proof source '{s}'"))?;
+            return Ok(ProofSource::Pooled {
+                gen: gen.parse().map_err(|_| format!("bad proof source '{s}'"))?,
+                op: op.parse().map_err(|_| format!("bad proof source '{s}'"))?,
+            });
+        }
         let idx: usize = idx
             .parse()
             .map_err(|_| format!("bad proof source '{s}'"))?;
@@ -363,6 +384,11 @@ pub fn bind_proof(key: ProofKey, gen: usize, proof: &RepairProof) -> u128 {
             ProofSource::Op(o) => {
                 h.update_u64(1);
                 h.update_u64(*o as u64);
+            }
+            ProofSource::Pooled { gen, op } => {
+                h.update_u64(2);
+                h.update_u64(*gen as u64);
+                h.update_u64(*op as u64);
             }
         }
         h.update(&hash.to_le_bytes());
@@ -537,13 +563,19 @@ impl ProofLedger {
             // against its producer's recorded output and expected hashes.
             let mut inputs_honest = true;
             for (src, h) in &e.proof.inputs {
-                let ProofSource::Op(src_op) = src else {
-                    continue; // block reads have no upstream producer
+                // Pool re-serves resolve across generations to the op
+                // that originally banked the partial; plain op inputs
+                // resolve within the entry's own generation. Block reads
+                // have no upstream producer to check against.
+                let (src_gen, src_op) = match src {
+                    ProofSource::Block(_) => continue,
+                    ProofSource::Op(o) => (e.gen, *o),
+                    ProofSource::Pooled { gen, op } => (*gen, *op),
                 };
                 let producer = self.entries[..i]
                     .iter()
                     .rev()
-                    .find(|p| p.gen == e.gen && p.proof.op == *src_op);
+                    .find(|p| p.gen == src_gen && p.proof.op == src_op);
                 match producer {
                     Some(p) => {
                         if *h != p.proof.output_hash {
@@ -770,6 +802,57 @@ mod tests {
         assert_eq!(report.mismatches, vec![0, 1]);
         assert_eq!(report.dishonest, vec![0], "taint is not dishonesty");
         assert_eq!(report.first_dishonest(), Some(0));
+    }
+
+    #[test]
+    fn pooled_provenance_localizes_reserved_taint_to_the_origin() {
+        let key = ProofKey::from_seed(3);
+        let b = symbolic_block_hash(key, 0);
+        // Generation 0: op 0 lies (out 99 != exp 11), its partial is
+        // banked. Generation 1: a different node re-serves the banked
+        // bytes from the pool — output still 99 against expected 11 —
+        // with a provenance input naming generation 0's op 0.
+        let mut ledger = ProofLedger::new(3, ProofMode::Advisory);
+        ledger.push(0, proof(0, 1, vec![(ProofSource::Block(0), b)], 99, 11));
+        ledger.push(
+            1,
+            proof(0, 2, vec![(ProofSource::Pooled { gen: 0, op: 0 }, 99)], 99, 11),
+        );
+        let report = ledger.audit();
+        assert!(report.binding_failures.is_empty());
+        assert!(
+            report.wire_failures.is_empty(),
+            "the pooled edge resolves across generations: {report:?}"
+        );
+        assert_eq!(report.mismatches, vec![0, 1], "both outputs are wrong");
+        assert_eq!(
+            report.dishonest,
+            vec![0],
+            "the re-serving node inherited the taint; only the origin lied"
+        );
+
+        // A pooled edge naming a producer the ledger never recorded (or
+        // whose output disagrees) is a wire failure at the re-serve.
+        let mut dangling = ProofLedger::new(3, ProofMode::Advisory);
+        dangling.push(
+            0,
+            proof(4, 2, vec![(ProofSource::Pooled { gen: 7, op: 9 }, 99)], 99, 99),
+        );
+        assert_eq!(dangling.audit().wire_failures, vec![0]);
+
+        // Pooled sources survive the JSON round trip and the binding
+        // distinguishes them from plain op inputs.
+        let text = ledger.to_json_lines();
+        assert!(text.contains("p0.0"), "encoded provenance: {text}");
+        let back = ProofLedger::parse(&text).expect("parse");
+        assert_eq!(back, ledger);
+        let gen_key = ledger.key();
+        let as_op = proof(0, 2, vec![(ProofSource::Op(0), 99)], 99, 11);
+        assert_ne!(
+            bind_proof(gen_key, 1, &ledger.entries[1].proof),
+            bind_proof(gen_key, 1, &as_op),
+            "a pooled input binds differently from a same-generation op input"
+        );
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! cluster, each stripe missing 1..=k blocks (its *at-risk level*). This
 //! module generates such a population deterministically from a seed,
 //! costs every stripe's supervised repair, and drains the backlog
-//! through [`schedule_fleet`] under
-//! bandwidth arbitration.
+//! through [`drain_fleet`] under bandwidth arbitration — optionally
+//! co-simulated with a churn stream and journaled for crash restart
+//! (see [`FleetIo`]).
 //!
 //! **Why a million stripes fit in one process.** Every stripe uses the
 //! paper's compact placement pattern: `q = ⌈(n+k)/k⌉` racks, at most `k`
@@ -29,19 +30,33 @@
 //! derivation as `Store::recover_supervised` — still pooled, but sized
 //! for thousands of stripes rather than millions.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use rpr_codec::{BlockId, CodeParams, StripeCodec};
 use rpr_core::{
     supervise_injected, CarPlanner, CostModel, RepairContext, RepairPlan, RepairPlanner,
     RprPlanner, SuperviseConfig, Tier, TraditionalPlanner,
 };
-use rpr_faults::{FaultStorm, HealthTracker, SplitMix64, StormFault};
+use rpr_faults::{ChurnProcess, FaultStorm, HealthTracker, SplitMix64, StormFault};
 use rpr_netsim::Network;
 use rpr_obs::Recorder;
 use rpr_topology::{BandwidthProfile, NodeId, Placement, Topology, GBIT};
 
 use crate::arbiter::{plan_demand, BandwidthArbiter, Demand, QosClass};
+use crate::journal::{FleetJournal, JournalReplay};
 use crate::pool::{default_threads, run_indexed};
-use crate::sched::{schedule_fleet, FleetJob, FleetSummary, StripeRecord};
+use crate::sched::{
+    drain_fleet, ChurnOptions, DrainOptions, FleetJob, FleetSummary, JobCost, LostStripe,
+    StripeRecord,
+};
+
+/// Salt mixed into the per-stripe escalation stream so escalated failed
+/// blocks never replay the draws that chose the base failed set.
+const ESCALATION_SALT: u64 = 0x9D39_247E_3377_6D41;
+
+/// Salt deriving the fleet churn stream from the master seed.
+const CHURN_SALT: u64 = 0x6368_7572_6E21_7273;
 
 /// Everything that defines a synthetic fleet run. Construct with
 /// [`FleetSpec::default`] and override fields.
@@ -92,6 +107,17 @@ pub struct FleetSpec {
     /// Worker threads for class sims and storm-path repairs
     /// (0 = automatic).
     pub threads: usize,
+    /// Mean churn events per fleet-clock second co-simulated with the
+    /// drain (0 = the world stops failing once the drain starts, the
+    /// pre-churn behavior). Each event hits one or more live stripes
+    /// with another block failure; a stripe pushed past `k` failures is
+    /// permanently lost.
+    pub churn_rate: f64,
+    /// Escalation policy under churn: `true` re-prioritizes victims at
+    /// their new at-risk level (in-flight victims hand the failure to
+    /// their running supervisor); `false` keeps the enqueue-time order,
+    /// the baseline the `churn` experiments table contrasts against.
+    pub escalate: bool,
 }
 
 impl Default for FleetSpec {
@@ -113,6 +139,8 @@ impl Default for FleetSpec {
             cross_bps: GBIT / 10.0,
             cost: CostModel::free(),
             threads: 0,
+            churn_rate: 0.0,
+            escalate: true,
         }
     }
 }
@@ -138,6 +166,10 @@ impl FleetSpec {
             !self.level_weights.is_empty() && self.level_weights.iter().any(|&w| w > 0.0),
             "FleetSpec: level weights must have positive mass"
         );
+        assert!(
+            self.churn_rate >= 0.0 && self.churn_rate.is_finite(),
+            "FleetSpec: churn_rate must be finite and non-negative"
+        );
     }
 
     /// True when every stripe's repair outcome is seed-independent, so
@@ -147,13 +179,36 @@ impl FleetSpec {
     }
 }
 
+/// External plumbing for a fleet run: the write-ahead journal the drain
+/// appends to, and a parsed prior journal whose cost records short-cut
+/// re-simulation on resume. `FleetIo::default()` runs unplumbed.
+///
+/// Resume works by deterministic re-derivation: the virtual-clock drain
+/// is pure arithmetic, so replaying the same spec reconstructs the index
+/// and arbiter state exactly. What the journal buys is skipping the
+/// expensive part — the per-stripe supervised simulations of the storm
+/// path — via `cost` records keyed `(stripe, level)` (the class-cached
+/// clean path runs a few dozen shared sims and doesn't need skipping).
+#[derive(Default)]
+pub struct FleetIo<'a> {
+    /// Append every scheduling decision and per-stripe cost here.
+    pub journal: Option<&'a RefCell<FleetJournal>>,
+    /// Replay cost records from this parsed journal (its header must
+    /// match the spec's seed and stripe count).
+    pub resume: Option<&'a JournalReplay>,
+}
+
 /// Result of a fleet run.
 #[derive(Clone, Debug)]
 pub struct FleetOutcome {
     /// Aggregate fleet numbers (what `rpr fleet --json` prints).
     pub summary: FleetSummary,
-    /// Per-stripe admission/finish records, in stripe order.
+    /// Per-stripe admission/finish records for **repaired** stripes, in
+    /// stripe order (every stripe, absent churn losses).
     pub records: Vec<StripeRecord>,
+    /// Permanent-loss ledger: stripes churn pushed past the code's
+    /// repair capability mid-drain, in loss order.
+    pub lost: Vec<LostStripe>,
     /// Distinct repair classes the fleet decomposed into (1 sim each on
     /// the cached path).
     pub classes: usize,
@@ -169,10 +224,14 @@ pub struct FleetOutcome {
     /// Peak reservation on the most loaded arbitrated link, as a
     /// fraction of its capacity (≤ 1 unless arbitration was disabled).
     pub max_utilization: f64,
+    /// Per-stripe simulations skipped because a resume journal already
+    /// held their cost records (0 without [`FleetIo::resume`]).
+    pub replayed: usize,
 }
 
 /// What one repair class costs: the outcome of its canonical sim plus
 /// its bandwidth demand in canonical node ids.
+#[derive(Clone)]
 struct ClassInfo {
     duration: f64,
     cross_bytes: u64,
@@ -245,14 +304,38 @@ struct StripeGen {
 
 /// Run a synthetic fleet: generate the stripe population, cost every
 /// repair class (or every stripe, under a storm), then drain the
-/// backlog through the bandwidth arbiter. Deterministic for a fixed
-/// spec; `rec` receives the `stripe_enqueued` / `stripe_admitted` /
-/// `bandwidth_waited` event stream.
+/// backlog through the bandwidth arbiter — under churn and journaling
+/// when the spec and [`FleetIo`] ask for them. Deterministic for a
+/// fixed spec; `rec` receives the `stripe_enqueued` / `stripe_admitted`
+/// / `bandwidth_waited` / churn event stream.
 ///
 /// # Panics
-/// Panics if the spec fails [`FleetSpec::validate`].
+/// Panics if the spec fails [`FleetSpec::validate`], or a resume
+/// journal's header does not match the spec.
 pub fn run_synthetic_fleet(spec: &FleetSpec, rec: &dyn Recorder) -> FleetOutcome {
+    run_fleet_with(spec, FleetIo::default(), rec)
+}
+
+/// [`run_synthetic_fleet`] with journal/resume plumbing. See [`FleetIo`]
+/// for the resume model.
+///
+/// # Panics
+/// Panics if the spec fails [`FleetSpec::validate`], or a resume
+/// journal's header does not match the spec.
+pub fn run_fleet_with(spec: &FleetSpec, io: FleetIo<'_>, rec: &dyn Recorder) -> FleetOutcome {
     spec.validate();
+    if let Some(r) = io.resume {
+        assert_eq!(
+            r.seed, spec.seed,
+            "fleet resume: journal was written by seed {} but the spec says {}",
+            r.seed, spec.seed
+        );
+        assert_eq!(
+            r.stripes, spec.stripes,
+            "fleet resume: journal covers {} stripes but the spec says {}",
+            r.stripes, spec.stripes
+        );
+    }
     let params = spec.params;
     let q = params.rack_count();
     let npr = spec.nodes_per_rack;
@@ -370,6 +453,7 @@ pub fn run_synthetic_fleet(spec: &FleetSpec, rec: &dyn Recorder) -> FleetOutcome
     let mut retries = 0usize;
     let mut degraded = 0usize;
     let mut unrepairable = 0usize;
+    let mut replayed = 0usize;
 
     // jobs[i] schedules stripes[kept[i]]; per-job demand comes from
     // `demands` (cached path: shared per class; storm path: per stripe).
@@ -414,10 +498,38 @@ pub fn run_synthetic_fleet(spec: &FleetSpec, rec: &dyn Recorder) -> FleetOutcome
         job_demands = infos.into_iter().map(|i| i.demand).collect();
     } else {
         // Storm path: every stripe runs its own supervised sim with the
-        // same per-stripe seed derivation as `Store::recover_supervised`.
-        let outcomes: Vec<Option<ClassInfo>> = run_indexed(threads, spec.stripes, |s| {
+        // same per-stripe seed derivation as `Store::recover_supervised`
+        // — unless a resume journal already holds the stripe's cost
+        // record, in which case the sim (the expensive part of a
+        // restarted drain) is skipped and only the cheap plan-shaped
+        // demand is rebuilt.
+        let resume = io.resume;
+        let outcomes: Vec<Option<(ClassInfo, bool)>> = run_indexed(threads, spec.stripes, |s| {
             let gen = &stripes[s];
-            let ctx = make_ctx(&class_failed[gen.class as usize]);
+            let base = &class_failed[gen.class as usize];
+            if let Some(r) = resume {
+                if r.unrepairable.contains(&(s as u32)) {
+                    return None;
+                }
+                if let Some(c) = r.cost(s as u32, base.len()) {
+                    let ctx = make_ctx(base);
+                    let plan =
+                        first_valid_plan(&ctx).expect("a valid plan exists for <=k failures");
+                    return Some((
+                        ClassInfo {
+                            duration: c.dur,
+                            cross_bytes: c.cross,
+                            inner_bytes: c.inner,
+                            demand: plan_demand(&plan, &canon_topo, &canon_net),
+                            replans: c.replans,
+                            retries: c.retries,
+                            degraded: c.degraded,
+                        },
+                        true,
+                    ));
+                }
+            }
+            let ctx = make_ctx(base);
             let mut mix = SplitMix64::new(spec.seed ^ (s as u64));
             let mut storm = FaultStorm::new(mix.next_u64());
             for bucket in &spec.storm {
@@ -427,28 +539,50 @@ pub fn run_synthetic_fleet(spec: &FleetSpec, rec: &dyn Recorder) -> FleetOutcome
             let out =
                 supervise_injected(&ctx, &storm, &spec.cfg, &mut tracker, rpr_obs::noop()).ok()?;
             let plan = first_valid_plan(&ctx).expect("a valid plan exists for <=k failures");
-            Some(ClassInfo {
-                duration: out.repair_time,
-                cross_bytes: out.cross_bytes,
-                inner_bytes: out.inner_bytes,
-                demand: plan_demand(&plan, &canon_topo, &canon_net),
-                replans: out.replans,
-                retries: out.retries,
-                degraded: out.final_tier > Tier::Full,
-            })
+            Some((
+                ClassInfo {
+                    duration: out.repair_time,
+                    cross_bytes: out.cross_bytes,
+                    inner_bytes: out.inner_bytes,
+                    demand: plan_demand(&plan, &canon_topo, &canon_net),
+                    replans: out.replans,
+                    retries: out.retries,
+                    degraded: out.final_tier > Tier::Full,
+                },
+                false,
+            ))
         });
         let mut demands = Vec::new();
         for (s, info) in outcomes.into_iter().enumerate() {
-            let Some(info) = info else {
+            let Some((info, was_replay)) = info else {
                 unrepairable += 1;
+                if let Some(j) = io.journal {
+                    j.borrow_mut().unrepairable(s as u32);
+                }
                 continue;
             };
+            replayed += usize::from(was_replay);
             replans += info.replans;
             retries += info.retries;
             degraded += usize::from(info.degraded);
+            let level = class_failed[stripes[s].class as usize].len();
+            if let Some(j) = io.journal {
+                // Cost records land before the drain starts, so a crash
+                // at any later point leaves them all replayable.
+                j.borrow_mut().cost(
+                    s as u32,
+                    level,
+                    info.duration,
+                    info.cross_bytes,
+                    info.inner_bytes,
+                    info.replans,
+                    info.retries,
+                    info.degraded,
+                );
+            }
             jobs.push(FleetJob {
                 stripe: s as u32,
-                level: class_failed[stripes[s].class as usize].len(),
+                level,
                 duration: info.duration,
                 arrival: 0.0,
                 cross_bytes: info.cross_bytes,
@@ -473,38 +607,120 @@ pub fn run_synthetic_fleet(spec: &FleetSpec, rec: &dyn Recorder) -> FleetOutcome
     arbiter.set_qos(spec.qos);
 
     let cacheable = spec.cacheable();
-    let mut demand_of = |job: usize| -> Demand {
-        if !spec.arbitrate {
-            return Demand::default();
+    // Escalated-class memo: churn can push a stripe into a failed-block
+    // set no base stripe has, so those classes are costed lazily, the
+    // first time the drain asks for them. The sim is the *clean*
+    // canonical one even on the storm path (hedging off): the storm
+    // already priced the stripe's own turbulence into its base cost, and
+    // a seed-independent sim keeps `cost_of(stripe, level)` a pure
+    // function — the property journal resume relies on.
+    let esc_classes: RefCell<HashMap<Vec<usize>, ClassInfo>> = RefCell::new(HashMap::new());
+    let mut esc_cfg = spec.cfg.clone();
+    esc_cfg.hedge = None;
+    let escalated = |s: usize, lvl: usize| -> ClassInfo {
+        let base = &class_failed[stripes[s].class as usize];
+        let failed = escalated_failed(base, total, spec.seed ^ (s as u64) ^ ESCALATION_SALT, lvl);
+        if let Some(info) = esc_classes.borrow().get(&failed) {
+            return info.clone();
         }
-        let stripe = &stripes[kept[job] as usize];
-        let canon = if cacheable {
-            &job_demands[stripe.class as usize]
-        } else {
-            &job_demands[job]
+        let ctx = make_ctx(&failed);
+        let storm = FaultStorm::new(0);
+        let mut tracker = HealthTracker::with_defaults();
+        let out = supervise_injected(&ctx, &storm, &esc_cfg, &mut tracker, rpr_obs::noop())
+            .expect("clean supervised repair cannot fail");
+        let plan = first_valid_plan(&ctx).expect("a valid plan exists for <=k failures");
+        let info = ClassInfo {
+            duration: out.repair_time,
+            cross_bytes: out.cross_bytes,
+            inner_bytes: out.inner_bytes,
+            demand: plan_demand(&plan, &canon_topo, &canon_net),
+            replans: out.replans,
+            retries: out.retries,
+            degraded: out.final_tier > Tier::Full,
         };
-        translate_demand(
-            canon,
-            canon_nodes,
-            phys_nodes,
-            npr,
-            &roles,
-            &first_block_in_rack,
-            &stripe.hosts,
-        )
+        esc_classes.borrow_mut().insert(failed, info.clone());
+        info
     };
-    let outcome = schedule_fleet(&jobs, &mut demand_of, &mut arbiter, rec);
+    let mut cost_of = |job: usize, lvl: usize| -> JobCost {
+        let gen = &stripes[kept[job] as usize];
+        let translate = |canon: &Demand| -> Demand {
+            if !spec.arbitrate {
+                return Demand::default();
+            }
+            translate_demand(
+                canon,
+                canon_nodes,
+                phys_nodes,
+                npr,
+                &roles,
+                &first_block_in_rack,
+                &gen.hosts,
+            )
+        };
+        if lvl == jobs[job].level {
+            let canon = if cacheable {
+                &job_demands[gen.class as usize]
+            } else {
+                &job_demands[job]
+            };
+            JobCost {
+                duration: jobs[job].duration,
+                cross_bytes: jobs[job].cross_bytes,
+                inner_bytes: jobs[job].inner_bytes,
+                demand: translate(canon),
+            }
+        } else {
+            let info = escalated(kept[job] as usize, lvl);
+            JobCost {
+                duration: info.duration,
+                cross_bytes: info.cross_bytes,
+                inner_bytes: info.inner_bytes,
+                demand: translate(&info.demand),
+            }
+        }
+    };
+    let opts = DrainOptions {
+        churn: (spec.churn_rate > 0.0).then(|| ChurnOptions {
+            process: ChurnProcess::new(spec.seed ^ CHURN_SALT, spec.churn_rate),
+            max_level: params.k,
+            escalate: spec.escalate,
+        }),
+        journal: io.journal,
+    };
+    let outcome = drain_fleet(&jobs, &mut cost_of, &mut arbiter, opts, rec);
+    let escalated_classes = esc_classes.borrow().len();
 
     FleetOutcome {
         summary: outcome.summary,
         records: outcome.records,
-        classes: class_failed.len(),
+        lost: outcome.lost,
+        classes: class_failed.len() + escalated_classes,
         replans,
         retries,
         degraded,
         unrepairable,
         max_utilization: arbiter.max_utilization(),
+        replayed,
     }
+}
+
+/// Pure derivation of a stripe's failed-block set at an escalated
+/// at-risk level: the base class's blocks plus distinct extra blocks
+/// drawn from the stripe's own escalation stream. Deterministic in
+/// `(base, esc_seed, level)` and prefix-stable — the set at level `z+1`
+/// contains the set at level `z` — so repeated escalations of one
+/// stripe model one accumulating failure history.
+fn escalated_failed(base: &[usize], total: usize, esc_seed: u64, level: usize) -> Vec<usize> {
+    let mut failed = base.to_vec();
+    let mut rng = SplitMix64::new(esc_seed);
+    while failed.len() < level {
+        let b = rng.pick(total);
+        if !failed.contains(&b) {
+            failed.push(b);
+        }
+    }
+    failed.sort_unstable();
+    failed
 }
 
 /// Rewrite a canonical-node demand into physical-cluster resources for

@@ -1,0 +1,501 @@
+//! Crash-restartable fleet drains: a durable JSON-lines write-ahead log.
+//!
+//! A drain that dies (OOM-kill, node reboot, `kill -9`) must not forget
+//! what it already repaired. [`FleetJournal`] appends one self-contained
+//! JSON record per scheduling decision — enqueue, admit, per-stripe cost,
+//! complete, escalate, lost — plus periodic checkpoints, flushing every
+//! line so the log is valid up to the crash instant (a torn final line is
+//! expected and ignored on replay).
+//!
+//! [`JournalReplay`] parses a journal back into lookup maps. Resume
+//! (`rpr fleet --resume F`) re-drives the *deterministic* admission loop
+//! from the same seed — reconstructing index and arbiter state exactly —
+//! while the costing layer consults the replay and **skips the expensive
+//! per-stripe repair simulation** for every stripe the journal already
+//! priced. Because the loop is a pure function of seed + costs, the
+//! resumed run's summary and records are bit-identical to an
+//! uninterrupted run's; `scripts/verify.sh` kills a journaled drain
+//! mid-flight and byte-compares exactly that.
+//!
+//! Record schema (one JSON object per line; field order is fixed):
+//!
+//! ```text
+//! {"journal":"rpr-fleet","version":1,"seed":S,"stripes":N}      header
+//! {"rec":"enqueue","stripe":s,"level":z,"t":T}
+//! {"rec":"cost","stripe":s,"level":z,"dur":D,"cross":C,"inner":I,
+//!  "replans":R,"retries":Y,"degraded":B}
+//! {"rec":"admit","stripe":s,"level":z,"t":T,"waited":W}
+//! {"rec":"complete","stripe":s,"level":z,"admitted":A,"finish":F,
+//!  "waited":W}
+//! {"rec":"escalate","stripe":s,"from":a,"to":b,"in_flight":B,"t":T}
+//! {"rec":"lost","stripe":s,"level":z,"t":T}
+//! {"rec":"unrepairable","stripe":s}
+//! {"rec":"checkpoint","seq":Q,"completed":C,"lost":L,"t":T}
+//! ```
+//!
+//! Floats use Rust's shortest-roundtrip formatting, so a parsed value is
+//! bit-identical to the written one — the property the resume
+//! byte-identity guarantee rests on.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Default completions between checkpoint records.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1000;
+
+/// A checkpoint the journal just flushed (surfaced so the drain can emit
+/// the matching `journal_checkpoint` event).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Monotone record sequence number of the checkpoint line.
+    pub seq: u64,
+    /// Stripes recorded complete so far.
+    pub completed: u64,
+    /// Stripes recorded permanently lost so far.
+    pub lost: u64,
+}
+
+/// Append-only JSON-lines write-ahead log of one fleet drain.
+///
+/// Every appended record is flushed before the method returns, so the
+/// log never lags the decisions it records by more than the line being
+/// written when the process dies.
+#[derive(Debug)]
+pub struct FleetJournal {
+    out: BufWriter<File>,
+    path: PathBuf,
+    seq: u64,
+    completed: u64,
+    lost: u64,
+    checkpoint_every: u64,
+    stall: Option<std::time::Duration>,
+}
+
+impl FleetJournal {
+    /// Create (truncate) the journal at `path` and write the header.
+    pub fn create(path: &Path, seed: u64, stripes: usize) -> std::io::Result<FleetJournal> {
+        let file = File::create(path)?;
+        let mut j = FleetJournal {
+            out: BufWriter::new(file),
+            path: path.to_path_buf(),
+            seq: 0,
+            completed: 0,
+            lost: 0,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            stall: None,
+        };
+        j.write_line(&format!(
+            "{{\"journal\":\"rpr-fleet\",\"version\":1,\"seed\":{seed},\"stripes\":{stripes}}}"
+        ));
+        Ok(j)
+    }
+
+    /// Path the journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Override the checkpoint cadence (completions per checkpoint).
+    pub fn set_checkpoint_every(&mut self, every: u64) {
+        self.checkpoint_every = every.max(1);
+    }
+
+    /// Sleep this long after every appended record. Test/CI hook: it
+    /// slows the drain down enough that an external `kill -9` reliably
+    /// lands mid-drain (`RPR_JOURNAL_STALL_US` on the CLI).
+    pub fn set_stall(&mut self, stall: std::time::Duration) {
+        self.stall = Some(stall);
+    }
+
+    fn write_line(&mut self, line: &str) {
+        // A journal that cannot persist is worse than no journal: fail
+        // loudly rather than silently dropping the crash guarantee.
+        let io = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| self.out.flush());
+        if let Err(e) = io {
+            panic!("fleet journal write to {} failed: {e}", self.path.display());
+        }
+        self.seq += 1;
+        if let Some(d) = self.stall {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Record a stripe entering the at-risk index.
+    pub fn enqueue(&mut self, stripe: u32, level: usize, t: f64) {
+        self.write_line(&format!(
+            "{{\"rec\":\"enqueue\",\"stripe\":{stripe},\"level\":{level},\"t\":{t}}}"
+        ));
+    }
+
+    /// Record the costed repair of `stripe` at `level`: stand-alone
+    /// duration, bytes moved, and supervision counters. Resume uses
+    /// these to skip re-simulating already-priced repairs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cost(
+        &mut self,
+        stripe: u32,
+        level: usize,
+        dur: f64,
+        cross: u64,
+        inner: u64,
+        replans: usize,
+        retries: usize,
+        degraded: bool,
+    ) {
+        self.write_line(&format!(
+            "{{\"rec\":\"cost\",\"stripe\":{stripe},\"level\":{level},\"dur\":{dur},\
+             \"cross\":{cross},\"inner\":{inner},\"replans\":{replans},\
+             \"retries\":{retries},\"degraded\":{degraded}}}"
+        ));
+    }
+
+    /// Record an admission.
+    pub fn admit(&mut self, stripe: u32, level: usize, t: f64, waited: f64) {
+        self.write_line(&format!(
+            "{{\"rec\":\"admit\",\"stripe\":{stripe},\"level\":{level},\"t\":{t},\
+             \"waited\":{waited}}}"
+        ));
+    }
+
+    /// Record a completed repair. Returns a [`Checkpoint`] when the
+    /// cadence elapsed and a checkpoint record was appended after it.
+    pub fn complete(
+        &mut self,
+        stripe: u32,
+        level: usize,
+        admitted: f64,
+        finish: f64,
+        waited: f64,
+    ) -> Option<Checkpoint> {
+        self.write_line(&format!(
+            "{{\"rec\":\"complete\",\"stripe\":{stripe},\"level\":{level},\
+             \"admitted\":{admitted},\"finish\":{finish},\"waited\":{waited}}}"
+        ));
+        self.completed += 1;
+        if self.completed.is_multiple_of(self.checkpoint_every) {
+            Some(self.checkpoint(finish))
+        } else {
+            None
+        }
+    }
+
+    /// Record a risk escalation.
+    pub fn escalate(&mut self, stripe: u32, from: usize, to: usize, in_flight: bool, t: f64) {
+        self.write_line(&format!(
+            "{{\"rec\":\"escalate\",\"stripe\":{stripe},\"from\":{from},\"to\":{to},\
+             \"in_flight\":{in_flight},\"t\":{t}}}"
+        ));
+    }
+
+    /// Record a permanent loss (the stripe crossed `z > r`).
+    pub fn lost(&mut self, stripe: u32, level: usize, t: f64) {
+        self.write_line(&format!(
+            "{{\"rec\":\"lost\",\"stripe\":{stripe},\"level\":{level},\"t\":{t}}}"
+        ));
+        self.lost += 1;
+    }
+
+    /// Record a stripe that was unrepairable at costing time (too many
+    /// failures for the code before the drain even started).
+    pub fn unrepairable(&mut self, stripe: u32) {
+        self.write_line(&format!("{{\"rec\":\"unrepairable\",\"stripe\":{stripe}}}"));
+    }
+
+    /// Append a checkpoint record now and return it.
+    pub fn checkpoint(&mut self, t: f64) -> Checkpoint {
+        let cp = Checkpoint {
+            seq: self.seq,
+            completed: self.completed,
+            lost: self.lost,
+        };
+        self.write_line(&format!(
+            "{{\"rec\":\"checkpoint\",\"seq\":{},\"completed\":{},\"lost\":{},\"t\":{t}}}",
+            cp.seq, cp.completed, cp.lost
+        ));
+        cp
+    }
+}
+
+/// One journaled `complete` record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompletedRec {
+    /// At-risk level the stripe was served at.
+    pub level: usize,
+    /// Fleet-clock admission time.
+    pub admitted: f64,
+    /// Fleet-clock finish time.
+    pub finish: f64,
+    /// Seconds waited at the queue head.
+    pub waited: f64,
+}
+
+/// One journaled `cost` record: everything the costing layer needs to
+/// skip a per-stripe repair simulation on resume.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostRec {
+    /// Stand-alone repair duration in seconds.
+    pub dur: f64,
+    /// Cross-rack bytes the repair moves.
+    pub cross: u64,
+    /// Inner-rack bytes the repair moves.
+    pub inner: u64,
+    /// Replans the supervised repair needed.
+    pub replans: usize,
+    /// Transfer retries the supervised repair needed.
+    pub retries: usize,
+    /// True when the repair fell back to a degraded tier.
+    pub degraded: bool,
+}
+
+/// A parsed fleet journal, ready to answer resume queries.
+#[derive(Clone, Debug, Default)]
+pub struct JournalReplay {
+    /// Seed recorded in the header.
+    pub seed: u64,
+    /// Backlog size recorded in the header.
+    pub stripes: usize,
+    /// Completed stripes by id.
+    pub completed: HashMap<u32, CompletedRec>,
+    /// Costed (stripe, level) pairs.
+    pub costs: HashMap<(u32, usize), CostRec>,
+    /// Permanently lost stripes by id → (level, t).
+    pub lost: HashMap<u32, (usize, f64)>,
+    /// Stripes unrepairable at costing time.
+    pub unrepairable: HashSet<u32>,
+    /// Total well-formed records parsed (header excluded).
+    pub records: usize,
+    /// True when the final line was torn (crash mid-write) and dropped.
+    pub truncated: bool,
+}
+
+impl JournalReplay {
+    /// Parse journal text. The final line may be torn (the process was
+    /// killed mid-write); it is dropped, not an error. Any other
+    /// malformed line is an error — a corrupt middle means the file is
+    /// not a journal.
+    pub fn parse(text: &str) -> Result<JournalReplay, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("journal is empty")?;
+        if field_raw(header, "journal") != Some("\"rpr-fleet\"") {
+            return Err("not an rpr-fleet journal (bad header)".into());
+        }
+        let version = field_u64(header, "version").ok_or("header missing version")?;
+        if version != 1 {
+            return Err(format!("unsupported journal version {version}"));
+        }
+        let mut replay = JournalReplay {
+            seed: field_u64(header, "seed").ok_or("header missing seed")?,
+            stripes: field_u64(header, "stripes").ok_or("header missing stripes")? as usize,
+            ..JournalReplay::default()
+        };
+        // Only a missing trailing newline marks the last line as
+        // possibly torn; parse failures there are tolerated.
+        let complete_tail = text.ends_with('\n');
+        let body: Vec<&str> = lines.collect();
+        for (i, line) in body.iter().enumerate() {
+            let last = i + 1 == body.len();
+            match parse_record(line, &mut replay) {
+                Ok(()) => replay.records += 1,
+                Err(e) if last && !complete_tail => {
+                    replay.truncated = true;
+                    let _ = e;
+                }
+                Err(e) => return Err(format!("journal line {}: {e}", i + 2)),
+            }
+        }
+        Ok(replay)
+    }
+
+    /// Parse the journal file at `path`.
+    pub fn load(path: &Path) -> Result<JournalReplay, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+        JournalReplay::parse(&text)
+    }
+
+    /// The cost record journaled for `(stripe, level)`, if any.
+    pub fn cost(&self, stripe: u32, level: usize) -> Option<CostRec> {
+        self.costs.get(&(stripe, level)).copied()
+    }
+}
+
+fn parse_record(line: &str, replay: &mut JournalReplay) -> Result<(), String> {
+    let rec = field_raw(line, "rec").ok_or("missing rec field")?;
+    match rec {
+        "\"enqueue\"" | "\"admit\"" | "\"escalate\"" | "\"checkpoint\"" => {
+            // Progress records: informational on replay (resume
+            // re-derives them deterministically), but they must still be
+            // well-formed.
+            Ok(())
+        }
+        "\"cost\"" => {
+            let stripe = field_u64(line, "stripe").ok_or("cost missing stripe")? as u32;
+            let level = field_u64(line, "level").ok_or("cost missing level")? as usize;
+            replay.costs.insert(
+                (stripe, level),
+                CostRec {
+                    dur: field_f64(line, "dur").ok_or("cost missing dur")?,
+                    cross: field_u64(line, "cross").ok_or("cost missing cross")?,
+                    inner: field_u64(line, "inner").ok_or("cost missing inner")?,
+                    replans: field_u64(line, "replans").ok_or("cost missing replans")? as usize,
+                    retries: field_u64(line, "retries").ok_or("cost missing retries")? as usize,
+                    degraded: field_bool(line, "degraded").ok_or("cost missing degraded")?,
+                },
+            );
+            Ok(())
+        }
+        "\"complete\"" => {
+            let stripe = field_u64(line, "stripe").ok_or("complete missing stripe")? as u32;
+            replay.completed.insert(
+                stripe,
+                CompletedRec {
+                    level: field_u64(line, "level").ok_or("complete missing level")? as usize,
+                    admitted: field_f64(line, "admitted").ok_or("complete missing admitted")?,
+                    finish: field_f64(line, "finish").ok_or("complete missing finish")?,
+                    waited: field_f64(line, "waited").ok_or("complete missing waited")?,
+                },
+            );
+            Ok(())
+        }
+        "\"lost\"" => {
+            let stripe = field_u64(line, "stripe").ok_or("lost missing stripe")? as u32;
+            let level = field_u64(line, "level").ok_or("lost missing level")? as usize;
+            let t = field_f64(line, "t").ok_or("lost missing t")?;
+            replay.lost.insert(stripe, (level, t));
+            Ok(())
+        }
+        "\"unrepairable\"" => {
+            let stripe = field_u64(line, "stripe").ok_or("unrepairable missing stripe")? as u32;
+            replay.unrepairable.insert(stripe);
+            Ok(())
+        }
+        other => Err(format!("unknown record kind {other}")),
+    }
+}
+
+/// Raw text of `"key":<value>` in a one-line JSON object (value ends at
+/// the next top-level `,` or the closing `}`). Values here are numbers,
+/// booleans, or simple quoted strings — no nesting, no escapes.
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut end = rest.len();
+    let mut in_str = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' | '}' if !in_str => {
+                end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    Some(rest[..end].trim())
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    field_raw(line, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rpr-journal-test-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn journal_roundtrips_through_replay() {
+        let path = temp_path("roundtrip");
+        {
+            let mut j = FleetJournal::create(&path, 17, 3).expect("create");
+            j.set_checkpoint_every(2);
+            j.enqueue(0, 1, 0.0);
+            j.enqueue(1, 2, 0.0);
+            j.cost(0, 1, 2.5, 100, 50, 1, 2, false);
+            j.cost(1, 2, 4.25, 200, 80, 0, 0, true);
+            j.admit(1, 2, 0.0, 0.0);
+            assert!(j.complete(1, 2, 0.0, 4.25, 0.0).is_none());
+            j.escalate(0, 1, 2, false, 1.5);
+            j.admit(0, 2, 4.25, 4.25);
+            // Second completion crosses the cadence → checkpoint.
+            let cp = j.complete(0, 2, 4.25, 6.75, 4.25).expect("checkpoint");
+            assert_eq!(cp.completed, 2);
+            assert_eq!(cp.lost, 0);
+            j.lost(2, 4, 7.0);
+            j.unrepairable(9);
+        }
+        let replay = JournalReplay::load(&path).expect("parse");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(replay.seed, 17);
+        assert_eq!(replay.stripes, 3);
+        assert!(!replay.truncated);
+        assert_eq!(replay.completed.len(), 2);
+        let c0 = replay.completed[&0];
+        assert_eq!(c0.level, 2);
+        assert_eq!(c0.finish.to_bits(), 6.75f64.to_bits());
+        let cost = replay.cost(1, 2).expect("cost record");
+        assert_eq!(cost.dur.to_bits(), 4.25f64.to_bits());
+        assert_eq!(cost.cross, 200);
+        assert!(cost.degraded);
+        assert_eq!(replay.cost(1, 3), None);
+        assert_eq!(replay.lost[&2], (4, 7.0));
+        assert!(replay.unrepairable.contains(&9));
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_but_corrupt_middle_is_not() {
+        let good = "{\"journal\":\"rpr-fleet\",\"version\":1,\"seed\":1,\"stripes\":2}\n\
+                    {\"rec\":\"enqueue\",\"stripe\":0,\"level\":1,\"t\":0}\n\
+                    {\"rec\":\"complete\",\"stripe\":0,\"level\":1,\"admitted\":0,\"fini";
+        let replay = JournalReplay::parse(good).expect("torn tail tolerated");
+        assert!(replay.truncated);
+        assert!(replay.completed.is_empty());
+        assert_eq!(replay.records, 1);
+
+        let bad = "{\"journal\":\"rpr-fleet\",\"version\":1,\"seed\":1,\"stripes\":2}\n\
+                   {\"rec\":\"garbage\"}\n\
+                   {\"rec\":\"enqueue\",\"stripe\":0,\"level\":1,\"t\":0}\n";
+        assert!(JournalReplay::parse(bad).is_err(), "corrupt middle rejected");
+
+        assert!(JournalReplay::parse("").is_err());
+        assert!(JournalReplay::parse("{\"journal\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn float_roundtrip_is_bit_exact() {
+        // The resume byte-identity guarantee needs shortest-roundtrip
+        // floats to survive write → parse exactly.
+        let vals = [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            123456.789012345,
+            2.5e-17,
+        ];
+        for v in vals {
+            let s = format!("{v}");
+            let back: f64 = s.parse().expect("parses");
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} did not roundtrip");
+        }
+    }
+}

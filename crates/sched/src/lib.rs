@@ -21,7 +21,10 @@
 //!   million-stripe case cheap).
 //!
 //! [`schedule_fleet`] drains a backlog through the index and arbiter on
-//! a deterministic virtual clock; [`run_synthetic_fleet`] is the
+//! a deterministic virtual clock; [`drain_fleet`] extends it with
+//! co-simulated churn arrivals, O(1) risk escalation, a permanent-loss
+//! ledger, and a crash-restartable write-ahead [`journal`];
+//! [`run_synthetic_fleet`] is the
 //! end-to-end entry point behind `rpr fleet` and the
 //! `rpr-experiments fleet-scale` table, and `Store::recover_fleet`
 //! (in `rpr-store`) routes real store failures through the same
@@ -33,11 +36,16 @@
 pub mod arbiter;
 pub mod fleet;
 pub mod index;
+pub mod journal;
 pub mod pool;
 pub mod sched;
 
 pub use arbiter::{plan_demand, BandwidthArbiter, Demand, QosClass};
-pub use fleet::{first_valid_plan, run_synthetic_fleet, FleetOutcome, FleetSpec};
+pub use fleet::{first_valid_plan, run_fleet_with, run_synthetic_fleet, FleetIo, FleetOutcome, FleetSpec};
 pub use index::StripeIndex;
+pub use journal::{Checkpoint, CompletedRec, CostRec, FleetJournal, JournalReplay};
 pub use pool::{default_threads, run_indexed};
-pub use sched::{quantile, schedule_fleet, AdmissionOutcome, FleetJob, FleetSummary, StripeRecord};
+pub use sched::{
+    drain_fleet, quantile, schedule_fleet, AdmissionOutcome, ChurnOptions, DrainOptions, FleetJob,
+    FleetSummary, JobCost, LostStripe, StripeRecord,
+};

@@ -58,8 +58,13 @@ where
                 scope.spawn(move || {
                     let mut out: Vec<(usize, T)> = Vec::new();
                     loop {
-                        // Own work first (front), then steal (back).
-                        let task = queues[me].lock().unwrap().pop_front().or_else(|| {
+                        // Own work first (front), then steal (back). The
+                        // own-queue guard must drop before stealing: a
+                        // thief that still holds its own lock while
+                        // waiting for a sibling's deadlocks with a
+                        // sibling doing the converse.
+                        let own = queues[me].lock().unwrap().pop_front();
+                        let task = own.or_else(|| {
                             (1..queues.len()).find_map(|step| {
                                 queues[(me + step) % queues.len()]
                                     .lock()

@@ -12,8 +12,8 @@ use rpr_netsim::Network;
 use rpr_proof::ProofLedger;
 use rpr_obs::Recorder;
 use rpr_sched::{
-    first_valid_plan, plan_demand, schedule_fleet, BandwidthArbiter, Demand, FleetJob,
-    FleetSummary, StripeRecord,
+    drain_fleet, first_valid_plan, plan_demand, BandwidthArbiter, Demand, DrainOptions, FleetIo,
+    FleetJob, FleetSummary, JobCost, StripeRecord,
 };
 use rpr_topology::{BandwidthProfile, NodeId, RackId};
 
@@ -264,6 +264,9 @@ pub struct FleetRecoveryOutcome {
     /// Per-stripe proof ledgers `(stripe id, ledger)` for repaired
     /// stripes, in backlog order.
     pub ledgers: Vec<(usize, ProofLedger)>,
+    /// Per-stripe simulations skipped because a resume journal already
+    /// held their cost records (0 without [`FleetIo::resume`]).
+    pub replayed: usize,
 }
 
 /// Quantile of a sample by the nearest-rank method (`q` in `0..=1`).
@@ -602,15 +605,44 @@ impl Store {
         options: &FleetRecoveryOptions,
         rec: &dyn Recorder,
     ) -> FleetRecoveryOutcome {
+        self.recover_fleet_io(failure, profile, cost, options, FleetIo::default(), rec)
+    }
+
+    /// [`Store::recover_fleet`] with journal/resume plumbing. The drain
+    /// appends every scheduling decision to `io.journal`, and each
+    /// stripe's costed sim lands there as a `cost` record **before** the
+    /// drain starts, so a crash at any later point leaves them all
+    /// replayable. With `io.resume`, stripes whose cost records (or
+    /// `unrepairable` markers) the prior journal holds skip
+    /// [`supervise_injected`] entirely — counted in
+    /// [`FleetRecoveryOutcome::replayed`].
+    ///
+    /// Replay is disabled while proofs are active: a skipped sim has no
+    /// ledger to audit, and proof-carrying runs must re-derive theirs.
+    pub fn recover_fleet_io(
+        &self,
+        failure: Failure,
+        profile: &BandwidthProfile,
+        cost: CostModel,
+        options: &FleetRecoveryOptions,
+        io: FleetIo<'_>,
+        rec: &dyn Recorder,
+    ) -> FleetRecoveryOutcome {
         let affected = self.affected_stripes(failure);
         let mut net = Network::new(self.topology().clone(), profile.clone());
         if let Some(cap) = options.agg_capacity {
             net = net.with_agg_capacity(cap);
         }
 
+        let resume = if options.cfg.proof.active() {
+            None
+        } else {
+            io.resume
+        };
         let mut jobs: Vec<FleetJob> = Vec::with_capacity(affected.len());
         let mut demands: Vec<Demand> = Vec::with_capacity(affected.len());
         let mut unrepairable = 0usize;
+        let mut replayed = 0usize;
         let (mut replans, mut retries, mut degraded) = (0usize, 0usize, 0usize);
         let (mut proofs_emitted, mut proofs_rejected, mut accusations) = (0usize, 0usize, 0usize);
         let mut ledgers: Vec<(usize, ProofLedger)> = Vec::new();
@@ -624,30 +656,74 @@ impl Store {
                 profile,
                 cost,
             );
-            // Same per-stripe seed derivation as recover_supervised, so
-            // the two backends see identical fault storms per stripe.
-            let mut mix = SplitMix64::new(options.seed ^ (*stripe as u64));
-            let mut storm = FaultStorm::new(mix.next_u64());
-            for bucket in &options.storm {
-                storm = storm.with_generation(bucket.clone());
+            let level = failed.len();
+            if let Some(r) = resume {
+                if r.unrepairable.contains(&(*stripe as u32)) {
+                    unrepairable += 1;
+                    replayed += 1;
+                    if let Some(j) = io.journal {
+                        j.borrow_mut().unrepairable(*stripe as u32);
+                    }
+                    continue;
+                }
             }
-            let mut tracker = HealthTracker::with_defaults();
-            let Ok(out) =
-                supervise_injected(&ctx, &storm, &options.cfg, &mut tracker, rpr_obs::noop())
-            else {
-                unrepairable += 1;
-                continue;
-            };
-            replans += out.replans;
-            retries += out.retries;
-            if out.final_tier > Tier::Full {
-                degraded += 1;
-            }
-            proofs_emitted += out.proofs_emitted;
-            proofs_rejected += out.proofs_rejected;
-            accusations += out.accusations;
-            if options.cfg.proof.active() {
-                ledgers.push((*stripe, out.ledger));
+            let rec_of =
+                if let Some(c) = resume.and_then(|r| r.cost(*stripe as u32, level)) {
+                    replayed += 1;
+                    c
+                } else {
+                    // Same per-stripe seed derivation as
+                    // recover_supervised, so the two backends see
+                    // identical fault storms per stripe.
+                    let mut mix = SplitMix64::new(options.seed ^ (*stripe as u64));
+                    let mut storm = FaultStorm::new(mix.next_u64());
+                    for bucket in &options.storm {
+                        storm = storm.with_generation(bucket.clone());
+                    }
+                    let mut tracker = HealthTracker::with_defaults();
+                    let Ok(out) = supervise_injected(
+                        &ctx,
+                        &storm,
+                        &options.cfg,
+                        &mut tracker,
+                        rpr_obs::noop(),
+                    ) else {
+                        unrepairable += 1;
+                        if let Some(j) = io.journal {
+                            j.borrow_mut().unrepairable(*stripe as u32);
+                        }
+                        continue;
+                    };
+                    proofs_emitted += out.proofs_emitted;
+                    proofs_rejected += out.proofs_rejected;
+                    accusations += out.accusations;
+                    if options.cfg.proof.active() {
+                        ledgers.push((*stripe, out.ledger));
+                    }
+                    rpr_sched::CostRec {
+                        dur: out.repair_time,
+                        cross: out.cross_bytes,
+                        inner: out.inner_bytes,
+                        replans: out.replans,
+                        retries: out.retries,
+                        degraded: out.final_tier > Tier::Full,
+                    }
+                };
+            replans += rec_of.replans;
+            retries += rec_of.retries;
+            degraded += usize::from(rec_of.degraded);
+            let (duration, cross_bytes, inner_bytes) = (rec_of.dur, rec_of.cross, rec_of.inner);
+            if let Some(j) = io.journal {
+                j.borrow_mut().cost(
+                    *stripe as u32,
+                    level,
+                    duration,
+                    cross_bytes,
+                    inner_bytes,
+                    rec_of.replans,
+                    rec_of.retries,
+                    rec_of.degraded,
+                );
             }
             demands.push(if options.arbitrate {
                 let plan = first_valid_plan(&ctx).expect("a valid plan exists for <=k failures");
@@ -657,17 +733,27 @@ impl Store {
             });
             jobs.push(FleetJob {
                 stripe: *stripe as u32,
-                level: failed.len(),
-                duration: out.repair_time,
+                level,
+                duration,
                 arrival: 0.0,
-                cross_bytes: out.cross_bytes,
-                inner_bytes: out.inner_bytes,
+                cross_bytes,
+                inner_bytes,
             });
         }
 
         let mut arbiter = BandwidthArbiter::new(&net);
         arbiter.set_enabled(options.arbitrate);
-        let outcome = schedule_fleet(&jobs, &mut |j| demands[j].clone(), &mut arbiter, rec);
+        let mut cost_of = |j: usize, _lvl: usize| JobCost {
+            duration: jobs[j].duration,
+            cross_bytes: jobs[j].cross_bytes,
+            inner_bytes: jobs[j].inner_bytes,
+            demand: demands[j].clone(),
+        };
+        let opts = DrainOptions {
+            churn: None,
+            journal: io.journal,
+        };
+        let outcome = drain_fleet(&jobs, &mut cost_of, &mut arbiter, opts, rec);
         FleetRecoveryOutcome {
             stripes_affected: affected.len(),
             unrepairable,
@@ -681,6 +767,7 @@ impl Store {
             proofs_rejected,
             accusations,
             ledgers,
+            replayed,
         }
     }
 }
@@ -1136,6 +1223,70 @@ mod tests {
         assert!(out.proofs_emitted > 0);
         assert!(out.accusations > 0, "liars are convicted across the fleet");
         assert_eq!(out.ledgers.len(), out.summary.repaired);
+    }
+
+    #[test]
+    fn fleet_resume_replays_costs_and_matches_uninterrupted_run() {
+        use rpr_faults::CrashSite;
+        use rpr_sched::{FleetJournal, JournalReplay};
+        use std::cell::RefCell;
+        let s = small_store();
+        let p = profile(&s);
+        // A storm makes costing per-stripe (the expensive path resume is
+        // built to skip).
+        let opts = FleetRecoveryOptions {
+            storm: vec![vec![StormFault::Crash(CrashSite::SeedPick)]],
+            ..FleetRecoveryOptions::default()
+        };
+        let clean = s.recover_fleet(
+            Failure::Node(NodeId(2)),
+            &p,
+            CostModel::free(),
+            &opts,
+            rpr_obs::noop(),
+        );
+        assert_eq!(clean.replayed, 0);
+
+        let path = std::env::temp_dir().join(format!(
+            "rpr-store-resume-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let j = RefCell::new(
+                FleetJournal::create(&path, opts.seed, clean.stripes_affected).expect("create"),
+            );
+            let journaled = s.recover_fleet_io(
+                Failure::Node(NodeId(2)),
+                &p,
+                CostModel::free(),
+                &opts,
+                FleetIo {
+                    journal: Some(&j),
+                    resume: None,
+                },
+                rpr_obs::noop(),
+            );
+            assert_eq!(journaled.summary.to_json(), clean.summary.to_json());
+        }
+        let replay = JournalReplay::load(&path).expect("parse journal");
+        std::fs::remove_file(&path).ok();
+        let resumed = s.recover_fleet_io(
+            Failure::Node(NodeId(2)),
+            &p,
+            CostModel::free(),
+            &opts,
+            FleetIo {
+                journal: None,
+                resume: Some(&replay),
+            },
+            rpr_obs::noop(),
+        );
+        assert!(resumed.replayed > 0, "resume skipped sims");
+        assert_eq!(resumed.summary.to_json(), clean.summary.to_json());
+        assert_eq!(resumed.records, clean.records);
+        assert_eq!(resumed.replans, clean.replans);
+        assert_eq!(resumed.retries, clean.retries);
+        assert_eq!(resumed.degraded, clean.degraded);
     }
 
     #[test]

@@ -66,8 +66,9 @@ cargo build $OFFLINE --release -p rpr-cli -p rpr-bench --benches
 TIER="$(target/release/rpr kernels --json | jq -r .active)"
 
 # Suites: the kernel microbenchmarks the gate reads, plus the codec,
-# planner, streaming-executor, fleet-scheduler, and foreground-load
-# suites that track end-to-end cost.
+# planner, streaming-executor, fleet-scheduler (admission throughput and
+# the churned drain), and foreground-load suites that track end-to-end
+# cost.
 # (`figures` reproduces the paper's plots and is left to manual runs.)
 for suite in gf_kernels codec planner streaming fleet load; do
     echo "==> cargo bench -p rpr-bench --bench $suite (window ${MS} ms)"

@@ -34,7 +34,14 @@
 #      summaries across two same-seed runs per mode, and the QoS-throttled
 #      p99 latency must land strictly below the unthrottled p99
 #      (docs/FOREGROUND.md)
-#  12. bench gate: a quick bench snapshot (scripts/bench_snapshot.sh
+#  12. churn soak: a journaled 10k-stripe drain under live churn
+#      (`rpr fleet --churn-rate --journal`) is killed -9 mid-drain
+#      (RPR_JOURNAL_STALL_US stretches the write window), resumed from
+#      the torn journal, and the resumed run's `"summary":{...}` must be
+#      byte-identical to an uninterrupted same-seed run's, with zero
+#      stripes lost at a churn rate the drain outpaces (docs/FLEET.md,
+#      "Drains under churn" / "The journal")
+#  13. bench gate: a quick bench snapshot (scripts/bench_snapshot.sh
 #      --quick) must not regress the GF kernel throughput by more than
 #      15% against the newest committed BENCH_*.json, and the dispatched
 #      SIMD multiply must stay >= 4x the scalar tier (scripts/
@@ -261,7 +268,54 @@ for seed in 17 4242; do
     echo "==> foreground soak for seed $seed: QoS p99 $P99_QOS < unthrottled $P99_UNTH"
 done
 
-# Step 12: performance must not silently rot. Take a quick snapshot and
+# Step 12: a drain must survive a crash of the repair process itself.
+# Journal a churned 10k-stripe drain with stretched journal writes, kill
+# it -9 mid-drain, resume from the torn journal, and demand the resumed
+# summary be byte-identical to an uninterrupted same-seed run's — with
+# zero permanent losses at a churn rate the drain outpaces.
+CHURN_FLAGS="--code 6,3 --stripes 10000 --seed 17 --churn-rate 0.002"
+echo "==> $RPR fleet $CHURN_FLAGS --journal (killed -9 mid-drain)"
+rm -f "$CHAOS_DIR/churn_journal.jsonl"
+RPR_JOURNAL_STALL_US=200 "$RPR" fleet $CHURN_FLAGS \
+    --journal "$CHAOS_DIR/churn_journal.jsonl" --json \
+    > "$CHAOS_DIR/churn_killed.json" 2>/dev/null &
+CHURN_PID=$!
+sleep 3
+kill -9 "$CHURN_PID" 2>/dev/null || {
+    echo "churn soak FAILED: drain finished before the kill (stall too short)" >&2
+    exit 1
+}
+wait "$CHURN_PID" 2>/dev/null || true
+if [ ! -s "$CHAOS_DIR/churn_journal.jsonl" ]; then
+    echo "churn soak FAILED: killed drain left no journal" >&2
+    exit 1
+fi
+echo "==> $RPR fleet $CHURN_FLAGS (uninterrupted reference run)"
+"$RPR" fleet $CHURN_FLAGS --json > "$CHAOS_DIR/churn_clean.json" 2>/dev/null
+echo "==> $RPR fleet $CHURN_FLAGS --resume churn_journal.jsonl"
+"$RPR" fleet $CHURN_FLAGS --resume "$CHAOS_DIR/churn_journal.jsonl" --json \
+    > "$CHAOS_DIR/churn_resumed.json" 2>/dev/null
+grep -o '"summary":{[^}]*}' "$CHAOS_DIR/churn_clean.json" > "$CHAOS_DIR/churn_clean.summary"
+grep -o '"summary":{[^}]*}' "$CHAOS_DIR/churn_resumed.json" > "$CHAOS_DIR/churn_resumed.summary"
+if [ ! -s "$CHAOS_DIR/churn_clean.summary" ] || [ ! -s "$CHAOS_DIR/churn_resumed.summary" ]; then
+    echo "churn soak FAILED: could not extract summaries" >&2
+    exit 1
+fi
+if ! cmp -s "$CHAOS_DIR/churn_clean.summary" "$CHAOS_DIR/churn_resumed.summary"; then
+    echo "churn soak FAILED: resumed summary differs from the uninterrupted run" >&2
+    exit 1
+fi
+if ! grep -q '"repaired":10000' "$CHAOS_DIR/churn_clean.summary"; then
+    echo "churn soak FAILED: drain did not repair all 10000 stripes" >&2
+    exit 1
+fi
+if ! grep -q '"lost":0' "$CHAOS_DIR/churn_clean.summary"; then
+    echo "churn soak FAILED: outpaceable churn rate still lost stripes" >&2
+    exit 1
+fi
+echo "==> churn soak: killed -9 mid-drain, resumed bit-identically, 0 lost"
+
+# Step 13: performance must not silently rot. Take a quick snapshot and
 # gate it against the newest committed baseline; a transient miss (quick
 # windows on a shared box are noisy) gets two retries before it counts.
 if [ "${RPR_BENCH_GATE:-on}" = "off" ]; then

@@ -180,6 +180,57 @@ fn hedged_repair_beats_unhedged_with_seeded_straggler() {
 }
 
 #[test]
+fn adaptive_hedge_floors_at_fixed_and_widens_on_slow_fleets() {
+    let world = World::new(6, 3, 8 << 20);
+    // A mild straggler: ~3.3x its wave's median — past a fixed 2x
+    // threshold, but within what a broadly slow fleet would make normal.
+    let storm = FaultStorm::new(3).with_generation(vec![StormFault::Slow { factor: 0.3 }]);
+    let fixed_cfg = SuperviseConfig {
+        policy: fast_policy(),
+        hedge: Some(2.0),
+        ..SuperviseConfig::default()
+    };
+    let adaptive_cfg = SuperviseConfig {
+        adaptive_hedge: true,
+        ..fixed_cfg.clone()
+    };
+
+    // Healthy fleet (no tracked history): the adaptive threshold floors
+    // at the fixed multiple, so the run is bit-identical to fixed mode.
+    let (fixed, fixed_trace) = run_storm(&world, &storm, &fixed_cfg);
+    let (adaptive, adaptive_trace) = run_storm(&world, &storm, &adaptive_cfg);
+    assert!(fixed.hedges >= 1, "the straggler must trip the fixed threshold");
+    assert_eq!(fixed.hedges, adaptive.hedges);
+    assert_eq!(
+        fixed.repair_time.to_bits(),
+        adaptive.repair_time.to_bits(),
+        "healthy-fleet adaptive mode must be bit-identical to fixed"
+    );
+    assert_eq!(fixed_trace, adaptive_trace);
+
+    // Broadly slow fleet: every tracked helper runs ~2x late, so the
+    // observed p90 slowdown lifts the threshold to ~4x and the merely
+    // 3.3x straggler is no longer hedged against.
+    let slow_fleet = || {
+        let mut tracker = HealthTracker::with_defaults();
+        for node in 0..20 {
+            for _ in 0..6 {
+                tracker.record_success(node, 2.0, 1.0);
+            }
+        }
+        tracker
+    };
+    let ctx = world.ctx(vec![BlockId(1)]);
+    let rec = TraceRecorder::with_capacity(16384);
+    let outcome = supervise_injected(&ctx, &storm, &adaptive_cfg, &mut slow_fleet(), &rec)
+        .expect("completes");
+    assert_eq!(
+        outcome.hedges, 0,
+        "a typical helper on a slow fleet must not be hedged against"
+    );
+}
+
+#[test]
 fn replan_invariants_hold_across_seeded_chaos_storms() {
     let world = World::new(6, 3, 1 << 20);
     let cfg = SuperviseConfig {
